@@ -1,0 +1,215 @@
+// Command hydrasim runs one workload through the cycle-level simulator and
+// prints the full statistics block: IPC, branch and return prediction
+// accuracy, return-address-stack events, and cache behavior.
+//
+// Usage:
+//
+//	hydrasim -bench go -repair tos-ptr+contents -insts 500000
+//	hydrasim -bench vortex -returns btb-only
+//	hydrasim -bench perl -paths 4 -mpstacks per-path
+//	hydrasim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"retstack"
+	"retstack/internal/config"
+	"retstack/internal/core"
+	"retstack/internal/pipeline"
+	"retstack/internal/stats"
+)
+
+// run executes the simulation directly through the pipeline package so the
+// tracer can be attached.
+func run(cfg retstack.Config, bench string, insts uint64, traceN int) (*pipeline.Stats, error) {
+	w, ok := retstack.WorkloadByName(bench)
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q (use -list)", bench)
+	}
+	scale := 1
+	if insts > 0 {
+		scale = w.ScaleFor(insts * 2)
+	}
+	im, err := w.Build(scale)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := pipeline.New(cfg, im)
+	if err != nil {
+		return nil, err
+	}
+	if traceN > 0 {
+		sim.SetTracer(&pipeline.TextTracer{W: os.Stderr, MaxEvents: traceN})
+	}
+	if err := sim.Run(insts); err != nil {
+		return nil, err
+	}
+	return sim.Stats(), nil
+}
+
+func main() {
+	var (
+		bench    = flag.String("bench", "go", "workload name (see -list)")
+		insts    = flag.Uint64("insts", 500_000, "committed-instruction budget (0 = run to completion)")
+		repair   = flag.String("repair", "tos-ptr+contents", "RAS repair: none | tos-ptr | tos-ptr+contents | full")
+		rasSize  = flag.Int("ras", 32, "return-address-stack entries")
+		rasKind  = flag.String("raskind", "circular", "stack implementation: circular | linked | topk")
+		topK     = flag.Int("topk", 1, "checkpointed entries for -raskind topk")
+		returns  = flag.String("returns", "ras", "return predictor: ras | btb-only | target-cache")
+		indirect = flag.String("indirect", "btb", "indirect-jump predictor: btb | target-cache")
+		shadow   = flag.Int("shadow", 0, "shadow checkpoint slots (0 = unbounded)")
+		paths    = flag.Int("paths", 1, "maximum concurrent paths (1 = single-path)")
+		mpstacks = flag.String("mpstacks", "per-path", "multipath stacks: unified | unified+repair | per-path")
+		specHist = flag.Bool("spechistory", false, "speculative predictor-history update (21264-style)")
+		traceN   = flag.Int("trace", 0, "write the first N pipeline events to stderr")
+		smt      = flag.String("smt", "", "comma-separated second..Nth workloads to co-schedule (SMT)")
+		smtShare = flag.Bool("smtshared", false, "share one RAS among SMT threads")
+		showCfg  = flag.Bool("config", false, "print the machine configuration and exit")
+		list     = flag.Bool("list", false, "list available workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range retstack.AllWorkloads() {
+			fmt.Printf("%-16s %s\n", w.Name, w.Description)
+		}
+		return
+	}
+
+	cfg, err := buildConfig(*repair, *rasSize, *rasKind, *topK, *returns, *indirect, *shadow, *paths, *mpstacks)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.SpecHistory = *specHist
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	if *showCfg {
+		fmt.Println(cfg.Describe())
+		return
+	}
+
+	if *smt != "" {
+		names := append([]string{*bench}, strings.Split(*smt, ",")...)
+		ws := make([]retstack.Workload, len(names))
+		for i, n := range names {
+			w, ok := retstack.WorkloadByName(n)
+			if !ok {
+				fatal(fmt.Errorf("unknown workload %q", n))
+			}
+			ws[i] = w
+		}
+		cfg.SMTThreads = len(ws)
+		cfg.SMTSharedRAS = *smtShare
+		if err := cfg.Validate(); err != nil {
+			fatal(err)
+		}
+		res, _, err := retstack.RunSMT(cfg, ws, *insts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("threads         %v (per-thread committed %v)\n", names, res.Stats.PerThreadCommitted)
+		printStats(strings.Join(names, "+"), cfg, res.Stats)
+		return
+	}
+	st, err := run(cfg, *bench, *insts, *traceN)
+	if err != nil {
+		fatal(err)
+	}
+	printStats(*bench, cfg, st)
+}
+
+func buildConfig(repair string, rasSize int, rasKind string, topK int, returns, indirect string, shadow, paths int, mpstacks string) (retstack.Config, error) {
+	cfg := retstack.Baseline()
+	switch repair {
+	case "none":
+		cfg.RASPolicy = core.RepairNone
+	case "tos-ptr":
+		cfg.RASPolicy = core.RepairTOSPointer
+	case "tos-ptr+contents":
+		cfg.RASPolicy = core.RepairTOSPointerAndContents
+	case "full":
+		cfg.RASPolicy = core.RepairFullStack
+	default:
+		return cfg, fmt.Errorf("unknown -repair %q", repair)
+	}
+	cfg.RASEntries = rasSize
+	switch rasKind {
+	case "circular":
+		cfg.RASKind = config.RASCircular
+	case "linked":
+		cfg.RASKind = config.RASLinked
+	case "topk":
+		cfg.RASKind = config.RASTopK
+		cfg.RASTopK = topK
+	default:
+		return cfg, fmt.Errorf("unknown -raskind %q", rasKind)
+	}
+	switch returns {
+	case "ras":
+		cfg.ReturnPred = config.ReturnRAS
+	case "btb-only":
+		cfg.ReturnPred = config.ReturnBTBOnly
+		cfg.RASEntries = 0
+	case "target-cache":
+		cfg.ReturnPred = config.ReturnTargetCache
+		cfg.RASEntries = 0
+	default:
+		return cfg, fmt.Errorf("unknown -returns %q", returns)
+	}
+	switch indirect {
+	case "btb":
+		cfg.IndirectPred = config.IndirectBTB
+	case "target-cache":
+		cfg.IndirectPred = config.IndirectTargetCache
+	default:
+		return cfg, fmt.Errorf("unknown -indirect %q", indirect)
+	}
+	cfg.ShadowSlots = shadow
+	cfg.MaxPaths = paths
+	switch mpstacks {
+	case "unified":
+		cfg.MPStacks = config.MPUnified
+	case "unified+repair":
+		cfg.MPStacks = config.MPUnifiedRepair
+	case "per-path":
+		cfg.MPStacks = config.MPPerPath
+	default:
+		return cfg, fmt.Errorf("unknown -mpstacks %q", mpstacks)
+	}
+	return cfg, cfg.Validate()
+}
+
+func printStats(bench string, cfg retstack.Config, st *pipeline.Stats) {
+	fmt.Printf("workload        %s\n", bench)
+	fmt.Printf("cycles          %d\n", st.Cycles)
+	fmt.Printf("committed       %d\n", st.Committed)
+	fmt.Printf("IPC             %.3f\n", st.IPC())
+	fmt.Printf("fetched         %d (squashed in RUU: %d)\n", st.Fetched, st.Squashed)
+	fmt.Printf("cond branches   %d, mispredicted %.2f%%\n",
+		st.CondBranches, 100*st.CondMispredRate())
+	fmt.Printf("returns         %d, hit rate %.2f%% (from RAS: %d)\n",
+		st.Returns, 100*st.ReturnHitRate(), st.ReturnsFromRAS)
+	fmt.Printf("indirects       %d, correct %.2f%%\n",
+		st.Indirects, 100*stats.Ratio(st.IndirectsCorrect, st.Indirects))
+	fmt.Printf("recoveries      %d\n", st.Recoveries)
+	fmt.Printf("RAS             pushes %d, pops %d, overflow %d, underflow %d, restores %d\n",
+		st.RAS.Pushes, st.RAS.Pops, st.RAS.Overflows, st.RAS.Underflows, st.RAS.Restores)
+	fmt.Printf("wrong-path RAS  pushes %d, pops %d\n", st.WrongPathPushes, st.WrongPathPops)
+	if cfg.MaxPaths > 1 {
+		fmt.Printf("multipath       forks %d, committed forked branches %d, paths squashed %d\n",
+			st.Forks, st.ForkedBranches, st.PathsSquashed)
+	}
+	if cfg.ShadowSlots > 0 {
+		fmt.Printf("shadow          checkpoints denied %d\n", st.CheckpointsDenied)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hydrasim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"testing"
+
+	"retstack/internal/config"
+	"retstack/internal/core"
+)
+
+func TestBuildConfigDefaults(t *testing.T) {
+	cfg, err := buildConfig("tos-ptr+contents", 32, "circular", 1, "ras", "btb", 0, 1, "per-path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.RASPolicy != core.RepairTOSPointerAndContents || cfg.RASEntries != 32 {
+		t.Error("defaults not applied")
+	}
+}
+
+func TestBuildConfigVariants(t *testing.T) {
+	cases := []struct {
+		name                            string
+		repair, kind, returns, indirect string
+		topK, ras, shadow, paths        int
+		mpstacks                        string
+		check                           func(config.Config) bool
+	}{
+		{"none", "none", "circular", "ras", "btb", 1, 32, 0, 1, "per-path",
+			func(c config.Config) bool { return c.RASPolicy == core.RepairNone }},
+		{"linked", "full", "linked", "ras", "btb", 1, 64, 0, 1, "per-path",
+			func(c config.Config) bool { return c.RASKind == config.RASLinked && c.RASEntries == 64 }},
+		{"topk", "none", "topk", "ras", "btb", 3, 32, 0, 1, "per-path",
+			func(c config.Config) bool { return c.RASKind == config.RASTopK && c.RASTopK == 3 }},
+		{"btb-only", "none", "circular", "btb-only", "btb", 1, 32, 0, 1, "per-path",
+			func(c config.Config) bool { return c.ReturnPred == config.ReturnBTBOnly && c.RASEntries == 0 }},
+		{"target-cache-ret", "none", "circular", "target-cache", "btb", 1, 32, 0, 1, "per-path",
+			func(c config.Config) bool { return c.ReturnPred == config.ReturnTargetCache }},
+		{"target-cache-ind", "none", "circular", "ras", "target-cache", 1, 32, 0, 1, "per-path",
+			func(c config.Config) bool { return c.IndirectPred == config.IndirectTargetCache }},
+		{"shadow", "tos-ptr", "circular", "ras", "btb", 1, 32, 7, 1, "per-path",
+			func(c config.Config) bool { return c.ShadowSlots == 7 }},
+		{"multipath", "tos-ptr+contents", "circular", "ras", "btb", 1, 32, 0, 4, "unified+repair",
+			func(c config.Config) bool { return c.MaxPaths == 4 && c.MPStacks == config.MPUnifiedRepair }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg, err := buildConfig(c.repair, c.ras, c.kind, c.topK, c.returns, c.indirect, c.shadow, c.paths, c.mpstacks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !c.check(cfg) {
+				t.Errorf("config check failed: %+v", cfg)
+			}
+			if err := cfg.Validate(); err != nil {
+				t.Errorf("built config invalid: %v", err)
+			}
+		})
+	}
+}
+
+func TestBuildConfigErrors(t *testing.T) {
+	bad := [][]interface{}{
+		{"bogus", 32, "circular", 1, "ras", "btb", 0, 1, "per-path"},
+		{"none", 32, "bogus", 1, "ras", "btb", 0, 1, "per-path"},
+		{"none", 32, "circular", 1, "bogus", "btb", 0, 1, "per-path"},
+		{"none", 32, "circular", 1, "ras", "bogus", 0, 1, "per-path"},
+		{"none", 32, "circular", 1, "ras", "btb", 0, 1, "bogus"},
+		{"none", 0, "circular", 1, "ras", "btb", 0, 1, "per-path"}, // RAS size 0
+	}
+	for i, a := range bad {
+		_, err := buildConfig(a[0].(string), a[1].(int), a[2].(string), a[3].(int),
+			a[4].(string), a[5].(string), a[6].(int), a[7].(int), a[8].(string))
+		if err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command rasasm assembles a source file for the simulator's ISA and
+// either executes it on the functional emulator (default) or on the
+// cycle-level pipeline (-cycle), printing the program's output and a short
+// summary. It is the workbench for writing custom workloads.
+//
+// Usage:
+//
+//	rasasm prog.s
+//	rasasm -cycle -repair full prog.s
+//	rasasm -disasm prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"retstack"
+	"retstack/internal/asm"
+	"retstack/internal/core"
+	"retstack/internal/emu"
+	"retstack/internal/isa"
+)
+
+func main() {
+	var (
+		cycle  = flag.Bool("cycle", false, "run on the cycle-level pipeline instead of the emulator")
+		repair = flag.String("repair", "tos-ptr+contents", "RAS repair policy for -cycle")
+		insts  = flag.Uint64("insts", 50_000_000, "instruction budget")
+		dis    = flag.Bool("disasm", false, "print the disassembly instead of running")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rasasm [flags] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	im, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *dis {
+		for _, seg := range im.Segments {
+			if seg.Addr != im.Entry && seg.Addr >= 0x1000_0000 {
+				continue // data segment
+			}
+			for off := 0; off+3 < len(seg.Data); off += 4 {
+				pc := seg.Addr + uint32(off)
+				w, _ := im.Word(pc)
+				fmt.Printf("%08x:  %08x  %s\n", pc, w, isa.Decode(w).Disasm(pc))
+			}
+		}
+		return
+	}
+
+	if *cycle {
+		cfg := retstack.Baseline()
+		switch *repair {
+		case "none":
+			cfg.RASPolicy = core.RepairNone
+		case "tos-ptr":
+			cfg.RASPolicy = core.RepairTOSPointer
+		case "tos-ptr+contents":
+			cfg.RASPolicy = core.RepairTOSPointerAndContents
+		case "full":
+			cfg.RASPolicy = core.RepairFullStack
+		default:
+			fatal(fmt.Errorf("unknown -repair %q", *repair))
+		}
+		res, err := retstack.RunImage(cfg, im, *insts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Output)
+		fmt.Fprintf(os.Stderr, "cycles=%d committed=%d ipc=%.3f return-hit=%.2f%%\n",
+			res.Stats.Cycles, res.Stats.Committed, res.Stats.IPC(), 100*res.Stats.ReturnHitRate())
+		return
+	}
+
+	m := emu.NewMachine()
+	m.Load(im)
+	if _, err := m.Run(*insts); err != nil {
+		fatal(err)
+	}
+	fmt.Print(m.Output())
+	fmt.Fprintf(os.Stderr, "instructions=%d exit=%d\n", m.InstCount, m.ExitCode)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rasasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Command rasbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	rasbench -list                 # show reproducible artifacts
+//	rasbench -exp t3               # one table/figure
+//	rasbench -exp all              # everything (EXPERIMENTS.md input)
+//	rasbench -exp f1 -insts 500000 # bigger runs
+//	rasbench -exp t3 -bench go,li  # restrict the workload set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"retstack"
+	"retstack/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id (t1-t4, f1-f5, a1-a8) or 'all'")
+		insts  = flag.Uint64("insts", 0, "instruction budget per simulation (0 = default)")
+		warmup = flag.Uint64("warmup", 0, "fast-forward this many instructions before measuring")
+		bench  = flag.String("bench", "", "comma-separated workload subset (default: all eight)")
+		format = flag.String("format", "table", "output format: table | csv (structured values)")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("reproducible artifacts:")
+		for _, id := range retstack.ExperimentIDs() {
+			title, _ := retstack.ExperimentTitle(id)
+			fmt.Printf("  %-3s %s\n", id, title)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nuse -exp <id> or -exp all")
+		}
+		return
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = retstack.ExperimentIDs()
+	}
+	params := experiments.Params{InstBudget: *insts, Warmup: *warmup}
+	if *bench != "" {
+		params.Workloads = strings.Split(*bench, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, params)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rasbench:", err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			printCSV(res)
+		default:
+			fmt.Print(res)
+			fmt.Fprintf(os.Stderr, "(%.1fs)\n\n", time.Since(start).Seconds())
+		}
+	}
+}
+
+// printCSV dumps the experiment's structured values as
+// experiment,metric,bench,config,value rows (stable order for diffing).
+func printCSV(res *experiments.Result) {
+	keys := make([]string, 0, len(res.Values))
+	for k := range res.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		parts := strings.SplitN(k, "/", 3)
+		fmt.Printf("%s,%s,%s,%s,%g\n", res.ID, parts[0], parts[1], parts[2], res.Values[k])
+	}
+}

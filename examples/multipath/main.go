@@ -1,0 +1,63 @@
+// Multipath: reproduce the paper's multipath result interactively. Forking
+// both sides of low-confidence branches makes concurrent paths fight over
+// a unified return-address stack; giving each path its own copy of the
+// stack eliminates the contention and recovers the performance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"retstack"
+	"retstack/internal/config"
+)
+
+const budget = 150_000
+
+func main() {
+	orgs := []struct {
+		name string
+		org  config.MultipathRAS
+	}{
+		{"unified", retstack.MPUnified},
+		{"unified+repair", retstack.MPUnifiedRepair},
+		{"per-path", retstack.MPPerPath},
+	}
+
+	for _, paths := range []int{2, 4} {
+		fmt.Printf("%d-path machine (normalized IPC vs unified)\n", paths)
+		fmt.Printf("  %-10s", "bench")
+		for _, o := range orgs {
+			fmt.Printf("  %16s", o.name)
+		}
+		fmt.Println()
+		for _, name := range []string{"go", "perl", "vortex"} {
+			w, ok := retstack.WorkloadByName(name)
+			if !ok {
+				log.Fatalf("workload %s not found", name)
+			}
+			var base float64
+			fmt.Printf("  %-10s", name)
+			for _, o := range orgs {
+				cfg := retstack.Baseline().
+					WithPolicy(retstack.RepairTOSPointerAndContents).
+					WithMultipath(paths, o.org)
+				if o.org == retstack.MPUnified {
+					cfg.RASPolicy = retstack.RepairNone
+				}
+				res, err := retstack.Run(cfg, w, budget)
+				if err != nil {
+					log.Fatal(err)
+				}
+				ipc := res.Stats.IPC()
+				if o.org == retstack.MPUnified {
+					base = ipc
+				}
+				fmt.Printf("  %6.3f hit=%4.0f%%", ipc/base, 100*res.Stats.ReturnHitRate())
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Println("per-path stacks eliminate cross-path corruption entirely (paper: >25% gain)")
+}

@@ -1,0 +1,33 @@
+// Quickstart: simulate one workload on the baseline machine with the
+// paper's proposed repair mechanism and print the headline numbers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"retstack"
+)
+
+func main() {
+	w, ok := retstack.WorkloadByName("go")
+	if !ok {
+		log.Fatal("workload not found")
+	}
+
+	cfg := retstack.Baseline().WithPolicy(retstack.RepairTOSPointerAndContents)
+	res, err := retstack.Run(cfg, w, 200_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := res.Stats
+	fmt.Printf("workload:            %s (%s)\n", w.Name, w.Description)
+	fmt.Printf("committed:           %d instructions in %d cycles (IPC %.2f)\n",
+		st.Committed, st.Cycles, st.IPC())
+	fmt.Printf("conditional mispred: %.1f%%\n", 100*st.CondMispredRate())
+	fmt.Printf("returns:             %d, predicted correctly %.2f%%\n",
+		st.Returns, 100*st.ReturnHitRate())
+	fmt.Printf("wrong-path RAS ops:  %d pushes, %d pops (the corruption the repair undoes)\n",
+		st.WrongPathPushes, st.WrongPathPops)
+}

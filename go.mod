@@ -1,0 +1,3 @@
+module retstack
+
+go 1.22

@@ -1,0 +1,334 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"retstack/internal/emu"
+	"retstack/internal/isa"
+)
+
+// assembleRun assembles src, loads it and runs to completion, returning the
+// machine for inspection.
+func assembleRun(t *testing.T, src string, maxInsts uint64) *emu.Machine {
+	t.Helper()
+	im, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := emu.NewMachine()
+	m.Load(im)
+	if _, err := m.Run(maxInsts); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !m.Halted {
+		t.Fatal("program did not halt")
+	}
+	return m
+}
+
+const exitSeq = `
+    li $v0, 1
+    li $a0, 0
+    syscall
+`
+
+func TestHelloSum(t *testing.T) {
+	m := assembleRun(t, `
+# sum 1..10 and print
+main:
+    li $t0, 0          # sum
+    li $t1, 1          # i
+loop:
+    add $t0, $t0, $t1
+    addi $t1, $t1, 1
+    li $t2, 10
+    ble $t1, $t2, loop
+    move $a0, $t0
+    li $v0, 2
+    syscall
+`+exitSeq, 10000)
+	if got := m.Output(); got != "55\n" {
+		t.Errorf("output %q, want 55", got)
+	}
+}
+
+func TestCallReturnAndStack(t *testing.T) {
+	m := assembleRun(t, `
+main:
+    li $a0, 7
+    jal double
+    move $a0, $v0
+    li $v0, 2
+    syscall
+`+exitSeq+`
+double:
+    push $ra
+    add $v0, $a0, $a0
+    pop $ra
+    ret
+`, 10000)
+	if got := m.Output(); got != "14\n" {
+		t.Errorf("output %q, want 14", got)
+	}
+}
+
+func TestDataSectionAndLoads(t *testing.T) {
+	m := assembleRun(t, `
+    .data
+vals:
+    .word 3, 5, 0x10
+msg:
+    .asciiz "hi"
+bytes:
+    .byte 1, -1, 'A'
+halfs:
+    .half 0x1234, -2
+    .align 2
+aligned:
+    .word 42
+    .text
+main:
+    la $t0, vals
+    lw $t1, 0($t0)
+    lw $t2, 4($t0)
+    add $a0, $t1, $t2
+    li $v0, 2
+    syscall
+    lw $t3, aligned
+    move $a0, $t3
+    li $v0, 2
+    syscall
+    lb $t4, bytes
+    lbu $t5, bytes
+    add $a0, $t4, $t5
+    li $v0, 2
+    syscall
+`+exitSeq, 10000)
+	want := "8\n42\n2\n"
+	if got := m.Output(); got != want {
+		t.Errorf("output %q, want %q", got, want)
+	}
+}
+
+func TestIndirectCallViaTable(t *testing.T) {
+	m := assembleRun(t, `
+    .data
+table:
+    .word fn_a, fn_b
+    .text
+main:
+    la $t0, table
+    lw $t9, 4($t0)       # fn_b
+    jalr $t9
+    move $a0, $v0
+    li $v0, 2
+    syscall
+`+exitSeq+`
+fn_a:
+    li $v0, 100
+    ret
+fn_b:
+    li $v0, 200
+    ret
+`, 10000)
+	if got := m.Output(); got != "200\n" {
+		t.Errorf("output %q, want 200", got)
+	}
+}
+
+func TestPseudoBranches(t *testing.T) {
+	// Exercise bgt/blt/bge/ble/beqz/bnez in one program.
+	m := assembleRun(t, `
+main:
+    li $t0, 5
+    li $t1, 3
+    li $a0, 0
+    bgt $t0, $t1, ok1
+    li $a0, 1
+ok1:
+    blt $t1, $t0, ok2
+    addi $a0, $a0, 2
+ok2:
+    bge $t0, $t0, ok3
+    addi $a0, $a0, 4
+ok3:
+    ble $t1, $t1, ok4
+    addi $a0, $a0, 8
+ok4:
+    beqz $zero, ok5
+    addi $a0, $a0, 16
+ok5:
+    li $t2, 1
+    bnez $t2, ok6
+    addi $a0, $a0, 32
+ok6:
+    li $v0, 2
+    syscall
+`+exitSeq, 10000)
+	if got := m.Output(); got != "0\n" {
+		t.Errorf("output %q, want 0 (no fallthrough executed)", got)
+	}
+}
+
+func TestLiWideValues(t *testing.T) {
+	m := assembleRun(t, `
+main:
+    li $t0, 0x12345678
+    li $t1, 0x7FFF0000
+    li $t2, -1
+    xor $a0, $t0, $t0
+    li $v0, 2
+    syscall
+`+exitSeq, 1000)
+	_ = m
+	// Check register values via a fresh assemble + manual inspection.
+	im, err := Assemble(`
+main:
+    li $t0, 0x12345678
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := emu.NewMachine()
+	mm.Load(im)
+	for i := 0; i < 2; i++ {
+		if _, _, err := mm.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mm.Regs[isa.T0] != 0x12345678 {
+		t.Errorf("li wide = %#x", mm.Regs[isa.T0])
+	}
+}
+
+func TestNegAndNot(t *testing.T) {
+	m := assembleRun(t, `
+main:
+    li $t0, 5
+    neg $t1, $t0
+    not $t2, $zero
+    add $a0, $t1, $t2   # -5 + (-1) = -6
+    li $v0, 2
+    syscall
+`+exitSeq, 1000)
+	if got := m.Output(); got != "-6\n" {
+		t.Errorf("output %q, want -6", got)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		frag string // expected substring of the error
+	}{
+		{"unknown mnemonic", "main:\n  frobnicate $t0", "unknown mnemonic"},
+		{"undefined symbol", "main:\n  j nowhere", "undefined symbol"},
+		{"duplicate label", "a:\na:\n  nop", "duplicate label"},
+		{"bad register", "main:\n  add $t0, $qq, $t1", "unknown register"},
+		{"imm out of range", "main:\n  addi $t0, $t1, 100000", "not an int16"},
+		{"instruction in data", ".data\n  add $t0, $t1, $t2", "data section"},
+		{"bad directive", ".frob 1", "unknown directive"},
+		{"org backwards", ".text 0x1000\n  nop\n  .org 0x500", "moves backwards"},
+		{"unterminated string", `.data
+ .asciiz "abc`, "unterminated"},
+		{"shift range", "main:\n  sll $t0, $t1, 40", "out of range"},
+		{"li symbol", "main:\n  li $t0, somewhere", "numeric immediate"},
+		{"word range", ".data\n .byte 300", "out of range"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble(c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.frag)
+			}
+			if !strings.Contains(err.Error(), c.frag) {
+				t.Errorf("error %q does not contain %q", err, c.frag)
+			}
+		})
+	}
+}
+
+func TestErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbogus $t0\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q should name line 3", err)
+	}
+}
+
+func TestSymbolTableAndEntry(t *testing.T) {
+	im, err := Assemble(`
+    .text
+start:
+    nop
+main:
+    nop
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainAddr, ok := im.Symbol("main")
+	if !ok {
+		t.Fatal("main not in symbol table")
+	}
+	if im.Entry != mainAddr {
+		t.Errorf("entry %#x, want main %#x", im.Entry, mainAddr)
+	}
+	startAddr, _ := im.Symbol("start")
+	if mainAddr != startAddr+4 {
+		t.Errorf("main should be 4 past start")
+	}
+}
+
+func TestDisasmRoundTrip(t *testing.T) {
+	// Every encoded instruction must disassemble back to something the
+	// assembler accepts (spot check a representative program).
+	src := `
+main:
+    add $t0, $t1, $t2
+    addi $t0, $sp, -16
+    lw $ra, 0($sp)
+    sw $ra, 4($sp)
+    lui $t0, 0xffff
+    jr $ra
+    syscall
+    nop
+`
+	im, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := im.Segments[0]
+	for off := 0; off < len(seg.Data); off += 4 {
+		w, _ := im.Word(seg.Addr + uint32(off))
+		in := isa.Decode(w)
+		if in.Op == isa.OpInvalid {
+			t.Errorf("offset %d: invalid encoding %#x", off, w)
+		}
+	}
+}
+
+func TestCharLiterals(t *testing.T) {
+	m := assembleRun(t, `
+main:
+    li $a0, 'A'
+    li $v0, 3
+    syscall
+    li $a0, '\n'
+    li $v0, 3
+    syscall
+`+exitSeq, 1000)
+	if got := m.Output(); got != "A\n" {
+		t.Errorf("output %q, want A\\n", got)
+	}
+}
+
+func TestCommentsAndBlank(t *testing.T) {
+	if _, err := Assemble("# only comments\n; and this\n\n   \n"); err != nil {
+		t.Errorf("comment-only source: %v", err)
+	}
+}

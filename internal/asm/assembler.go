@@ -1,0 +1,317 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"retstack/internal/isa"
+	"retstack/internal/program"
+)
+
+// Error is an assembly diagnostic with a source line number.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type operandKind uint8
+
+const (
+	opReg operandKind = iota
+	opImm
+	opSym
+	opMem // offset($base)
+)
+
+type operand struct {
+	kind operandKind
+	reg  int
+	imm  int64
+	sym  string
+	base int
+}
+
+type section struct {
+	base uint32
+	buf  []byte
+}
+
+func (s *section) pc() uint32 { return s.base + uint32(len(s.buf)) }
+
+func (s *section) emitWord(w uint32) {
+	s.buf = append(s.buf, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+}
+
+type stmt struct {
+	line     int
+	mnemonic string
+	ops      []operand
+	addr     uint32 // assigned in pass 1
+	inText   bool
+}
+
+type assembler struct {
+	text, data section
+	inData     bool
+	symbols    map[string]uint32
+	stmts      []stmt
+	fixups     []dataFixup
+}
+
+// Assemble translates source text into a loadable image. The entry point is
+// the symbol "main" if defined, otherwise the start of the text section.
+func Assemble(src string) (*program.Image, error) {
+	a := &assembler{
+		text:    section{base: program.DefaultTextBase},
+		data:    section{base: program.DefaultDataBase},
+		symbols: make(map[string]uint32),
+	}
+	if err := a.passOne(src); err != nil {
+		return nil, err
+	}
+	if err := a.passTwo(); err != nil {
+		return nil, err
+	}
+	im := program.New()
+	if err := im.AddSegment(a.text.base, a.text.buf); err != nil {
+		return nil, err
+	}
+	if len(a.data.buf) > 0 {
+		if err := im.AddSegment(a.data.base, a.data.buf); err != nil {
+			return nil, err
+		}
+	}
+	for k, v := range a.symbols {
+		im.Symbols[k] = v
+	}
+	im.Entry = a.text.base
+	if m, ok := im.Symbols["main"]; ok {
+		im.Entry = m
+	}
+	return im, nil
+}
+
+func (a *assembler) cur() *section {
+	if a.inData {
+		return &a.data
+	}
+	return &a.text
+}
+
+func errf(line int, format string, args ...interface{}) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// passOne parses every line, lays out data, assigns statement addresses and
+// defines symbols. Instructions are not encoded yet (labels may be
+// forward references); their sizes are computed so addresses are exact.
+func (a *assembler) passOne(src string) error {
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := lineNo + 1
+		toks, err := lexLine(raw)
+		if err != nil {
+			return errf(line, "%v", err)
+		}
+		p := &parser{toks: toks, line: line}
+		// Leading labels (possibly several on one line).
+		for p.peek().kind == tokIdent && p.peekAt(1).kind == tokColon {
+			name := p.next().text
+			p.next() // colon
+			if _, dup := a.symbols[name]; dup {
+				return errf(line, "duplicate label %q", name)
+			}
+			a.symbols[name] = a.cur().pc()
+		}
+		switch t := p.peek(); t.kind {
+		case tokEOF:
+			continue
+		case tokDirective:
+			if err := a.directive(p); err != nil {
+				return err
+			}
+		case tokIdent:
+			mnemonic := p.next().text
+			ops, err := p.operands()
+			if err != nil {
+				return err
+			}
+			if a.inData {
+				return errf(line, "instruction %q in data section", mnemonic)
+			}
+			words, err := instSize(mnemonic, ops, line)
+			if err != nil {
+				return err
+			}
+			a.stmts = append(a.stmts, stmt{
+				line: line, mnemonic: mnemonic, ops: ops,
+				addr: a.text.pc(), inText: true,
+			})
+			for i := 0; i < words; i++ {
+				a.text.emitWord(0) // placeholder, patched in pass 2
+			}
+		default:
+			return errf(line, "unexpected %s", t.kind)
+		}
+	}
+	return nil
+}
+
+// passTwo encodes every instruction in place and patches symbol references
+// in data.
+func (a *assembler) passTwo() error {
+	if err := a.applyDataFixups(); err != nil {
+		return err
+	}
+	for _, s := range a.stmts {
+		words, err := a.encodeStmt(&s)
+		if err != nil {
+			return err
+		}
+		if want, _ := instSize(s.mnemonic, s.ops, s.line); want != len(words) {
+			return errf(s.line, "internal error: %s sized %d words but encoded %d",
+				s.mnemonic, want, len(words))
+		}
+		off := s.addr - a.text.base
+		for i, w := range words {
+			o := off + uint32(i)*4
+			a.text.buf[o] = byte(w)
+			a.text.buf[o+1] = byte(w >> 8)
+			a.text.buf[o+2] = byte(w >> 16)
+			a.text.buf[o+3] = byte(w >> 24)
+		}
+	}
+	return nil
+}
+
+// resolve returns the value of an operand usable as an immediate or
+// address: numbers are themselves, symbols are their addresses.
+func (a *assembler) resolve(op operand, line int) (int64, error) {
+	switch op.kind {
+	case opImm:
+		return op.imm, nil
+	case opSym:
+		v, ok := a.symbols[op.sym]
+		if !ok {
+			return 0, errf(line, "undefined symbol %q", op.sym)
+		}
+		return int64(v), nil
+	}
+	return 0, errf(line, "expected immediate or symbol")
+}
+
+// parser consumes a single line's tokens.
+type parser struct {
+	toks []token
+	pos  int
+	line int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) peekAt(n int) token {
+	if p.pos+n >= len(p.toks) {
+		return token{kind: tokEOF}
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, errf(p.line, "expected %s, got %s", k, t.kind)
+	}
+	return t, nil
+}
+
+func parseReg(t token, line int) (int, error) {
+	if r, ok := isa.RegByName(t.text); ok {
+		return r, nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(t.text, "%d", &n); err == nil && n >= 0 && n < isa.NumRegs {
+		return n, nil
+	}
+	return 0, errf(line, "unknown register $%s", t.text)
+}
+
+// operands parses a comma-separated operand list to end of line.
+func (p *parser) operands() ([]operand, error) {
+	var ops []operand
+	if p.peek().kind == tokEOF {
+		return ops, nil
+	}
+	for {
+		op, err := p.operand()
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+		switch p.peek().kind {
+		case tokComma:
+			p.next()
+		case tokEOF:
+			return ops, nil
+		default:
+			return nil, errf(p.line, "expected ',' or end of line, got %s", p.peek().kind)
+		}
+	}
+}
+
+func (p *parser) operand() (operand, error) {
+	switch t := p.next(); t.kind {
+	case tokRegister:
+		r, err := parseReg(t, p.line)
+		if err != nil {
+			return operand{}, err
+		}
+		return operand{kind: opReg, reg: r}, nil
+	case tokNumber:
+		// Possibly offset($base).
+		if p.peek().kind == tokLParen {
+			p.next()
+			rt, err := p.expect(tokRegister)
+			if err != nil {
+				return operand{}, err
+			}
+			base, err := parseReg(rt, p.line)
+			if err != nil {
+				return operand{}, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return operand{}, err
+			}
+			return operand{kind: opMem, imm: t.num, base: base}, nil
+		}
+		return operand{kind: opImm, imm: t.num}, nil
+	case tokLParen:
+		// ($base) with implicit zero offset.
+		rt, err := p.expect(tokRegister)
+		if err != nil {
+			return operand{}, err
+		}
+		base, err := parseReg(rt, p.line)
+		if err != nil {
+			return operand{}, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return operand{}, err
+		}
+		return operand{kind: opMem, base: base}, nil
+	case tokIdent:
+		return operand{kind: opSym, sym: t.text}, nil
+	case tokString:
+		return operand{kind: opSym, sym: t.text}, nil // only .asciiz uses this
+	default:
+		return operand{}, errf(p.line, "unexpected %s in operand", t.kind)
+	}
+}

@@ -1,0 +1,154 @@
+package asm
+
+// dataFixup patches a symbol reference emitted by .word/.half/.byte once
+// all symbols are known.
+type dataFixup struct {
+	inData bool
+	off    uint32
+	size   int
+	sym    string
+	line   int
+}
+
+func (a *assembler) directive(p *parser) error {
+	d := p.next().text
+	switch d {
+	case ".text":
+		a.inData = false
+		return a.maybeOrg(p)
+	case ".data":
+		a.inData = true
+		return a.maybeOrg(p)
+	case ".org":
+		t, err := p.expect(tokNumber)
+		if err != nil {
+			return err
+		}
+		return a.setOrg(uint32(t.num), p.line)
+	case ".align":
+		t, err := p.expect(tokNumber)
+		if err != nil {
+			return err
+		}
+		if t.num < 0 || t.num > 16 {
+			return errf(p.line, ".align %d out of range", t.num)
+		}
+		s := a.cur()
+		align := uint32(1) << uint(t.num)
+		for s.pc()%align != 0 {
+			s.buf = append(s.buf, 0)
+		}
+		return nil
+	case ".word", ".half", ".byte":
+		size := map[string]int{".word": 4, ".half": 2, ".byte": 1}[d]
+		ops, err := p.operands()
+		if err != nil {
+			return err
+		}
+		if len(ops) == 0 {
+			return errf(p.line, "%s needs at least one value", d)
+		}
+		s := a.cur()
+		for _, op := range ops {
+			var v int64
+			switch op.kind {
+			case opImm:
+				v = op.imm
+			case opSym:
+				a.fixups = append(a.fixups, dataFixup{
+					inData: a.inData, off: s.pc() - s.base, size: size,
+					sym: op.sym, line: p.line,
+				})
+			default:
+				return errf(p.line, "%s value must be a number or symbol", d)
+			}
+			if err := checkRange(d, v, size, p.line); err != nil {
+				return err
+			}
+			for i := 0; i < size; i++ {
+				s.buf = append(s.buf, byte(v>>(8*i)))
+			}
+		}
+		return nil
+	case ".space":
+		t, err := p.expect(tokNumber)
+		if err != nil {
+			return err
+		}
+		if t.num < 0 || t.num > 1<<28 {
+			return errf(p.line, ".space %d out of range", t.num)
+		}
+		s := a.cur()
+		s.buf = append(s.buf, make([]byte, t.num)...)
+		return nil
+	case ".asciiz":
+		t, err := p.expect(tokString)
+		if err != nil {
+			return err
+		}
+		s := a.cur()
+		s.buf = append(s.buf, t.text...)
+		s.buf = append(s.buf, 0)
+		return nil
+	}
+	return errf(p.line, "unknown directive %s", d)
+}
+
+func checkRange(d string, v int64, size int, line int) error {
+	var lo, hi int64
+	switch size {
+	case 1:
+		lo, hi = -0x80, 0xFF
+	case 2:
+		lo, hi = -0x8000, 0xFFFF
+	case 4:
+		lo, hi = -0x8000_0000, 0xFFFF_FFFF
+	}
+	if v < lo || v > hi {
+		return errf(line, "%s value %d out of range", d, v)
+	}
+	return nil
+}
+
+// maybeOrg handles the optional address operand of .text/.data.
+func (a *assembler) maybeOrg(p *parser) error {
+	if p.peek().kind == tokEOF {
+		return nil
+	}
+	t, err := p.expect(tokNumber)
+	if err != nil {
+		return err
+	}
+	return a.setOrg(uint32(t.num), p.line)
+}
+
+func (a *assembler) setOrg(addr uint32, line int) error {
+	s := a.cur()
+	if len(s.buf) == 0 {
+		s.base = addr
+		return nil
+	}
+	if addr < s.pc() {
+		return errf(line, ".org %#x moves backwards (pc=%#x)", addr, s.pc())
+	}
+	s.buf = append(s.buf, make([]byte, addr-s.pc())...)
+	return nil
+}
+
+// applyDataFixups resolves symbol references in data emitted by pass one.
+func (a *assembler) applyDataFixups() error {
+	for _, f := range a.fixups {
+		v, ok := a.symbols[f.sym]
+		if !ok {
+			return errf(f.line, "undefined symbol %q", f.sym)
+		}
+		s := &a.text
+		if f.inData {
+			s = &a.data
+		}
+		for i := 0; i < f.size; i++ {
+			s.buf[f.off+uint32(i)] = byte(v >> (8 * i))
+		}
+	}
+	return nil
+}

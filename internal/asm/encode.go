@@ -1,0 +1,531 @@
+package asm
+
+import (
+	"retstack/internal/isa"
+)
+
+var r3Ops = map[string]isa.Op{
+	"add": isa.OpADD, "sub": isa.OpSUB, "and": isa.OpAND, "or": isa.OpOR,
+	"xor": isa.OpXOR, "nor": isa.OpNOR, "slt": isa.OpSLT, "sltu": isa.OpSLTU,
+	"sllv": isa.OpSLLV, "srlv": isa.OpSRLV, "srav": isa.OpSRAV,
+	"mul": isa.OpMUL, "div": isa.OpDIV, "rem": isa.OpREM,
+}
+
+var shiftOps = map[string]isa.Op{
+	"sll": isa.OpSLL, "srl": isa.OpSRL, "sra": isa.OpSRA,
+}
+
+var imm2Ops = map[string]isa.Op{
+	"addi": isa.OpADDI, "andi": isa.OpANDI, "ori": isa.OpORI,
+	"xori": isa.OpXORI, "slti": isa.OpSLTI, "sltiu": isa.OpSLTIU,
+}
+
+var memOps = map[string]isa.Op{
+	"lw": isa.OpLW, "lh": isa.OpLH, "lhu": isa.OpLHU,
+	"lb": isa.OpLB, "lbu": isa.OpLBU,
+	"sw": isa.OpSW, "sh": isa.OpSH, "sb": isa.OpSB,
+}
+
+var br2Ops = map[string]isa.Op{"beq": isa.OpBEQ, "bne": isa.OpBNE}
+
+var br1Ops = map[string]isa.Op{
+	"blez": isa.OpBLEZ, "bgtz": isa.OpBGTZ,
+	"bltz": isa.OpBLTZ, "bgez": isa.OpBGEZ,
+}
+
+// cmpBranches maps two-instruction comparison pseudo-branches to
+// (slt operand order swapped?, branch-if-set?).
+var cmpBranches = map[string]struct{ swap, ifSet bool }{
+	"bgt": {swap: true, ifSet: true},   // rs > rt  ⇔ rt < rs  ⇒ slt $at,$rt,$rs; bne
+	"blt": {swap: false, ifSet: true},  // rs < rt             ⇒ slt $at,$rs,$rt; bne
+	"bge": {swap: false, ifSet: false}, // rs >= rt ⇔ !(rs<rt) ⇒ slt; beq
+	"ble": {swap: true, ifSet: false},  // rs <= rt ⇔ !(rt<rs) ⇒ slt swapped; beq
+}
+
+// liSize returns the number of instructions needed to load v.
+func liSize(v int64) int {
+	if v >= -0x8000 && v <= 0x7FFF {
+		return 1
+	}
+	if uint32(v)&0xFFFF == 0 {
+		return 1 // bare lui
+	}
+	return 2
+}
+
+// instSize returns the number of machine words mnemonic expands to. It must
+// agree exactly with encodeStmt; both are exercised against each other by
+// the round-trip tests.
+func instSize(mnemonic string, ops []operand, line int) (int, error) {
+	switch {
+	case mnemonic == "li":
+		if len(ops) != 2 || ops[1].kind != opImm {
+			return 0, errf(line, "li needs a register and a numeric immediate")
+		}
+		return liSize(ops[1].imm), nil
+	case mnemonic == "la":
+		return 2, nil
+	case memOps[mnemonic] != isa.OpInvalid && len(ops) == 2 && ops[1].kind == opSym:
+		return 3, nil // lui $at / ori $at / mem 0($at)
+	default:
+		if _, ok := cmpBranches[mnemonic]; ok {
+			return 2, nil
+		}
+		if mnemonic == "push" || mnemonic == "pop" {
+			return 2, nil
+		}
+		if known(mnemonic) {
+			return 1, nil
+		}
+	}
+	return 0, errf(line, "unknown mnemonic %q", mnemonic)
+}
+
+func known(m string) bool {
+	if _, ok := r3Ops[m]; ok {
+		return true
+	}
+	if _, ok := shiftOps[m]; ok {
+		return true
+	}
+	if _, ok := imm2Ops[m]; ok {
+		return true
+	}
+	if _, ok := memOps[m]; ok {
+		return true
+	}
+	if _, ok := br2Ops[m]; ok {
+		return true
+	}
+	if _, ok := br1Ops[m]; ok {
+		return true
+	}
+	switch m {
+	case "lui", "j", "jal", "jr", "jalr", "syscall", "nop",
+		"move", "b", "beqz", "bnez", "ret", "call", "not", "neg":
+		return true
+	}
+	return false
+}
+
+// branchWordOffset computes the signed word offset from the branch at pc to
+// the absolute target address.
+func branchWordOffset(pc, target uint32, line int) (int32, error) {
+	diff := int64(target) - int64(pc) - isa.WordBytes
+	if diff%isa.WordBytes != 0 {
+		return 0, errf(line, "misaligned branch target %#x", target)
+	}
+	off := diff / isa.WordBytes
+	if off < -0x8000 || off > 0x7FFF {
+		return 0, errf(line, "branch target %#x out of range", target)
+	}
+	return int32(off), nil
+}
+
+func (a *assembler) regOp(s *stmt, i int) (int, error) {
+	if i >= len(s.ops) || s.ops[i].kind != opReg {
+		return 0, errf(s.line, "%s: operand %d must be a register", s.mnemonic, i+1)
+	}
+	return s.ops[i].reg, nil
+}
+
+func (a *assembler) immOp(s *stmt, i int) (int64, error) {
+	if i >= len(s.ops) {
+		return 0, errf(s.line, "%s: missing operand %d", s.mnemonic, i+1)
+	}
+	return a.resolve(s.ops[i], s.line)
+}
+
+func (a *assembler) wantOps(s *stmt, n int) error {
+	if len(s.ops) != n {
+		return errf(s.line, "%s: expected %d operands, got %d", s.mnemonic, n, len(s.ops))
+	}
+	return nil
+}
+
+// encodeStmt produces the machine words for one parsed instruction (one or
+// more for pseudo-instructions).
+func (a *assembler) encodeStmt(s *stmt) ([]uint32, error) {
+	m := s.mnemonic
+	one := func(in isa.Inst, err error) ([]uint32, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{in.Raw}, nil
+	}
+	enc := func(in isa.Inst) (isa.Inst, error) {
+		w, err := in.Encode()
+		if err != nil {
+			return in, errf(s.line, "%v", err)
+		}
+		in.Raw = w
+		return in, nil
+	}
+
+	if op, ok := r3Ops[m]; ok {
+		if err := a.wantOps(s, 3); err != nil {
+			return nil, err
+		}
+		rd, err := a.regOp(s, 0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.regOp(s, 1)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := a.regOp(s, 2)
+		if err != nil {
+			return nil, err
+		}
+		return one(enc(isa.Inst{Op: op, Rd: uint8(rd), Rs: uint8(rs), Rt: uint8(rt)}))
+	}
+	if op, ok := shiftOps[m]; ok {
+		if err := a.wantOps(s, 3); err != nil {
+			return nil, err
+		}
+		rd, err := a.regOp(s, 0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := a.regOp(s, 1)
+		if err != nil {
+			return nil, err
+		}
+		sh, err := a.immOp(s, 2)
+		if err != nil {
+			return nil, err
+		}
+		if sh < 0 || sh > 31 {
+			return nil, errf(s.line, "shift amount %d out of range", sh)
+		}
+		return one(enc(isa.Inst{Op: op, Rd: uint8(rd), Rt: uint8(rt), Shamt: uint8(sh)}))
+	}
+	if op, ok := imm2Ops[m]; ok {
+		if err := a.wantOps(s, 3); err != nil {
+			return nil, err
+		}
+		rt, err := a.regOp(s, 0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.regOp(s, 1)
+		if err != nil {
+			return nil, err
+		}
+		imm, err := a.immOp(s, 2)
+		if err != nil {
+			return nil, err
+		}
+		return one(enc(isa.Inst{Op: op, Rt: uint8(rt), Rs: uint8(rs), Imm: int32(imm)}))
+	}
+	if op, ok := memOps[m]; ok {
+		if err := a.wantOps(s, 2); err != nil {
+			return nil, err
+		}
+		rt, err := a.regOp(s, 0)
+		if err != nil {
+			return nil, err
+		}
+		switch s.ops[1].kind {
+		case opMem:
+			off := s.ops[1].imm
+			if off < -0x8000 || off > 0x7FFF {
+				return nil, errf(s.line, "memory offset %d out of range", off)
+			}
+			return one(enc(isa.Inst{Op: op, Rt: uint8(rt), Rs: uint8(s.ops[1].base), Imm: int32(off)}))
+		case opSym:
+			addr, err := a.resolve(s.ops[1], s.line)
+			if err != nil {
+				return nil, err
+			}
+			lui, err := enc(isa.Inst{Op: isa.OpLUI, Rt: isa.AT, Imm: int32(addr >> 16)})
+			if err != nil {
+				return nil, err
+			}
+			ori, err := enc(isa.Inst{Op: isa.OpORI, Rt: isa.AT, Rs: isa.AT, Imm: int32(addr & 0xFFFF)})
+			if err != nil {
+				return nil, err
+			}
+			mi, err := enc(isa.Inst{Op: op, Rt: uint8(rt), Rs: isa.AT})
+			if err != nil {
+				return nil, err
+			}
+			return []uint32{lui.Raw, ori.Raw, mi.Raw}, nil
+		default:
+			return nil, errf(s.line, "%s: second operand must be offset($base) or a symbol", m)
+		}
+	}
+	if op, ok := br2Ops[m]; ok {
+		if err := a.wantOps(s, 3); err != nil {
+			return nil, err
+		}
+		rs, err := a.regOp(s, 0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := a.regOp(s, 1)
+		if err != nil {
+			return nil, err
+		}
+		target, err := a.immOp(s, 2)
+		if err != nil {
+			return nil, err
+		}
+		off, err := branchWordOffset(s.addr, uint32(target), s.line)
+		if err != nil {
+			return nil, err
+		}
+		return one(enc(isa.Inst{Op: op, Rs: uint8(rs), Rt: uint8(rt), Imm: off}))
+	}
+	if op, ok := br1Ops[m]; ok {
+		if err := a.wantOps(s, 2); err != nil {
+			return nil, err
+		}
+		rs, err := a.regOp(s, 0)
+		if err != nil {
+			return nil, err
+		}
+		target, err := a.immOp(s, 1)
+		if err != nil {
+			return nil, err
+		}
+		off, err := branchWordOffset(s.addr, uint32(target), s.line)
+		if err != nil {
+			return nil, err
+		}
+		return one(enc(isa.Inst{Op: op, Rs: uint8(rs), Imm: off}))
+	}
+	if spec, ok := cmpBranches[m]; ok {
+		if err := a.wantOps(s, 3); err != nil {
+			return nil, err
+		}
+		rs, err := a.regOp(s, 0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := a.regOp(s, 1)
+		if err != nil {
+			return nil, err
+		}
+		target, err := a.immOp(s, 2)
+		if err != nil {
+			return nil, err
+		}
+		sa, sb := rs, rt
+		if spec.swap {
+			sa, sb = rt, rs
+		}
+		slt := isa.R(isa.OpSLT, isa.AT, sa, sb)
+		brOp := isa.OpBEQ
+		if spec.ifSet {
+			brOp = isa.OpBNE
+		}
+		// Branch sits one word after the slt.
+		off, err := branchWordOffset(s.addr+isa.WordBytes, uint32(target), s.line)
+		if err != nil {
+			return nil, err
+		}
+		br, err := enc(isa.Inst{Op: brOp, Rs: isa.AT, Rt: isa.Zero, Imm: off})
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{slt.Raw, br.Raw}, nil
+	}
+
+	switch m {
+	case "lui":
+		if err := a.wantOps(s, 2); err != nil {
+			return nil, err
+		}
+		rt, err := a.regOp(s, 0)
+		if err != nil {
+			return nil, err
+		}
+		imm, err := a.immOp(s, 1)
+		if err != nil {
+			return nil, err
+		}
+		return one(enc(isa.Inst{Op: isa.OpLUI, Rt: uint8(rt), Imm: int32(imm & 0xFFFF)}))
+	case "j", "jal", "b", "call":
+		if err := a.wantOps(s, 1); err != nil {
+			return nil, err
+		}
+		target, err := a.immOp(s, 0)
+		if err != nil {
+			return nil, err
+		}
+		if m == "b" {
+			off, err := branchWordOffset(s.addr, uint32(target), s.line)
+			if err != nil {
+				return nil, err
+			}
+			return one(enc(isa.Inst{Op: isa.OpBEQ, Imm: off}))
+		}
+		op := isa.OpJ
+		if m == "jal" || m == "call" {
+			op = isa.OpJAL
+		}
+		return one(enc(isa.Inst{Op: op, Target: uint32(target) >> 2 & (1<<26 - 1)}))
+	case "beqz", "bnez":
+		if err := a.wantOps(s, 2); err != nil {
+			return nil, err
+		}
+		rs, err := a.regOp(s, 0)
+		if err != nil {
+			return nil, err
+		}
+		target, err := a.immOp(s, 1)
+		if err != nil {
+			return nil, err
+		}
+		off, err := branchWordOffset(s.addr, uint32(target), s.line)
+		if err != nil {
+			return nil, err
+		}
+		op := isa.OpBEQ
+		if m == "bnez" {
+			op = isa.OpBNE
+		}
+		return one(enc(isa.Inst{Op: op, Rs: uint8(rs), Imm: off}))
+	case "jr":
+		if err := a.wantOps(s, 1); err != nil {
+			return nil, err
+		}
+		rs, err := a.regOp(s, 0)
+		if err != nil {
+			return nil, err
+		}
+		return one(enc(isa.Inst{Op: isa.OpJR, Rs: uint8(rs)}))
+	case "ret":
+		if err := a.wantOps(s, 0); err != nil {
+			return nil, err
+		}
+		return []uint32{isa.Jr(isa.RA).Raw}, nil
+	case "jalr":
+		switch len(s.ops) {
+		case 1:
+			rs, err := a.regOp(s, 0)
+			if err != nil {
+				return nil, err
+			}
+			return []uint32{isa.Jalr(isa.RA, rs).Raw}, nil
+		case 2:
+			rd, err := a.regOp(s, 0)
+			if err != nil {
+				return nil, err
+			}
+			rs, err := a.regOp(s, 1)
+			if err != nil {
+				return nil, err
+			}
+			return []uint32{isa.Jalr(rd, rs).Raw}, nil
+		default:
+			return nil, errf(s.line, "jalr: expected 1 or 2 operands")
+		}
+	case "syscall":
+		return []uint32{isa.Syscall().Raw}, nil
+	case "nop":
+		return []uint32{0}, nil
+	case "move":
+		if err := a.wantOps(s, 2); err != nil {
+			return nil, err
+		}
+		rd, err := a.regOp(s, 0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.regOp(s, 1)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.R(isa.OpADD, rd, rs, isa.Zero).Raw}, nil
+	case "not":
+		if err := a.wantOps(s, 2); err != nil {
+			return nil, err
+		}
+		rd, err := a.regOp(s, 0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.regOp(s, 1)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.R(isa.OpNOR, rd, rs, isa.Zero).Raw}, nil
+	case "neg":
+		if err := a.wantOps(s, 2); err != nil {
+			return nil, err
+		}
+		rd, err := a.regOp(s, 0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.regOp(s, 1)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.R(isa.OpSUB, rd, isa.Zero, rs).Raw}, nil
+	case "li":
+		rt, err := a.regOp(s, 0)
+		if err != nil {
+			return nil, err
+		}
+		v := s.ops[1].imm
+		switch liSize(v) {
+		case 1:
+			if v >= -0x8000 && v <= 0x7FFF {
+				return []uint32{isa.I(isa.OpADDI, rt, isa.Zero, int32(v)).Raw}, nil
+			}
+			return []uint32{isa.Lui(rt, uint16(uint32(v)>>16)).Raw}, nil
+		default:
+			u := uint32(v)
+			return []uint32{
+				isa.Lui(rt, uint16(u>>16)).Raw,
+				isa.I(isa.OpORI, rt, rt, int32(u&0xFFFF)).Raw,
+			}, nil
+		}
+	case "la":
+		if err := a.wantOps(s, 2); err != nil {
+			return nil, err
+		}
+		rt, err := a.regOp(s, 0)
+		if err != nil {
+			return nil, err
+		}
+		addr, err := a.immOp(s, 1)
+		if err != nil {
+			return nil, err
+		}
+		u := uint32(addr)
+		return []uint32{
+			isa.Lui(rt, uint16(u>>16)).Raw,
+			isa.I(isa.OpORI, rt, rt, int32(u&0xFFFF)).Raw,
+		}, nil
+	case "push":
+		if err := a.wantOps(s, 1); err != nil {
+			return nil, err
+		}
+		r, err := a.regOp(s, 0)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{
+			isa.I(isa.OpADDI, isa.SP, isa.SP, -4).Raw,
+			isa.Mem(isa.OpSW, r, isa.SP, 0).Raw,
+		}, nil
+	case "pop":
+		if err := a.wantOps(s, 1); err != nil {
+			return nil, err
+		}
+		r, err := a.regOp(s, 0)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{
+			isa.Mem(isa.OpLW, r, isa.SP, 0).Raw,
+			isa.I(isa.OpADDI, isa.SP, isa.SP, 4).Raw,
+		}, nil
+	}
+	return nil, errf(s.line, "unknown mnemonic %q", m)
+}

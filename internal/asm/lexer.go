@@ -1,0 +1,256 @@
+// Package asm implements a two-pass assembler for the ISA in internal/isa.
+//
+// Syntax summary:
+//
+//	# line comment        ; also a line comment
+//	.text [addr]          switch to text section (optionally at addr)
+//	.data [addr]          switch to data section
+//	.org addr             set the location counter
+//	.align n              align to 1<<n bytes
+//	.word v, ...          32-bit values (numbers or label references)
+//	.half v, ...          16-bit values
+//	.byte v, ...          8-bit values
+//	.space n              n zero bytes
+//	.asciiz "s"           NUL-terminated string
+//	label:                define a label at the current location
+//	add $t0, $t1, $t2     instructions, MIPS-style operands
+//	lw  $t0, 8($sp)       base+offset addressing
+//	beq $t0, $zero, done  branch to label
+//
+// Pseudo-instructions: nop, li, la, move, b, ret, call, bgt, blt, bge, ble,
+// not, neg, push, pop (see pseudo.go).
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokDirective // .word etc (leading dot kept)
+	tokRegister  // $sp, $3
+	tokNumber
+	tokString
+	tokComma
+	tokColon
+	tokLParen
+	tokRParen
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  int64
+}
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of line"
+	case tokIdent:
+		return "identifier"
+	case tokDirective:
+		return "directive"
+	case tokRegister:
+		return "register"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokComma:
+		return "','"
+	case tokColon:
+		return "':'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	}
+	return "token"
+}
+
+// lexLine tokenizes a single source line (comments stripped).
+func lexLine(line string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(line)
+	for i < n {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#' || c == ';':
+			i = n
+		case c == ',':
+			toks = append(toks, token{kind: tokComma})
+			i++
+		case c == ':':
+			toks = append(toks, token{kind: tokColon})
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen})
+			i++
+		case c == '$':
+			j := i + 1
+			for j < n && isIdentChar(line[j]) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("bare '$'")
+			}
+			toks = append(toks, token{kind: tokRegister, text: line[i+1 : j]})
+			i = j
+		case c == '"':
+			s, rest, err := lexString(line[i:])
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokString, text: s})
+			i = n - len(rest)
+		case c == '\'':
+			if i+2 < n && line[i+2] == '\'' {
+				toks = append(toks, token{kind: tokNumber, num: int64(line[i+1])})
+				i += 3
+			} else if i+3 < n && line[i+1] == '\\' && line[i+3] == '\'' {
+				e, err := unescape(line[i+2])
+				if err != nil {
+					return nil, err
+				}
+				toks = append(toks, token{kind: tokNumber, num: int64(e)})
+				i += 4
+			} else {
+				return nil, fmt.Errorf("malformed character literal")
+			}
+		case c == '-' || c == '+' || c >= '0' && c <= '9':
+			j := i
+			if c == '-' || c == '+' {
+				j++
+			}
+			start := j
+			for j < n && (isIdentChar(line[j])) {
+				j++
+			}
+			if start == j {
+				return nil, fmt.Errorf("malformed number %q", line[i:j])
+			}
+			v, err := parseNumber(line[i:j])
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokNumber, num: v})
+			i = j
+		case c == '.':
+			j := i + 1
+			for j < n && isIdentChar(line[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tokDirective, text: line[i:j]})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < n && (isIdentChar(line[j]) || line[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: line[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("unexpected character %q", c)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func parseNumber(s string) (int64, error) {
+	neg := false
+	switch {
+	case strings.HasPrefix(s, "-"):
+		neg = true
+		s = s[1:]
+	case strings.HasPrefix(s, "+"):
+		s = s[1:]
+	}
+	var v int64
+	var err error
+	switch {
+	case strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X"):
+		_, err = fmt.Sscanf(s[2:], "%x", &v)
+	case strings.HasPrefix(s, "0b") || strings.HasPrefix(s, "0B"):
+		for _, c := range s[2:] {
+			if c != '0' && c != '1' {
+				return 0, fmt.Errorf("bad binary literal %q", s)
+			}
+			v = v<<1 | int64(c-'0')
+		}
+	default:
+		_, err = fmt.Sscanf(s, "%d", &v)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func lexString(s string) (content, rest string, err error) {
+	var b strings.Builder
+	i := 1 // skip opening quote
+	for i < len(s) {
+		c := s[i]
+		switch c {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("unterminated escape")
+			}
+			e, err := unescape(s[i+1])
+			if err != nil {
+				return "", "", err
+			}
+			b.WriteByte(e)
+			i += 2
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string")
+}
+
+func unescape(c byte) (byte, error) {
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	case '"':
+		return '"', nil
+	}
+	return 0, fmt.Errorf("unknown escape \\%c", c)
+}

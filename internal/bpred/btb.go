@@ -1,0 +1,93 @@
+package bpred
+
+// BTB is a set-associative branch target buffer with true-LRU replacement.
+// Following the paper's baseline it is decoupled from the direction
+// predictor and allocates entries only for taken branches, which lets it
+// stay small. Returns are stored like any other taken branch, so a
+// processor without a return-address stack predicts returns from the BTB —
+// the configuration quantified by the paper's Table 4.
+type BTB struct {
+	sets   int
+	ways   int
+	tags   []uint32 // sets*ways; 0 means invalid (PC 0 never holds a branch)
+	target []uint32
+	stamp  []uint64 // last-use timestamp; the smallest in a set is the victim
+	clock  uint64
+
+	Stats BTBStats
+}
+
+// BTBStats counts lookup outcomes.
+type BTBStats struct {
+	Lookups uint64
+	Hits    uint64
+	Updates uint64
+}
+
+// NewBTB returns a BTB with the given geometry; both arguments must be
+// powers of two (ways may be 1 for direct-mapped).
+func NewBTB(sets, ways int) *BTB {
+	if sets <= 0 || sets&(sets-1) != 0 || ways <= 0 {
+		panic("bpred: BTB geometry must be positive powers of two")
+	}
+	n := sets * ways
+	return &BTB{
+		sets:   sets,
+		ways:   ways,
+		tags:   make([]uint32, n),
+		target: make([]uint32, n),
+		stamp:  make([]uint64, n),
+	}
+}
+
+func (b *BTB) setOf(pc uint32) int { return int((pc >> 2) & uint32(b.sets-1)) }
+
+// Lookup returns the predicted target for the branch at pc.
+func (b *BTB) Lookup(pc uint32) (target uint32, ok bool) {
+	b.Stats.Lookups++
+	base := b.setOf(pc) * b.ways
+	for w := 0; w < b.ways; w++ {
+		if b.tags[base+w] == pc {
+			b.Stats.Hits++
+			b.touch(base + w)
+			return b.target[base+w], true
+		}
+	}
+	return 0, false
+}
+
+// Update installs or refreshes the target of a taken branch at pc,
+// preferring invalid ways and otherwise evicting the least recently used.
+func (b *BTB) Update(pc, target uint32) {
+	b.Stats.Updates++
+	base := b.setOf(pc) * b.ways
+	// First pass: refresh an existing entry for this PC.
+	for w := 0; w < b.ways; w++ {
+		if i := base + w; b.tags[i] == pc {
+			b.target[i] = target
+			b.touch(i)
+			return
+		}
+	}
+	// Second pass: prefer an invalid way, else the least recently used.
+	victim := base
+	for w := 0; w < b.ways; w++ {
+		i := base + w
+		if b.tags[i] == 0 {
+			victim = i
+			break
+		}
+		if b.stamp[i] < b.stamp[victim] {
+			victim = i
+		}
+	}
+	b.tags[victim] = pc
+	b.target[victim] = target
+	b.touch(victim)
+}
+
+// touch marks entry i most recently used.
+func (b *BTB) touch(i int) {
+	b.clock++
+	b.stamp[i] = b.clock
+}

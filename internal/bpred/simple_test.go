@@ -1,0 +1,86 @@
+package bpred
+
+import "testing"
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b := NewBimodal(1024)
+	for i := 0; i < 100; i++ {
+		b.Update(0x100, true)
+		b.Update(0x104, false)
+	}
+	if !b.Predict(0x100) || b.Predict(0x104) {
+		t.Error("bimodal failed on constant branches")
+	}
+}
+
+func TestBimodalCannotLearnAlternation(t *testing.T) {
+	b := NewBimodal(1024)
+	correct := 0
+	taken := false
+	for i := 0; i < 1000; i++ {
+		if b.Predict(0x200) == taken {
+			correct++
+		}
+		b.Update(0x200, taken)
+		taken = !taken
+	}
+	// A history-less predictor hovers around chance on alternation.
+	if correct > 700 {
+		t.Errorf("bimodal should not learn alternation, got %d/1000", correct)
+	}
+}
+
+func TestGShareLearnsAlternation(t *testing.T) {
+	g := NewGShare(12)
+	correct := 0
+	taken := false
+	for i := 0; i < 2000; i++ {
+		if g.Predict(0x300) == taken {
+			correct++
+		}
+		g.Update(0x300, taken)
+		taken = !taken
+	}
+	if correct < 1900 {
+		t.Errorf("gshare alternation accuracy %d/2000", correct)
+	}
+}
+
+// TestPredictorQualityOrdering: on a mix of patterned branches, hybrid >=
+// gshare >= bimodal (the premise of ablation A8).
+func TestPredictorQualityOrdering(t *testing.T) {
+	run := func(p DirectionPredictor) int {
+		correct := 0
+		k := 0
+		taken := false
+		for i := 0; i < 6000; i++ {
+			// branch A alternates; branch B is 3-periodic; C is constant.
+			if p.Predict(0x10) == taken {
+				correct++
+			}
+			p.Update(0x10, taken)
+			taken = !taken
+			bTaken := k%3 != 0
+			if p.Predict(0x20) == bTaken {
+				correct++
+			}
+			p.Update(0x20, bTaken)
+			k++
+			if p.Predict(0x30) {
+				correct++
+			}
+			p.Update(0x30, true)
+		}
+		return correct
+	}
+	bi := run(NewBimodal(4096))
+	gs := run(NewGShare(12))
+	hy := run(NewHybrid())
+	t.Logf("bimodal=%d gshare=%d hybrid=%d (of 18000)", bi, gs, hy)
+	if gs <= bi {
+		t.Errorf("gshare (%d) should beat bimodal (%d)", gs, bi)
+	}
+	if hy < gs*95/100 {
+		t.Errorf("hybrid (%d) should be at least near gshare (%d)", hy, gs)
+	}
+}

@@ -1,0 +1,80 @@
+package bpred
+
+// Speculative-history operation. The paper's simulator updates all
+// predictor state at commit, which leaves fetch predicting tight loops
+// with history that is stale by the number of in-flight branches. Real
+// machines (e.g. the Alpha 21264) instead shift the global history
+// register speculatively at fetch and repair it from a checkpoint on
+// misprediction — exactly the same shadow-state pattern the paper applies
+// to the return-address stack. These methods let the pipeline run the
+// hybrid in that mode; counter *training* still happens at commit, using
+// the histories captured at prediction time.
+
+// HistorySnapshot captures the indices a prediction used, so commit can
+// train the same table entries and recovery can restore the registers.
+type HistorySnapshot struct {
+	GHist uint32
+	LHist uint16
+}
+
+// Snapshot returns the current history state for the branch at pc.
+func (h *Hybrid) Snapshot(pc uint32) HistorySnapshot {
+	return HistorySnapshot{
+		GHist: h.gag.hist,
+		LHist: h.pag.lht[h.pag.lhtIndex(pc)],
+	}
+}
+
+// SpecShift advances both history registers with a predicted outcome at
+// fetch time (speculative-history mode only).
+func (h *Hybrid) SpecShift(pc uint32, taken bool) {
+	h.gag.hist = (h.gag.hist<<1 | b2u(taken)) & h.gag.histMask
+	i := h.pag.lhtIndex(pc)
+	h.pag.lht[i] = (h.pag.lht[i]<<1 | uint16(b2u(taken))) & uint16(1<<h.pag.histBits-1)
+}
+
+// RestoreHistory repairs the history registers after a misprediction: the
+// global register and the mispredicted branch's own local history are
+// restored from the checkpoint and, when the branch was conditional,
+// re-shifted with the actual outcome. Local histories of *other* branches
+// corrupted by the wrong path stay corrupted, as in hardware (only the
+// global register is shadowed per branch).
+func (h *Hybrid) RestoreHistory(pc uint32, snap HistorySnapshot, wasCond, actualTaken bool) {
+	h.gag.hist = snap.GHist
+	if wasCond {
+		h.gag.hist = (h.gag.hist<<1 | b2u(actualTaken)) & h.gag.histMask
+		i := h.pag.lhtIndex(pc)
+		h.pag.lht[i] = (snap.LHist<<1 | uint16(b2u(actualTaken))) & uint16(1<<h.pag.histBits-1)
+	}
+}
+
+// PredictWith predicts using an explicit snapshot (used by TrainAt's
+// bookkeeping and tests).
+func (h *Hybrid) predictWith(snap HistorySnapshot) (chosen, gagPred, pagPred, usedGAg bool) {
+	gagPred = h.gag.pht.Taken(snap.GHist)
+	pagPred = h.pag.pht.Taken(uint32(snap.LHist))
+	usedGAg = h.selector.Taken(snap.GHist)
+	if usedGAg {
+		return gagPred, gagPred, pagPred, usedGAg
+	}
+	return pagPred, gagPred, pagPred, usedGAg
+}
+
+// TrainAt trains the counters a fetch-time prediction actually indexed
+// (speculative-history mode's commit-side update). It does not touch the
+// history registers — fetch owns them in this mode.
+func (h *Hybrid) TrainAt(pc uint32, snap HistorySnapshot, taken bool) {
+	chosen, gagPred, pagPred, usedGAg := h.predictWith(snap)
+	h.Stats.Lookups++
+	if usedGAg {
+		h.Stats.GAgChosen++
+	}
+	if chosen == taken {
+		h.Stats.Correct++
+	}
+	if gagPred != pagPred {
+		h.selector.Update(snap.GHist, gagPred == taken)
+	}
+	h.gag.pht.Update(snap.GHist, taken)
+	h.pag.pht.Update(uint32(snap.LHist), taken)
+}

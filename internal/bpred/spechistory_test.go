@@ -1,0 +1,147 @@
+package bpred
+
+import "testing"
+
+// TestSpecShiftAndRestore: restoring a snapshot after mis-speculated
+// shifts must leave the registers exactly as a correct-path machine would
+// have them.
+func TestSpecShiftAndRestore(t *testing.T) {
+	h := NewHybrid()
+	pc := uint32(0x1000)
+
+	// Establish some history.
+	for i := 0; i < 20; i++ {
+		h.SpecShift(pc, i%3 == 0)
+	}
+	snap := h.Snapshot(pc)
+
+	// Mispredicted branch at pc: fetch shifts the *predicted* (wrong)
+	// direction, then wrong-path branches trash both registers.
+	h.SpecShift(pc, true)
+	for i := 0; i < 10; i++ {
+		h.SpecShift(0x2000+uint32(i*4), i%2 == 0)
+	}
+
+	// Recovery: restore and re-shift with the actual outcome (false).
+	h.RestoreHistory(pc, snap, true, false)
+
+	// Reference machine that never went down the wrong path.
+	ref := NewHybrid()
+	for i := 0; i < 20; i++ {
+		ref.SpecShift(pc, i%3 == 0)
+	}
+	ref.SpecShift(pc, false)
+
+	if h.gag.hist != ref.gag.hist {
+		t.Errorf("global history %b, want %b", h.gag.hist, ref.gag.hist)
+	}
+	i := h.pag.lhtIndex(pc)
+	if h.pag.lht[i] != ref.pag.lht[i] {
+		t.Errorf("local history %b, want %b", h.pag.lht[i], ref.pag.lht[i])
+	}
+}
+
+// TestRestoreNonCond: recovery from a return/indirect misprediction
+// restores the global register without inserting an outcome bit.
+func TestRestoreNonCond(t *testing.T) {
+	h := NewHybrid()
+	for i := 0; i < 8; i++ {
+		h.SpecShift(0x100, true)
+	}
+	snap := h.Snapshot(0x100)
+	h.SpecShift(0x200, false)
+	h.SpecShift(0x300, false)
+	h.RestoreHistory(0x100, snap, false, false)
+	if h.gag.hist != snap.GHist {
+		t.Errorf("ghist %b, want %b", h.gag.hist, snap.GHist)
+	}
+}
+
+// TestTrainAtMatchesCommitUpdate: for a single in-flight branch at a time,
+// speculative-history operation must train the same table entries as the
+// commit-update path, so long-run accuracy matches.
+func TestTrainAtMatchesCommitUpdate(t *testing.T) {
+	commit := NewHybrid()
+	spec := NewHybrid()
+	pcs := []uint32{0x100, 0x104, 0x108}
+	outcome := func(i int, pc uint32) bool { return (i+int(pc>>2))%3 != 0 }
+
+	for i := 0; i < 5000; i++ {
+		for _, pc := range pcs {
+			taken := outcome(i, pc)
+			commit.Update(pc, taken)
+
+			snap := spec.Snapshot(pc)
+			spec.SpecShift(pc, taken) // perfectly predicted: shift actual
+			spec.TrainAt(pc, snap, taken)
+		}
+	}
+	// Same predictions from both machines afterwards.
+	for _, pc := range pcs {
+		if commit.Predict(pc) != spec.Predict(pc) {
+			t.Errorf("pc %#x: commit and spec predictors diverged", pc)
+		}
+	}
+	accCommit := float64(commit.Stats.Correct) / float64(commit.Stats.Lookups)
+	accSpec := float64(spec.Stats.Correct) / float64(spec.Stats.Lookups)
+	if accCommit != accSpec {
+		t.Errorf("accuracy diverged: commit %.4f spec %.4f", accCommit, accSpec)
+	}
+}
+
+// TestSpecHistoryHelpsTightLoop demonstrates why the mode exists: a
+// periodic loop branch predicted with in-flight (stale-by-two) history
+// fails under commit update but is perfect with speculative history.
+func TestSpecHistoryHelpsTightLoop(t *testing.T) {
+	// Simulate 2 in-flight branches: predictions happen two updates early.
+	pattern := []bool{true, true, true, false} // 8-iteration style loop
+	pc := uint32(0x500)
+
+	// Commit-update machine with lag: predict at i using state trained
+	// through i-2.
+	commit := NewHybrid()
+	correctCommit := 0
+	var pending []bool
+	total := 4000
+	for i := 0; i < total; i++ {
+		taken := pattern[i%len(pattern)]
+		if commit.Predict(pc) == taken {
+			correctCommit++
+		}
+		pending = append(pending, taken)
+		if len(pending) > 2 { // two in flight
+			commit.Update(pc, pending[0])
+			pending = pending[1:]
+		}
+	}
+
+	// Speculative-history machine: history advances at prediction time.
+	spec := NewHybrid()
+	correctSpec := 0
+	type inflight struct {
+		snap  HistorySnapshot
+		taken bool
+	}
+	var q []inflight
+	for i := 0; i < total; i++ {
+		taken := pattern[i%len(pattern)]
+		snap := spec.Snapshot(pc)
+		if spec.Predict(pc) == taken {
+			correctSpec++
+		}
+		spec.SpecShift(pc, taken) // assume predictions correct post-warmup
+		q = append(q, inflight{snap, taken})
+		if len(q) > 2 {
+			spec.TrainAt(pc, q[0].snap, q[0].taken)
+			q = q[1:]
+		}
+	}
+
+	if correctSpec < total*95/100 {
+		t.Errorf("spec-history loop accuracy %d/%d, want ~perfect", correctSpec, total)
+	}
+	if correctCommit >= correctSpec {
+		t.Errorf("commit-update (%d) should trail spec-history (%d) on a tight loop",
+			correctCommit, correctSpec)
+	}
+}

@@ -1,0 +1,221 @@
+// Package cache models the memory hierarchy: set-associative write-back
+// caches with true-LRU replacement composed into a conventional two-level
+// organization (split L1 instruction/data caches over a unified L2 over
+// main memory).
+//
+// The timing model is access-latency based: Access returns the number of
+// cycles the reference takes, accumulating each level's hit latency down
+// to the level that serves the line. Write-backs of dirty victims are
+// performed for state correctness and counted, but are assumed buffered
+// (they add no latency) — the usual write-buffer simplification.
+package cache
+
+import "fmt"
+
+// Level is anything that can serve a memory reference: a cache or memory.
+type Level interface {
+	// Access performs a reference to addr, returning its latency in cycles.
+	Access(addr uint32, write bool) int
+	// Name identifies the level in statistics output.
+	Name() string
+}
+
+// MainMemory is the fixed-latency DRAM at the bottom of the hierarchy.
+type MainMemory struct {
+	Latency  int
+	Accesses uint64
+}
+
+// NewMainMemory returns memory with the given access latency.
+func NewMainMemory(latency int) *MainMemory { return &MainMemory{Latency: latency} }
+
+// Access implements Level.
+func (m *MainMemory) Access(addr uint32, write bool) int {
+	m.Accesses++
+	return m.Latency
+}
+
+// Name implements Level.
+func (m *MainMemory) Name() string { return "mem" }
+
+// Stats holds per-cache reference counts.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	WriteBacks uint64
+}
+
+// MissRate returns misses per access.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is one set-associative write-back, write-allocate cache level.
+type Cache struct {
+	name       string
+	sets       int
+	ways       int
+	lineShift  uint
+	hitLatency int
+	next       Level
+
+	tags  []uint32 // line address (addr >> lineShift); valid bit packed below
+	valid []bool
+	dirty []bool
+	stamp []uint64
+	clock uint64
+
+	stats Stats
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	LineBytes  int
+	HitLatency int
+}
+
+// New builds a cache over the given next level.
+func New(cfg Config, next Level) *Cache {
+	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic("cache: line size must be a power of two")
+	}
+	if cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
+		panic("cache: size and associativity must be positive")
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	if lines == 0 || lines%cfg.Ways != 0 {
+		panic("cache: size/line/ways geometry does not divide evenly")
+	}
+	sets := lines / cfg.Ways
+	if sets&(sets-1) != 0 {
+		panic("cache: set count must be a power of two")
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	n := sets * cfg.Ways
+	return &Cache{
+		name:       cfg.Name,
+		sets:       sets,
+		ways:       cfg.Ways,
+		lineShift:  shift,
+		hitLatency: cfg.HitLatency,
+		next:       next,
+		tags:       make([]uint32, n),
+		valid:      make([]bool, n),
+		dirty:      make([]bool, n),
+		stamp:      make([]uint64, n),
+	}
+}
+
+// Name implements Level.
+func (c *Cache) Name() string { return c.name }
+
+// Stats returns the cache's counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return 1 << c.lineShift }
+
+// Probe reports whether addr would hit, without touching cache state or
+// statistics (used by the pipeline's MSHR bookkeeping).
+func (c *Cache) Probe(addr uint32) bool {
+	line := addr >> c.lineShift
+	set := int(line) & (c.sets - 1)
+	for w := 0; w < c.ways; w++ {
+		i := set*c.ways + w
+		if c.valid[i] && c.tags[i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Access implements Level.
+func (c *Cache) Access(addr uint32, write bool) int {
+	c.stats.Accesses++
+	line := addr >> c.lineShift
+	set := int(line) & (c.sets - 1)
+	base := set * c.ways
+
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			c.clock++
+			c.stamp[i] = c.clock
+			if write {
+				c.dirty[i] = true
+			}
+			return c.hitLatency
+		}
+	}
+
+	// Miss: fetch the line from below (write-allocate), evicting LRU.
+	c.stats.Misses++
+	latency := c.hitLatency + c.next.Access(addr, false)
+
+	victim := base
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = i
+			break
+		}
+		if c.stamp[i] < c.stamp[victim] {
+			victim = i
+		}
+	}
+	if c.valid[victim] && c.dirty[victim] {
+		c.stats.WriteBacks++
+		// Buffered write-back: state change at the next level, no latency.
+		c.next.Access(c.tags[victim]<<c.lineShift, true)
+	}
+	c.valid[victim] = true
+	c.tags[victim] = line
+	c.dirty[victim] = write
+	c.clock++
+	c.stamp[victim] = c.clock
+	return latency
+}
+
+// Hierarchy is the baseline two-level organization.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+	Mem *MainMemory
+}
+
+// HierarchyConfig sizes every level.
+type HierarchyConfig struct {
+	L1I, L1D, L2 Config
+	MemLatency   int
+}
+
+// NewHierarchy wires L1I and L1D over a unified L2 over main memory.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	mem := NewMainMemory(cfg.MemLatency)
+	l2 := New(cfg.L2, mem)
+	return &Hierarchy{
+		L1I: New(cfg.L1I, l2),
+		L1D: New(cfg.L1D, l2),
+		L2:  l2,
+		Mem: mem,
+	}
+}
+
+// String summarizes the hierarchy's statistics.
+func (h *Hierarchy) String() string {
+	f := func(c *Cache) string {
+		s := c.Stats()
+		return fmt.Sprintf("%s: %d accesses, %.2f%% miss", c.Name(), s.Accesses, 100*s.MissRate())
+	}
+	return f(h.L1I) + "; " + f(h.L1D) + "; " + f(h.L2)
+}

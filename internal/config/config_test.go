@@ -1,0 +1,117 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"retstack/internal/core"
+)
+
+func TestBaselineValid(t *testing.T) {
+	c := Baseline()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("baseline invalid: %v", err)
+	}
+	// Table 1 anchors.
+	if c.RUUSize != 64 || c.LSQSize != 32 {
+		t.Error("RUU/LSQ sizes do not match the paper's Table 1")
+	}
+	if c.RASEntries != 32 {
+		t.Error("baseline RAS should have 32 entries (21264-like)")
+	}
+	if c.GAgHistBits != 12 || c.PAgEntries != 1024 || c.PAgHistBits != 10 || c.SelectorSize != 4096 {
+		t.Error("hybrid predictor geometry does not match Table 1")
+	}
+	if c.FetchWidth != 4 {
+		t.Error("baseline is 4-wide")
+	}
+	if c.MaxPaths != 1 {
+		t.Error("baseline is single-path")
+	}
+}
+
+func TestWithHelpers(t *testing.T) {
+	c := Baseline().WithPolicy(core.RepairFullStack).WithRASEntries(8)
+	if c.RASPolicy != core.RepairFullStack || c.RASEntries != 8 {
+		t.Error("With helpers did not apply")
+	}
+	if Baseline().RASPolicy == core.RepairFullStack {
+		t.Error("With helpers must not mutate the baseline")
+	}
+	m := Baseline().WithMultipath(4, MPPerPath)
+	if m.MaxPaths != 4 || m.MPStacks != MPPerPath {
+		t.Error("WithMultipath did not apply")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.FetchWidth = 0 },
+		func(c *Config) { c.RUUSize = 0 },
+		func(c *Config) { c.LSQSize = -1 },
+		func(c *Config) { c.IntALUs = 0 },
+		func(c *Config) { c.RASEntries = 0 },
+		func(c *Config) { c.BTBSets = 100 },
+		func(c *Config) { c.MaxPaths = 0 },
+		func(c *Config) { c.ShadowSlots = -2 },
+	}
+	for i, mutate := range cases {
+		c := Baseline()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	// BTB-only needs no RAS entries.
+	c := Baseline()
+	c.ReturnPred = ReturnBTBOnly
+	c.RASEntries = 0
+	if err := c.Validate(); err != nil {
+		t.Errorf("BTB-only with no RAS should validate: %v", err)
+	}
+}
+
+func TestNewReturnStack(t *testing.T) {
+	c := Baseline().WithPolicy(core.RepairTOSPointerAndContents)
+	s := c.NewReturnStack()
+	if s.Size() != 32 {
+		t.Errorf("stack size = %d", s.Size())
+	}
+	if _, ok := s.(*core.Stack); !ok {
+		t.Error("circular kind should build *core.Stack")
+	}
+	c.RASKind = RASLinked
+	c.RASEntries = 64
+	if _, ok := c.NewReturnStack().(*core.LinkedStack); !ok {
+		t.Error("linked kind should build *core.LinkedStack")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	d := Baseline().Describe()
+	for _, want := range []string{"64 entries", "32 entries", "4K GAg", "512 sets", "unbounded", "80 cycles"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe missing %q:\n%s", want, d)
+		}
+	}
+	c := Baseline()
+	c.ShadowSlots = 20
+	if !strings.Contains(c.Describe(), "shadow slots: 20") {
+		t.Error("bounded shadow slots not described")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if ReturnRAS.String() != "ras" || ReturnBTBOnly.String() != "btb-only" {
+		t.Error("ReturnPredictor strings")
+	}
+	if RASCircular.String() != "circular" || RASLinked.String() != "linked" {
+		t.Error("RASKind strings")
+	}
+	if MPUnified.String() != "unified" || MPUnifiedRepair.String() != "unified+repair" || MPPerPath.String() != "per-path" {
+		t.Error("MultipathRAS strings")
+	}
+	if MultipathRAS(9).String() == "" {
+		t.Error("unknown multipath should format")
+	}
+}

@@ -1,0 +1,487 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopLIFO(t *testing.T) {
+	s := NewStack(8, RepairFullStack)
+	for i := uint32(1); i <= 5; i++ {
+		s.Push(i * 100)
+	}
+	if s.Depth() != 5 {
+		t.Fatalf("depth = %d", s.Depth())
+	}
+	for i := uint32(5); i >= 1; i-- {
+		got, ok := s.Pop()
+		if !ok || got != i*100 {
+			t.Fatalf("pop = %d,%v, want %d", got, ok, i*100)
+		}
+	}
+	if s.Depth() != 0 {
+		t.Fatalf("final depth = %d", s.Depth())
+	}
+	st := s.Stats()
+	if st.Pushes != 5 || st.Pops != 5 || st.Overflows != 0 || st.Underflows != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestOverflowWrapsAndLosesOldest(t *testing.T) {
+	s := NewStack(4, RepairNone)
+	for i := uint32(1); i <= 6; i++ {
+		s.Push(i)
+	}
+	if s.Stats().Overflows != 2 {
+		t.Errorf("overflows = %d, want 2", s.Stats().Overflows)
+	}
+	if s.Depth() != 4 {
+		t.Errorf("depth = %d, want 4", s.Depth())
+	}
+	// The newest 4 survive: 6,5,4,3. Then underflow begins.
+	for want := uint32(6); want >= 3; want-- {
+		got, ok := s.Pop()
+		if !ok || got != want {
+			t.Fatalf("pop = %d,%v, want %d", got, ok, want)
+		}
+	}
+	_, ok := s.Pop()
+	if ok {
+		t.Error("pop of empty stack should report underflow")
+	}
+	if s.Stats().Underflows != 1 {
+		t.Errorf("underflows = %d", s.Stats().Underflows)
+	}
+}
+
+func TestUnderflowKeepsPointerMoving(t *testing.T) {
+	// Hardware keeps decrementing the pointer on underflow; repeated
+	// pops cycle through stale slots rather than faulting.
+	s := NewStack(2, RepairNone)
+	for i := 0; i < 5; i++ {
+		s.Pop()
+	}
+	if s.Stats().Underflows != 5 {
+		t.Errorf("underflows = %d", s.Stats().Underflows)
+	}
+	if s.Depth() != 0 {
+		t.Errorf("depth = %d", s.Depth())
+	}
+}
+
+// TestCanonicalCorruption is the paper's motivating case: the wrong path
+// pops the stack then pushes its own call, overwriting the top entry. A
+// pointer-only repair restores depth but not the clobbered entry;
+// pointer+contents repairs it exactly.
+func TestCanonicalCorruption(t *testing.T) {
+	for _, policy := range []RepairPolicy{RepairNone, RepairTOSPointer, RepairTOSPointerAndContents, RepairFullStack} {
+		s := NewStack(8, policy)
+		s.Push(0x1000) // correct-path call A
+		s.Push(0x2000) // correct-path call B
+
+		var cp Checkpoint
+		s.SaveInto(&cp) // branch predicted here
+
+		// Wrong path: return (pop B), then call C (overwrites B's slot).
+		s.Pop()
+		s.Push(0xBAD0)
+
+		s.Restore(&cp)
+
+		got, _ := s.Pop()
+		wantFixed := policy == RepairTOSPointerAndContents || policy == RepairFullStack
+		if wantFixed && got != 0x2000 {
+			t.Errorf("%v: top after repair = %#x, want 0x2000", policy, got)
+		}
+		if !wantFixed && got == 0x2000 {
+			t.Errorf("%v: unexpectedly repaired the overwritten entry", policy)
+		}
+		// Regardless of policy (except none), the *next* entry is intact.
+		if policy != RepairNone {
+			if got2, _ := s.Pop(); got2 != 0x1000 {
+				t.Errorf("%v: second entry = %#x, want 0x1000", policy, got2)
+			}
+		}
+	}
+}
+
+// TestPointerOnlyRepairsPurePops: when the wrong path only pops, no entry
+// is overwritten, so restoring the pointer alone recovers everything.
+func TestPointerOnlyRepairsPurePops(t *testing.T) {
+	s := NewStack(8, RepairTOSPointer)
+	for i := uint32(1); i <= 4; i++ {
+		s.Push(i)
+	}
+	var cp Checkpoint
+	s.SaveInto(&cp)
+	s.Pop()
+	s.Pop()
+	s.Pop()
+	s.Restore(&cp)
+	for want := uint32(4); want >= 1; want-- {
+		if got, _ := s.Pop(); got != want {
+			t.Fatalf("pop = %d, want %d", got, want)
+		}
+	}
+}
+
+// TestNoneCheckpointIsInvalid: the none policy must produce checkpoints
+// that restore to a no-op.
+func TestNoneCheckpointIsInvalid(t *testing.T) {
+	s := NewStack(4, RepairNone)
+	s.Push(1)
+	cp := s.Save()
+	if cp.Valid() {
+		t.Error("RepairNone checkpoint should be invalid")
+	}
+	s.Pop()
+	s.Push(99)
+	s.Restore(&cp)
+	if got, _ := s.Pop(); got != 99 {
+		t.Errorf("restore under RepairNone must not repair; got %d", got)
+	}
+	if s.Stats().Restores != 0 {
+		t.Error("invalid checkpoint should not count as a restore")
+	}
+}
+
+// refOps is a random operation trace for the property tests: true = push
+// (with synthetic address), false = pop.
+type refOps []bool
+
+func randomOps(rng *rand.Rand, n int) refOps {
+	ops := make(refOps, n)
+	for i := range ops {
+		ops[i] = rng.Intn(2) == 0
+	}
+	return ops
+}
+
+// TestFullRepairPropertyEquivalence: a full-checkpoint stack that suffers
+// arbitrary wrong-path activity and is then restored behaves identically
+// to a stack that never saw the wrong path — whatever the traces are,
+// including ones that overflow and underflow.
+func TestFullRepairPropertyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		size := 1 + rng.Intn(16)
+		clean := NewStack(size, RepairFullStack)
+		dirty := NewStack(size, RepairFullStack)
+
+		// Shared correct-path prefix.
+		addr := uint32(1)
+		for _, push := range randomOps(rng, rng.Intn(40)) {
+			if push {
+				clean.Push(addr)
+				dirty.Push(addr)
+				addr++
+			} else {
+				clean.Pop()
+				dirty.Pop()
+			}
+		}
+		var cp Checkpoint
+		dirty.SaveInto(&cp)
+		// Wrong path on dirty only.
+		for _, push := range randomOps(rng, rng.Intn(60)) {
+			if push {
+				dirty.Push(0xDEAD0000 + uint32(rng.Intn(1000)))
+			} else {
+				dirty.Pop()
+			}
+		}
+		dirty.Restore(&cp)
+		// Identical continuations must produce identical predictions.
+		for _, push := range randomOps(rng, 30) {
+			if push {
+				clean.Push(addr)
+				dirty.Push(addr)
+				addr++
+			} else {
+				a, okA := clean.Pop()
+				b, okB := dirty.Pop()
+				if a != b || okA != okB {
+					t.Fatalf("trial %d: divergence after full repair: clean=%#x,%v dirty=%#x,%v",
+						trial, a, okA, b, okB)
+				}
+			}
+		}
+	}
+}
+
+// TestPtrContentsSinglePopPushProperty: pointer+contents repair is exact
+// whenever the wrong path performs at most one pop before any pushes (the
+// overwhelmingly common pattern the paper exploits).
+func TestPtrContentsSinglePopPushProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		size := 2 + rng.Intn(15)
+		clean := NewStack(size, RepairTOSPointerAndContents)
+		dirty := NewStack(size, RepairTOSPointerAndContents)
+		addr := uint32(1)
+		// Correct-path prefix without overflow (so state is well-defined).
+		depth := 0
+		for i := 0; i < 20; i++ {
+			if depth < size && (depth == 0 || rng.Intn(2) == 0) {
+				clean.Push(addr)
+				dirty.Push(addr)
+				addr++
+				depth++
+			} else {
+				clean.Pop()
+				dirty.Pop()
+				depth--
+			}
+		}
+		var cp Checkpoint
+		dirty.SaveInto(&cp)
+		// Wrong path: at most one pop, then only pushes. Pushes are bounded
+		// by size-depth so they cannot wrap around the circular buffer and
+		// clobber live entries below the saved TOS — within that bound the
+		// repair must be exact.
+		if rng.Intn(2) == 0 {
+			dirty.Pop()
+		}
+		maxPush := size - depth
+		if maxPush < 0 {
+			maxPush = 0
+		}
+		for n := rng.Intn(maxPush + 1); n > 0; n-- {
+			dirty.Push(0xDEAD0000 + uint32(n))
+		}
+		dirty.Restore(&cp)
+		for depth > 0 {
+			a, _ := clean.Pop()
+			b, _ := dirty.Pop()
+			if a != b {
+				t.Fatalf("trial %d: ptr+contents diverged: clean=%#x dirty=%#x", trial, a, b)
+			}
+			depth--
+		}
+	}
+}
+
+// TestDepthInvariant: depth always stays within [0, size] under arbitrary
+// operation sequences.
+func TestDepthInvariant(t *testing.T) {
+	f := func(ops []bool, sizeSeed uint8) bool {
+		size := 1 + int(sizeSeed%32)
+		s := NewStack(size, RepairTOSPointerAndContents)
+		for i, push := range ops {
+			if push {
+				s.Push(uint32(i))
+			} else {
+				s.Pop()
+			}
+			if s.Depth() < 0 || s.Depth() > size {
+				return false
+			}
+		}
+		return s.Stats().Pushes+s.Stats().Pops == uint64(len(ops))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := NewStack(8, RepairFullStack)
+	s.Push(1)
+	s.Push(2)
+	c := s.Clone()
+	c.Push(3)
+	s.Pop()
+	if got, _ := c.Pop(); got != 3 {
+		t.Errorf("clone top = %d, want 3", got)
+	}
+	if got, _ := c.Pop(); got != 2 {
+		t.Errorf("clone second = %d, want 2 (parent pop must not affect clone)", got)
+	}
+	if got, _ := s.Pop(); got != 1 {
+		t.Errorf("parent second = %d, want 1 (clone push must not affect parent)", got)
+	}
+	if c.Stats().Pushes != 1 {
+		t.Error("clone must start with fresh stats")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := NewStack(4, RepairTOSPointer)
+	a.Push(10)
+	a.Push(20)
+	b := NewStack(4, RepairNone)
+	b.Push(99)
+	prevPushes := b.Stats().Pushes
+	b.CopyFrom(a)
+	if got, _ := b.Pop(); got != 20 {
+		t.Errorf("CopyFrom top = %d", got)
+	}
+	if b.Stats().Pushes != prevPushes {
+		t.Error("CopyFrom must preserve destination stats")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("size mismatch must panic")
+		}
+	}()
+	b.CopyFrom(NewStack(8, RepairNone))
+}
+
+func TestNewStackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewStack(0) should panic")
+		}
+	}()
+	NewStack(0, RepairNone)
+}
+
+func TestPolicyStrings(t *testing.T) {
+	want := map[RepairPolicy]string{
+		RepairNone:                  "none",
+		RepairTOSPointer:            "tos-ptr",
+		RepairTOSPointerAndContents: "tos-ptr+contents",
+		RepairFullStack:             "full",
+	}
+	for p, w := range want {
+		if p.String() != w {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), w)
+		}
+	}
+	if RepairPolicy(99).String() == "" {
+		t.Error("unknown policy should still format")
+	}
+	if len(Policies()) != 4 {
+		t.Error("Policies() should list all four")
+	}
+}
+
+// --- LinkedStack ---
+
+func TestLinkedStackLIFO(t *testing.T) {
+	ls := NewLinkedStack(16)
+	for i := uint32(1); i <= 5; i++ {
+		ls.Push(i)
+	}
+	for want := uint32(5); want >= 1; want-- {
+		got, ok := ls.Pop()
+		if !ok || got != want {
+			t.Fatalf("pop = %d,%v want %d", got, ok, want)
+		}
+	}
+	if _, ok := ls.Pop(); ok {
+		t.Error("empty pop should underflow")
+	}
+	if ls.Stats().Underflows != 1 {
+		t.Error("underflow not counted")
+	}
+}
+
+// TestLinkedStackSelfCheckpointing: pointer-only repair recovers contents
+// even when the wrong path pops then pushes — the case that defeats the
+// circular stack's pointer-only repair — because pushes take fresh slots.
+func TestLinkedStackSelfCheckpointing(t *testing.T) {
+	ls := NewLinkedStack(32)
+	ls.Push(0x1000)
+	ls.Push(0x2000)
+	var cp Checkpoint
+	ls.SaveInto(&cp)
+	// Wrong path: pop both, push three of its own.
+	ls.Pop()
+	ls.Pop()
+	ls.Push(0xBAD1)
+	ls.Push(0xBAD2)
+	ls.Push(0xBAD3)
+	ls.Restore(&cp)
+	if got, _ := ls.Pop(); got != 0x2000 {
+		t.Errorf("top after repair = %#x, want 0x2000", got)
+	}
+	if got, _ := ls.Pop(); got != 0x1000 {
+		t.Errorf("second after repair = %#x, want 0x1000", got)
+	}
+}
+
+// TestLinkedStackEquivalenceProperty: with ample physical entries, a
+// linked stack restored from a pointer checkpoint matches a full-repair
+// circular stack over random traces.
+func TestLinkedStackEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		ref := NewStack(64, RepairFullStack)
+		ls := NewLinkedStack(1024) // ample: no wrap during the trace
+		addr := uint32(1)
+		depth := 0
+		for i := 0; i < 30; i++ {
+			if depth == 0 || depth < 60 && rng.Intn(2) == 0 {
+				ref.Push(addr)
+				ls.Push(addr)
+				addr++
+				depth++
+			} else {
+				ref.Pop()
+				ls.Pop()
+				depth--
+			}
+		}
+		var cr, cl Checkpoint
+		ref.SaveInto(&cr)
+		ls.SaveInto(&cl)
+		for _, push := range randomOps(rng, rng.Intn(40)) {
+			if push {
+				ref.Push(0xDEAD)
+				ls.Push(0xDEAD)
+			} else {
+				ref.Pop()
+				ls.Pop()
+			}
+		}
+		ref.Restore(&cr)
+		ls.Restore(&cl)
+		for depth > 0 {
+			a, _ := ref.Pop()
+			b, ok := ls.Pop()
+			if !ok || a != b {
+				t.Fatalf("trial %d: linked diverged: ref=%#x linked=%#x ok=%v", trial, a, b, ok)
+			}
+			depth--
+		}
+	}
+}
+
+func TestLinkedStackWrapOverflow(t *testing.T) {
+	ls := NewLinkedStack(4)
+	for i := uint32(1); i <= 6; i++ {
+		ls.Push(i)
+	}
+	if ls.Stats().Overflows != 2 {
+		t.Errorf("overflows = %d, want 2", ls.Stats().Overflows)
+	}
+	// The newest entries must still pop correctly.
+	if got, _ := ls.Pop(); got != 6 {
+		t.Errorf("top = %d", got)
+	}
+}
+
+func TestLinkedCloneIndependence(t *testing.T) {
+	ls := NewLinkedStack(8)
+	ls.Push(1)
+	c := ls.CloneStack()
+	c.Push(2)
+	if got, _ := ls.Pop(); got != 1 {
+		t.Errorf("parent saw clone push: %d", got)
+	}
+	if got, _ := c.Pop(); got != 2 {
+		t.Errorf("clone top = %d", got)
+	}
+}
+
+func TestLinkedStackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewLinkedStack(0) should panic")
+		}
+	}()
+	NewLinkedStack(0)
+}

@@ -1,0 +1,81 @@
+package core
+
+// Top-K checkpointing generalizes the paper's proposal: "One can, of
+// course, save an arbitrary number of return-address-stack entries this
+// way; the extreme would be to checkpoint the entire return-address stack
+// each time a branch is predicted." K = 0 is pointer-only repair, K = 1 is
+// the paper's pointer+contents proposal, K = size is full checkpointing.
+//
+// TopKStack wraps the same circular storage discipline as Stack but saves
+// the K entries below (and including) the top of stack.
+type TopKStack struct {
+	Stack
+	k int
+}
+
+// NewTopKStack returns a circular stack of the given size whose
+// checkpoints capture the pointer plus the top k entries. The embedded
+// Stack's own policy field is irrelevant: TopKStack overrides the
+// checkpoint and restore methods.
+func NewTopKStack(size, k int) *TopKStack {
+	if k < 0 || k > size {
+		panic("core: top-k out of range")
+	}
+	s := &TopKStack{k: k}
+	s.Stack = *NewStack(size, RepairNone)
+	return s
+}
+
+// K returns the number of checkpointed entries.
+func (s *TopKStack) K() int { return s.k }
+
+// SaveInto captures the pointer, depth, and the top K entries.
+func (s *TopKStack) SaveInto(c *Checkpoint) {
+	c.valid = true
+	c.tos = s.tos
+	c.depth = s.depth
+	if cap(c.full) < s.k {
+		c.full = make([]uint32, s.k)
+	}
+	c.full = c.full[:s.k]
+	for i := 0; i < s.k; i++ {
+		idx := s.tos - i
+		if idx < 0 {
+			idx += len(s.entries)
+		}
+		c.full[i] = s.entries[idx]
+	}
+}
+
+// Save is SaveInto into a fresh checkpoint.
+func (s *TopKStack) Save() Checkpoint {
+	var c Checkpoint
+	s.SaveInto(&c)
+	return c
+}
+
+// Restore repairs the pointer, depth, and the top K entries.
+func (s *TopKStack) Restore(c *Checkpoint) {
+	if !c.valid {
+		return
+	}
+	s.stats.Restores++
+	s.tos = c.tos
+	s.depth = c.depth
+	for i := 0; i < len(c.full) && i < s.k; i++ {
+		idx := s.tos - i
+		if idx < 0 {
+			idx += len(s.entries)
+		}
+		s.entries[idx] = c.full[i]
+	}
+}
+
+// CloneStack implements ReturnStack.
+func (s *TopKStack) CloneStack() ReturnStack {
+	n := &TopKStack{k: s.k}
+	n.Stack = *s.Stack.Clone()
+	return n
+}
+
+var _ ReturnStack = (*TopKStack)(nil)

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// driveBoth applies the same operation trace to two ReturnStacks and fails
+// on the first divergent pop after a checkpoint/corrupt/restore episode.
+func driveBoth(t *testing.T, trial int, a, b ReturnStack, rng *rand.Rand) {
+	t.Helper()
+	addr := uint32(0x1000)
+	// Correct-path prefix.
+	for i := 0; i < 20; i++ {
+		if rng.Intn(2) == 0 {
+			a.Push(addr)
+			b.Push(addr)
+			addr += 4
+		} else {
+			a.Pop()
+			b.Pop()
+		}
+	}
+	var ca, cb Checkpoint
+	a.SaveInto(&ca)
+	b.SaveInto(&cb)
+	// Wrong-path noise.
+	for i := 0; i < rng.Intn(30); i++ {
+		if rng.Intn(2) == 0 {
+			a.Push(0xBAD0 + uint32(i))
+			b.Push(0xBAD0 + uint32(i))
+		} else {
+			a.Pop()
+			b.Pop()
+		}
+	}
+	a.Restore(&ca)
+	b.Restore(&cb)
+	// Continuations must match.
+	for i := 0; i < 25; i++ {
+		if rng.Intn(2) == 0 {
+			a.Push(addr)
+			b.Push(addr)
+			addr += 4
+		} else {
+			va, oka := a.Pop()
+			vb, okb := b.Pop()
+			if va != vb || oka != okb {
+				t.Fatalf("trial %d step %d: diverged: %#x,%v vs %#x,%v",
+					trial, i, va, oka, vb, okb)
+			}
+		}
+	}
+}
+
+// TestTopKEqualsNamedPolicies: K = size must behave exactly like the full
+// checkpoint policy, and K = 1 exactly like the paper's pointer+contents
+// proposal, over random traces.
+func TestTopKEqualsNamedPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		size := 2 + rng.Intn(14)
+		full := NewStack(size, RepairFullStack)
+		topAll := NewTopKStack(size, size)
+		driveBoth(t, trial, full, topAll, rand.New(rand.NewSource(int64(trial))))
+
+		prop := NewStack(size, RepairTOSPointerAndContents)
+		top1 := NewTopKStack(size, 1)
+		driveBoth(t, trial, prop, top1, rand.New(rand.NewSource(int64(trial))))
+
+		ptr := NewStack(size, RepairTOSPointer)
+		top0 := NewTopKStack(size, 0)
+		driveBoth(t, trial, ptr, top0, rand.New(rand.NewSource(int64(trial))))
+	}
+}
+
+// TestTopKMonotoneProtection: larger K never repairs worse. We measure by
+// the canonical deep corruption: the wrong path pops j entries and then
+// pushes j of its own, clobbering j entries at and below the old top. A
+// top-K checkpoint repairs min(j, K) of them.
+func TestTopKMonotoneProtection(t *testing.T) {
+	const size = 16
+	for j := 1; j <= 6; j++ {
+		var survivors []int
+		for _, k := range []int{0, 1, 2, 4, 8, 16} {
+			s := NewTopKStack(size, k)
+			for i := uint32(1); i <= 8; i++ {
+				s.Push(i * 0x10)
+			}
+			var cp Checkpoint
+			s.SaveInto(&cp)
+			for n := 0; n < j; n++ {
+				s.Pop()
+			}
+			for n := 0; n < j; n++ {
+				s.Push(0xBAD)
+			}
+			s.Restore(&cp)
+			// Count how many of the top 8 pops are still correct.
+			correct := 0
+			for i := uint32(8); i >= 1; i-- {
+				if got, _ := s.Pop(); got == i*0x10 {
+					correct++
+				}
+			}
+			survivors = append(survivors, correct)
+		}
+		for i := 1; i < len(survivors); i++ {
+			if survivors[i] < survivors[i-1] {
+				t.Errorf("j=%d: protection not monotone in K: %v", j, survivors)
+				break
+			}
+		}
+		// K >= j must fully repair this pattern.
+		if survivors[4] != 8 { // K=8 >= j<=6
+			t.Errorf("j=%d: K=8 should fully repair, got %d/8", j, survivors[4])
+		}
+	}
+}
+
+func TestTopKCloneAndAccessors(t *testing.T) {
+	s := NewTopKStack(8, 3)
+	if s.K() != 3 || s.Size() != 8 {
+		t.Error("accessors")
+	}
+	s.Push(1)
+	c := s.CloneStack().(*TopKStack)
+	c.Push(2)
+	if got, _ := s.Pop(); got != 1 {
+		t.Error("clone leaked into parent")
+	}
+	if c.K() != 3 {
+		t.Error("clone lost K")
+	}
+	// Save must round-trip via the generic interface.
+	var cp Checkpoint
+	var rs ReturnStack = c
+	rs.SaveInto(&cp)
+	if !cp.Valid() {
+		t.Error("checkpoint invalid")
+	}
+}
+
+func TestTopKPanics(t *testing.T) {
+	for _, k := range []int{-1, 9} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d should panic", k)
+				}
+			}()
+			NewTopKStack(8, k)
+		}()
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import "testing"
+
+func TestTaggedStackLIFO(t *testing.T) {
+	s := NewTaggedStack(8)
+	for i := uint32(1); i <= 4; i++ {
+		s.PushSeq(i*0x10, uint64(i))
+	}
+	for want := uint32(4); want >= 1; want-- {
+		got, ok := s.Pop()
+		if !ok || got != want*0x10 {
+			t.Fatalf("pop = %#x,%v want %#x", got, ok, want*0x10)
+		}
+	}
+	if _, ok := s.Pop(); ok {
+		t.Error("empty pop must be invalid")
+	}
+	if s.Stats().Underflows != 1 {
+		t.Error("underflow not counted")
+	}
+}
+
+// TestTaggedStackRepairsNetPush: wrong-path pushes after the mispredicted
+// branch are identified by tag and popped off at recovery.
+func TestTaggedStackRepairsNetPush(t *testing.T) {
+	s := NewTaggedStack(8)
+	s.PushSeq(0x1000, 10)
+	s.PushSeq(0x2000, 20)
+	// Branch fetched at seq 30 mispredicts; wrong path pushes two calls.
+	s.PushSeq(0xBAD1, 31)
+	s.PushSeq(0xBAD2, 35)
+	s.InvalidateAfter(30)
+	if got, ok := s.Pop(); !ok || got != 0x2000 {
+		t.Errorf("top after repair = %#x,%v want 0x2000", got, ok)
+	}
+	if got, ok := s.Pop(); !ok || got != 0x1000 {
+		t.Errorf("second after repair = %#x,%v want 0x1000", got, ok)
+	}
+}
+
+// TestTaggedStackDetectsOverwrite: a wrong path that pops then pushes
+// leaves the slot tagged young; after recovery the entry is popped off as
+// a wrong-path push, and the slot below is exposed — the popped (correct)
+// entry's value is gone but the *detection* prevents following 0xBAD.
+func TestTaggedStackDetectsCorruption(t *testing.T) {
+	s := NewTaggedStack(8)
+	s.PushSeq(0x1000, 10)
+	s.PushSeq(0x2000, 20)
+	// Wrong path after branch seq 30: pop (exposes 0x1000) then push.
+	s.Pop()
+	s.PushSeq(0xBAD0, 33)
+	s.InvalidateAfter(30)
+	// The wrong-path push is gone; 0x2000 was genuinely popped (its slot
+	// reused), so the next pop must NOT claim 0x2000 confidently.
+	got, ok := s.Pop()
+	if ok && got == 0xBAD0 {
+		t.Error("repair left the wrong-path address marked valid")
+	}
+	// Whatever is reported, the stack must keep functioning.
+	s.PushSeq(0x3000, 40)
+	if got, ok := s.Pop(); !ok || got != 0x3000 {
+		t.Errorf("stack broken after corruption episode: %#x,%v", got, ok)
+	}
+}
+
+func TestTaggedStackCheckpointsAreEmpty(t *testing.T) {
+	s := NewTaggedStack(4)
+	var c Checkpoint
+	s.SaveInto(&c)
+	if c.Valid() {
+		t.Error("valid-bits stack must not produce checkpoints")
+	}
+	s.PushSeq(1, 1)
+	s.Restore(&c) // must be a no-op
+	if got, ok := s.Pop(); !ok || got != 1 {
+		t.Error("Restore must not disturb the stack")
+	}
+}
+
+func TestTaggedStackCloneIndependence(t *testing.T) {
+	s := NewTaggedStack(4)
+	s.PushSeq(1, 1)
+	c := s.CloneStack()
+	c.Push(2)
+	if got, _ := s.Pop(); got != 1 {
+		t.Error("clone leaked into parent")
+	}
+	if got, ok := c.Pop(); !ok || got != 2 {
+		t.Error("clone top wrong")
+	}
+}
+
+func TestTaggedStackOverflowWrap(t *testing.T) {
+	s := NewTaggedStack(2)
+	s.PushSeq(1, 1)
+	s.PushSeq(2, 2)
+	s.PushSeq(3, 3) // overflow: oldest lost
+	if s.Stats().Overflows != 1 {
+		t.Error("overflow not counted")
+	}
+	if got, _ := s.Pop(); got != 3 {
+		t.Error("newest must survive")
+	}
+	if got, _ := s.Pop(); got != 2 {
+		t.Error("second newest must survive")
+	}
+	if _, ok := s.Pop(); ok {
+		t.Error("overflowed-away entry must not read back valid")
+	}
+}
+
+func TestTaggedStackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("size 0 should panic")
+		}
+	}()
+	NewTaggedStack(0)
+}

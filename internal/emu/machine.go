@@ -1,0 +1,166 @@
+package emu
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+
+	"retstack/internal/isa"
+	"retstack/internal/program"
+	"retstack/internal/stats"
+)
+
+// Machine is the architectural machine: register file, memory, PC, and the
+// minimal OS (output buffer, exit status). It implements State, so Exec can
+// run against it directly, and it is the retirement oracle for the
+// cycle-level pipeline.
+type Machine struct {
+	Regs [isa.NumRegs]uint32
+	PC   uint32
+	Mem  *Memory
+
+	Halted   bool
+	ExitCode int32
+	output   bytes.Buffer
+
+	InstCount uint64
+	// ClassCounts tallies retired instructions by class (for Table 2).
+	ClassCounts [16]uint64
+
+	// Call-depth tracking for workload characterization.
+	depth     int
+	MaxDepth  int
+	SumDepth  uint64 // sum of depth over retired calls, for mean depth
+	Calls     uint64
+	Returns   uint64
+	DepthHist *stats.Histogram // depth observed at each call
+}
+
+// NewMachine returns a machine with zeroed state and empty memory.
+func NewMachine() *Machine {
+	return &Machine{Mem: NewMemory(), DepthHist: stats.NewHistogram()}
+}
+
+// Load copies an image into memory and initializes PC, $sp and $gp.
+func (m *Machine) Load(im *program.Image) {
+	for _, seg := range im.Segments {
+		m.Mem.WriteBytes(seg.Addr, seg.Data)
+	}
+	m.PC = im.Entry
+	m.Regs[isa.SP] = program.DefaultStackTop
+	m.Regs[isa.GP] = program.DefaultGPBase
+}
+
+// ReadReg implements State.
+func (m *Machine) ReadReg(r int) uint32 {
+	if r == isa.Zero {
+		return 0
+	}
+	return m.Regs[r]
+}
+
+// WriteReg implements State.
+func (m *Machine) WriteReg(r int, v uint32) {
+	if r != isa.Zero {
+		m.Regs[r] = v
+	}
+}
+
+// ReadMem8 implements State.
+func (m *Machine) ReadMem8(addr uint32) byte { return m.Mem.Read8(addr) }
+
+// WriteMem8 implements State.
+func (m *Machine) WriteMem8(addr uint32, v byte) { m.Mem.Write8(addr, v) }
+
+// ReadMem16 implements State.
+func (m *Machine) ReadMem16(addr uint32) uint16 { return m.Mem.Read16(addr) }
+
+// WriteMem16 implements State.
+func (m *Machine) WriteMem16(addr uint32, v uint16) { m.Mem.Write16(addr, v) }
+
+// ReadMem32 implements State.
+func (m *Machine) ReadMem32(addr uint32) uint32 { return m.Mem.Read32(addr) }
+
+// WriteMem32 implements State.
+func (m *Machine) WriteMem32(addr uint32, v uint32) { m.Mem.Write32(addr, v) }
+
+// FetchWord returns the instruction word at addr.
+func (m *Machine) FetchWord(addr uint32) uint32 { return m.Mem.Read32(addr) }
+
+// ApplySyscall performs the architectural side effects of a syscall
+// outcome. It is exported so the pipeline can apply syscalls at the point
+// its model treats as architectural.
+func (m *Machine) ApplySyscall(out Outcome) {
+	switch out.Syscall {
+	case SysExit:
+		m.Halted = true
+		m.ExitCode = int32(out.SyscallArg)
+	case SysPutInt:
+		m.output.WriteString(strconv.FormatInt(int64(int32(out.SyscallArg)), 10))
+		m.output.WriteByte('\n')
+	case SysPutChar:
+		m.output.WriteByte(byte(out.SyscallArg))
+	}
+}
+
+// NoteRetired updates instruction-mix and call-depth statistics for one
+// retired instruction.
+func (m *Machine) NoteRetired(in isa.Inst) {
+	m.InstCount++
+	c := in.Class()
+	m.ClassCounts[c]++
+	switch {
+	case c.IsCall():
+		m.Calls++
+		m.depth++
+		if m.depth > m.MaxDepth {
+			m.MaxDepth = m.depth
+		}
+		m.SumDepth += uint64(m.depth)
+		m.DepthHist.Add(m.depth)
+	case c == isa.ClassReturn:
+		m.Returns++
+		if m.depth > 0 {
+			m.depth--
+		}
+	}
+}
+
+// Step executes exactly one instruction, applying all architectural side
+// effects, and returns the decoded instruction and its outcome.
+func (m *Machine) Step() (isa.Inst, Outcome, error) {
+	if m.Halted {
+		return isa.Inst{}, Outcome{}, fmt.Errorf("emu: step after halt")
+	}
+	in := isa.Decode(m.FetchWord(m.PC))
+	out, err := Exec(m, m.PC, in)
+	if err != nil {
+		return in, out, fmt.Errorf("emu: at pc=%#x (%s): %w", m.PC, in.Disasm(m.PC), err)
+	}
+	if out.Syscall != SysNone {
+		m.ApplySyscall(out)
+	}
+	m.NoteRetired(in)
+	m.PC = out.NextPC
+	return in, out, nil
+}
+
+// Run executes until halt or until maxInsts instructions have retired
+// (maxInsts <= 0 means unbounded). It returns the number of instructions
+// executed by this call.
+func (m *Machine) Run(maxInsts uint64) (uint64, error) {
+	var n uint64
+	for !m.Halted {
+		if maxInsts > 0 && n >= maxInsts {
+			break
+		}
+		if _, _, err := m.Step(); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Output returns everything the program printed.
+func (m *Machine) Output() string { return m.output.String() }

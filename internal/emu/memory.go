@@ -1,0 +1,103 @@
+// Package emu provides the functional emulator: a sparse byte-addressed
+// memory, precise instruction semantics (Exec), an architectural machine
+// for whole-program runs, and copy-on-write overlay state used by the
+// cycle-level pipeline to execute wrong-path instructions without
+// disturbing architectural state.
+package emu
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Memory is a sparse, zero-filled, little-endian byte-addressed memory.
+// Reads of unmapped addresses return zero; writes allocate pages on demand.
+// The zero value is ready to use.
+type Memory struct {
+	pages map[uint32]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory { return &Memory{pages: make(map[uint32]*[pageSize]byte)} }
+
+func (m *Memory) page(addr uint32, alloc bool) *[pageSize]byte {
+	if m.pages == nil {
+		if !alloc {
+			return nil
+		}
+		m.pages = make(map[uint32]*[pageSize]byte)
+	}
+	key := addr >> pageShift
+	p := m.pages[key]
+	if p == nil && alloc {
+		p = new([pageSize]byte)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// Read8 returns the byte at addr.
+func (m *Memory) Read8(addr uint32) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// Write8 stores one byte at addr.
+func (m *Memory) Write8(addr uint32, v byte) {
+	m.page(addr, true)[addr&pageMask] = v
+}
+
+// Read32 returns the little-endian word at addr (no alignment requirement
+// at this layer; callers enforce ISA alignment).
+func (m *Memory) Read32(addr uint32) uint32 {
+	// Fast path: whole word within one page.
+	if addr&pageMask <= pageSize-4 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		o := addr & pageMask
+		return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24
+	}
+	return uint32(m.Read8(addr)) | uint32(m.Read8(addr+1))<<8 |
+		uint32(m.Read8(addr+2))<<16 | uint32(m.Read8(addr+3))<<24
+}
+
+// Write32 stores a little-endian word at addr.
+func (m *Memory) Write32(addr uint32, v uint32) {
+	if addr&pageMask <= pageSize-4 {
+		p := m.page(addr, true)
+		o := addr & pageMask
+		p[o], p[o+1], p[o+2], p[o+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		return
+	}
+	m.Write8(addr, byte(v))
+	m.Write8(addr+1, byte(v>>8))
+	m.Write8(addr+2, byte(v>>16))
+	m.Write8(addr+3, byte(v>>24))
+}
+
+// Read16 returns the little-endian halfword at addr.
+func (m *Memory) Read16(addr uint32) uint16 {
+	return uint16(m.Read8(addr)) | uint16(m.Read8(addr+1))<<8
+}
+
+// Write16 stores a little-endian halfword at addr.
+func (m *Memory) Write16(addr uint32, v uint16) {
+	m.Write8(addr, byte(v))
+	m.Write8(addr+1, byte(v>>8))
+}
+
+// WriteBytes copies data into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint32, data []byte) {
+	for i, b := range data {
+		m.Write8(addr+uint32(i), b)
+	}
+}
+
+// PageCount returns the number of allocated pages (for tests and stats).
+func (m *Memory) PageCount() int { return len(m.pages) }

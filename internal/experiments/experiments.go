@@ -1,0 +1,176 @@
+// Package experiments reproduces the paper's tables and figures. Each
+// experiment has an ID (t1-t4 for tables, f1-f5 for figures, a1-a8 for the
+// ablations/extensions DESIGN.md motivates), runs the relevant
+// configuration sweep over the SPECint95 workload clones, and renders rows
+// shaped like the paper's artifact. Structured values are also exposed for
+// the benchmark harness and EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"retstack/internal/config"
+	"retstack/internal/pipeline"
+	"retstack/internal/stats"
+	"retstack/internal/workloads"
+)
+
+// Params controls an experiment run.
+type Params struct {
+	// InstBudget is the number of instructions committed per simulation.
+	InstBudget uint64
+	// Warmup fast-forwards this many instructions before cycle simulation
+	// (the paper's fast mode: caches and predictors warm, no timing).
+	Warmup uint64
+	// Workloads optionally restricts the benchmark set (default: the
+	// eight SPECint95 clones).
+	Workloads []string
+}
+
+// DefaultParams sizes runs for interactive use.
+func DefaultParams() Params {
+	return Params{InstBudget: 250_000}
+}
+
+func (p Params) workloads() ([]workloads.Workload, error) {
+	names := p.Workloads
+	if len(names) == 0 {
+		names = workloads.SPECNames()
+	}
+	ws := make([]workloads.Workload, 0, len(names))
+	for _, n := range names {
+		w, ok := workloads.ByName(n)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown workload %q", n)
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
+// Result is one reproduced artifact.
+type Result struct {
+	ID    string
+	Title string
+	// Tables renders the artifact (first table is the primary one).
+	Tables []*stats.Table
+	// Notes explain reading the rows and any modeling caveats.
+	Notes []string
+	// Values holds structured numbers keyed "metric/bench/config" for
+	// programmatic assertions.
+	Values map[string]float64
+}
+
+// Get returns a structured value.
+func (r *Result) Get(metric, bench, cfg string) (float64, bool) {
+	v, ok := r.Values[metric+"/"+bench+"/"+cfg]
+	return v, ok
+}
+
+func (r *Result) put(metric, bench, cfg string, v float64) {
+	if r.Values == nil {
+		r.Values = map[string]float64{}
+	}
+	r.Values[metric+"/"+bench+"/"+cfg] = v
+}
+
+// String renders the whole result.
+func (r *Result) String() string {
+	out := fmt.Sprintf("== %s: %s ==\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		out += t.String() + "\n"
+	}
+	for _, n := range r.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+type runner func(Params) (*Result, error)
+
+var runners = map[string]struct {
+	title string
+	fn    runner
+}{
+	"t1": {"Table 1 — baseline machine configuration", runT1},
+	"t2": {"Table 2 — benchmark summary", runT2},
+	"t3": {"Table 3 — return hit rate by repair mechanism", runT3},
+	"t4": {"Table 4 — predicting returns from the BTB alone", runT4},
+	"f1": {"Figure — return hit rate vs. stack depth", runF1},
+	"f2": {"Figure — overflow/underflow vs. stack depth", runF2},
+	"f3": {"Figure — speedup from stack repair (single path)", runF3},
+	"f4": {"Figure — multipath stack organizations", runF4},
+	"a1": {"Ablation — bounded shadow checkpoint slots", runA1},
+	"a2": {"Extension — Jourdan-style self-checkpointing stack", runA2},
+	"a3": {"Ablation — commit-time vs. speculative predictor-history update", runA3},
+	"a4": {"Extension — target-cache indirect prediction vs. BTB vs. RAS", runA4},
+	"a5": {"Ablation — generalized top-K checkpointing", runA5},
+	"a6": {"Extension — Pentium-style valid-bits repair", runA6},
+	"a7": {"Extension — SMT: shared vs. per-thread stacks (Hily & Seznec)", runA7},
+	"a8": {"Ablation — repair benefit vs. direction-predictor quality", runA8},
+	"f5": {"Figure — wrong-path stack activity (corruption characterization)", runF5},
+}
+
+// IDs lists experiment ids in presentation order.
+func IDs() []string {
+	ids := make([]string, 0, len(runners))
+	for id := range runners {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Title returns the experiment's display title.
+func Title(id string) (string, bool) {
+	r, ok := runners[id]
+	return r.title, ok
+}
+
+// Run executes one experiment.
+func Run(id string, p Params) (*Result, error) {
+	r, ok := runners[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	if p.InstBudget == 0 {
+		p.InstBudget = DefaultParams().InstBudget
+	}
+	res, err := r.fn(p)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	res.ID = id
+	res.Title = r.title
+	return res, nil
+}
+
+// simulate builds the workload sized to the params' budget and runs one
+// simulation, honoring the warmup fast-forward.
+func simulate(w workloads.Workload, cfg config.Config, p Params) (*pipeline.Sim, error) {
+	return simulateWarm(w, cfg, p.InstBudget, p.Warmup)
+}
+
+// simulateWarm fast-forwards warmup instructions before cycle simulation.
+func simulateWarm(w workloads.Workload, cfg config.Config, budget, warmup uint64) (*pipeline.Sim, error) {
+	im, err := w.Build(w.ScaleFor((budget + warmup) * 2)) // headroom: the budget cuts the run
+	if err != nil {
+		return nil, err
+	}
+	sim, err := pipeline.New(cfg, im)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	if warmup > 0 {
+		if _, err := sim.FastForward(warmup); err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+	}
+	if err := sim.Run(budget); err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	return sim, nil
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }

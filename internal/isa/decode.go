@@ -1,0 +1,99 @@
+package isa
+
+var functToOp = map[uint32]Op{
+	fnSLL: OpSLL, fnSRL: OpSRL, fnSRA: OpSRA,
+	fnSLLV: OpSLLV, fnSRLV: OpSRLV, fnSRAV: OpSRAV,
+	fnJR: OpJR, fnJALR: OpJALR, fnSYSCALL: OpSYSCALL,
+	fnMUL: OpMUL, fnDIV: OpDIV, fnREM: OpREM,
+	fnADD: OpADD, fnSUB: OpSUB, fnAND: OpAND, fnOR: OpOR,
+	fnXOR: OpXOR, fnNOR: OpNOR, fnSLT: OpSLT, fnSLTU: OpSLTU,
+}
+
+var majorToOpI = map[uint32]Op{
+	majBEQ: OpBEQ, majBNE: OpBNE, majBLEZ: OpBLEZ, majBGTZ: OpBGTZ,
+	majADDI: OpADDI, majSLTI: OpSLTI, majSLTIU: OpSLTIU,
+	majANDI: OpANDI, majORI: OpORI, majXORI: OpXORI, majLUI: OpLUI,
+	majLB: OpLB, majLH: OpLH, majLW: OpLW, majLBU: OpLBU, majLHU: OpLHU,
+	majSB: OpSB, majSH: OpSH, majSW: OpSW,
+}
+
+// zeroExtImm reports whether the operation's 16-bit immediate is
+// zero-extended rather than sign-extended.
+func zeroExtImm(op Op) bool {
+	switch op {
+	case OpANDI, OpORI, OpXORI, OpLUI:
+		return true
+	}
+	return false
+}
+
+// Decode decodes a 32-bit machine word. Unrecognized encodings decode to an
+// Inst with Op == OpInvalid (they still carry Raw); the pipeline treats
+// fetching one as fetching garbage — e.g. wrong-path fetch running off the
+// end of a function into data.
+func Decode(raw uint32) Inst {
+	i := Inst{Raw: raw}
+	rs := uint8(raw >> 21 & 31)
+	rt := uint8(raw >> 16 & 31)
+	major := raw >> 26
+	switch major {
+	case majSpecial:
+		op, ok := functToOp[raw&0x3F]
+		if !ok {
+			i.Op = OpInvalid
+			return i
+		}
+		// Only populate the fields the operation actually uses, so that a
+		// decoded instruction compares equal to its constructor form.
+		i.Op = op
+		switch op {
+		case OpJR:
+			i.Rs = rs
+		case OpJALR:
+			i.Rs, i.Rd = rs, uint8(raw>>11&31)
+		case OpSYSCALL:
+			// no fields
+		case OpSLL, OpSRL, OpSRA:
+			i.Rt, i.Rd, i.Shamt = rt, uint8(raw>>11&31), uint8(raw>>6&31)
+		default:
+			i.Rs, i.Rt, i.Rd = rs, rt, uint8(raw>>11&31)
+		}
+		return i
+	case majRegimm:
+		switch rt {
+		case rtBLTZ:
+			i.Op = OpBLTZ
+		case rtBGEZ:
+			i.Op = OpBGEZ
+		default:
+			i.Op = OpInvalid
+			return i
+		}
+		i.Rs = rs
+		i.Imm = int32(int16(raw))
+		return i
+	case majJ, majJAL:
+		i.Op = OpJ
+		if major == majJAL {
+			i.Op = OpJAL
+		}
+		i.Target = raw & (1<<26 - 1)
+		return i
+	}
+	op, ok := majorToOpI[major]
+	if !ok {
+		i.Op = OpInvalid
+		return i
+	}
+	i.Op = op
+	i.Rs, i.Rt = rs, rt
+	if op == OpLUI {
+		i.Rs = 0 // LUI has no source register; the rs field is don't-care
+	}
+	if zeroExtImm(op) {
+		i.Imm = int32(raw & 0xFFFF)
+	} else {
+		i.Imm = int32(int16(raw))
+	}
+	return i
+}

@@ -1,0 +1,46 @@
+package isa
+
+import "fmt"
+
+// Disasm renders the instruction in assembler syntax as it would appear at
+// address pc (branch and jump targets are shown as absolute addresses).
+func (i Inst) Disasm(pc uint32) string {
+	r := func(n uint8) string { return "$" + RegName(int(n)) }
+	switch i.Op {
+	case OpInvalid:
+		return fmt.Sprintf(".word 0x%08x", i.Raw)
+	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpNOR, OpSLT, OpSLTU,
+		OpSLLV, OpSRLV, OpSRAV, OpMUL, OpDIV, OpREM:
+		if i.IsNop() {
+			return "nop"
+		}
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, r(i.Rd), r(i.Rs), r(i.Rt))
+	case OpSLL, OpSRL, OpSRA:
+		if i.IsNop() {
+			return "nop"
+		}
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, r(i.Rd), r(i.Rt), i.Shamt)
+	case OpADDI, OpANDI, OpORI, OpXORI, OpSLTI, OpSLTIU:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, r(i.Rt), r(i.Rs), i.Imm)
+	case OpLUI:
+		return fmt.Sprintf("lui %s, 0x%x", r(i.Rt), uint32(i.Imm)&0xFFFF)
+	case OpLW, OpLH, OpLHU, OpLB, OpLBU, OpSW, OpSH, OpSB:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, r(i.Rt), i.Imm, r(i.Rs))
+	case OpBEQ, OpBNE:
+		return fmt.Sprintf("%s %s, %s, 0x%x", i.Op, r(i.Rs), r(i.Rt), i.DirectTarget(pc))
+	case OpBLEZ, OpBGTZ, OpBLTZ, OpBGEZ:
+		return fmt.Sprintf("%s %s, 0x%x", i.Op, r(i.Rs), i.DirectTarget(pc))
+	case OpJ, OpJAL:
+		return fmt.Sprintf("%s 0x%x", i.Op, i.DirectTarget(pc))
+	case OpJR:
+		return fmt.Sprintf("jr %s", r(i.Rs))
+	case OpJALR:
+		return fmt.Sprintf("jalr %s, %s", r(i.Rd), r(i.Rs))
+	case OpSYSCALL:
+		return "syscall"
+	}
+	return fmt.Sprintf("%s <unformatted>", i.Op)
+}
+
+// String renders the instruction as if it were at address 0.
+func (i Inst) String() string { return i.Disasm(0) }

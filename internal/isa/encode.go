@@ -1,0 +1,207 @@
+package isa
+
+import "fmt"
+
+// Binary encoding: classic three-format 32-bit layout.
+//
+//	R-type: opcode(6)=0 | rs(5) | rt(5) | rd(5) | shamt(5) | funct(6)
+//	I-type: opcode(6)   | rs(5) | rt(5) | imm(16)
+//	J-type: opcode(6)   | target(26)
+//
+// Major opcodes and functs follow MIPS numbering where an equivalent
+// instruction exists, so the encodings are familiar under a hex dump.
+const (
+	majSpecial = 0x00 // R-type, funct-selected
+	majRegimm  = 0x01 // BLTZ/BGEZ, selected by rt
+	majJ       = 0x02
+	majJAL     = 0x03
+	majBEQ     = 0x04
+	majBNE     = 0x05
+	majBLEZ    = 0x06
+	majBGTZ    = 0x07
+	majADDI    = 0x08
+	majSLTI    = 0x0A
+	majSLTIU   = 0x0B
+	majANDI    = 0x0C
+	majORI     = 0x0D
+	majXORI    = 0x0E
+	majLUI     = 0x0F
+	majLB      = 0x20
+	majLH      = 0x21
+	majLW      = 0x23
+	majLBU     = 0x24
+	majLHU     = 0x25
+	majSB      = 0x28
+	majSH      = 0x29
+	majSW      = 0x2B
+)
+
+const (
+	fnSLL     = 0x00
+	fnSRL     = 0x02
+	fnSRA     = 0x03
+	fnSLLV    = 0x04
+	fnSRLV    = 0x06
+	fnSRAV    = 0x07
+	fnJR      = 0x08
+	fnJALR    = 0x09
+	fnSYSCALL = 0x0C
+	fnMUL     = 0x18
+	fnDIV     = 0x1A
+	fnREM     = 0x1B
+	fnADD     = 0x20
+	fnSUB     = 0x22
+	fnAND     = 0x24
+	fnOR      = 0x25
+	fnXOR     = 0x26
+	fnNOR     = 0x27
+	fnSLT     = 0x2A
+	fnSLTU    = 0x2B
+)
+
+const (
+	rtBLTZ = 0x00
+	rtBGEZ = 0x01
+)
+
+var opToFunct = map[Op]uint32{
+	OpSLL: fnSLL, OpSRL: fnSRL, OpSRA: fnSRA,
+	OpSLLV: fnSLLV, OpSRLV: fnSRLV, OpSRAV: fnSRAV,
+	OpJR: fnJR, OpJALR: fnJALR, OpSYSCALL: fnSYSCALL,
+	OpMUL: fnMUL, OpDIV: fnDIV, OpREM: fnREM,
+	OpADD: fnADD, OpSUB: fnSUB, OpAND: fnAND, OpOR: fnOR,
+	OpXOR: fnXOR, OpNOR: fnNOR, OpSLT: fnSLT, OpSLTU: fnSLTU,
+}
+
+var opToMajorI = map[Op]uint32{
+	OpBEQ: majBEQ, OpBNE: majBNE, OpBLEZ: majBLEZ, OpBGTZ: majBGTZ,
+	OpADDI: majADDI, OpSLTI: majSLTI, OpSLTIU: majSLTIU,
+	OpANDI: majANDI, OpORI: majORI, OpXORI: majXORI, OpLUI: majLUI,
+	OpLB: majLB, OpLH: majLH, OpLW: majLW, OpLBU: majLBU, OpLHU: majLHU,
+	OpSB: majSB, OpSH: majSH, OpSW: majSW,
+}
+
+func rTypeWord(funct, rs, rt, rd, shamt uint32) uint32 {
+	return majSpecial<<26 | rs<<21 | rt<<16 | rd<<11 | shamt<<6 | funct
+}
+
+// Encode produces the 32-bit machine word for i. It validates field ranges
+// and returns an error naming the offending field.
+func (i Inst) Encode() (uint32, error) {
+	if i.Rs >= NumRegs || i.Rt >= NumRegs || i.Rd >= NumRegs {
+		return 0, fmt.Errorf("isa: encode %s: register out of range", i.Op)
+	}
+	if i.Shamt >= 32 {
+		return 0, fmt.Errorf("isa: encode %s: shamt %d out of range", i.Op, i.Shamt)
+	}
+	rs, rt, rd, sh := uint32(i.Rs), uint32(i.Rt), uint32(i.Rd), uint32(i.Shamt)
+
+	if fn, ok := opToFunct[i.Op]; ok {
+		return rTypeWord(fn, rs, rt, rd, sh), nil
+	}
+	if maj, ok := opToMajorI[i.Op]; ok {
+		imm := i.Imm
+		switch i.Op {
+		case OpANDI, OpORI, OpXORI, OpLUI:
+			if imm < 0 || imm > 0xFFFF {
+				return 0, fmt.Errorf("isa: encode %s: immediate %d not a uint16", i.Op, imm)
+			}
+		default:
+			if imm < -0x8000 || imm > 0x7FFF {
+				return 0, fmt.Errorf("isa: encode %s: immediate %d not an int16", i.Op, imm)
+			}
+		}
+		return maj<<26 | rs<<21 | rt<<16 | uint32(uint16(imm)), nil
+	}
+	switch i.Op {
+	case OpBLTZ, OpBGEZ:
+		if i.Imm < -0x8000 || i.Imm > 0x7FFF {
+			return 0, fmt.Errorf("isa: encode %s: offset %d not an int16", i.Op, i.Imm)
+		}
+		sel := uint32(rtBLTZ)
+		if i.Op == OpBGEZ {
+			sel = rtBGEZ
+		}
+		return majRegimm<<26 | rs<<21 | sel<<16 | uint32(uint16(i.Imm)), nil
+	case OpJ, OpJAL:
+		if i.Target >= 1<<26 {
+			return 0, fmt.Errorf("isa: encode %s: target %#x exceeds 26 bits", i.Op, i.Target)
+		}
+		maj := uint32(majJ)
+		if i.Op == OpJAL {
+			maj = majJAL
+		}
+		return maj<<26 | i.Target, nil
+	}
+	return 0, fmt.Errorf("isa: encode: unencodable op %s", i.Op)
+}
+
+// MustEncode is Encode for known-valid instructions, panicking on error.
+// It is intended for code generators whose operands are constructed, not
+// parsed from user input.
+func (i Inst) MustEncode() uint32 {
+	w, err := i.Encode()
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Constructors used by code generators and tests. Each returns a fully
+// populated Inst (including Raw).
+
+func finish(i Inst) Inst {
+	i.Raw = i.MustEncode()
+	return i
+}
+
+// R builds an R-type ALU instruction rd = rs op rt.
+func R(op Op, rd, rs, rt int) Inst {
+	return finish(Inst{Op: op, Rd: uint8(rd), Rs: uint8(rs), Rt: uint8(rt)})
+}
+
+// Shift builds an immediate-shift instruction rd = rt op shamt.
+func Shift(op Op, rd, rt, shamt int) Inst {
+	return finish(Inst{Op: op, Rd: uint8(rd), Rt: uint8(rt), Shamt: uint8(shamt)})
+}
+
+// I builds an I-type ALU instruction rt = rs op imm.
+func I(op Op, rt, rs int, imm int32) Inst {
+	return finish(Inst{Op: op, Rt: uint8(rt), Rs: uint8(rs), Imm: imm})
+}
+
+// Lui builds rt = imm16 << 16.
+func Lui(rt int, imm uint16) Inst {
+	return finish(Inst{Op: OpLUI, Rt: uint8(rt), Imm: int32(imm)})
+}
+
+// Mem builds a load or store with base+offset addressing.
+func Mem(op Op, rt, base int, offset int32) Inst {
+	return finish(Inst{Op: op, Rt: uint8(rt), Rs: uint8(base), Imm: offset})
+}
+
+// Branch builds a conditional branch with a word offset relative to the
+// next instruction (the assembler computes offsets from labels).
+func Branch(op Op, rs, rt int, wordOff int32) Inst {
+	return finish(Inst{Op: op, Rs: uint8(rs), Rt: uint8(rt), Imm: wordOff})
+}
+
+// Jump builds J or JAL to the absolute byte address target (within the
+// 256 MB region of the jump itself).
+func Jump(op Op, target uint32) Inst {
+	return finish(Inst{Op: op, Target: target >> 2 & (1<<26 - 1)})
+}
+
+// Jr builds an indirect jump through rs (a return when rs is RA).
+func Jr(rs int) Inst { return finish(Inst{Op: OpJR, Rs: uint8(rs)}) }
+
+// Jalr builds an indirect call through rs, linking into rd.
+func Jalr(rd, rs int) Inst {
+	return finish(Inst{Op: OpJALR, Rd: uint8(rd), Rs: uint8(rs)})
+}
+
+// Syscall builds the system-call instruction.
+func Syscall() Inst { return finish(Inst{Op: OpSYSCALL}) }
+
+// Nop returns the canonical no-op.
+func Nop() Inst { return Decode(0) }

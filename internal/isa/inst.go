@@ -1,0 +1,127 @@
+package isa
+
+// WordBytes is the size of an instruction and of a machine word, in bytes.
+const WordBytes = 4
+
+// Inst is a decoded instruction. Raw holds the 32-bit encoding; the
+// remaining fields are the decoded view. Imm is already sign- or
+// zero-extended as appropriate for the operation.
+type Inst struct {
+	Raw    uint32
+	Op     Op
+	Rs     uint8
+	Rt     uint8
+	Rd     uint8
+	Shamt  uint8
+	Imm    int32
+	Target uint32 // 26-bit word-index field of J/JAL (not a full address)
+}
+
+// Class returns the resource/prediction class of the instruction. JR of the
+// link register is the procedure return; JR of any other register is a
+// generic indirect jump. JALR is an indirect call.
+func (i Inst) Class() Class {
+	switch i.Op {
+	case OpLW, OpLH, OpLHU, OpLB, OpLBU:
+		return ClassLoad
+	case OpSW, OpSH, OpSB:
+		return ClassStore
+	case OpMUL, OpDIV, OpREM:
+		return ClassMul
+	case OpBEQ, OpBNE, OpBLEZ, OpBGTZ, OpBLTZ, OpBGEZ:
+		return ClassCondBranch
+	case OpJ:
+		return ClassJump
+	case OpJAL:
+		return ClassCall
+	case OpJR:
+		if i.Rs == RA {
+			return ClassReturn
+		}
+		return ClassIndirect
+	case OpJALR:
+		return ClassIndirectCall
+	case OpSYSCALL:
+		return ClassSyscall
+	default:
+		return ClassALU
+	}
+}
+
+// DirectTarget returns the target address of a direct control transfer
+// located at pc: PC-relative for conditional branches, pseudo-absolute for
+// J/JAL (MIPS-style region jump). It must not be called for indirect jumps.
+func (i Inst) DirectTarget(pc uint32) uint32 {
+	switch i.Op {
+	case OpJ, OpJAL:
+		return (pc+WordBytes)&0xF0000000 | i.Target<<2
+	default:
+		return pc + WordBytes + uint32(i.Imm)<<2
+	}
+}
+
+// FallThrough returns the address of the next sequential instruction.
+func (i Inst) FallThrough(pc uint32) uint32 { return pc + WordBytes }
+
+// ReturnAddress returns the link value a call at pc writes: the instruction
+// after the call (no delay slots in this ISA).
+func (i Inst) ReturnAddress(pc uint32) uint32 { return pc + WordBytes }
+
+// DestReg returns the architectural register written by the instruction, or
+// -1 if it writes none. Writes to the zero register are reported as -1.
+func (i Inst) DestReg() int {
+	var d int
+	switch i.Op {
+	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpNOR, OpSLT, OpSLTU,
+		OpSLL, OpSRL, OpSRA, OpSLLV, OpSRLV, OpSRAV, OpMUL, OpDIV, OpREM:
+		d = int(i.Rd)
+	case OpADDI, OpANDI, OpORI, OpXORI, OpSLTI, OpSLTIU, OpLUI,
+		OpLW, OpLH, OpLHU, OpLB, OpLBU:
+		d = int(i.Rt)
+	case OpJAL:
+		d = RA
+	case OpJALR:
+		d = int(i.Rd)
+	default:
+		return -1
+	}
+	if d == Zero {
+		return -1
+	}
+	return d
+}
+
+// SrcRegs returns the architectural registers read by the instruction; -1
+// marks an unused slot. Reads of the zero register are reported (they are
+// real operands, just constant).
+func (i Inst) SrcRegs() (int, int) {
+	switch i.Op {
+	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpNOR, OpSLT, OpSLTU,
+		OpSLLV, OpSRLV, OpSRAV, OpMUL, OpDIV, OpREM:
+		return int(i.Rs), int(i.Rt)
+	case OpSLL, OpSRL, OpSRA:
+		return int(i.Rt), -1
+	case OpADDI, OpANDI, OpORI, OpXORI, OpSLTI, OpSLTIU:
+		return int(i.Rs), -1
+	case OpLUI:
+		return -1, -1
+	case OpLW, OpLH, OpLHU, OpLB, OpLBU:
+		return int(i.Rs), -1
+	case OpSW, OpSH, OpSB:
+		return int(i.Rs), int(i.Rt) // base, stored value
+	case OpBEQ, OpBNE:
+		return int(i.Rs), int(i.Rt)
+	case OpBLEZ, OpBGTZ, OpBLTZ, OpBGEZ:
+		return int(i.Rs), -1
+	case OpJR, OpJALR:
+		return int(i.Rs), -1
+	case OpSYSCALL:
+		return V0, A0 // syscall code and argument, by convention
+	default:
+		return -1, -1
+	}
+}
+
+// IsNop reports whether the instruction is the canonical no-op
+// (sll zero, zero, 0 — the all-zero word).
+func (i Inst) IsNop() bool { return i.Raw == 0 }

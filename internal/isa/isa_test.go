@@ -1,0 +1,281 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNames(t *testing.T) {
+	cases := []struct {
+		num  int
+		name string
+	}{
+		{Zero, "zero"}, {V0, "v0"}, {A0, "a0"}, {T0, "t0"},
+		{S0, "s0"}, {GP, "gp"}, {SP, "sp"}, {FP, "fp"}, {RA, "ra"},
+	}
+	for _, c := range cases {
+		if got := RegName(c.num); got != c.name {
+			t.Errorf("RegName(%d) = %q, want %q", c.num, got, c.name)
+		}
+		if n, ok := RegByName(c.name); !ok || n != c.num {
+			t.Errorf("RegByName(%q) = %d,%v, want %d,true", c.name, n, ok, c.num)
+		}
+	}
+	if got := RegName(99); got != "r?" {
+		t.Errorf("RegName(99) = %q, want r?", got)
+	}
+	if _, ok := RegByName("nosuch"); ok {
+		t.Error("RegByName(nosuch) unexpectedly ok")
+	}
+}
+
+// TestEncodeDecodeRoundTrip checks that every constructor's output decodes
+// back to an identical instruction.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	insts := []Inst{
+		R(OpADD, T0, T1, T2),
+		R(OpSUB, S0, S1, S2),
+		R(OpAND, V0, A0, A1),
+		R(OpOR, T3, T4, T5),
+		R(OpXOR, T6, T7, T8),
+		R(OpNOR, T0, Zero, T1),
+		R(OpSLT, V1, A2, A3),
+		R(OpSLTU, T9, K0, K1),
+		R(OpSLLV, T0, T1, T2),
+		R(OpSRLV, T0, T1, T2),
+		R(OpSRAV, T0, T1, T2),
+		R(OpMUL, T0, T1, T2),
+		R(OpDIV, T0, T1, T2),
+		R(OpREM, T0, T1, T2),
+		Shift(OpSLL, T0, T1, 5),
+		Shift(OpSRL, T0, T1, 31),
+		Shift(OpSRA, T0, T1, 1),
+		I(OpADDI, T0, SP, -64),
+		I(OpADDI, T0, SP, 32767),
+		I(OpSLTI, T0, T1, -1),
+		I(OpSLTIU, T0, T1, 100),
+		I(OpANDI, T0, T1, 0xFFFF),
+		I(OpORI, T0, T1, 0xABCD),
+		I(OpXORI, T0, T1, 0),
+		Lui(T0, 0xDEAD),
+		Mem(OpLW, T0, SP, 16),
+		Mem(OpLH, T0, SP, -2),
+		Mem(OpLHU, T0, SP, 2),
+		Mem(OpLB, T0, GP, 1),
+		Mem(OpLBU, T0, GP, 3),
+		Mem(OpSW, T0, SP, -32768),
+		Mem(OpSH, T0, SP, 6),
+		Mem(OpSB, T0, SP, 7),
+		Branch(OpBEQ, T0, T1, -5),
+		Branch(OpBNE, T0, Zero, 100),
+		Branch(OpBLEZ, T0, 0, 3),
+		Branch(OpBGTZ, T0, 0, -3),
+		Branch(OpBLTZ, T0, 0, 7),
+		Branch(OpBGEZ, T0, 0, -7),
+		Jump(OpJ, 0x1000),
+		Jump(OpJAL, 0x2004),
+		Jr(RA),
+		Jr(T9),
+		Jalr(RA, T9),
+		Syscall(),
+		Nop(),
+	}
+	for _, in := range insts {
+		got := Decode(in.Raw)
+		if got != in {
+			t.Errorf("round trip %s: decoded %+v, encoded %+v", in, got, in)
+		}
+	}
+}
+
+// TestDecodeEncodeQuick: any word that decodes to a valid instruction must
+// re-encode to the same word (decode is a partial inverse of encode).
+func TestDecodeEncodeQuick(t *testing.T) {
+	f := func(raw uint32) bool {
+		in := Decode(raw)
+		if in.Op == OpInvalid {
+			return true
+		}
+		// Valid decodes may still carry junk in don't-care fields (e.g.
+		// shamt bits of an R-type ADD). Re-encoding canonicalizes those, so
+		// compare decoded views instead of raw words.
+		w, err := in.Encode()
+		if err != nil {
+			t.Logf("raw %#x decoded to %s but did not re-encode: %v", raw, in, err)
+			return false
+		}
+		in2 := Decode(w)
+		in.Raw, in2.Raw = 0, 0
+		// Don't-care fields are not part of the decoded semantics; clear
+		// fields the op does not use before comparing.
+		return canonical(in) == canonical(in2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// canonical zeroes the fields an instruction's format does not use.
+func canonical(i Inst) Inst {
+	i.Raw = 0
+	switch i.Op {
+	case OpJ, OpJAL:
+		i.Rs, i.Rt, i.Rd, i.Shamt, i.Imm = 0, 0, 0, 0, 0
+	case OpSLL, OpSRL, OpSRA:
+		i.Rs, i.Imm, i.Target = 0, 0, 0
+	case OpJR:
+		i.Rt, i.Rd, i.Shamt, i.Imm, i.Target = 0, 0, 0, 0, 0
+	case OpJALR:
+		i.Rt, i.Shamt, i.Imm, i.Target = 0, 0, 0, 0
+	case OpSYSCALL:
+		return Inst{Op: OpSYSCALL}
+	case OpBLTZ, OpBGEZ:
+		i.Rt, i.Rd, i.Shamt, i.Target = 0, 0, 0, 0
+	default:
+		if _, isR := opToFunct[i.Op]; isR {
+			i.Shamt, i.Imm, i.Target = 0, 0, 0
+		} else {
+			i.Rd, i.Shamt, i.Target = 0, 0, 0
+		}
+	}
+	return i
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	cases := []Inst{
+		{Op: OpADDI, Rt: T0, Rs: T1, Imm: 40000},
+		{Op: OpADDI, Rt: T0, Rs: T1, Imm: -40000},
+		{Op: OpANDI, Rt: T0, Rs: T1, Imm: -1},
+		{Op: OpANDI, Rt: T0, Rs: T1, Imm: 0x10000},
+		{Op: OpJ, Target: 1 << 26},
+		{Op: OpADD, Rd: 40},
+		{Op: OpSLL, Rd: T0, Rt: T1, Shamt: 32},
+		{Op: OpInvalid},
+	}
+	for _, c := range cases {
+		if _, err := c.Encode(); err == nil {
+			t.Errorf("Encode(%+v): expected error", c)
+		}
+	}
+}
+
+func TestClassification(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want Class
+	}{
+		{R(OpADD, T0, T1, T2), ClassALU},
+		{R(OpMUL, T0, T1, T2), ClassMul},
+		{Mem(OpLW, T0, SP, 0), ClassLoad},
+		{Mem(OpSW, T0, SP, 0), ClassStore},
+		{Branch(OpBEQ, T0, T1, 4), ClassCondBranch},
+		{Branch(OpBGEZ, T0, 0, 4), ClassCondBranch},
+		{Jump(OpJ, 64), ClassJump},
+		{Jump(OpJAL, 64), ClassCall},
+		{Jr(RA), ClassReturn},
+		{Jr(T9), ClassIndirect},
+		{Jalr(RA, T9), ClassIndirectCall},
+		{Syscall(), ClassSyscall},
+	}
+	for _, c := range cases {
+		if got := c.in.Class(); got != c.want {
+			t.Errorf("%s: Class() = %s, want %s", c.in, got, c.want)
+		}
+	}
+	if !ClassCall.IsCall() || !ClassIndirectCall.IsCall() || ClassReturn.IsCall() {
+		t.Error("IsCall misclassifies")
+	}
+	if !ClassReturn.CanMispredict() || ClassJump.CanMispredict() || ClassCall.CanMispredict() {
+		t.Error("CanMispredict misclassifies")
+	}
+	for _, c := range []Class{ClassCondBranch, ClassJump, ClassCall, ClassReturn, ClassIndirect, ClassIndirectCall} {
+		if !c.IsControl() {
+			t.Errorf("%s should be control", c)
+		}
+	}
+	for _, c := range []Class{ClassALU, ClassMul, ClassLoad, ClassStore, ClassSyscall} {
+		if c.IsControl() {
+			t.Errorf("%s should not be control", c)
+		}
+	}
+}
+
+func TestTargets(t *testing.T) {
+	const pc = 0x0040_0100
+	b := Branch(OpBNE, T0, T1, -4)
+	if got := b.DirectTarget(pc); got != pc+4-16 {
+		t.Errorf("branch target %#x, want %#x", got, pc+4-16)
+	}
+	j := Jump(OpJAL, 0x0040_2000)
+	if got := j.DirectTarget(pc); got != 0x0040_2000 {
+		t.Errorf("jal target %#x, want %#x", got, 0x0040_2000)
+	}
+	if got := j.ReturnAddress(pc); got != pc+4 {
+		t.Errorf("return address %#x, want %#x", got, pc+4)
+	}
+	if got := j.FallThrough(pc); got != pc+4 {
+		t.Errorf("fall through %#x, want %#x", got, pc+4)
+	}
+}
+
+func TestDestAndSrcRegs(t *testing.T) {
+	cases := []struct {
+		in     Inst
+		dest   int
+		s1, s2 int
+	}{
+		{R(OpADD, T0, T1, T2), T0, T1, T2},
+		{R(OpADD, Zero, T1, T2), -1, T1, T2}, // writes to $zero discarded
+		{Shift(OpSLL, T0, T1, 4), T0, T1, -1},
+		{I(OpADDI, T0, T1, 5), T0, T1, -1},
+		{Lui(T0, 1), T0, -1, -1},
+		{Mem(OpLW, T0, SP, 0), T0, SP, -1},
+		{Mem(OpSW, T0, SP, 0), -1, SP, T0},
+		{Branch(OpBEQ, T0, T1, 1), -1, T0, T1},
+		{Branch(OpBLEZ, T0, 0, 1), -1, T0, -1},
+		{Jump(OpJ, 0), -1, -1, -1},
+		{Jump(OpJAL, 0), RA, -1, -1},
+		{Jr(RA), -1, RA, -1},
+		{Jalr(RA, T9), RA, T9, -1},
+		{Syscall(), -1, V0, A0},
+	}
+	for _, c := range cases {
+		if got := c.in.DestReg(); got != c.dest {
+			t.Errorf("%s: DestReg() = %d, want %d", c.in, got, c.dest)
+		}
+		g1, g2 := c.in.SrcRegs()
+		if g1 != c.s1 || g2 != c.s2 {
+			t.Errorf("%s: SrcRegs() = %d,%d, want %d,%d", c.in, g1, g2, c.s1, c.s2)
+		}
+	}
+}
+
+func TestDisasmSmoke(t *testing.T) {
+	// Disassembly must never be empty and nop must print as "nop".
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n < 5000; n++ {
+		raw := rng.Uint32()
+		if s := Decode(raw).Disasm(0x1000); s == "" {
+			t.Fatalf("empty disassembly for %#x", raw)
+		}
+	}
+	if s := Nop().String(); s != "nop" {
+		t.Errorf("nop prints as %q", s)
+	}
+	if s := Decode(0xFFFFFFFF).String(); s == "" {
+		t.Error("invalid word should still disassemble")
+	}
+}
+
+func TestImmediateExtension(t *testing.T) {
+	// addi sign-extends; ori zero-extends.
+	addi := Decode(I(OpADDI, T0, T1, -1).Raw)
+	if addi.Imm != -1 {
+		t.Errorf("addi imm = %d, want -1", addi.Imm)
+	}
+	ori := Decode(I(OpORI, T0, T1, 0xFFFF).Raw)
+	if ori.Imm != 0xFFFF {
+		t.Errorf("ori imm = %d, want 65535", ori.Imm)
+	}
+}

@@ -1,0 +1,148 @@
+package isa
+
+import "fmt"
+
+// Op identifies a decoded operation. The numeric values are internal; the
+// binary encoding is defined in encode.go/decode.go.
+type Op uint8
+
+// Operations. Arithmetic is plain two's-complement; MUL/DIV/REM write a
+// single destination register (no HI/LO pair).
+const (
+	OpInvalid Op = iota
+
+	// R-type ALU.
+	OpADD
+	OpSUB
+	OpAND
+	OpOR
+	OpXOR
+	OpNOR
+	OpSLT
+	OpSLTU
+	OpSLL // shift left logical by immediate shamt
+	OpSRL
+	OpSRA
+	OpSLLV // shift by register
+	OpSRLV
+	OpSRAV
+	OpMUL
+	OpDIV
+	OpREM
+
+	// I-type ALU.
+	OpADDI
+	OpANDI
+	OpORI
+	OpXORI
+	OpSLTI
+	OpSLTIU
+	OpLUI
+
+	// Loads and stores (I-type, base+offset addressing).
+	OpLW
+	OpLH
+	OpLHU
+	OpLB
+	OpLBU
+	OpSW
+	OpSH
+	OpSB
+
+	// Conditional branches (I-type, PC-relative word offsets).
+	OpBEQ
+	OpBNE
+	OpBLEZ
+	OpBGTZ
+	OpBLTZ
+	OpBGEZ
+
+	// Jumps.
+	OpJ    // unconditional direct
+	OpJAL  // direct call: link into RA
+	OpJR   // indirect jump; JR ra is the procedure return
+	OpJALR // indirect call: link into Rd (conventionally RA)
+
+	// System.
+	OpSYSCALL
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpInvalid: "invalid",
+	OpADD:     "add", OpSUB: "sub", OpAND: "and", OpOR: "or", OpXOR: "xor",
+	OpNOR: "nor", OpSLT: "slt", OpSLTU: "sltu",
+	OpSLL: "sll", OpSRL: "srl", OpSRA: "sra",
+	OpSLLV: "sllv", OpSRLV: "srlv", OpSRAV: "srav",
+	OpMUL: "mul", OpDIV: "div", OpREM: "rem",
+	OpADDI: "addi", OpANDI: "andi", OpORI: "ori", OpXORI: "xori",
+	OpSLTI: "slti", OpSLTIU: "sltiu", OpLUI: "lui",
+	OpLW: "lw", OpLH: "lh", OpLHU: "lhu", OpLB: "lb", OpLBU: "lbu",
+	OpSW: "sw", OpSH: "sh", OpSB: "sb",
+	OpBEQ: "beq", OpBNE: "bne", OpBLEZ: "blez", OpBGTZ: "bgtz",
+	OpBLTZ: "bltz", OpBGEZ: "bgez",
+	OpJ: "j", OpJAL: "jal", OpJR: "jr", OpJALR: "jalr",
+	OpSYSCALL: "syscall",
+}
+
+// String returns the assembler mnemonic for the operation.
+func (op Op) String() string {
+	if op >= numOps {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opNames[op]
+}
+
+// Class partitions operations by the pipeline resources they use and, for
+// control transfers, by how they are predicted.
+type Class uint8
+
+const (
+	ClassALU Class = iota
+	ClassMul       // long-latency integer multiply/divide
+	ClassLoad
+	ClassStore
+	ClassCondBranch // conditional, direct target
+	ClassJump       // unconditional, direct target (J)
+	ClassCall       // direct call (JAL): pushes the return-address stack
+	ClassReturn     // JR ra: popped from the return-address stack
+	ClassIndirect   // JR non-ra: BTB-predicted indirect jump
+	ClassIndirectCall
+	ClassSyscall
+)
+
+var classNames = []string{
+	"alu", "mul", "load", "store", "condbr", "jump", "call", "return",
+	"indirect", "indcall", "syscall",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// IsControl reports whether the class is any control transfer.
+func (c Class) IsControl() bool {
+	switch c {
+	case ClassCondBranch, ClassJump, ClassCall, ClassReturn, ClassIndirect, ClassIndirectCall:
+		return true
+	}
+	return false
+}
+
+// IsCall reports whether the class pushes the return-address stack.
+func (c Class) IsCall() bool { return c == ClassCall || c == ClassIndirectCall }
+
+// CanMispredict reports whether a fetch-time prediction for this class can
+// be wrong: conditional branches (direction), returns and indirect jumps
+// (target). Direct jumps and calls have exact targets at fetch.
+func (c Class) CanMispredict() bool {
+	switch c {
+	case ClassCondBranch, ClassReturn, ClassIndirect, ClassIndirectCall:
+		return true
+	}
+	return false
+}

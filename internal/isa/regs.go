@@ -1,0 +1,81 @@
+// Package isa defines the 32-bit RISC instruction set simulated by this
+// repository: register conventions, instruction encodings, decoding, and
+// control-flow classification.
+//
+// The ISA is deliberately MIPS-flavored — the paper's HydraScalar simulator
+// interprets a virtual instruction set "that most closely resembles MIPS IV"
+// — but is self-contained: fixed 32-bit instructions in R/I/J formats, 32
+// general-purpose registers with r0 hardwired to zero and r31 as the link
+// register, and no delay slots.
+package isa
+
+// NumRegs is the number of architectural general-purpose registers.
+const NumRegs = 32
+
+// Register numbers with their conventional roles. The only numbers with
+// architectural meaning are Zero (reads as 0, writes ignored) and RA (the
+// link register written by JAL/JALR and read by returns); the rest are
+// software conventions honored by the assembler and the workload generators.
+const (
+	Zero = 0 // hardwired zero
+	AT   = 1 // assembler temporary
+	V0   = 2 // result / syscall code
+	V1   = 3 // result
+	A0   = 4 // argument 0
+	A1   = 5 // argument 1
+	A2   = 6 // argument 2
+	A3   = 7 // argument 3
+	T0   = 8 // caller-saved temporaries
+	T1   = 9
+	T2   = 10
+	T3   = 11
+	T4   = 12
+	T5   = 13
+	T6   = 14
+	T7   = 15
+	S0   = 16 // callee-saved
+	S1   = 17
+	S2   = 18
+	S3   = 19
+	S4   = 20
+	S5   = 21
+	S6   = 22
+	S7   = 23
+	T8   = 24
+	T9   = 25
+	K0   = 26
+	K1   = 27
+	GP   = 28 // global pointer
+	SP   = 29 // stack pointer
+	FP   = 30 // frame pointer
+	RA   = 31 // return address (link register)
+)
+
+// regNames maps register numbers to their conventional assembler names.
+var regNames = [NumRegs]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// RegName returns the conventional name for register r, e.g. "sp" for 29.
+// Out-of-range values format as "r?".
+func RegName(r int) string {
+	if r < 0 || r >= NumRegs {
+		return "r?"
+	}
+	return regNames[r]
+}
+
+// RegByName returns the register number for a conventional name ("sp"),
+// reporting ok=false if the name is unknown. Numeric names ("29") are not
+// handled here; the assembler resolves those itself.
+func RegByName(name string) (reg int, ok bool) {
+	for i, n := range regNames {
+		if n == name {
+			return i, true
+		}
+	}
+	return 0, false
+}

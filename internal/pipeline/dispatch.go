@@ -1,0 +1,243 @@
+package pipeline
+
+import (
+	"retstack/internal/emu"
+	"retstack/internal/isa"
+)
+
+// dispatchStage moves up to DecodeWidth instructions from the fetch queue
+// into the RUU, executing each functionally — against architectural state
+// on the correct path, against the owning path's overlay otherwise. This is
+// where mispredictions are discovered (the outcome is compared with the
+// fetch-time prediction) and where fork winners are settled.
+func (s *Sim) dispatchStage() {
+	for n := 0; n < s.cfg.DecodeWidth; n++ {
+		if s.fetchQLen == 0 {
+			return
+		}
+		slot := &s.fetchQ[s.fetchQHead]
+		if slot.readyAt > s.cycle {
+			return // models front-end depth
+		}
+		p := s.pathByTok[slot.pathTok]
+		if p == nil {
+			// The owning path was killed after this slot was enqueued but
+			// before a flush could see it; drop it as wrong-path work.
+			s.dropFetchSlot(slot)
+			s.popFetchSlot()
+			continue
+		}
+		if s.threadOf(p).drainExit {
+			// Instructions fetched past this thread's exit syscall are
+			// junk; drop them so other threads keep dispatching.
+			s.dropFetchSlot(slot)
+			s.popFetchSlot()
+			continue
+		}
+		if s.ruuCount == len(s.ruu) {
+			return
+		}
+		isMem := slot.class == isa.ClassLoad || slot.class == isa.ClassStore
+		if isMem && s.lsqCount == s.cfg.LSQSize {
+			return
+		}
+
+		e := &s.ruu[s.ruuTail]
+		// Swap checkpoint buffers so slot and entry never alias storage.
+		oldCP := e.checkpoint
+		*e = ruuEntry{
+			valid:         true,
+			seq:           slot.seq,
+			pathTok:       slot.pathTok,
+			pc:            slot.pc,
+			inst:          slot.inst,
+			class:         slot.class,
+			destReg:       slot.inst.DestReg(),
+			predNPC:       slot.predNPC,
+			predTaken:     slot.predTaken,
+			fromRAS:       slot.fromRAS,
+			rasPushed:     slot.rasPushed,
+			rasPopped:     slot.rasPopped,
+			hasCheckpoint: slot.hasCheckpoint,
+			checkpoint:    slot.checkpoint,
+			histSnap:      slot.histSnap,
+			forked:        slot.forked,
+			childToken:    slot.childToken,
+			isCtrl:        slot.class.IsControl(),
+			depIdx:        [2]int{invalidIdx, invalidIdx},
+		}
+		slot.checkpoint = oldCP
+		slot.hasCheckpoint = false
+		s.popFetchSlot()
+
+		s.executeAtDispatch(p, e)
+		s.wireDependencies(p, e)
+		s.emit(TraceDispatch, e.seq, e.pathTok, e.pc, e.inst, e.actualNPC)
+
+		if isMem {
+			e.lsqHeld = true
+			s.lsqCount++
+		}
+		s.ruuTail = (s.ruuTail + 1) % len(s.ruu)
+		s.ruuCount++
+		if s.runErr != nil {
+			return
+		}
+	}
+}
+
+func (s *Sim) popFetchSlot() {
+	s.fetchQHead = (s.fetchQHead + 1) % len(s.fetchQ)
+	s.fetchQLen--
+}
+
+// dropFetchSlot accounts a never-dispatched slot as wrong-path work.
+func (s *Sim) dropFetchSlot(slot *fetchSlot) {
+	if slot.rasPushed {
+		s.stats.WrongPathPushes++
+	}
+	if slot.rasPopped {
+		s.stats.WrongPathPops++
+	}
+	if slot.hasCheckpoint {
+		s.shadowUsed--
+		slot.hasCheckpoint = false
+	}
+}
+
+// executeAtDispatch runs the instruction functionally and fills in the
+// resolution fields.
+func (s *Sim) executeAtDispatch(p *path, e *ruuEntry) {
+	th := s.threadOf(p)
+	if p.correct {
+		if e.pc != th.mach.PC {
+			s.fail("correct-path dispatch at pc=%#x but architectural pc=%#x (seq %d, thread %d)",
+				e.pc, th.mach.PC, e.seq, th.id)
+			return
+		}
+		out, err := emu.Exec(th.mach, e.pc, e.inst)
+		if err != nil {
+			s.fail("architectural fault at pc=%#x (%s): %v", e.pc, e.inst.Disasm(e.pc), err)
+			return
+		}
+		th.mach.PC = out.NextPC
+		s.fillOutcome(e, out)
+		e.syscall = out.Syscall
+		e.syscallArg = out.SyscallArg
+		if out.Syscall == emu.SysExit {
+			th.drainExit = true
+			p.fetchDead = true // nothing after exit is worth fetching
+		}
+
+		if e.forked {
+			s.settleFork(p, e)
+		} else if e.predNPC != out.NextPC {
+			// Misprediction discovered: the path goes speculative; the
+			// recovery fires when this entry resolves at writeback.
+			e.mispred = true
+			e.recovers = true
+			p.correct = false
+			p.overlay.Reset()
+		}
+		return
+	}
+
+	// Wrong path: execute against the overlay. Faults (data fetched as
+	// code, garbage addresses) turn the instruction into a bubble.
+	out, err := emu.Exec(p.overlay, e.pc, e.inst)
+	if err != nil {
+		e.execErr = true
+		return
+	}
+	s.fillOutcome(e, out)
+	if e.forked {
+		s.settleFork(p, e)
+	} else if e.isCtrl && e.predNPC != out.NextPC {
+		// A wrong-path branch that would itself mispredict: note it for
+		// statistics, but wrong-path branches never trigger recovery —
+		// the whole path is squashed when the real misprediction resolves.
+		e.mispred = true
+	}
+}
+
+func (s *Sim) fillOutcome(e *ruuEntry, out emu.Outcome) {
+	e.actualNPC = out.NextPC
+	e.actualTaken = out.Taken
+	if out.IsLoad {
+		e.isLoad = true
+		e.memAddr = out.Addr
+	}
+	if out.IsStore {
+		e.isStore = true
+		e.memAddr = out.Addr
+	}
+}
+
+// settleFork decides, at the forked branch's dispatch, which side will be
+// squashed when the branch resolves, and prepares the child context.
+func (s *Sim) settleFork(p *path, e *ruuEntry) {
+	child := s.pathByTok[e.childToken]
+	if child == nil {
+		// Child was already killed by an older recovery; resolution will
+		// have nothing to do on that side.
+		e.loserParent = !e.actualTaken && p.correct
+		if e.loserParent {
+			p.correct = false
+			p.overlay.Reset()
+		}
+		return
+	}
+	// The child inherits the parent's rename state as of the fork point
+	// (no child instruction can have dispatched yet: the queue is FIFO).
+	child.creatorIdx = p.creatorIdx
+	child.creatorSeq = p.creatorSeq
+
+	if p.correct {
+		if e.actualTaken {
+			// Parent side (taken) wins; the child is doomed but keeps
+			// executing until resolution, corrupting shared state.
+			child.correct = false
+			child.overlay.Reset()
+			e.loserToken = child.token
+		} else {
+			child.correct = true
+			e.loserParent = true
+			p.correct = false
+			p.overlay.Reset()
+		}
+		return
+	}
+	// Fork taken on an already-wrong path: both sides are wrong. The
+	// overlay outcome still picks which side resolution squashes.
+	child.correct = false
+	child.overlay = p.overlay.Clone()
+	if e.execErr || e.actualTaken {
+		e.loserToken = child.token
+	} else {
+		e.loserParent = true
+	}
+}
+
+// wireDependencies records up to two producing RUU slots for issue timing
+// and installs this entry as the newest producer of its destination.
+func (s *Sim) wireDependencies(p *path, e *ruuEntry) {
+	s1, s2 := e.inst.SrcRegs()
+	for slotNo, r := range [2]int{s1, s2} {
+		if r <= 0 { // no operand, or $zero (always ready)
+			continue
+		}
+		idx := p.creatorIdx[r]
+		if idx == invalidIdx {
+			continue
+		}
+		prod := &s.ruu[idx]
+		if prod.valid && prod.seq == p.creatorSeq[r] && !prod.completed {
+			e.depIdx[slotNo] = idx
+			e.depSeq[slotNo] = prod.seq
+		}
+	}
+	if e.destReg >= 0 {
+		p.creatorIdx[e.destReg] = s.ruuTail
+		p.creatorSeq[e.destReg] = e.seq
+	}
+}

@@ -1,0 +1,347 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"retstack/internal/config"
+	"retstack/internal/core"
+	"retstack/internal/isa"
+	"retstack/internal/program"
+)
+
+// TestWrongPathFetchesData: a mispredicted indirect jump sends fetch into
+// the data segment. The wrong path decodes data as (mostly invalid)
+// instructions; the simulator must treat them as bubbles and recover
+// cleanly.
+func TestWrongPathFetchesData(t *testing.T) {
+	src := `
+    .data
+seed:
+    .word 5
+table:
+    .word target_a, target_b
+junk:
+    .word 0xffffffff, 0xdeadbeef, 0xffffffff, 0x12345678
+    .text
+main:
+    li $s0, 200
+loop:
+    jal rand
+    andi $t0, $v0, 1
+    sll $t0, $t0, 2
+    la $t1, table
+    add $t1, $t1, $t0
+    lw $t9, 0($t1)
+    jr $t9                 # indirect jump: BTB often predicts the stale target
+cont:
+    addi $s0, $s0, -1
+    bgtz $s0, loop
+    li $v0, 1
+    li $a0, 0
+    syscall
+target_a:
+    addi $s1, $s1, 1
+    j cont
+target_b:
+    addi $s1, $s1, 2
+    j cont
+rand:
+    lw $t0, seed
+    li $t1, 1103515245
+    mul $t0, $t0, $t1
+    addi $t0, $t0, 12345
+    sw $t0, seed
+    srl $v0, $t0, 16
+    ret
+`
+	im := mustAssemble(t, src)
+	ref := runRef(t, im)
+	s := runSim(t, config.Baseline().WithPolicy(core.RepairTOSPointerAndContents), im)
+	if s.Machine().Output() != ref.Output() {
+		t.Error("architectural divergence")
+	}
+	if s.Stats().Indirects == 0 {
+		t.Error("no indirect jumps committed")
+	}
+	// The alternating target forces BTB target mispredictions.
+	if s.Stats().IndirectsCorrect == s.Stats().Indirects {
+		t.Error("expected some indirect mispredictions")
+	}
+}
+
+// TestWrongPathSyscallHasNoEffect: a syscall sitting just past a
+// mispredicted branch must never print or halt.
+func TestWrongPathSyscallHasNoEffect(t *testing.T) {
+	src := `
+    .data
+seed:
+    .word 77
+    .text
+main:
+    li $s0, 300
+loop:
+    jal rand
+    andi $t0, $v0, 1
+    beqz $t0, skip         # ~50/50: wrong path regularly runs the syscall
+    li $v0, 2
+    li $a0, 111
+    syscall                # prints only when architecturally reached
+skip:
+    addi $s0, $s0, -1
+    bgtz $s0, loop
+    li $v0, 1
+    li $a0, 0
+    syscall
+rand:
+    lw $t0, seed
+    li $t1, 1103515245
+    mul $t0, $t0, $t1
+    addi $t0, $t0, 12345
+    sw $t0, seed
+    srl $v0, $t0, 16
+    ret
+`
+	im := mustAssemble(t, src)
+	ref := runRef(t, im)
+	s := runSim(t, config.Baseline(), im)
+	if got, want := s.Machine().Output(), ref.Output(); got != want {
+		t.Errorf("wrong-path syscalls leaked: got %d prints, want %d",
+			strings.Count(got, "111"), strings.Count(want, "111"))
+	}
+}
+
+// TestWrongPathExitDoesNotHalt: the exit syscall on a wrong path must not
+// terminate the simulation.
+func TestWrongPathExitDoesNotHalt(t *testing.T) {
+	src := `
+    .data
+seed:
+    .word 13
+    .text
+main:
+    li $s0, 150
+loop:
+    jal rand
+    andi $t0, $v0, 1
+    beqz $t0, skip
+    nop
+    j skip
+    li $v0, 1              # dead code reachable only via wrong paths
+    li $a0, 9
+    syscall
+skip:
+    addi $s0, $s0, -1
+    bgtz $s0, loop
+    li $v0, 2
+    move $a0, $s0
+    syscall
+    li $v0, 1
+    li $a0, 0
+    syscall
+rand:
+    lw $t0, seed
+    li $t1, 1103515245
+    mul $t0, $t0, $t1
+    addi $t0, $t0, 12345
+    sw $t0, seed
+    srl $v0, $t0, 16
+    ret
+`
+	im := mustAssemble(t, src)
+	ref := runRef(t, im)
+	s := runSim(t, config.Baseline(), im)
+	if s.Machine().ExitCode != 0 || s.Machine().Output() != ref.Output() {
+		t.Errorf("exit=%d output=%q want exit=0 output=%q",
+			s.Machine().ExitCode, s.Machine().Output(), ref.Output())
+	}
+}
+
+// TestTinyWindowStress: a 4-entry RUU and 2-entry LSQ still make progress
+// and stay architecturally correct.
+func TestTinyWindowStress(t *testing.T) {
+	cfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)
+	cfg.RUUSize = 4
+	cfg.LSQSize = 2
+	cfg.FetchWidth = 2
+	cfg.DecodeWidth = 2
+	cfg.IssueWidth = 2
+	cfg.CommitWidth = 2
+	im := mustAssemble(t, fibProgram)
+	ref := runRef(t, im)
+	s := runSim(t, cfg, im)
+	if s.Machine().Output() != ref.Output() {
+		t.Error("tiny window diverged")
+	}
+	if s.Stats().IPC() > 2 {
+		t.Errorf("IPC %.2f impossible with a 2-wide commit", s.Stats().IPC())
+	}
+}
+
+// TestSingleEntryRAS: the degenerate 1-entry stack still runs correctly
+// and mostly mispredicts nested returns.
+func TestSingleEntryRAS(t *testing.T) {
+	im := mustAssemble(t, fibProgram)
+	ref := runRef(t, im)
+	s := runSim(t, config.Baseline().WithPolicy(core.RepairTOSPointerAndContents).WithRASEntries(1), im)
+	if s.Machine().Output() != ref.Output() {
+		t.Error("1-entry stack diverged")
+	}
+	if s.Stats().ReturnHitRate() > 0.9 {
+		t.Errorf("1-entry stack on recursive fib should miss a lot, hit=%.3f",
+			s.Stats().ReturnHitRate())
+	}
+}
+
+// TestStoreLoadForwardingCorrectness: rapid store/load pairs to the same
+// word through a mispredicted region must stay architecturally exact.
+func TestStoreLoadForwarding(t *testing.T) {
+	src := `
+main:
+    li $s0, 500
+    la $s2, buf
+loop:
+    andi $t0, $s0, 7
+    sll $t0, $t0, 2
+    add $t1, $s2, $t0
+    sw $s0, 0($t1)
+    lw $t2, 0($t1)         # forwarded from the store
+    add $s1, $s1, $t2
+    lw $t3, 4($t1)         # usually a different word
+    add $s1, $s1, $t3
+    addi $s0, $s0, -1
+    bgtz $s0, loop
+    move $a0, $s1
+    li $v0, 2
+    syscall
+    li $v0, 1
+    li $a0, 0
+    syscall
+    .data
+buf:
+    .space 64
+`
+	im := mustAssemble(t, src)
+	ref := runRef(t, im)
+	s := runSim(t, config.Baseline(), im)
+	if s.Machine().Output() != ref.Output() {
+		t.Errorf("store-load forwarding broke architecture: %q want %q",
+			s.Machine().Output(), ref.Output())
+	}
+}
+
+// TestCacheThrashPointerChase: dependent (pointer-chasing) loads over a
+// working set far beyond L1 serialize their miss latencies — unlike
+// independent misses, which this latency-based model lets overlap freely
+// (no MSHR limit; see DESIGN.md). The pipeline must stay correct and get
+// dramatically slower than a cache-friendly program.
+func TestCacheThrashPointerChase(t *testing.T) {
+	im := buildPointerChase(t)
+	ref := runRef(t, im)
+	s := runSim(t, config.Baseline(), im)
+	if s.Machine().Output() != ref.Output() {
+		t.Error("pointer chase diverged")
+	}
+	if mr := s.Caches().L1D.Stats().MissRate(); mr < 0.2 {
+		t.Errorf("L1D miss rate %.3f too low for a 128KB chase", mr)
+	}
+	small := runSim(t, config.Baseline(), mustAssemble(t, sumProgram))
+	if s.Stats().IPC() >= small.Stats().IPC()*0.5 {
+		t.Errorf("pointer-chase IPC %.2f should be far below friendly IPC %.2f",
+			s.Stats().IPC(), small.Stats().IPC())
+	}
+}
+
+// buildPointerChase lays out a 128KB pointer chain (stride 4216 bytes,
+// wrapping) and a loop that chases it 6000 hops.
+func buildPointerChase(t *testing.T) *program.Image {
+	t.Helper()
+	b := program.NewBuilder()
+	b.Label("main")
+	b.Li(isa.S0, 6000)
+	b.La(isa.T1, "chain")
+	b.Label("loop")
+	b.Emit(
+		isa.Mem(isa.OpLW, isa.T1, isa.T1, 0),
+		isa.I(isa.OpADDI, isa.S0, isa.S0, -1),
+	)
+	b.BranchTo(isa.OpBGTZ, isa.S0, 0, "loop")
+	b.Emit(isa.R(isa.OpADD, isa.A0, isa.T1, isa.Zero))
+	b.Li(isa.V0, 2)
+	b.Emit(isa.Syscall())
+	b.Li(isa.V0, 1)
+	b.Li(isa.A0, 0)
+	b.Emit(isa.Syscall())
+
+	// Data: words[i] at chainBase+4i; element k lives at word index
+	// k*1054 mod total; each element points at the next.
+	const totalWords = 32768 // 128KB
+	const strideWords = 1054 // 4216 bytes: a fresh line, new set each hop
+	words := make([]uint32, totalWords)
+	b.DataLabel("chain")
+	const chainBase = program.DefaultDataBase
+	idx := uint32(0)
+	for k := 0; k < totalWords; k++ {
+		next := (idx + strideWords) % totalWords
+		words[idx] = chainBase + next*4
+		idx = next
+	}
+	b.Words(words...)
+	im, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+// TestMSHRBoundThrottlesParallelMisses: a stream of independent loads over
+// a huge working set overlaps misses up to the MSHR count; shrinking the
+// bound must slow it down monotonically, while unbounded (0) is fastest.
+func TestMSHRBoundThrottlesParallelMisses(t *testing.T) {
+	// Independent strided loads: every access a fresh line, no
+	// inter-load dependences, so memory-level parallelism is the limiter.
+	src := `
+main:
+    li $s0, 30
+    la $s2, big
+outer:
+    li $t0, 0
+inner:
+    sll $t1, $t0, 7
+    add $t1, $s2, $t1
+    lw $t2, 0($t1)
+    add $s1, $s1, $t2
+    addi $t0, $t0, 1
+    li $t3, 1024
+    blt $t0, $t3, inner
+    addi $s0, $s0, -1
+    bgtz $s0, outer
+    move $a0, $s1
+    li $v0, 2
+    syscall
+    li $v0, 1
+    li $a0, 0
+    syscall
+    .data
+big:
+    .space 131072
+`
+	im := mustAssemble(t, src)
+	ref := runRef(t, im)
+	var prev float64
+	for i, mshrs := range []int{1, 2, 8, 0} { // 0 = unbounded
+		cfg := config.Baseline()
+		cfg.MSHRs = mshrs
+		s := runSim(t, cfg, im)
+		if s.Machine().Output() != ref.Output() {
+			t.Fatalf("mshrs=%d diverged architecturally", mshrs)
+		}
+		ipc := s.Stats().IPC()
+		t.Logf("mshrs=%d ipc=%.3f", mshrs, ipc)
+		if i > 0 && ipc < prev-0.01 {
+			t.Errorf("IPC must not fall as MSHRs grow: %d -> %.3f after %.3f",
+				mshrs, ipc, prev)
+		}
+		prev = ipc
+	}
+}

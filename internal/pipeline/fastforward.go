@@ -1,0 +1,97 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"retstack/internal/isa"
+)
+
+// FastForward advances the program n instructions in the paper's "fast
+// mode": functional execution with no microarchitectural simulation —
+// "only the caches and branch predictor are updated". The return-address
+// stack is kept perfectly (there is no wrong path to corrupt it). Use it
+// to reach a representative simulation window before cycle simulation;
+// it must be called before the first cycle is simulated.
+//
+// It returns the number of instructions actually executed (the program
+// may halt first).
+func (s *Sim) FastForward(n uint64) (uint64, error) {
+	if s.cycle != 0 || s.stats.Committed != 0 {
+		return 0, fmt.Errorf("pipeline: FastForward after cycle simulation started")
+	}
+	if len(s.threads) > 1 {
+		return 0, fmt.Errorf("pipeline: FastForward is single-thread only")
+	}
+	lineBytesI := uint32(s.hier.L1I.LineBytes())
+	var lastLine uint32 // +1, 0 = none
+	var done uint64
+	root := &s.paths[0]
+
+	for done < n && !s.mach.Halted {
+		pc := s.mach.PC
+
+		// Warm the I-cache, one access per line.
+		if line := pc/lineBytesI + 1; line != lastLine {
+			s.hier.L1I.Access(pc, false)
+			lastLine = line
+		}
+
+		in, out, err := s.mach.Step()
+		if err != nil {
+			return done, fmt.Errorf("pipeline: fast-forward at pc=%#x: %w", pc, err)
+		}
+		done++
+		s.stats.FastForwarded++
+
+		// Warm the D-cache.
+		if out.IsLoad {
+			s.hier.L1D.Access(out.Addr, false)
+		}
+		if out.IsStore {
+			s.hier.L1D.Access(out.Addr, true)
+		}
+
+		// Train the predictors with committed outcomes.
+		switch in.Class() {
+		case isa.ClassCondBranch:
+			predicted := s.dirPred.Predict(pc)
+			if s.cfg.SpecHistory {
+				snap := s.hybrid.Snapshot(pc)
+				s.hybrid.SpecShift(pc, out.Taken)
+				s.hybrid.TrainAt(pc, snap, out.Taken)
+			} else {
+				s.dirPred.Update(pc, out.Taken)
+			}
+			s.conf.Update(pc, predicted == out.Taken)
+			if out.Taken {
+				// Conditional targets are decode-computed at fetch in the
+				// timing model, so no BTB training here.
+				_ = out.Target
+			}
+		case isa.ClassCall, isa.ClassIndirectCall:
+			if root.ras != nil {
+				root.ras.Push(in.ReturnAddress(pc))
+			}
+			if in.Class() == isa.ClassIndirectCall {
+				s.btb.Update(pc, out.Target)
+			}
+		case isa.ClassReturn:
+			if root.ras != nil {
+				root.ras.Pop()
+			}
+			s.btb.Update(pc, out.Target)
+		case isa.ClassIndirect:
+			s.btb.Update(pc, out.Target)
+		}
+	}
+
+	// The cycle simulator picks up where the fast mode stopped. If the
+	// program already exited in fast mode there is nothing left to time.
+	if s.mach.Halted {
+		s.threads[0].done = true
+		s.done = true
+	}
+	root.fetchPC = s.mach.PC
+	root.lastLine = 0
+	return done, nil
+}

@@ -1,0 +1,135 @@
+package pipeline
+
+import (
+	"testing"
+
+	"retstack/internal/config"
+	"retstack/internal/core"
+)
+
+func TestFastForwardThenSimulate(t *testing.T) {
+	im := mustAssemble(t, corruptorProgram)
+	ref := runRef(t, im)
+
+	cfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)
+	s, err := New(cfg, im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const warm = 10_000
+	n, err := s.FastForward(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != warm {
+		t.Fatalf("fast-forwarded %d, want %d", n, warm)
+	}
+	if s.Stats().FastForwarded != warm || s.Stats().Committed != 0 {
+		t.Fatal("fast-forward accounting wrong")
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// Architectural result identical: warmup + cycle sim covers the whole
+	// program exactly once.
+	if s.Machine().Output() != ref.Output() {
+		t.Errorf("output %q, want %q", s.Machine().Output(), ref.Output())
+	}
+	if got := s.Stats().FastForwarded + s.Stats().Committed; got != ref.InstCount {
+		t.Errorf("ff+committed = %d, want %d", got, ref.InstCount)
+	}
+}
+
+func TestFastForwardWarmsStructures(t *testing.T) {
+	im := mustAssemble(t, corruptorProgram)
+	cfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)
+
+	cold, err := New(cfg, im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := New(cfg, im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.FastForward(10_000); err != nil {
+		t.Fatal(err)
+	}
+	preAccesses := warm.Caches().L1I.Stats().Accesses
+	if preAccesses == 0 {
+		t.Error("fast mode should access the I-cache")
+	}
+	if warm.BTB().Stats.Updates == 0 {
+		t.Error("fast mode should train the BTB")
+	}
+	if warm.DirPredictor().Stats.Lookups == 0 {
+		t.Error("fast mode should train the direction predictor")
+	}
+	if err := warm.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	// Warmed run should not be slower than the cold run over the same
+	// window length (it skips the cold-start misses), modulo the window
+	// being a different program phase; allow generous slack.
+	if warm.Stats().IPC() < cold.Stats().IPC()*0.8 {
+		t.Errorf("warmed IPC %.3f much worse than cold %.3f",
+			warm.Stats().IPC(), cold.Stats().IPC())
+	}
+}
+
+func TestFastForwardAfterStartRejected(t *testing.T) {
+	im := mustAssemble(t, sumProgram)
+	s, err := New(config.Baseline(), im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FastForward(10); err == nil {
+		t.Error("FastForward after Run should be rejected")
+	}
+}
+
+func TestFastForwardStopsAtHalt(t *testing.T) {
+	im := mustAssemble(t, sumProgram)
+	ref := runRef(t, im)
+	s, err := New(config.Baseline(), im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.FastForward(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != ref.InstCount {
+		t.Errorf("fast-forward ran %d, want %d (whole program)", n, ref.InstCount)
+	}
+	if !s.Machine().Halted {
+		t.Error("machine should be halted")
+	}
+}
+
+func TestFastForwardSpecHistoryMode(t *testing.T) {
+	im := mustAssemble(t, corruptorProgram)
+	cfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)
+	cfg.SpecHistory = true
+	s, err := New(cfg, im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FastForward(5_000); err != nil {
+		t.Fatal(err)
+	}
+	ref := runRef(t, im)
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Machine().Output() != ref.Output() {
+		t.Error("spec-history warmup diverged architecturally")
+	}
+}

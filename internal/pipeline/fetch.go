@@ -1,0 +1,288 @@
+package pipeline
+
+import (
+	"retstack/internal/config"
+	"retstack/internal/core"
+	"retstack/internal/emu"
+	"retstack/internal/isa"
+)
+
+// fetchStage fetches up to FetchWidth instructions this cycle, shared
+// round-robin among live path contexts. Within a path, fetch follows
+// predictions through not-taken branches and stops at the first taken
+// control transfer (the paper's fetch-engine rule). The return-address
+// stack is updated speculatively here — on every path, right or wrong —
+// which is precisely how it gets corrupted.
+func (s *Sim) fetchStage() {
+	budget := s.cfg.FetchWidth
+	if s.liveCount == 0 {
+		return
+	}
+	start := int(s.cycle) % len(s.paths)
+	for off := 0; off < len(s.paths) && budget > 0; off++ {
+		p := &s.paths[(start+off)%len(s.paths)]
+		if !p.live || p.fetchDead || p.stalledUntil > s.cycle {
+			continue
+		}
+		budget = s.fetchPath(p, budget)
+	}
+}
+
+// fetchPath fetches instructions for one path until the budget, the fetch
+// queue, a taken branch, or an I-cache miss stops it. It returns the
+// remaining budget.
+func (s *Sim) fetchPath(p *path, budget int) int {
+	lineBytes := uint32(s.hier.L1I.LineBytes())
+	for budget > 0 {
+		if s.fetchQLen == len(s.fetchQ) {
+			return budget
+		}
+		pc := p.fetchPC
+
+		// One I-cache access per line; a miss stalls this path.
+		line := pc / lineBytes
+		if line+1 != p.lastLine {
+			lat := s.hier.L1I.Access(pc, false)
+			p.lastLine = line + 1
+			if lat > s.cfg.L1I.HitLatency {
+				p.stalledUntil = s.cycle + uint64(lat)
+				return budget
+			}
+		}
+
+		in := isa.Decode(s.threadOf(p).mach.Mem.Read32(pc))
+		budget--
+		s.stats.Fetched++
+		s.nextSeq++
+
+		// Reserve the ring slot up front and recycle its checkpoint buffer
+		// (the full-stack policy's backing array) instead of reallocating.
+		ringIdx := (s.fetchQHead + s.fetchQLen) % len(s.fetchQ)
+		slot := fetchSlot{
+			seq:        s.nextSeq,
+			pathTok:    p.token,
+			pc:         pc,
+			inst:       in,
+			class:      in.Class(),
+			readyAt:    s.cycle + uint64(s.cfg.BranchLat),
+			predNPC:    pc + isa.WordBytes,
+			checkpoint: s.fetchQ[ringIdx].checkpoint,
+		}
+
+		stop := s.predictControl(p, &slot)
+		if !slot.hasCheckpoint {
+			// SaveInto may not have run; make sure stale contents cannot
+			// masquerade as a valid checkpoint.
+			slot.checkpoint = core.Checkpoint{}
+		}
+		s.fetchQ[ringIdx] = slot
+		s.fetchQLen++
+		s.emit(TraceFetch, slot.seq, p.token, pc, in, slot.predNPC)
+		p.fetchPC = slot.predNPC
+		if stop {
+			return budget
+		}
+	}
+	return budget
+}
+
+// predictControl fills the slot's prediction fields, performs speculative
+// RAS updates and checkpointing, and decides whether to fork. It reports
+// whether fetch must stop for this path this cycle (predicted-taken
+// transfer).
+func (s *Sim) predictControl(p *path, slot *fetchSlot) bool {
+	in := slot.inst
+	pc := slot.pc
+	switch slot.class {
+	case isa.ClassJump:
+		slot.predNPC = in.DirectTarget(pc)
+		slot.predTaken = true
+		return true
+
+	case isa.ClassCall:
+		if p.ras != nil {
+			s.rasPush(p, in.ReturnAddress(pc), slot.seq)
+			slot.rasPushed = true
+		}
+		slot.predNPC = in.DirectTarget(pc)
+		slot.predTaken = true
+		return true
+
+	case isa.ClassCondBranch:
+		// Query the predictor regardless (it trains at commit, and the
+		// confidence estimator needs the would-be prediction even when the
+		// branch forks instead).
+		if s.cfg.SpecHistory {
+			slot.histSnap = s.hybrid.Snapshot(pc)
+		}
+		slot.predTaken = s.dirPred.Predict(pc)
+		if s.cfg.SpecHistory {
+			s.hybrid.SpecShift(pc, slot.predTaken)
+		}
+		if s.tryFork(p, slot) {
+			// Parent follows the taken side; the child follows fall-through.
+			slot.predNPC = in.DirectTarget(pc)
+			return true
+		}
+		if slot.predTaken {
+			slot.predNPC = in.DirectTarget(pc)
+			s.takeCheckpoint(p, slot)
+			return true
+		}
+		s.takeCheckpoint(p, slot)
+		return false
+
+	case isa.ClassReturn:
+		if s.cfg.SpecHistory {
+			slot.histSnap = s.hybrid.Snapshot(pc)
+		}
+		switch {
+		case p.ras != nil:
+			target, valid := p.ras.Pop()
+			slot.rasPopped = true
+			slot.fromRAS = true
+			slot.predNPC = target
+			if !valid {
+				// The valid-bits design detects corrupt/empty entries and
+				// consults the BTB instead of a known-bad address.
+				if _, tagged := p.ras.(core.SeqRepairer); tagged {
+					slot.fromRAS = false
+					slot.predNPC = slot.inst.FallThrough(pc)
+					if t, ok := s.btb.Lookup(pc); ok {
+						slot.predNPC = t
+					}
+				}
+			}
+		case s.cfg.ReturnPred == config.ReturnTargetCache:
+			if target, ok := s.tcache.Predict(pc); ok {
+				slot.predNPC = target
+			}
+		default:
+			if target, ok := s.btb.Lookup(pc); ok {
+				slot.predNPC = target
+			}
+		}
+		// On a BTB miss without a RAS the fall-through stands in: the
+		// front end has nowhere to redirect until the return resolves.
+		slot.predTaken = true
+		s.takeCheckpoint(p, slot)
+		return true
+
+	case isa.ClassIndirect:
+		if s.cfg.SpecHistory {
+			slot.histSnap = s.hybrid.Snapshot(pc)
+		}
+		if target, ok := s.predictIndirect(pc); ok {
+			slot.predNPC = target
+		}
+		slot.predTaken = true
+		s.takeCheckpoint(p, slot)
+		return true
+
+	case isa.ClassIndirectCall:
+		if s.cfg.SpecHistory {
+			slot.histSnap = s.hybrid.Snapshot(pc)
+		}
+		if p.ras != nil {
+			s.rasPush(p, in.ReturnAddress(pc), slot.seq)
+			slot.rasPushed = true
+		}
+		if target, ok := s.predictIndirect(pc); ok {
+			slot.predNPC = target
+		}
+		slot.predTaken = true
+		s.takeCheckpoint(p, slot)
+		return true
+	}
+	return false
+}
+
+// rasPush pushes a return address, carrying the fetch sequence number to
+// tag-based (valid-bits) stacks.
+func (s *Sim) rasPush(p *path, addr uint32, seq uint64) {
+	if sr, ok := p.ras.(core.SeqRepairer); ok {
+		sr.PushSeq(addr, seq)
+		return
+	}
+	p.ras.Push(addr)
+}
+
+// predictIndirect predicts a non-return indirect target from the
+// configured structure.
+func (s *Sim) predictIndirect(pc uint32) (uint32, bool) {
+	if s.cfg.IndirectPred == config.IndirectTargetCache {
+		return s.tcache.Predict(pc)
+	}
+	return s.btb.Lookup(pc)
+}
+
+// takeCheckpoint saves RAS shadow state for a branch that may need repair,
+// respecting the bounded shadow storage ("at most a few in-flight branches
+// — 4 in the R10000, 20 in the 21264").
+func (s *Sim) takeCheckpoint(p *path, slot *fetchSlot) {
+	if p.ras == nil {
+		return
+	}
+	p.ras.SaveInto(&slot.checkpoint)
+	if !slot.checkpoint.Valid() {
+		return
+	}
+	if s.cfg.ShadowSlots > 0 && s.shadowUsed >= s.cfg.ShadowSlots {
+		s.stats.CheckpointsDenied++
+		slot.checkpoint = core.Checkpoint{}
+		return
+	}
+	s.shadowUsed++
+	slot.hasCheckpoint = true
+}
+
+// tryFork decides whether to fork a conditional branch instead of
+// predicting it, and if so allocates the child path context.
+func (s *Sim) tryFork(p *path, slot *fetchSlot) bool {
+	if s.cfg.MaxPaths <= 1 || s.liveCount >= s.cfg.MaxPaths {
+		return false
+	}
+	if s.conf.High(slot.pc) {
+		return false // confident prediction: cheaper than forking
+	}
+	var child *path
+	for i := range s.paths {
+		if !s.paths[i].live {
+			child = &s.paths[i]
+			child.id = i
+			break
+		}
+	}
+	if child == nil {
+		return false
+	}
+
+	s.nextToken++
+	*child = path{
+		id:          child.id,
+		thread:      p.thread,
+		token:       s.nextToken,
+		live:        true,
+		parentToken: p.token,
+		forkSeq:     slot.seq,
+		fetchPC:     slot.inst.FallThrough(slot.pc),
+		correct:     false, // settled when the branch dispatches
+	}
+	child.resetCreators()
+	child.overlay = emu.NewOverlay(s.threadOf(p).mach)
+	child.ras = s.pathStack(p.ras)
+	s.pathByTok[child.token] = child
+	s.liveCount++
+
+	// Under the unified-with-repair organization the fork itself takes a
+	// checkpoint so the stack can be restored when the branch resolves.
+	if s.cfg.MPStacks == config.MPUnifiedRepair {
+		s.takeCheckpoint(p, slot)
+	}
+
+	slot.forked = true
+	slot.childToken = child.token
+	s.stats.Forks++
+	s.emit(TraceFork, slot.seq, p.token, slot.pc, slot.inst, child.fetchPC)
+	return true
+}

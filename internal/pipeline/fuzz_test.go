@@ -1,0 +1,204 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"retstack/internal/asm"
+	"retstack/internal/config"
+	"retstack/internal/core"
+)
+
+// genFuzzProgram emits a random but guaranteed-terminating assembly
+// program: an acyclic call graph of small functions with bounded loops,
+// forward branches, data-dependent early returns, memory traffic into a
+// scratch region, and indirect calls through jump tables. It exercises
+// every control-flow class the pipeline models.
+func genFuzzProgram(rng *rand.Rand) string {
+	var b strings.Builder
+	nFuncs := 3 + rng.Intn(6)
+
+	fmt.Fprintf(&b, "    .data\nseed:\n    .word %d\nscratch:\n    .space 512\n", 1+rng.Intn(1<<16))
+	// Jump tables: each entry points at a function with a higher index
+	// than any caller that uses the table, keeping the graph acyclic.
+	for f := 0; f < nFuncs-1; f++ {
+		fmt.Fprintf(&b, "tab%d:\n    .word fn%d, fn%d\n", f, f+1, f+1+rng.Intn(nFuncs-f-1))
+	}
+
+	fmt.Fprintf(&b, `    .text
+main:
+    li $s0, %d
+mainloop:
+    li $a0, 3
+    jal fn0
+    add $s1, $s1, $v0
+    addi $s0, $s0, -1
+    bgtz $s0, mainloop
+    move $a0, $s1
+    li $v0, 2
+    syscall
+    li $v0, 1
+    li $a0, 0
+    syscall
+rand:
+    lw $t0, seed
+    li $t1, 1103515245
+    mul $t0, $t0, $t1
+    addi $t0, $t0, 12345
+    sw $t0, seed
+    srl $v0, $t0, 16
+    ret
+`, 20+rng.Intn(60))
+
+	labelN := 0
+	newLabel := func() string {
+		labelN++
+		return fmt.Sprintf("fz%d", labelN)
+	}
+
+	for f := 0; f < nFuncs; f++ {
+		fmt.Fprintf(&b, "fn%d:\n", f)
+		fmt.Fprintf(&b, "    addi $sp, $sp, -8\n    sw $ra, 0($sp)\n    sw $s2, 4($sp)\n")
+		fmt.Fprintf(&b, "    move $s2, $a0\n    li $v0, %d\n", f+1)
+
+		stmts := 4 + rng.Intn(10)
+		for st := 0; st < stmts; st++ {
+			switch rng.Intn(10) {
+			case 0, 1: // ALU noise
+				fmt.Fprintf(&b, "    addi $t%d, $t%d, %d\n", rng.Intn(4), rng.Intn(4), rng.Intn(100)-50)
+				fmt.Fprintf(&b, "    xor $t%d, $t%d, $t%d\n", rng.Intn(4), rng.Intn(4), rng.Intn(4))
+			case 2: // memory round trip
+				fmt.Fprintf(&b, `    la $t4, scratch
+    andi $t5, $t%d, 508
+    add $t4, $t4, $t5
+    sw $v0, 0($t4)
+    lw $t%d, 0($t4)
+`, rng.Intn(4), rng.Intn(4))
+			case 3: // bounded loop
+				l := newLabel()
+				fmt.Fprintf(&b, "    li $t7, %d\n%s:\n    add $v0, $v0, $t7\n    addi $t7, $t7, -1\n    bgtz $t7, %s\n",
+					2+rng.Intn(6), l, l)
+			case 4: // data-dependent early return (the corruption pattern)
+				skip := newLabel()
+				fmt.Fprintf(&b, `    jal rand
+    andi $t6, $v0, %d
+    bnez $t6, %s
+    move $v0, $s2
+    lw $ra, 0($sp)
+    lw $s2, 4($sp)
+    addi $sp, $sp, 8
+    ret
+%s:
+`, 1+rng.Intn(3), skip, skip)
+			case 5: // forward branch over noise
+				skip := newLabel()
+				fmt.Fprintf(&b, "    slti $t6, $v0, %d\n    beqz $t6, %s\n    addi $v0, $v0, 7\n    sll $v0, $v0, 1\n%s:\n",
+					rng.Intn(4096), skip, skip)
+			case 6, 7: // direct call deeper into the graph
+				if f+1 < nFuncs {
+					callee := f + 1 + rng.Intn(nFuncs-f-1)
+					fmt.Fprintf(&b, "    addi $a0, $s2, -1\n    jal fn%d\n    add $v0, $v0, $s2\n", callee)
+				}
+			case 8: // indirect call through the table
+				if f < nFuncs-1 {
+					fmt.Fprintf(&b, `    jal rand
+    andi $t6, $v0, 1
+    sll $t6, $t6, 2
+    la $t5, tab%d
+    add $t5, $t5, $t6
+    lw $t9, 0($t5)
+    move $a0, $s2
+    jalr $t9
+`, f)
+				}
+			case 9: // mul/div latency mix
+				fmt.Fprintf(&b, "    li $t6, %d\n    mul $v0, $v0, $t6\n    li $t6, %d\n    rem $v0, $v0, $t6\n",
+					3+rng.Intn(9), 11+rng.Intn(89))
+			}
+		}
+		fmt.Fprintf(&b, "    andi $v0, $v0, 65535\n    lw $ra, 0($sp)\n    lw $s2, 4($sp)\n    addi $sp, $sp, 8\n    ret\n")
+	}
+	return b.String()
+}
+
+// randomConfig picks a random but valid machine.
+func randomConfig(rng *rand.Rand) config.Config {
+	cfg := config.Baseline()
+	cfg.RASPolicy = core.Policies()[rng.Intn(4)]
+	cfg.RASEntries = []int{1, 2, 4, 8, 16, 32}[rng.Intn(6)]
+	switch rng.Intn(6) {
+	case 0:
+		cfg.ReturnPred = config.ReturnBTBOnly
+		cfg.RASEntries = 0
+	case 1:
+		cfg.RASKind = config.RASLinked
+		cfg.RASEntries = 16 + rng.Intn(48)
+	case 2:
+		cfg.RASKind = config.RASTopK
+		cfg.RASTopK = rng.Intn(cfg.RASEntries + 1)
+	case 3:
+		cfg.RASKind = config.RASValidBits
+	}
+	if rng.Intn(3) == 0 {
+		cfg.ShadowSlots = 1 + rng.Intn(8)
+	}
+	if rng.Intn(3) == 0 {
+		cfg.MaxPaths = 2 + rng.Intn(3)
+		cfg.MPStacks = []config.MultipathRAS{config.MPUnified, config.MPUnifiedRepair, config.MPPerPath}[rng.Intn(3)]
+	} else if rng.Intn(2) == 0 {
+		cfg.SpecHistory = true
+	}
+	if rng.Intn(4) == 0 {
+		cfg.RUUSize = 8 + rng.Intn(56)
+		cfg.LSQSize = 4 + rng.Intn(28)
+	}
+	if rng.Intn(4) == 0 {
+		cfg.IndirectPred = config.IndirectTargetCache
+	}
+	return cfg
+}
+
+// TestFuzzArchitecturalEquivalence: random programs on random machines
+// must always match the functional emulator's output and instruction
+// count, and pass the invariant audit at the end.
+func TestFuzzArchitecturalEquivalence(t *testing.T) {
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	rng := rand.New(rand.NewSource(20260706))
+	for trial := 0; trial < trials; trial++ {
+		src := genFuzzProgram(rng)
+		im, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("trial %d: assemble: %v\n%s", trial, err, src)
+		}
+		ref := runRef(t, im)
+		cfg := randomConfig(rng)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("trial %d: bad random config: %v", trial, err)
+		}
+		s, err := New(cfg, im)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := s.Run(10_000_000); err != nil {
+			t.Fatalf("trial %d (cfg %+v): %v", trial, cfg, err)
+		}
+		if !s.Done() {
+			t.Fatalf("trial %d: did not finish", trial)
+		}
+		if got, want := s.Machine().Output(), ref.Output(); got != want {
+			t.Errorf("trial %d: output %q, want %q (cfg: paths=%d stacks=%v policy=%v ras=%d)",
+				trial, got, want, cfg.MaxPaths, cfg.MPStacks, cfg.RASPolicy, cfg.RASEntries)
+		}
+		if got, want := s.Stats().Committed, ref.InstCount; got != want {
+			t.Errorf("trial %d: committed %d, want %d", trial, got, want)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Errorf("trial %d: %v", trial, err)
+		}
+	}
+}

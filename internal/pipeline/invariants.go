@@ -1,0 +1,97 @@
+package pipeline
+
+import "fmt"
+
+// CheckInvariants audits the simulator's internal bookkeeping and returns
+// the first violation found. It is O(RUU + fetchQ + paths) and intended
+// for tests and debugging, not for the hot loop.
+func (s *Sim) CheckInvariants() error {
+	// RUU occupancy.
+	valid := 0
+	lsqHeld := 0
+	checkpoints := 0
+	for i := range s.ruu {
+		e := &s.ruu[i]
+		if !e.valid {
+			continue
+		}
+		valid++
+		if e.lsqHeld {
+			lsqHeld++
+		}
+		if e.hasCheckpoint {
+			checkpoints++
+		}
+		if e.squashed && !e.completed {
+			return fmt.Errorf("invariant: squashed entry seq %d not completed", e.seq)
+		}
+		if e.issued && e.completeAt == 0 && !e.completed {
+			return fmt.Errorf("invariant: issued entry seq %d has no completion time", e.seq)
+		}
+	}
+	if valid != s.ruuCount {
+		return fmt.Errorf("invariant: %d valid RUU entries but ruuCount=%d", valid, s.ruuCount)
+	}
+	if lsqHeld != s.lsqCount {
+		return fmt.Errorf("invariant: %d LSQ holders but lsqCount=%d", lsqHeld, s.lsqCount)
+	}
+	if s.lsqCount > s.cfg.LSQSize {
+		return fmt.Errorf("invariant: lsqCount %d exceeds LSQ size %d", s.lsqCount, s.cfg.LSQSize)
+	}
+
+	// Shadow checkpoint accounting (fetch-queue slots hold some too).
+	for k := 0; k < s.fetchQLen; k++ {
+		if s.fetchQ[(s.fetchQHead+k)%len(s.fetchQ)].hasCheckpoint {
+			checkpoints++
+		}
+	}
+	if checkpoints != s.shadowUsed {
+		return fmt.Errorf("invariant: %d live checkpoints but shadowUsed=%d", checkpoints, s.shadowUsed)
+	}
+	if s.cfg.ShadowSlots > 0 && s.shadowUsed > s.cfg.ShadowSlots {
+		return fmt.Errorf("invariant: shadowUsed %d exceeds %d slots", s.shadowUsed, s.cfg.ShadowSlots)
+	}
+
+	// Path bookkeeping.
+	live := 0
+	correct := 0
+	for i := range s.paths {
+		p := &s.paths[i]
+		if !p.live {
+			continue
+		}
+		live++
+		if p.correct {
+			correct++
+		}
+		if got := s.pathByTok[p.token]; got != p {
+			return fmt.Errorf("invariant: path token %d not indexed to its slot", p.token)
+		}
+	}
+	if live != s.liveCount {
+		return fmt.Errorf("invariant: %d live paths but liveCount=%d", live, s.liveCount)
+	}
+	if len(s.pathByTok) != live {
+		return fmt.Errorf("invariant: token index has %d entries for %d live paths", len(s.pathByTok), live)
+	}
+	if correct > 1 {
+		return fmt.Errorf("invariant: %d paths claim to be the correct path", correct)
+	}
+	// Every RUU entry's token refers to a live path or is squashed.
+	for i := range s.ruu {
+		e := &s.ruu[i]
+		if e.valid && !e.squashed && s.pathByTok[e.pathTok] == nil {
+			return fmt.Errorf("invariant: live entry seq %d owned by dead path %d", e.seq, e.pathTok)
+		}
+	}
+	if s.fetchQLen < 0 || s.fetchQLen > len(s.fetchQ) {
+		return fmt.Errorf("invariant: fetchQLen %d out of range", s.fetchQLen)
+	}
+	return nil
+}
+
+// StepForTest advances one cycle (test hook).
+func (s *Sim) StepForTest() error {
+	s.step()
+	return s.runErr
+}

@@ -1,0 +1,186 @@
+package pipeline
+
+import (
+	"testing"
+
+	"retstack/internal/config"
+	"retstack/internal/core"
+)
+
+// mpConfig returns a multipath machine with the given path count and stack
+// organization.
+func mpConfig(paths int, stacks config.MultipathRAS) config.Config {
+	cfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)
+	cfg = cfg.WithMultipath(paths, stacks)
+	if stacks == config.MPUnified {
+		// The unified-no-repair organization is the paper's baseline for
+		// multipath comparisons: no checkpointing at all.
+		cfg.RASPolicy = core.RepairNone
+	}
+	return cfg
+}
+
+func TestMultipathArchitecturalEquivalence(t *testing.T) {
+	for _, prog := range []struct {
+		name string
+		src  string
+	}{
+		{"sum", sumProgram},
+		{"fib", fibProgram},
+		{"corruptor", corruptorProgram},
+	} {
+		im := mustAssemble(t, prog.src)
+		ref := runRef(t, im)
+		for _, paths := range []int{2, 4} {
+			for _, org := range []config.MultipathRAS{config.MPUnified, config.MPUnifiedRepair, config.MPPerPath} {
+				s := runSim(t, mpConfig(paths, org), im)
+				if got, want := s.Machine().Output(), ref.Output(); got != want {
+					t.Errorf("%s %d-path %v: output %q, want %q", prog.name, paths, org, got, want)
+				}
+				if got, want := s.Stats().Committed, ref.InstCount; got != want {
+					t.Errorf("%s %d-path %v: committed %d, want %d", prog.name, paths, org, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMultipathActuallyForks(t *testing.T) {
+	im := mustAssemble(t, corruptorProgram)
+	s := runSim(t, mpConfig(2, config.MPPerPath), im)
+	st := s.Stats()
+	if st.Forks == 0 {
+		t.Fatal("no forks on a branch-heavy program")
+	}
+	if st.ForkedBranches == 0 {
+		t.Error("no forked branches committed")
+	}
+	t.Logf("2-path: forks=%d committed-forked=%d recoveries=%d paths-squashed=%d",
+		st.Forks, st.ForkedBranches, st.Recoveries, st.PathsSquashed)
+	// Forking replaces prediction on low-confidence branches, so committed
+	// forked branches should cover a decent share of the hard branches.
+	if st.ForkedBranches*10 < st.CondBranches {
+		t.Logf("note: only %d/%d branches forked", st.ForkedBranches, st.CondBranches)
+	}
+}
+
+// TestPerPathStacksBeatUnified reproduces the paper's central multipath
+// claim: a unified stack is corrupted by cross-path contention; per-path
+// stacks eliminate it.
+func TestPerPathStacksBeatUnified(t *testing.T) {
+	im := mustAssemble(t, corruptorProgram)
+	for _, paths := range []int{2, 4} {
+		unified := runSim(t, mpConfig(paths, config.MPUnified), im).Stats()
+		repaired := runSim(t, mpConfig(paths, config.MPUnifiedRepair), im).Stats()
+		perPath := runSim(t, mpConfig(paths, config.MPPerPath), im).Stats()
+
+		t.Logf("%d-path unified:        hit=%.4f ipc=%.3f", paths, unified.ReturnHitRate(), unified.IPC())
+		t.Logf("%d-path unified+repair: hit=%.4f ipc=%.3f", paths, repaired.ReturnHitRate(), repaired.IPC())
+		t.Logf("%d-path per-path:       hit=%.4f ipc=%.3f", paths, perPath.ReturnHitRate(), perPath.IPC())
+
+		if perPath.ReturnHitRate() < 0.99 {
+			t.Errorf("%d-path per-path stacks should be near-perfect, got %.4f",
+				paths, perPath.ReturnHitRate())
+		}
+		if unified.ReturnHitRate() >= perPath.ReturnHitRate() {
+			t.Errorf("%d-path: unified (%.4f) should trail per-path (%.4f)",
+				paths, unified.ReturnHitRate(), perPath.ReturnHitRate())
+		}
+		if perPath.IPC() <= unified.IPC() {
+			t.Errorf("%d-path: per-path IPC (%.3f) should beat unified (%.3f)",
+				paths, perPath.IPC(), unified.IPC())
+		}
+	}
+}
+
+// TestMultipathReducesMispredictPenalty: forking both sides means the hard
+// branch itself never pays a full misprediction penalty, so IPC should not
+// collapse relative to single-path prediction on a mispredict-heavy
+// program.
+func TestMultipathHelpsHardBranches(t *testing.T) {
+	im := mustAssemble(t, corruptorProgram)
+	single := runSim(t, config.Baseline().WithPolicy(core.RepairTOSPointerAndContents), im).Stats()
+	multi := runSim(t, mpConfig(4, config.MPPerPath), im).Stats()
+	t.Logf("single-path ipc=%.3f; 4-path per-path ipc=%.3f", single.IPC(), multi.IPC())
+	// Forked branches do not count as mispredictions; with per-path stacks
+	// the multipath machine should resolve hard branches without most of
+	// the refetch penalty. Require it not to be slower.
+	if multi.IPC() < single.IPC()*0.95 {
+		t.Errorf("4-path multipath IPC %.3f much worse than single-path %.3f",
+			multi.IPC(), single.IPC())
+	}
+}
+
+// TestSinglePathNeverForks guards the single-path configuration.
+func TestSinglePathNeverForks(t *testing.T) {
+	im := mustAssemble(t, corruptorProgram)
+	s := runSim(t, config.Baseline(), im)
+	if s.Stats().Forks != 0 || s.Stats().ForkedBranches != 0 {
+		t.Error("single-path run must not fork")
+	}
+}
+
+// TestMultipathStress drives a deeply recursive, branchy program through
+// the 4-path machine to shake out path-management corner cases (fork on
+// wrong paths, nested forks, loser-parent resolutions).
+func TestMultipathStress(t *testing.T) {
+	src := `
+    .data
+seed:
+    .word 99
+    .text
+main:
+    li $s0, 120
+sloop:
+    jal rand
+    andi $a0, $v0, 15
+    jal tangle
+    addi $s0, $s0, -1
+    bgtz $s0, sloop
+    li $v0, 2
+    move $a0, $s1
+    syscall
+` + exitSeq + `
+rand:
+    lw $t0, seed
+    li $t1, 1103515245
+    mul $t0, $t0, $t1
+    addi $t0, $t0, 12345
+    srl $v0, $t0, 17
+    sw $t0, seed
+    ret
+tangle:                  # recursive with two unpredictable early exits
+    addi $sp, $sp, -8
+    sw $ra, 0($sp)
+    sw $a0, 4($sp)
+    blez $a0, tangle_out
+    jal rand
+    andi $t0, $v0, 1
+    beqz $t0, tangle_out
+    lw $a0, 4($sp)
+    addi $a0, $a0, -1
+    jal tangle
+    lw $a0, 4($sp)
+    srl $a0, $a0, 1
+    addi $a0, $a0, -1
+    jal tangle
+tangle_out:
+    add $s1, $s1, $a0
+    lw $ra, 0($sp)
+    addi $sp, $sp, 8
+    ret
+`
+	im := mustAssemble(t, src)
+	ref := runRef(t, im)
+	for _, org := range []config.MultipathRAS{config.MPUnified, config.MPUnifiedRepair, config.MPPerPath} {
+		for _, paths := range []int{2, 3, 4, 8} {
+			s := runSim(t, mpConfig(paths, org), im)
+			if got, want := s.Machine().Output(), ref.Output(); got != want {
+				t.Fatalf("%d-path %v: output %q, want %q", paths, org, got, want)
+			}
+			if got, want := s.Stats().Committed, ref.InstCount; got != want {
+				t.Fatalf("%d-path %v: committed %d, want %d", paths, org, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,424 @@
+package pipeline
+
+import (
+	"testing"
+
+	"retstack/internal/asm"
+	"retstack/internal/config"
+	"retstack/internal/core"
+	"retstack/internal/emu"
+	"retstack/internal/program"
+)
+
+// mustAssemble builds an image from source.
+func mustAssemble(t *testing.T, src string) *program.Image {
+	t.Helper()
+	im, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return im
+}
+
+// runSim runs the pipeline to completion and returns it.
+func runSim(t *testing.T, cfg config.Config, im *program.Image) *Sim {
+	t.Helper()
+	s, err := New(cfg, im)
+	if err != nil {
+		t.Fatalf("new sim: %v", err)
+	}
+	if err := s.Run(5_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return s
+}
+
+// runRef runs the functional emulator to completion on the same image.
+func runRef(t *testing.T, im *program.Image) *emu.Machine {
+	t.Helper()
+	m := emu.NewMachine()
+	m.Load(im)
+	if _, err := m.Run(20_000_000); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	return m
+}
+
+const exitSeq = `
+    li $v0, 1
+    li $a0, 0
+    syscall
+`
+
+const sumProgram = `
+main:
+    li $t0, 0
+    li $t1, 1
+loop:
+    add $t0, $t0, $t1
+    addi $t1, $t1, 1
+    li $t2, 100
+    ble $t1, $t2, loop
+    move $a0, $t0
+    li $v0, 2
+    syscall
+` + exitSeq
+
+func TestStraightLineCommit(t *testing.T) {
+	im := mustAssemble(t, sumProgram)
+	s := runSim(t, config.Baseline(), im)
+	ref := runRef(t, im)
+
+	if !s.Done() {
+		t.Fatal("simulation did not finish")
+	}
+	if got, want := s.Machine().Output(), ref.Output(); got != want {
+		t.Errorf("output %q, want %q", got, want)
+	}
+	if got, want := s.Stats().Committed, ref.InstCount; got != want {
+		t.Errorf("committed %d, want %d", got, want)
+	}
+	if ipc := s.Stats().IPC(); ipc <= 0.1 || ipc > 4 {
+		t.Errorf("implausible IPC %.2f", ipc)
+	}
+}
+
+// recursive fibonacci: dense calls and returns with real stack depth.
+const fibProgram = `
+main:
+    li $a0, 12
+    jal fib
+    move $a0, $v0
+    li $v0, 2
+    syscall
+` + exitSeq + `
+fib:
+    slti $t0, $a0, 2
+    beqz $t0, fib_rec
+    move $v0, $a0
+    ret
+fib_rec:
+    addi $sp, $sp, -12
+    sw $ra, 0($sp)
+    sw $a0, 4($sp)
+    addi $a0, $a0, -1
+    jal fib
+    sw $v0, 8($sp)
+    lw $a0, 4($sp)
+    addi $a0, $a0, -2
+    jal fib
+    lw $t0, 8($sp)
+    add $v0, $v0, $t0
+    lw $ra, 0($sp)
+    addi $sp, $sp, 12
+    ret
+`
+
+func TestRecursionArchitecturalEquivalence(t *testing.T) {
+	im := mustAssemble(t, fibProgram)
+	ref := runRef(t, im)
+	for _, policy := range core.Policies() {
+		cfg := config.Baseline().WithPolicy(policy)
+		s := runSim(t, cfg, im)
+		if got, want := s.Machine().Output(), ref.Output(); got != want {
+			t.Errorf("%v: output %q, want %q", policy, got, want)
+		}
+		if got, want := s.Stats().Committed, ref.InstCount; got != want {
+			t.Errorf("%v: committed %d, want %d", policy, got, want)
+		}
+		if s.Machine().ExitCode != ref.ExitCode {
+			t.Errorf("%v: exit code %d, want %d", policy, s.Machine().ExitCode, ref.ExitCode)
+		}
+	}
+}
+
+func TestRASNearPerfectWithFullRepair(t *testing.T) {
+	im := mustAssemble(t, fibProgram)
+	s := runSim(t, config.Baseline().WithPolicy(core.RepairFullStack), im)
+	st := s.Stats()
+	if st.Returns == 0 {
+		t.Fatal("no returns committed")
+	}
+	if hr := st.ReturnHitRate(); hr < 0.99 {
+		t.Errorf("full-repair return hit rate %.4f, want ~1 (returns=%d correct=%d)",
+			hr, st.Returns, st.ReturnsCorrect)
+	}
+	if st.ReturnsFromRAS != st.Returns {
+		t.Errorf("all returns should be RAS-predicted: %d of %d", st.ReturnsFromRAS, st.Returns)
+	}
+}
+
+// corruptor exercises the paper's canonical corruption pattern: an
+// unpredictable branch guards an *early return*. When the branch
+// mispredicts toward the return, the wrong path pops the caller's entry
+// off the return-address stack and then — continuing at the popped
+// address, back in the outer loop — pushes a new call over it. With no
+// repair the caller's eventual (correct-path) return mispredicts; a
+// pointer-only repair fixes the pointer drift but not the overwritten
+// entry; pointer+contents repairs both.
+const corruptorProgram = `
+    .data
+seed:
+    .word 12345
+    .text
+main:
+    li $s0, 600          # iterations
+    li $s1, 0            # accumulator
+outer:
+    jal work
+    add $s1, $s1, $v0
+    addi $s0, $s0, -1
+    bgtz $s0, outer
+    move $a0, $s1
+    li $v0, 2
+    syscall
+` + exitSeq + `
+work:                    # unpredictable early return, else deeper calls
+    addi $sp, $sp, -4
+    sw $ra, 0($sp)
+    jal rand
+    andi $t0, $v0, 1
+    beqz $t0, work_deep  # ~50/50: frequently mispredicted
+    li $v0, 1
+    lw $ra, 0($sp)
+    addi $sp, $sp, 4
+    ret                  # early return: wrong paths pop the caller here
+work_deep:
+    jal leaf
+    add $v0, $v0, $v0
+    jal leaf
+    add $v0, $v0, $v0
+    lw $ra, 0($sp)
+    addi $sp, $sp, 4
+    ret
+rand:                    # LCG; parity of bit 16 is hard to predict
+    lw $t0, seed
+    li $t1, 1103515245
+    mul $t0, $t0, $t1
+    addi $t0, $t0, 12345
+    srl $v0, $t0, 16
+    sw $t0, seed
+    ret
+leaf:
+    li $v0, 7
+    ret
+`
+
+func TestRepairMechanismOrdering(t *testing.T) {
+	im := mustAssemble(t, corruptorProgram)
+	ref := runRef(t, im)
+
+	rates := map[core.RepairPolicy]float64{}
+	for _, policy := range core.Policies() {
+		s := runSim(t, config.Baseline().WithPolicy(policy), im)
+		if s.Machine().Output() != ref.Output() {
+			t.Fatalf("%v: architectural divergence", policy)
+		}
+		st := s.Stats()
+		if st.CondMispred == 0 {
+			t.Fatalf("%v: corruptor produced no mispredictions", policy)
+		}
+		rates[policy] = st.ReturnHitRate()
+		t.Logf("%-18v returns=%4d hit=%.4f mispred=%d wrong-path push/pop=%d/%d",
+			policy, st.Returns, st.ReturnHitRate(), st.CondMispred,
+			st.WrongPathPushes, st.WrongPathPops)
+	}
+	if rates[core.RepairFullStack] < 0.999 {
+		t.Errorf("full repair hit rate %.4f, want ~1", rates[core.RepairFullStack])
+	}
+	if rates[core.RepairTOSPointerAndContents] < 0.99 {
+		t.Errorf("ptr+contents hit rate %.4f, want ~1", rates[core.RepairTOSPointerAndContents])
+	}
+	if rates[core.RepairNone] >= rates[core.RepairTOSPointerAndContents] {
+		t.Errorf("no-repair (%.4f) should trail ptr+contents (%.4f)",
+			rates[core.RepairNone], rates[core.RepairTOSPointerAndContents])
+	}
+	if rates[core.RepairTOSPointer] > rates[core.RepairTOSPointerAndContents]+1e-9 {
+		t.Errorf("ptr-only (%.4f) should not beat ptr+contents (%.4f)",
+			rates[core.RepairTOSPointer], rates[core.RepairTOSPointerAndContents])
+	}
+}
+
+func TestBTBOnlyReturns(t *testing.T) {
+	im := mustAssemble(t, fibProgram)
+	cfg := config.Baseline()
+	cfg.ReturnPred = config.ReturnBTBOnly
+	cfg.RASEntries = 0
+	s := runSim(t, cfg, im)
+	ref := runRef(t, im)
+	if s.Machine().Output() != ref.Output() {
+		t.Fatal("BTB-only config diverged architecturally")
+	}
+	st := s.Stats()
+	if st.ReturnsFromRAS != 0 {
+		t.Error("no return should be RAS-predicted")
+	}
+	if st.RAS.Pushes != 0 || st.RAS.Pops != 0 {
+		t.Error("RAS should be inactive")
+	}
+	// fib returns to two different call sites from the same function, so
+	// the BTB's single stale target must miss a meaningful fraction.
+	if st.ReturnHitRate() > 0.95 {
+		t.Errorf("BTB-only return hit rate %.4f suspiciously high", st.ReturnHitRate())
+	}
+	if st.ReturnHitRate() < 0.10 {
+		t.Errorf("BTB-only return hit rate %.4f suspiciously low", st.ReturnHitRate())
+	}
+}
+
+func TestShadowSlotExhaustion(t *testing.T) {
+	im := mustAssemble(t, corruptorProgram)
+	cfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)
+	cfg.ShadowSlots = 1 // absurdly small: most branches get no checkpoint
+	s := runSim(t, cfg, im)
+	if s.Stats().CheckpointsDenied == 0 {
+		t.Error("one shadow slot should deny checkpoints")
+	}
+	// With generous slots nothing is denied.
+	cfg.ShadowSlots = 64
+	s2 := runSim(t, cfg, im)
+	if s2.Stats().CheckpointsDenied != 0 {
+		t.Errorf("64 slots denied %d checkpoints", s2.Stats().CheckpointsDenied)
+	}
+	// Fewer checkpoints means equal or worse return prediction.
+	if s.Stats().ReturnHitRate() > s2.Stats().ReturnHitRate()+1e-9 {
+		t.Errorf("starved shadow state (%.4f) should not beat unbounded (%.4f)",
+			s.Stats().ReturnHitRate(), s2.Stats().ReturnHitRate())
+	}
+}
+
+func TestDeepRecursionOverflow(t *testing.T) {
+	// Depth-90 mutual recursion through a 3-cycle of functions, so return
+	// addresses have period 3 — an 8-entry ring that wraps cannot stay
+	// aligned (self-recursion would hide overflow: every frame returns to
+	// the same site). Must overflow, lose most deep returns, and still be
+	// architecturally correct.
+	src := `
+main:
+    li $a0, 90
+    jal down1
+    move $a0, $v0
+    li $v0, 2
+    syscall
+` + exitSeq + `
+down1:
+    blez $a0, base
+    addi $sp, $sp, -4
+    sw $ra, 0($sp)
+    addi $a0, $a0, -1
+    jal down2
+    addi $v0, $v0, 1
+    lw $ra, 0($sp)
+    addi $sp, $sp, 4
+    ret
+down2:
+    blez $a0, base
+    addi $sp, $sp, -4
+    sw $ra, 0($sp)
+    addi $a0, $a0, -1
+    jal down3
+    addi $v0, $v0, 2
+    lw $ra, 0($sp)
+    addi $sp, $sp, 4
+    ret
+down3:
+    blez $a0, base
+    addi $sp, $sp, -4
+    sw $ra, 0($sp)
+    addi $a0, $a0, -1
+    jal down1
+    addi $v0, $v0, 3
+    lw $ra, 0($sp)
+    addi $sp, $sp, 4
+    ret
+base:
+    li $v0, 0
+    ret
+`
+	im := mustAssemble(t, src)
+	ref := runRef(t, im)
+	cfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents).WithRASEntries(8)
+	s := runSim(t, cfg, im)
+	if s.Machine().Output() != ref.Output() {
+		t.Fatal("architectural divergence under overflow")
+	}
+	st := s.Stats()
+	if st.RAS.Overflows == 0 {
+		t.Error("expected stack overflows")
+	}
+	if st.ReturnHitRate() > 0.6 {
+		t.Errorf("hit rate %.4f too high for depth-90 3-cycle recursion on 8 entries", st.ReturnHitRate())
+	}
+	// A 128-entry stack fixes it.
+	s2 := runSim(t, config.Baseline().WithPolicy(core.RepairTOSPointerAndContents).WithRASEntries(128), im)
+	if s2.Stats().ReturnHitRate() < 0.99 {
+		t.Errorf("deep stack hit rate %.4f, want ~1", s2.Stats().ReturnHitRate())
+	}
+	if s2.Stats().RAS.Overflows != 0 {
+		t.Error("128-entry stack should not overflow at depth 90")
+	}
+}
+
+func TestLinkedStackInPipeline(t *testing.T) {
+	im := mustAssemble(t, corruptorProgram)
+	ref := runRef(t, im)
+	cfg := config.Baseline()
+	cfg.RASKind = config.RASLinked
+	cfg.RASEntries = 64 // physical entries
+	s := runSim(t, cfg, im)
+	if s.Machine().Output() != ref.Output() {
+		t.Fatal("linked stack diverged architecturally")
+	}
+	if hr := s.Stats().ReturnHitRate(); hr < 0.98 {
+		t.Errorf("linked-stack hit rate %.4f, want ~1", hr)
+	}
+}
+
+func TestStatsAccessors(t *testing.T) {
+	var st Stats
+	if st.IPC() != 0 || st.ReturnHitRate() != 0 || st.CondMispredRate() != 0 {
+		t.Error("zero-value stats accessors must return 0")
+	}
+	st = Stats{Cycles: 100, Committed: 150, Returns: 10, ReturnsCorrect: 9,
+		CondBranches: 20, ForkedBranches: 4, CondMispred: 4}
+	if st.IPC() != 1.5 {
+		t.Error("IPC")
+	}
+	if st.ReturnHitRate() != 0.9 {
+		t.Error("return hit rate")
+	}
+	if st.CondMispredRate() != 0.25 {
+		t.Error("mispredict rate should exclude forked branches")
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	im := mustAssemble(t, sumProgram)
+	cfg := config.Baseline()
+	cfg.RUUSize = 0
+	if _, err := New(cfg, im); err == nil {
+		t.Error("invalid config should be rejected")
+	}
+}
+
+func TestRunBudgetStopsEarly(t *testing.T) {
+	im := mustAssemble(t, `
+main:
+loop:
+    addi $t0, $t0, 1
+    j loop
+`)
+	s, err := New(config.Baseline(), im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(5000); err != nil {
+		t.Fatal(err)
+	}
+	if s.Done() {
+		t.Error("infinite loop cannot be done")
+	}
+	if got := s.Stats().Committed; got < 5000 || got > 5000+uint64(config.Baseline().CommitWidth) {
+		t.Errorf("committed %d, want ~5000", got)
+	}
+}

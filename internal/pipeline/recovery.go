@@ -1,0 +1,273 @@
+package pipeline
+
+import (
+	"retstack/internal/config"
+	"retstack/internal/core"
+	"retstack/internal/isa"
+)
+
+// recover handles the resolution of a mispredicted branch that was
+// dispatched on the correct path: squash everything younger on its path
+// (and any path forked from it after the branch), repair the
+// return-address stack from the branch's checkpoint, and redirect fetch to
+// the true target.
+func (s *Sim) recover(e *ruuEntry) {
+	p := s.pathByTok[e.pathTok]
+	if p == nil {
+		s.fail("recovery for a dead path (seq %d)", e.seq)
+		return
+	}
+	s.stats.Recoveries++
+	s.emit(TraceRecover, e.seq, e.pathTok, e.pc, e.inst, e.actualNPC)
+	s.squashYounger(p, e.seq)
+
+	if p.ras != nil {
+		if sr, ok := p.ras.(core.SeqRepairer); ok {
+			sr.InvalidateAfter(e.seq)
+		} else if e.hasCheckpoint {
+			p.ras.Restore(&e.checkpoint)
+		}
+	}
+	if s.cfg.SpecHistory {
+		s.hybrid.RestoreHistory(e.pc, e.histSnap,
+			e.class == isa.ClassCondBranch, e.actualTaken)
+	}
+
+	p.correct = true
+	p.overlay.Reset()
+	p.fetchPC = e.actualNPC
+	p.fetchDead = false
+	p.lastLine = 0
+	p.stalledUntil = 0
+	s.rebuildCreators(p)
+}
+
+// resolveFork squashes the losing side of a forked branch when it resolves.
+func (s *Sim) resolveFork(e *ruuEntry) {
+	p := s.pathByTok[e.pathTok]
+	if p == nil {
+		return // whole subtree already gone
+	}
+	// Unified-with-repair: the shared stack is restored to its fork-time
+	// state. This discards the winning side's own pushes too — the reason
+	// the paper finds that even checkpoint repair cannot make one unified
+	// stack work under multipath execution.
+	if s.cfg.MPStacks == config.MPUnifiedRepair && p.ras != nil && e.hasCheckpoint {
+		p.ras.Restore(&e.checkpoint)
+	}
+
+	if e.loserParent {
+		// The parent's continuation lost: squash its post-branch work. Its
+		// fetch stream has no correct continuation (the child is it), so
+		// the context stops fetching and is reclaimed once it drains.
+		s.squashYounger(p, e.seq)
+		p.fetchDead = true
+		p.overlay.Reset()
+		s.rebuildCreators(p)
+		return
+	}
+	if child := s.pathByTok[e.loserToken]; child != nil {
+		s.killSubtree(child)
+	}
+}
+
+// squashYounger invalidates every RUU entry on path p younger than seq,
+// kills every path forked from p after seq (transitively), and flushes the
+// fetch queue accordingly.
+func (s *Sim) squashYounger(p *path, seq uint64) {
+	doomed := map[uint64]bool{}
+	// Fixed point: a path is doomed if it forked from p after seq, or if
+	// its parent is doomed.
+	for {
+		grew := false
+		for i := range s.paths {
+			q := &s.paths[i]
+			if !q.live || doomed[q.token] || q.token == p.token {
+				continue
+			}
+			if q.parentToken == p.token && q.forkSeq > seq ||
+				doomed[q.parentToken] {
+				doomed[q.token] = true
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	for k := 0; k < s.ruuCount; k++ {
+		e := &s.ruu[(s.ruuHead+k)%len(s.ruu)]
+		if !e.valid || e.squashed {
+			continue
+		}
+		if e.pathTok == p.token && e.seq > seq || doomed[e.pathTok] {
+			s.squashEntry(e)
+		}
+	}
+	s.flushFetchQ(func(sl *fetchSlot) bool {
+		return sl.pathTok == p.token && sl.seq > seq || doomed[sl.pathTok]
+	})
+	for tok := range doomed {
+		s.releasePath(s.pathByTok[tok])
+	}
+}
+
+// killSubtree squashes a path and all its descendants entirely.
+func (s *Sim) killSubtree(root *path) {
+	doomed := map[uint64]bool{root.token: true}
+	for {
+		grew := false
+		for i := range s.paths {
+			q := &s.paths[i]
+			if q.live && !doomed[q.token] && doomed[q.parentToken] {
+				doomed[q.token] = true
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	for k := 0; k < s.ruuCount; k++ {
+		e := &s.ruu[(s.ruuHead+k)%len(s.ruu)]
+		if e.valid && !e.squashed && doomed[e.pathTok] {
+			s.squashEntry(e)
+		}
+	}
+	s.flushFetchQ(func(sl *fetchSlot) bool { return doomed[sl.pathTok] })
+	for tok := range doomed {
+		s.releasePath(s.pathByTok[tok])
+	}
+}
+
+// squashEntry marks one RUU entry as wrong-path work. The slot itself
+// drains through commit ("now-empty entries must still propagate to the
+// front and be retired").
+func (s *Sim) squashEntry(e *ruuEntry) {
+	e.squashed = true
+	e.completed = true
+	e.recovers = false
+	s.releaseCheckpoint(e)
+	if e.lsqHeld {
+		e.lsqHeld = false
+		s.lsqCount--
+	}
+	if e.rasPushed {
+		s.stats.WrongPathPushes++
+	}
+	if e.rasPopped {
+		s.stats.WrongPathPops++
+	}
+	s.stats.Squashed++
+	s.emit(TraceSquash, e.seq, e.pathTok, e.pc, e.inst, 0)
+}
+
+// flushFetchQ removes (and accounts) every queued slot matching the
+// predicate, compacting the ring in place.
+func (s *Sim) flushFetchQ(match func(*fetchSlot) bool) {
+	kept := 0
+	for k := 0; k < s.fetchQLen; k++ {
+		i := (s.fetchQHead + k) % len(s.fetchQ)
+		sl := s.fetchQ[i]
+		if match(&sl) {
+			s.dropFetchSlot(&sl)
+			continue
+		}
+		j := (s.fetchQHead + kept) % len(s.fetchQ)
+		if j != i {
+			s.fetchQ[j], s.fetchQ[i] = sl, s.fetchQ[j] // swap keeps buffers owned
+		}
+		kept++
+	}
+	s.fetchQLen = kept
+}
+
+// releasePath frees a path context. Live children are re-parented to the
+// released path's parent, inheriting its fork point so that future
+// squashes on the grandparent still reach them.
+func (s *Sim) releasePath(q *path) {
+	if q == nil || !q.live {
+		return
+	}
+	for i := range s.paths {
+		r := &s.paths[i]
+		if r.live && r.parentToken == q.token {
+			r.parentToken = q.parentToken
+			r.forkSeq = q.forkSeq
+		}
+	}
+	// Fold a per-path stack's structural stats before the stack dies.
+	if q.ras != nil && q.ras != s.sharedRAS {
+		s.addStackStats(q.ras.Stats())
+	}
+	delete(s.pathByTok, q.token)
+	q.live = false
+	q.ras = nil
+	q.overlay = nil
+	s.liveCount--
+	s.stats.PathsSquashed++
+}
+
+// reapDrainedPaths frees contexts whose fetch lost a fork once their last
+// in-flight work has drained. Called from commit.
+func (s *Sim) reapDrainedPaths() {
+	for i := range s.paths {
+		q := &s.paths[i]
+		if !q.live || !q.fetchDead {
+			continue
+		}
+		busy := false
+		for k := 0; k < s.ruuCount && !busy; k++ {
+			e := &s.ruu[(s.ruuHead+k)%len(s.ruu)]
+			busy = e.valid && e.pathTok == q.token
+		}
+		for k := 0; k < s.fetchQLen && !busy; k++ {
+			busy = s.fetchQ[(s.fetchQHead+k)%len(s.fetchQ)].pathTok == q.token
+		}
+		if !busy {
+			s.releasePath(q)
+			// A reaped loser context is not a "squashed path" in the
+			// statistics sense; undo the count releasePath applied.
+			s.stats.PathsSquashed--
+		}
+	}
+}
+
+// rebuildCreators reconstructs a path's register-producer table from the
+// surviving RUU contents after a squash. An entry is visible to p if it is
+// on p itself or on an ancestor before the fork leading toward p.
+func (s *Sim) rebuildCreators(p *path) {
+	p.resetCreators()
+	for k := 0; k < s.ruuCount; k++ {
+		idx := (s.ruuHead + k) % len(s.ruu)
+		e := &s.ruu[idx]
+		if !e.valid || e.squashed || e.destReg < 0 {
+			continue
+		}
+		if s.visibleTo(e, p) {
+			p.creatorIdx[e.destReg] = idx
+			p.creatorSeq[e.destReg] = e.seq
+		}
+	}
+}
+
+// visibleTo reports whether entry e is part of path p's program-order
+// history.
+func (s *Sim) visibleTo(e *ruuEntry, p *path) bool {
+	if e.pathTok == p.token {
+		return true
+	}
+	bound := ^uint64(0)
+	q := p
+	for {
+		parent := s.pathByTok[q.parentToken]
+		if parent == nil {
+			return false
+		}
+		bound = q.forkSeq
+		if parent.token == e.pathTok {
+			return e.seq <= bound
+		}
+		q = parent
+	}
+}

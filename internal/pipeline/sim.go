@@ -1,0 +1,291 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"retstack/internal/bpred"
+	"retstack/internal/cache"
+	"retstack/internal/config"
+	"retstack/internal/core"
+	"retstack/internal/emu"
+	"retstack/internal/program"
+)
+
+// thread is one hardware thread context: its own architectural machine
+// and drain state. Non-SMT configurations have exactly one.
+type thread struct {
+	id        int
+	mach      *emu.Machine
+	drainExit bool // exit syscall dispatched; stop dispatching this thread
+	done      bool // exit committed
+}
+
+// Sim is one simulated machine instance running one program (or, under
+// SMT, one program per hardware thread).
+type Sim struct {
+	cfg     config.Config
+	threads []*thread
+	mach    *emu.Machine // threads[0].mach (the single-thread fast path)
+
+	hier    *cache.Hierarchy
+	dirPred bpred.DirectionPredictor
+	hybrid  *bpred.Hybrid // non-nil iff DirPred == DirHybrid
+	btb     *bpred.BTB
+	conf    *bpred.Confidence
+	tcache  *bpred.TargetCache // allocated only when a role uses it
+
+	sharedRAS core.ReturnStack // used when stacks are unified (or single-path)
+
+	ruu      []ruuEntry
+	ruuHead  int // oldest
+	ruuTail  int // next free
+	ruuCount int
+	lsqCount int
+
+	fetchQ     []fetchSlot
+	fetchQHead int
+	fetchQLen  int
+
+	paths      []path
+	pathByTok  map[uint64]*path
+	liveCount  int
+	nextToken  uint64
+	nextSeq    uint64
+	shadowUsed int
+
+	misses []uint64 // completion cycles of outstanding data-cache misses
+
+	cycle  uint64
+	tracer Tracer
+	stats  Stats
+	done   bool
+	runErr error
+
+	maxInsts uint64
+}
+
+// New builds a simulator for the image under the given configuration. For
+// SMT configurations the same image runs on every thread; use NewSMT to
+// give each thread its own program.
+func New(cfg config.Config, im *program.Image) (*Sim, error) {
+	n := cfg.SMTThreads
+	if n < 1 {
+		n = 1
+	}
+	ims := make([]*program.Image, n)
+	for i := range ims {
+		ims[i] = im
+	}
+	return NewSMT(cfg, ims)
+}
+
+// NewSMT builds a simulator running one program per hardware thread. The
+// number of images must match Config.SMTThreads (or be 1 when SMT is off).
+func NewSMT(cfg config.Config, ims []*program.Image) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	want := cfg.SMTThreads
+	if want < 1 {
+		want = 1
+	}
+	if len(ims) != want {
+		return nil, fmt.Errorf("pipeline: %d images for %d threads", len(ims), want)
+	}
+
+	s := &Sim{
+		cfg: cfg,
+		hier: cache.NewHierarchy(cache.HierarchyConfig{
+			L1I: cache.Config{Name: "l1i", SizeBytes: cfg.L1I.SizeBytes, Ways: cfg.L1I.Ways,
+				LineBytes: cfg.L1I.LineBytes, HitLatency: cfg.L1I.HitLatency},
+			L1D: cache.Config{Name: "l1d", SizeBytes: cfg.L1D.SizeBytes, Ways: cfg.L1D.Ways,
+				LineBytes: cfg.L1D.LineBytes, HitLatency: cfg.L1D.HitLatency},
+			L2: cache.Config{Name: "l2", SizeBytes: cfg.L2.SizeBytes, Ways: cfg.L2.Ways,
+				LineBytes: cfg.L2.LineBytes, HitLatency: cfg.L2.HitLatency},
+			MemLatency: cfg.MemLatency,
+		}),
+		btb:  bpred.NewBTB(cfg.BTBSets, cfg.BTBWays),
+		conf: bpred.NewConfidence(10, 4, cfg.ConfThreshold),
+
+		ruu:       make([]ruuEntry, cfg.RUUSize),
+		fetchQ:    make([]fetchSlot, cfg.FetchWidth*(cfg.BranchLat+2)),
+		pathByTok: make(map[uint64]*path),
+	}
+	switch cfg.DirPred {
+	case config.DirGShare:
+		s.dirPred = bpred.NewGShare(cfg.GAgHistBits)
+	case config.DirBimodal:
+		s.dirPred = bpred.NewBimodal(1 << cfg.GAgHistBits)
+	default:
+		s.hybrid = bpred.NewHybridSized(cfg.GAgHistBits, cfg.PAgEntries, cfg.PAgHistBits, cfg.SelectorSize)
+		s.dirPred = s.hybrid
+	}
+
+	nPaths := cfg.MaxPaths
+	if len(ims) > nPaths {
+		nPaths = len(ims)
+	}
+	s.paths = make([]path, nPaths)
+	s.stats.PerThreadCommitted = make([]uint64, len(ims))
+
+	if cfg.ReturnPred == config.ReturnRAS {
+		s.sharedRAS = cfg.NewReturnStack()
+	}
+	if cfg.IndirectPred == config.IndirectTargetCache || cfg.ReturnPred == config.ReturnTargetCache {
+		s.tcache = bpred.NewTargetCache(cfg.TCSizeBits, cfg.TCHistBits)
+	}
+
+	// One thread context and root path per image.
+	for i, im := range ims {
+		m := emu.NewMachine()
+		m.Load(im)
+		th := &thread{id: i, mach: m}
+		s.threads = append(s.threads, th)
+
+		root := &s.paths[i]
+		root.id = i
+		root.thread = i
+		s.nextToken++
+		root.token = s.nextToken
+		root.live = true
+		root.correct = true
+		root.fetchPC = im.Entry
+		root.overlay = emu.NewOverlay(m)
+		root.resetCreators()
+		if cfg.ReturnPred == config.ReturnRAS {
+			if len(ims) > 1 && !cfg.SMTSharedRAS {
+				root.ras = cfg.NewReturnStack() // per-thread stack
+			} else {
+				root.ras = s.sharedRAS
+			}
+		}
+		s.pathByTok[root.token] = root
+		s.liveCount++
+	}
+	s.mach = s.threads[0].mach
+	return s, nil
+}
+
+// threadOf returns the hardware thread owning a path.
+func (s *Sim) threadOf(p *path) *thread { return s.threads[p.thread] }
+
+// pathStack returns the stack a new path context should use: the shared
+// stack under unified organizations, or a fresh/cloned stack per path.
+func (s *Sim) pathStack(parent core.ReturnStack) core.ReturnStack {
+	if s.cfg.ReturnPred != config.ReturnRAS {
+		return nil
+	}
+	if s.cfg.MaxPaths <= 1 || s.cfg.MPStacks != config.MPPerPath {
+		return s.sharedRAS
+	}
+	if parent == nil {
+		return s.sharedRAS // root uses the primary stack
+	}
+	return parent.CloneStack()
+}
+
+// Stats returns the accumulated statistics.
+func (s *Sim) Stats() *Stats { return &s.stats }
+
+// Machine exposes thread 0's architectural machine (output, exit code,
+// instruction mix).
+func (s *Sim) Machine() *emu.Machine { return s.mach }
+
+// ThreadMachine exposes one SMT thread's architectural machine.
+func (s *Sim) ThreadMachine(i int) *emu.Machine { return s.threads[i].mach }
+
+// Caches exposes the memory hierarchy for reporting.
+func (s *Sim) Caches() *cache.Hierarchy { return s.hier }
+
+// DirPredictor exposes the direction predictor (the hybrid carries its
+// own statistics; the simple predictors do not).
+func (s *Sim) DirPredictor() *bpred.Hybrid { return s.hybrid }
+
+// BTB exposes BTB statistics.
+func (s *Sim) BTB() *bpred.BTB { return s.btb }
+
+// TargetCache exposes the target cache (nil unless configured).
+func (s *Sim) TargetCache() *bpred.TargetCache { return s.tcache }
+
+// Done reports whether the program has halted (exit committed).
+func (s *Sim) Done() bool { return s.done }
+
+// Run simulates until the program exits or maxInsts instructions have
+// committed (0 = unbounded). It returns the first simulation error.
+func (s *Sim) Run(maxInsts uint64) error {
+	s.maxInsts = maxInsts
+	// Hard backstop so a misconfigured machine cannot loop forever: no
+	// real workload commits fewer than one instruction per 10k cycles.
+	deadCycles := uint64(0)
+	lastCommitted := uint64(0)
+	for !s.done && s.runErr == nil {
+		if maxInsts > 0 && s.stats.Committed >= maxInsts {
+			break
+		}
+		s.step()
+		if s.stats.Committed == lastCommitted {
+			deadCycles++
+			if deadCycles > 200_000 {
+				return fmt.Errorf("pipeline: no commit progress for %d cycles at cycle %d (pc=%#x)",
+					deadCycles, s.cycle, s.paths[0].fetchPC)
+			}
+		} else {
+			deadCycles = 0
+			lastCommitted = s.stats.Committed
+		}
+	}
+	if s.runErr != nil {
+		return s.runErr
+	}
+	// Fold per-path stack stats that are still live into the aggregate.
+	s.foldLiveStackStats()
+	return nil
+}
+
+// step advances one cycle. Stages run commit-first so that a result
+// produced in cycle N is visible to dependents in cycle N+1.
+func (s *Sim) step() {
+	s.stats.Cycles++
+	s.commitStage()
+	if s.done || s.runErr != nil {
+		return
+	}
+	s.writebackStage()
+	s.issueStage()
+	s.dispatchStage()
+	s.fetchStage()
+	s.cycle++
+}
+
+func (s *Sim) fail(format string, args ...interface{}) {
+	if s.runErr == nil {
+		s.runErr = fmt.Errorf("pipeline: "+format, args...)
+	}
+}
+
+// foldLiveStackStats adds the structural counters of stacks still alive at
+// the end of simulation into stats.RAS (dead paths folded at release time).
+func (s *Sim) foldLiveStackStats() {
+	if s.cfg.ReturnPred != config.ReturnRAS {
+		return
+	}
+	seen := map[core.ReturnStack]bool{}
+	for i := range s.paths {
+		p := &s.paths[i]
+		if p.live && p.ras != nil && !seen[p.ras] {
+			seen[p.ras] = true
+			s.addStackStats(p.ras.Stats())
+		}
+	}
+	if !seen[s.sharedRAS] && s.sharedRAS != nil {
+		s.addStackStats(s.sharedRAS.Stats())
+	}
+}
+
+func (s *Sim) addStackStats(st *core.Stats) {
+	s.stats.RAS.Pushes += st.Pushes
+	s.stats.RAS.Pops += st.Pops
+	s.stats.RAS.Overflows += st.Overflows
+	s.stats.RAS.Underflows += st.Underflows
+	s.stats.RAS.Restores += st.Restores
+}

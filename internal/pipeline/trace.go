@@ -1,0 +1,96 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+
+	"retstack/internal/isa"
+)
+
+// TraceKind identifies a pipeline event.
+type TraceKind uint8
+
+const (
+	TraceFetch TraceKind = iota
+	TraceDispatch
+	TraceComplete
+	TraceCommit
+	TraceSquash
+	TraceRecover
+	TraceFork
+	TraceForkResolve
+)
+
+var traceKindNames = []string{
+	"fetch", "dispatch", "complete", "commit", "squash", "recover",
+	"fork", "fork-resolve",
+}
+
+func (k TraceKind) String() string {
+	if int(k) < len(traceKindNames) {
+		return traceKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// TraceEvent is one pipeline occurrence.
+type TraceEvent struct {
+	Cycle uint64
+	Kind  TraceKind
+	Seq   uint64
+	Path  uint64 // path token
+	PC    uint32
+	Inst  isa.Inst
+	// Extra carries a kind-specific address: the predicted next PC for
+	// fetches, the redirect target for recoveries.
+	Extra uint32
+}
+
+// Tracer receives pipeline events. Implementations must be fast; the
+// simulator calls them inline.
+type Tracer interface {
+	Event(TraceEvent)
+}
+
+// SetTracer installs (or, with nil, removes) an event tracer.
+func (s *Sim) SetTracer(t Tracer) { s.tracer = t }
+
+func (s *Sim) emit(kind TraceKind, seq, path uint64, pc uint32, inst isa.Inst, extra uint32) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Event(TraceEvent{
+		Cycle: s.cycle, Kind: kind, Seq: seq, Path: path,
+		PC: pc, Inst: inst, Extra: extra,
+	})
+}
+
+// TextTracer renders events one per line. MaxEvents bounds the output
+// (0 = unlimited); once exhausted it goes quiet.
+type TextTracer struct {
+	W         io.Writer
+	MaxEvents int
+	count     int
+}
+
+// Event implements Tracer.
+func (t *TextTracer) Event(e TraceEvent) {
+	if t.MaxEvents > 0 && t.count >= t.MaxEvents {
+		return
+	}
+	t.count++
+	switch e.Kind {
+	case TraceFetch:
+		fmt.Fprintf(t.W, "%8d %-12s p%-2d seq=%-6d pc=%08x  %-28s -> %08x\n",
+			e.Cycle, e.Kind, e.Path, e.Seq, e.PC, e.Inst.Disasm(e.PC), e.Extra)
+	case TraceRecover:
+		fmt.Fprintf(t.W, "%8d %-12s p%-2d seq=%-6d pc=%08x  redirect -> %08x\n",
+			e.Cycle, e.Kind, e.Path, e.Seq, e.PC, e.Extra)
+	default:
+		fmt.Fprintf(t.W, "%8d %-12s p%-2d seq=%-6d pc=%08x  %s\n",
+			e.Cycle, e.Kind, e.Path, e.Seq, e.PC, e.Inst.Disasm(e.PC))
+	}
+}
+
+// Count returns the number of events written.
+func (t *TextTracer) Count() int { return t.count }

@@ -1,0 +1,223 @@
+// Package pipeline implements the cycle-level out-of-order processor model
+// (HydraScalar-style): a 4-wide fetch engine that follows predictions
+// through not-taken branches and stops at taken ones, dispatch/rename into
+// a register update unit (RUU), issue to functional units, writeback with
+// branch resolution and recovery, and in-order commit that updates the
+// branch predictors.
+//
+// Mis-speculation is modeled the way the paper's simulator does:
+// instructions execute functionally at dispatch; the first mispredicted
+// branch on the correct path switches its path into speculative mode, and
+// younger instructions execute against a copy-on-write overlay so the
+// wrong path runs real code — fetching through calls and returns and
+// thereby corrupting the return-address stack, which is the phenomenon
+// under study. Resolution of the mispredicted branch squashes younger
+// entries, redirects fetch, and repairs the stack per the configured
+// policy.
+//
+// Multipath execution forks low-confidence conditional branches instead of
+// predicting them: the parent path context follows the taken side, a new
+// path context follows the fall-through, RUU entries carry path tags, and
+// resolution selectively squashes the losing subtree ("these now-empty
+// entries must still propagate to the front and be retired"). The
+// return-address stack is either shared among paths (optionally with
+// checkpoint repair) or copied per path at fork time.
+package pipeline
+
+import (
+	"retstack/internal/bpred"
+	"retstack/internal/core"
+	"retstack/internal/emu"
+	"retstack/internal/isa"
+)
+
+// invalidIdx marks an empty creator-table slot or absent dependency.
+const invalidIdx = -1
+
+// ruuEntry is one slot of the register update unit.
+type ruuEntry struct {
+	valid    bool
+	squashed bool
+	seq      uint64 // fetch-order sequence number
+	pathTok  uint64 // owning path's token (slots are recycled; tokens not)
+	pc       uint32
+	inst     isa.Inst
+	class    isa.Class
+
+	// Dependencies for issue timing: up to two producer RUU slots, guarded
+	// by sequence number against slot recycling.
+	depIdx [2]int
+	depSeq [2]uint64
+
+	destReg int
+
+	issued     bool
+	completed  bool
+	completeAt uint64
+
+	isLoad  bool
+	isStore bool
+	lsqHeld bool // occupies an LSQ slot until commit or squash
+	memAddr uint32
+
+	// Control-flow resolution state.
+	isCtrl      bool
+	predNPC     uint32
+	actualNPC   uint32
+	predTaken   bool
+	actualTaken bool
+	mispred     bool // prediction != outcome, discovered at dispatch
+	recovers    bool // resolution must trigger a squash/redirect
+	fromRAS     bool // return whose prediction came from the RAS
+	rasPushed   bool // fetch pushed the RAS for this instruction
+	rasPopped   bool // fetch popped the RAS for this instruction
+
+	// RAS shadow state for repair.
+	hasCheckpoint bool
+	checkpoint    core.Checkpoint
+
+	// Direction-predictor history at prediction time (speculative-history
+	// mode: commit trains these indices, recovery restores the registers).
+	histSnap bpred.HistorySnapshot
+
+	// Multipath fork bookkeeping.
+	forked      bool
+	childToken  uint64 // token of the path created for the fall-through side
+	loserToken  uint64 // set at dispatch: the side that must squash at resolve
+	loserParent bool   // the losing side is the parent's continuation
+
+	// Deferred architectural side effects (applied at commit).
+	syscall    emu.SyscallCode
+	syscallArg uint32
+
+	execErr bool // wrong-path execution fault: entry is an effect-free bubble
+}
+
+// fetchSlot is one entry of the fetch queue between the fetch engine and
+// dispatch. The front-end depth (Config.BranchLat) is modeled by readyAt.
+type fetchSlot struct {
+	seq     uint64
+	pathTok uint64
+	pc      uint32
+	inst    isa.Inst
+	class   isa.Class
+	readyAt uint64
+
+	predNPC   uint32
+	predTaken bool
+	fromRAS   bool
+	rasPushed bool
+	rasPopped bool
+
+	hasCheckpoint bool
+	checkpoint    core.Checkpoint
+	histSnap      bpred.HistorySnapshot
+
+	forked     bool
+	childToken uint64
+}
+
+// path is a fetch/execution context. Single-path operation uses exactly
+// one; multipath forking and SMT use several (an SMT thread's context is
+// its root path).
+type path struct {
+	id     int    // slot index
+	token  uint64 // unique identity (slots are recycled)
+	live   bool
+	thread int // owning hardware thread (0 unless SMT)
+
+	parentToken uint64 // 0 for the root path
+	forkSeq     uint64 // seq of the branch that forked this path
+
+	fetchPC      uint32
+	fetchDead    bool   // context lost the fork it was following
+	stalledUntil uint64 // icache miss
+	lastLine     uint32 // last fetched I-cache line + 1 (0 = none)
+
+	correct bool // dispatching architecturally (on the true path)
+	overlay *emu.Overlay
+
+	ras core.ReturnStack // per-path stack, or the shared stack
+
+	// creator maps architectural registers to the RUU slot of their newest
+	// in-flight producer (guarded by seq).
+	creatorIdx [isa.NumRegs]int
+	creatorSeq [isa.NumRegs]uint64
+}
+
+func (p *path) resetCreators() {
+	for i := range p.creatorIdx {
+		p.creatorIdx[i] = invalidIdx
+	}
+}
+
+// Stats aggregates everything the experiments report.
+type Stats struct {
+	Cycles        uint64
+	Committed     uint64 // retired architectural instructions
+	Fetched       uint64
+	Squashed      uint64 // RUU entries squashed (wrong-path work)
+	FastForwarded uint64 // instructions executed in warmup fast mode
+
+	CommittedByClass [16]uint64
+
+	// Conditional branches (committed).
+	CondBranches   uint64
+	CondMispred    uint64
+	ForkedBranches uint64
+
+	// Returns (committed).
+	Returns        uint64
+	ReturnsCorrect uint64
+	ReturnsFromRAS uint64
+
+	// Other indirect transfers (committed).
+	Indirects        uint64
+	IndirectsCorrect uint64
+
+	// Recovery machinery.
+	Recoveries        uint64
+	PathsSquashed     uint64
+	Forks             uint64
+	CheckpointsDenied uint64 // shadow-slot exhaustion at checkpoint time
+
+	// Wrong-path RAS activity: pushes/pops performed at fetch by
+	// instructions that never committed.
+	WrongPathPushes uint64
+	WrongPathPops   uint64
+
+	// RAS structural events, aggregated over every stack that existed
+	// (per-path stacks die with their paths; their counts are folded in).
+	RAS core.Stats
+
+	// PerThreadCommitted breaks Committed down by SMT thread.
+	PerThreadCommitted []uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// ReturnHitRate returns the fraction of committed returns whose predicted
+// target was correct.
+func (s *Stats) ReturnHitRate() float64 {
+	if s.Returns == 0 {
+		return 0
+	}
+	return float64(s.ReturnsCorrect) / float64(s.Returns)
+}
+
+// CondMispredRate returns the fraction of committed conditional branches
+// that were mispredicted (forked branches are excluded: they were not
+// predicted).
+func (s *Stats) CondMispredRate() float64 {
+	den := s.CondBranches - s.ForkedBranches
+	if den == 0 {
+		return 0
+	}
+	return float64(s.CondMispred) / float64(den)
+}

@@ -1,0 +1,41 @@
+package pipeline
+
+import (
+	"testing"
+
+	"retstack/internal/config"
+	"retstack/internal/core"
+)
+
+// TestValidBitsArchitecturalEquivalence: the tagged stack changes timing
+// only, never results.
+func TestValidBitsArchitecturalEquivalence(t *testing.T) {
+	for _, src := range []string{fibProgram, corruptorProgram} {
+		im := mustAssemble(t, src)
+		ref := runRef(t, im)
+		cfg := config.Baseline()
+		cfg.RASKind = config.RASValidBits
+		s := runSim(t, cfg, im)
+		if s.Machine().Output() != ref.Output() {
+			t.Fatal("valid-bits run diverged architecturally")
+		}
+	}
+}
+
+// TestValidBitsBetweenNoneAndProposal: the paper-cited Pentium mechanism
+// must land between no repair and the paper's proposal on the corruptor.
+func TestValidBitsOrdering(t *testing.T) {
+	im := mustAssemble(t, corruptorProgram)
+	none := runSim(t, config.Baseline().WithPolicy(core.RepairNone), im).Stats().ReturnHitRate()
+	vbCfg := config.Baseline()
+	vbCfg.RASKind = config.RASValidBits
+	vb := runSim(t, vbCfg, im).Stats().ReturnHitRate()
+	prop := runSim(t, config.Baseline().WithPolicy(core.RepairTOSPointerAndContents), im).Stats().ReturnHitRate()
+	t.Logf("none=%.4f valid-bits=%.4f proposal=%.4f", none, vb, prop)
+	if vb < none-1e-9 {
+		t.Errorf("valid bits (%.4f) should not be worse than none (%.4f)", vb, none)
+	}
+	if vb > prop+1e-9 {
+		t.Errorf("valid bits (%.4f) should not beat the proposal (%.4f)", vb, prop)
+	}
+}

@@ -1,0 +1,283 @@
+// Package program represents loadable program images: contiguous segments
+// of bytes at fixed addresses plus a symbol table and an entry point. The
+// assembler produces images and the emulator loads them.
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"retstack/internal/isa"
+)
+
+// Default memory layout. Workload generators are free to override, but the
+// assembler and builders start text and data here.
+const (
+	DefaultTextBase = 0x0040_0000
+	DefaultDataBase = 0x1000_0000
+	DefaultStackTop = 0x7FFF_F000 // initial $sp (grows down)
+	DefaultGPBase   = DefaultDataBase
+)
+
+// Segment is a contiguous run of initialized memory.
+type Segment struct {
+	Addr uint32
+	Data []byte
+}
+
+// End returns the first address past the segment.
+func (s Segment) End() uint32 { return s.Addr + uint32(len(s.Data)) }
+
+// Image is a complete loadable program.
+type Image struct {
+	Segments []Segment
+	Entry    uint32
+	Symbols  map[string]uint32
+}
+
+// New returns an empty image with an initialized symbol table.
+func New() *Image {
+	return &Image{Symbols: make(map[string]uint32)}
+}
+
+// AddSegment appends a segment. Overlap with existing segments is an error:
+// images are built once, front to back.
+func (im *Image) AddSegment(addr uint32, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	end := addr + uint32(len(data))
+	if end < addr {
+		return fmt.Errorf("program: segment at %#x wraps the address space", addr)
+	}
+	for _, s := range im.Segments {
+		if addr < s.End() && s.Addr < end {
+			return fmt.Errorf("program: segment [%#x,%#x) overlaps [%#x,%#x)",
+				addr, end, s.Addr, s.End())
+		}
+	}
+	im.Segments = append(im.Segments, Segment{Addr: addr, Data: data})
+	sort.Slice(im.Segments, func(a, b int) bool {
+		return im.Segments[a].Addr < im.Segments[b].Addr
+	})
+	return nil
+}
+
+// Symbol returns the address of a defined symbol.
+func (im *Image) Symbol(name string) (uint32, bool) {
+	a, ok := im.Symbols[name]
+	return a, ok
+}
+
+// Size returns the total number of initialized bytes.
+func (im *Image) Size() int {
+	n := 0
+	for _, s := range im.Segments {
+		n += len(s.Data)
+	}
+	return n
+}
+
+// Word returns the 32-bit little-endian word at addr if it lies within an
+// initialized segment.
+func (im *Image) Word(addr uint32) (uint32, bool) {
+	for _, s := range im.Segments {
+		if addr >= s.Addr && addr+isa.WordBytes <= s.End() {
+			off := addr - s.Addr
+			d := s.Data[off : off+4]
+			return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, true
+		}
+	}
+	return 0, false
+}
+
+// Builder assembles an image directly from isa.Inst values — the
+// programmatic alternative to the textual assembler, used by workload
+// generators that compute code rather than write it by hand.
+type Builder struct {
+	text     []uint32
+	textBase uint32
+	data     []byte
+	dataBase uint32
+	symbols  map[string]uint32
+	fixups   []fixup
+	err      error
+}
+
+type fixupKind uint8
+
+const (
+	fixJump   fixupKind = iota // patch J/JAL target field
+	fixBranch                  // patch conditional-branch offset
+	fixLoHi                    // patch lui/ori pair loading a symbol address
+)
+
+type fixup struct {
+	kind  fixupKind
+	index int // instruction index in text
+	sym   string
+}
+
+// NewBuilder returns a Builder with the default text and data bases.
+func NewBuilder() *Builder {
+	return &Builder{
+		textBase: DefaultTextBase,
+		dataBase: DefaultDataBase,
+		symbols:  make(map[string]uint32),
+	}
+}
+
+// PC returns the address the next emitted instruction will occupy.
+func (b *Builder) PC() uint32 { return b.textBase + uint32(len(b.text))*isa.WordBytes }
+
+// Label defines name at the current text position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.symbols[name]; dup {
+		b.fail(fmt.Errorf("program: duplicate label %q", name))
+		return
+	}
+	b.symbols[name] = b.PC()
+}
+
+// Emit appends already-constructed instructions.
+func (b *Builder) Emit(insts ...isa.Inst) {
+	for _, in := range insts {
+		b.text = append(b.text, in.Raw)
+	}
+}
+
+// Jal emits a call to a label resolved at Build time.
+func (b *Builder) Jal(label string) {
+	b.fixups = append(b.fixups, fixup{fixJump, len(b.text), label})
+	b.Emit(isa.Jump(isa.OpJAL, 0))
+}
+
+// J emits an unconditional jump to a label.
+func (b *Builder) J(label string) {
+	b.fixups = append(b.fixups, fixup{fixJump, len(b.text), label})
+	b.Emit(isa.Jump(isa.OpJ, 0))
+}
+
+// BranchTo emits a conditional branch to a label.
+func (b *Builder) BranchTo(op isa.Op, rs, rt int, label string) {
+	b.fixups = append(b.fixups, fixup{fixBranch, len(b.text), label})
+	b.Emit(isa.Branch(op, rs, rt, 0))
+}
+
+// La emits a two-instruction sequence loading the address of a label
+// (text or data) into rd.
+func (b *Builder) La(rd int, label string) {
+	b.fixups = append(b.fixups, fixup{fixLoHi, len(b.text), label})
+	b.Emit(isa.Lui(rd, 0), isa.I(isa.OpORI, rd, rd, 0))
+}
+
+// Li emits code loading an arbitrary 32-bit constant into rd (one or two
+// instructions).
+func (b *Builder) Li(rd int, v int32) {
+	if v >= -0x8000 && v <= 0x7FFF {
+		b.Emit(isa.I(isa.OpADDI, rd, isa.Zero, v))
+		return
+	}
+	u := uint32(v)
+	b.Emit(isa.Lui(rd, uint16(u>>16)))
+	if low := u & 0xFFFF; low != 0 {
+		b.Emit(isa.I(isa.OpORI, rd, rd, int32(low)))
+	}
+}
+
+// DataLabel defines name at the current data position.
+func (b *Builder) DataLabel(name string) {
+	if _, dup := b.symbols[name]; dup {
+		b.fail(fmt.Errorf("program: duplicate label %q", name))
+		return
+	}
+	b.symbols[name] = b.dataBase + uint32(len(b.data))
+}
+
+// Words appends 32-bit values to the data segment.
+func (b *Builder) Words(vals ...uint32) {
+	for _, v := range vals {
+		b.data = append(b.data, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+}
+
+// Space reserves n zero bytes in the data segment.
+func (b *Builder) Space(n int) { b.data = append(b.data, make([]byte, n)...) }
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Build resolves fixups and produces the image. The entry point is the
+// symbol "main" if defined, else the start of text.
+func (b *Builder) Build() (*Image, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for _, f := range b.fixups {
+		addr, ok := b.symbols[f.sym]
+		if !ok {
+			return nil, fmt.Errorf("program: undefined symbol %q", f.sym)
+		}
+		pc := b.textBase + uint32(f.index)*isa.WordBytes
+		switch f.kind {
+		case fixJump:
+			in := isa.Decode(b.text[f.index])
+			in.Target = addr >> 2 & (1<<26 - 1)
+			w, err := in.Encode()
+			if err != nil {
+				return nil, err
+			}
+			b.text[f.index] = w
+		case fixBranch:
+			in := isa.Decode(b.text[f.index])
+			off := int64(addr) - int64(pc) - isa.WordBytes
+			if off%isa.WordBytes != 0 {
+				return nil, fmt.Errorf("program: misaligned branch target %q", f.sym)
+			}
+			in.Imm = int32(off / isa.WordBytes)
+			w, err := in.Encode()
+			if err != nil {
+				return nil, fmt.Errorf("program: branch to %q out of range: %w", f.sym, err)
+			}
+			b.text[f.index] = w
+		case fixLoHi:
+			hi := isa.Decode(b.text[f.index])
+			hi.Imm = int32(addr >> 16)
+			lo := isa.Decode(b.text[f.index+1])
+			lo.Imm = int32(addr & 0xFFFF)
+			hw, err := hi.Encode()
+			if err != nil {
+				return nil, err
+			}
+			lw, err := lo.Encode()
+			if err != nil {
+				return nil, err
+			}
+			b.text[f.index], b.text[f.index+1] = hw, lw
+		}
+	}
+	im := New()
+	textBytes := make([]byte, 0, len(b.text)*isa.WordBytes)
+	for _, w := range b.text {
+		textBytes = append(textBytes, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	if err := im.AddSegment(b.textBase, textBytes); err != nil {
+		return nil, err
+	}
+	if len(b.data) > 0 {
+		if err := im.AddSegment(b.dataBase, b.data); err != nil {
+			return nil, err
+		}
+	}
+	for k, v := range b.symbols {
+		im.Symbols[k] = v
+	}
+	im.Entry = b.textBase
+	if m, ok := im.Symbols["main"]; ok {
+		im.Entry = m
+	}
+	return im, nil
+}

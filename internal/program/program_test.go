@@ -1,0 +1,164 @@
+package program
+
+import (
+	"testing"
+
+	"retstack/internal/isa"
+)
+
+func TestImageSegments(t *testing.T) {
+	im := New()
+	if err := im.AddSegment(0x1000, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.AddSegment(0x2000, []byte{5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if im.Size() != 6 {
+		t.Errorf("size = %d", im.Size())
+	}
+	if w, ok := im.Word(0x1000); !ok || w != 0x04030201 {
+		t.Errorf("word = %#x,%v", w, ok)
+	}
+	if _, ok := im.Word(0x1001 + 2); ok {
+		t.Error("word straddling segment end should fail")
+	}
+	if _, ok := im.Word(0x3000); ok {
+		t.Error("unmapped word should fail")
+	}
+	// Empty add is a no-op.
+	if err := im.AddSegment(0x5000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(im.Segments) != 2 {
+		t.Error("empty segment should not be added")
+	}
+}
+
+func TestSegmentOverlapRejected(t *testing.T) {
+	im := New()
+	if err := im.AddSegment(0x1000, make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.AddSegment(0x1008, make([]byte, 4)); err == nil {
+		t.Error("overlap not rejected")
+	}
+	if err := im.AddSegment(0x0FFF, make([]byte, 2)); err == nil {
+		t.Error("overlap at start not rejected")
+	}
+	if err := im.AddSegment(0xFFFFFFFE, make([]byte, 8)); err == nil {
+		t.Error("wrapping segment not rejected")
+	}
+	// Adjacent is fine.
+	if err := im.AddSegment(0x1010, make([]byte, 4)); err != nil {
+		t.Errorf("adjacent segment rejected: %v", err)
+	}
+}
+
+func TestSegmentsSorted(t *testing.T) {
+	im := New()
+	im.AddSegment(0x3000, []byte{1})
+	im.AddSegment(0x1000, []byte{2})
+	im.AddSegment(0x2000, []byte{3})
+	for i := 1; i < len(im.Segments); i++ {
+		if im.Segments[i-1].Addr >= im.Segments[i].Addr {
+			t.Fatal("segments not sorted")
+		}
+	}
+}
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder()
+	b.Label("main")
+	b.Li(isa.T0, 5)
+	b.Emit(isa.R(isa.OpADD, isa.T1, isa.T0, isa.T0))
+	im, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Entry != DefaultTextBase {
+		t.Errorf("entry = %#x", im.Entry)
+	}
+	if addr, ok := im.Symbol("main"); !ok || addr != DefaultTextBase {
+		t.Errorf("main = %#x,%v", addr, ok)
+	}
+}
+
+func TestBuilderFixups(t *testing.T) {
+	b := NewBuilder()
+	b.Label("main")
+	b.Jal("target")                                   // forward reference
+	b.BranchTo(isa.OpBEQ, isa.Zero, isa.Zero, "main") // backward
+	b.J("target")
+	b.Label("target")
+	b.Emit(isa.Jr(isa.RA))
+	b.DataLabel("tbl")
+	b.Words(1, 2, 3)
+	b.Space(8)
+	b.La(isa.T0, "tbl")
+	im, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The jal's target must resolve to the label address.
+	w, _ := im.Word(DefaultTextBase)
+	in := isa.Decode(w)
+	target, _ := im.Symbol("target")
+	if got := in.DirectTarget(DefaultTextBase); got != target {
+		t.Errorf("jal target %#x, want %#x", got, target)
+	}
+	// Data segment contents.
+	tbl, _ := im.Symbol("tbl")
+	if v, _ := im.Word(tbl + 4); v != 2 {
+		t.Errorf("tbl[1] = %d", v)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder()
+	b.Label("dup")
+	b.Label("dup")
+	if _, err := b.Build(); err == nil {
+		t.Error("duplicate label not rejected")
+	}
+
+	b2 := NewBuilder()
+	b2.Jal("nowhere")
+	if _, err := b2.Build(); err == nil {
+		t.Error("undefined symbol not rejected")
+	}
+
+	b3 := NewBuilder()
+	b3.Label("x")
+	b3.DataLabel("x")
+	if _, err := b3.Build(); err == nil {
+		t.Error("duplicate data label not rejected")
+	}
+}
+
+func TestBuilderLiWide(t *testing.T) {
+	b := NewBuilder()
+	b.Label("main")
+	b.Li(isa.T0, 0x12345678) // lui+ori
+	b.Li(isa.T1, -5)         // addi
+	b.Li(isa.T2, 0x70000000) // lui only
+	im, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 + 1 + 1 words of text.
+	if im.Size() != 16 {
+		t.Errorf("text size = %d, want 16", im.Size())
+	}
+}
+
+func TestBuilderPC(t *testing.T) {
+	b := NewBuilder()
+	if b.PC() != DefaultTextBase {
+		t.Error("initial PC")
+	}
+	b.Emit(isa.Nop(), isa.Nop())
+	if b.PC() != DefaultTextBase+8 {
+		t.Error("PC after two instructions")
+	}
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRatios(t *testing.T) {
+	if Ratio(1, 0) != 0 || Percent(1, 0) != 0 {
+		t.Error("division by zero must yield 0")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Error("ratio")
+	}
+	if Percent(1, 4) != 25 {
+		t.Error("percent")
+	}
+	if got := Speedup(2.0, 2.2); math.Abs(got-10) > 1e-9 {
+		t.Errorf("speedup = %v, want 10", got)
+	}
+	if Speedup(0, 5) != 0 {
+		t.Error("speedup with zero base must yield 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("geomean(2,8) = %v", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean")
+	}
+	if got := GeoMean([]float64{0, -1, 4}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("geomean should skip non-positive, got %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 || h.Percentile(50) != 0 {
+		t.Error("empty histogram accessors must be 0")
+	}
+	for _, v := range []int{1, 2, 2, 3, 3, 3, 10} {
+		h.Add(v)
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Count(3) != 3 {
+		t.Errorf("count(3) = %d", h.Count(3))
+	}
+	if h.CountAtLeast(3) != 4 {
+		t.Errorf("countAtLeast(3) = %d", h.CountAtLeast(3))
+	}
+	if h.Max() != 10 || h.Min() != 1 {
+		t.Errorf("max/min = %d/%d", h.Max(), h.Min())
+	}
+	if got := h.Mean(); math.Abs(got-24.0/7) > 1e-9 {
+		t.Errorf("mean = %v", got)
+	}
+	if h.Percentile(50) != 3 {
+		t.Errorf("p50 = %d", h.Percentile(50))
+	}
+	if h.Percentile(100) != 10 {
+		t.Errorf("p100 = %d", h.Percentile(100))
+	}
+	if h.Percentile(0) != 1 {
+		t.Errorf("p0 = %d", h.Percentile(0))
+	}
+}
+
+func TestHistogramQuickMeanBounds(t *testing.T) {
+	f := func(vals []int16) bool {
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Add(int(v))
+		}
+		if len(vals) == 0 {
+			return h.Mean() == 0
+		}
+		m := h.Mean()
+		return m >= float64(h.Min()) && m <= float64(h.Max())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table X", "bench", "ipc", "hit%")
+	tb.AddRow("compress", "1.23", "99.9")
+	tb.AddRowf("%s", "go", "%.2f", 0.5, "%.1f", 42.0)
+	out := tb.String()
+	if !strings.Contains(out, "Table X") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "compress") || !strings.Contains(out, "0.50") {
+		t.Errorf("missing rows:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title, header, rule, 2 rows
+	if len(lines) != 5 {
+		t.Errorf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// All data lines should be equally wide (aligned columns).
+	if len(lines[3]) != len(lines[4]) {
+		t.Errorf("rows not aligned:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x", "extra", "cells")
+	if out := tb.String(); !strings.Contains(out, "cells") {
+		t.Errorf("ragged row dropped:\n%s", out)
+	}
+}
+
+func TestAddRowfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddRowf with odd arguments should panic")
+		}
+	}()
+	NewTable("").AddRowf("%s")
+}

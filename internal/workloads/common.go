@@ -1,0 +1,109 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// exitAndPrint prints the checksum register $s1 and exits cleanly. Every
+// workload ends with it, so simulator-vs-emulator verification can compare
+// program output.
+const exitAndPrint = `
+finish:
+    move $a0, $s1
+    li $v0, 2
+    syscall
+    li $v0, 1
+    li $a0, 0
+    syscall
+`
+
+// randFn is the shared pseudo-random generator: an LCG over a word in the
+// data segment. Its parity-class bits drive the "hard" data-dependent
+// branches in every clone. Requires a data word labeled `seed`.
+const randFn = `
+rand:
+    lw $t0, seed
+    li $t1, 1103515245
+    mul $t0, $t0, $t1
+    addi $t0, $t0, 12345
+    sw $t0, seed
+    srl $v0, $t0, 16
+    ret
+`
+
+// prologue spills $ra and n additional saved registers ($s2 upward) for a
+// non-leaf function.
+func prologue(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "    addi $sp, $sp, -%d\n", 4*(n+1))
+	b.WriteString("    sw $ra, 0($sp)\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "    sw $s%d, %d($sp)\n", i+2, 4*(i+1))
+	}
+	return b.String()
+}
+
+// epilogue restores what prologue saved and returns.
+func epilogue(n int) string {
+	var b strings.Builder
+	b.WriteString("    lw $ra, 0($sp)\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "    lw $s%d, %d($sp)\n", i+2, 4*(i+1))
+	}
+	fmt.Fprintf(&b, "    addi $sp, $sp, %d\n", 4*(n+1))
+	b.WriteString("    ret\n")
+	return b.String()
+}
+
+// dataWords renders a .word block with the given values, 8 per line.
+func dataWords(label string, vals []uint32) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", label)
+	for i := 0; i < len(vals); i += 8 {
+		end := i + 8
+		if end > len(vals) {
+			end = len(vals)
+		}
+		b.WriteString("    .word ")
+		for j := i; j < end; j++ {
+			if j > i {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", vals[j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// randWords produces n deterministic pseudo-random words from the seed.
+func randWords(seed int64, n int, mod uint32) []uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]uint32, n)
+	for i := range vals {
+		if mod == 0 {
+			vals[i] = rng.Uint32()
+		} else {
+			vals[i] = uint32(rng.Intn(int(mod)))
+		}
+	}
+	return vals
+}
+
+// mainLoop renders the standard outer driver: $s0 counts down from scale,
+// calling `iteration` each time; $s1 accumulates the checksum.
+func mainLoop(scale int) string {
+	return fmt.Sprintf(`
+main:
+    li $s0, %d
+    li $s1, 0
+main_loop:
+    jal iteration
+    add $s1, $s1, $v0
+    addi $s0, $s0, -1
+    bgtz $s0, main_loop
+    j finish
+`, scale)
+}

@@ -1,0 +1,138 @@
+package workloads
+
+import "fmt"
+
+// compress clone: LZW-style byte loop. Each input byte computes a hash,
+// probes a table with a data-dependent hit/miss branch, and goes through
+// small helper procedures (next byte, probe, emit) that return to several
+// distinct call sites — the property that makes compress suffer when
+// returns are predicted only from a BTB's single stale target. The probe
+// helper has an unpredictable early return, exposing the stack to
+// wrong-path pop-then-push corruption.
+func init() {
+	register(Workload{
+		Name:        "compress",
+		Description: "LZW-ish hashing loop; shallow calls from many sites, data-dependent branches",
+		InstPerUnit: 4150,
+		Source:      compressSource,
+	})
+}
+
+func compressSource(scale int) string {
+	return fmt.Sprintf(`
+    .data
+seed:
+    .word 31
+%s
+htab:
+    .space 1024
+    .text
+%s
+
+# iteration: compress a 64-byte window of the input.
+iteration:
+%s    li $s2, 0              # position
+    li $s3, 0              # running code
+    li $v0, 0
+cp_loop:
+    move $a0, $s2
+    jal getbyte            # getbyte site 1
+    move $a1, $v0
+    move $a0, $s3
+    jal hashfn
+    move $a2, $v0          # hash
+    move $a0, $a2
+    jal probe              # probe site 1; unpredictable early return inside
+    beqz $v0, cp_miss
+    # hit: extend current code, re-read the next byte and re-probe — the
+    # second sites make every helper return to alternating addresses,
+    # which defeats a BTB's single stale target per return.
+    add $s3, $s3, $a1
+    andi $s3, $s3, 2047
+    addi $a0, $s2, 1
+    jal getbyte            # getbyte site 2
+    add $a2, $a2, $v0
+    andi $a2, $a2, 255
+    move $a0, $a2
+    jal probe              # probe site 2
+    beqz $v0, cp_next
+    move $a0, $s3
+    jal emit               # emit site 1
+    j cp_next
+cp_miss:
+    # miss: emit code, reset, install in table
+    move $a0, $s3
+    jal emit               # emit site 2
+    move $s3, $a1
+    la $t0, htab
+    sll $t1, $a2, 2
+    add $t0, $t0, $t1
+    sw $s3, 0($t0)
+cp_next:
+    addi $s2, $s2, 1
+    slti $t0, $s2, 64
+    bnez $t0, cp_loop
+    move $v0, $s3
+%s
+
+# getbyte(pos) -> v0: input[pos & 255]
+getbyte:
+    andi $t0, $a0, 255
+    la $t1, input
+    add $t1, $t1, $t0
+    lbu $v0, 0($t1)
+    ret
+
+# hashfn(code) -> v0: mix code with the LCG stream
+hashfn:
+%s    jal rand
+    xor $v0, $v0, $a0
+    sll $t0, $v0, 3
+    xor $v0, $v0, $t0
+    andi $v0, $v0, 255
+%s
+
+# probe(hash) -> v0: 1 on table hit. The hit test is data dependent and
+# close to 50/50, and the hit arm returns early.
+probe:
+    la $t0, htab
+    sll $t1, $a0, 2
+    add $t0, $t0, $t1
+    lw $t2, 0($t0)
+    andi $t3, $t2, 1
+    beqz $t3, probe_miss
+    li $v0, 1
+    ret                    # early return: wrong paths pop the caller here
+probe_miss:
+    addi $t2, $t2, 1
+    sw $t2, 0($t0)
+    li $v0, 0
+    ret
+
+# emit(code) -> side effect into output accumulator word
+emit:
+    la $t0, outacc
+    lw $t1, 0($t0)
+    xor $t1, $t1, $a0
+    sll $t2, $t1, 1
+    srl $t3, $t1, 31
+    or $t1, $t2, $t3
+    sw $t1, 0($t0)
+    ret
+%s
+    .data
+outacc:
+    .word 0
+`,
+		func() string {
+			// 256 bytes of skewed pseudo-random input.
+			vals := randWords(201, 64, 0)
+			return dataWords("input", vals)
+		}(),
+		mainLoop(scale),
+		prologue(2),
+		epilogue(2),
+		prologue(0),
+		epilogue(0),
+		exitAndPrint+randFn)
+}

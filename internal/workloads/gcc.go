@@ -1,0 +1,181 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// gcc clone: a compiler-like pass with a wide, bushy call graph — a
+// dispatcher walks an IR opcode stream through a branch tree into two
+// dozen generated handler functions, which call a shared pool of utilities
+// and occasionally recurse into an expression-tree folder. High call
+// density from many static call sites, mixed-predictability branches, and
+// call depths reaching ~10-24.
+func init() {
+	register(Workload{
+		Name:        "gcc",
+		Description: "IR dispatch into 24 handlers + recursive expression folding; bushy call graph",
+		InstPerUnit: 9300,
+		Source:      gccSource,
+	})
+}
+
+const gccHandlers = 24
+
+func gccSource(scale int) string {
+	rng := rand.New(rand.NewSource(301))
+	var b strings.Builder
+
+	// IR stream: opcodes 0..gccHandlers-1, zipf-ish skew (low opcodes
+	// common), which gives the dispatch branch tree mixed predictability.
+	ir := make([]uint32, 96)
+	for i := range ir {
+		r := rng.Intn(100)
+		switch {
+		case r < 40:
+			ir[i] = uint32(rng.Intn(4))
+		case r < 75:
+			ir[i] = uint32(4 + rng.Intn(8))
+		default:
+			ir[i] = uint32(12 + rng.Intn(gccHandlers-12))
+		}
+	}
+
+	fmt.Fprintf(&b, "    .data\nseed:\n    .word 77\n%s%s    .text\n%s",
+		dataWords("ir", ir),
+		dataWords("tree", gccTree(rng)),
+		mainLoop(scale))
+
+	// iteration: walk the IR stream, dispatching each opcode.
+	fmt.Fprintf(&b, `
+iteration:
+%s    li $s2, 0
+    li $s3, 0
+gc_walk:
+    la $t0, ir
+    sll $t1, $s2, 2
+    add $t0, $t0, $t1
+    lw $a0, 0($t0)         # opcode
+    move $a1, $s2
+    jal dispatch
+    add $s3, $s3, $v0
+    addi $s2, $s2, 1
+    slti $t0, $s2, %d
+    bnez $t0, gc_walk
+    move $v0, $s3
+%s`, prologue(2), len(ir), epilogue(2))
+
+	// dispatch: binary branch tree over the opcode (compilers love
+	// switches). Rendered recursively.
+	b.WriteString("\ndispatch:\n" + prologue(0))
+	var tree func(lo, hi int, label string)
+	labelN := 0
+	tree = func(lo, hi int, label string) {
+		if lo == hi {
+			fmt.Fprintf(&b, "%s:\n    jal handler%d\n    j disp_done\n", label, lo)
+			return
+		}
+		mid := (lo + hi) / 2
+		labelN++
+		left := fmt.Sprintf("dspL%d", labelN)
+		labelN++
+		right := fmt.Sprintf("dspR%d", labelN)
+		fmt.Fprintf(&b, "%s:\n    li $t0, %d\n    ble $a0, $t0, %s\n    j %s\n",
+			label, mid, left, right)
+		tree(lo, mid, left)
+		tree(mid+1, hi, right)
+	}
+	tree(0, gccHandlers-1, "disp_top")
+	b.WriteString("disp_done:\n" + epilogue(0))
+
+	// Handlers: small bodies calling 1-2 of the shared utilities; a few
+	// recurse into the expression folder.
+	for h := 0; h < gccHandlers; h++ {
+		fmt.Fprintf(&b, "\nhandler%d:\n%s", h, prologue(0))
+		fmt.Fprintf(&b, "    addi $a0, $a1, %d\n", h*3+1)
+		fmt.Fprintf(&b, "    jal util%d\n", rng.Intn(gccUtils))
+		if h%5 == 0 {
+			// Recursive expression folding from a pseudo-random root.
+			fmt.Fprintf(&b, "    andi $a0, $v0, 63\n    jal fold\n")
+		} else if rng.Intn(2) == 0 {
+			fmt.Fprintf(&b, "    move $a0, $v0\n    jal util%d\n", rng.Intn(gccUtils))
+		}
+		fmt.Fprintf(&b, "    addi $v0, $v0, %d\n%s", h, epilogue(0))
+	}
+
+	// Shared utilities: small leaves (some with internal branches).
+	for u := 0; u < gccUtils; u++ {
+		fmt.Fprintf(&b, "\nutil%d:\n", u)
+		switch u % 3 {
+		case 0:
+			fmt.Fprintf(&b, "    sll $t0, $a0, %d\n    xor $v0, $a0, $t0\n    ret\n", u%7+1)
+		case 1:
+			fmt.Fprintf(&b, `    slti $t0, $a0, %d
+    beqz $t0, util%d_big
+    addi $v0, $a0, %d
+    ret
+util%d_big:
+    srl $v0, $a0, 2
+    ret
+`, 40+u*3, u, u+1, u)
+		default:
+			fmt.Fprintf(&b, "    li $t0, %d\n    mul $v0, $a0, $t0\n    andi $v0, $v0, 1023\n    ret\n", u*2+3)
+		}
+	}
+
+	// fold(idx): recursive binary expression-tree walk over `tree`.
+	// tree[idx] = packed node: low 6 bits left child, next 6 bits right
+	// child, rest value; children of 0 mean leaf.
+	b.WriteString(`
+fold:
+` + prologue(2) + `    la $t0, tree
+    sll $t1, $a0, 2
+    add $t0, $t0, $t1
+    lw $s2, 0($t0)         # node
+    andi $t2, $s2, 63      # left
+    beqz $t2, fold_leaf
+    move $a0, $t2
+    jal fold
+    move $s3, $v0
+    srl $t2, $s2, 6
+    andi $t2, $t2, 63      # right
+    beqz $t2, fold_left
+    move $a0, $t2
+    jal fold
+    add $v0, $v0, $s3
+    j fold_out
+fold_left:
+    move $v0, $s3
+    j fold_out
+fold_leaf:
+    srl $v0, $s2, 12
+    andi $v0, $v0, 255
+fold_out:
+` + epilogue(2) + exitAndPrint + randFn)
+	return b.String()
+}
+
+const gccUtils = 6
+
+// gccTree packs a 64-node expression tree where node i's children point at
+// higher indices (acyclic) and leaves dominate the deep end.
+func gccTree(rng *rand.Rand) []uint32 {
+	nodes := make([]uint32, 64)
+	for i := 0; i < 64; i++ {
+		var left, right uint32
+		if i < 40 {
+			l := i*3/2 + 1 + rng.Intn(3)
+			r := i*3/2 + 2 + rng.Intn(4)
+			if l < 64 {
+				left = uint32(l)
+			}
+			if r < 64 && rng.Intn(4) != 0 {
+				right = uint32(r)
+			}
+		}
+		val := uint32(rng.Intn(256))
+		nodes[i] = left | right<<6 | val<<12
+	}
+	return nodes
+}

@@ -1,0 +1,93 @@
+package workloads
+
+import "fmt"
+
+// go clone: game-tree evaluator with very hard-to-predict branches. The
+// recursive position evaluator takes data-dependent early returns driven
+// by the LCG stream (pruning decisions), so wrong paths constantly pop and
+// re-push the return-address stack — the heaviest corruption pressure in
+// the suite, mirroring go's notoriously high misprediction rate.
+func init() {
+	register(Workload{
+		Name:        "go",
+		Description: "game-tree search; ~50/50 pruning branches, early returns, moderate call depth",
+		InstPerUnit: 1340,
+		Source:      goSource,
+	})
+}
+
+func goSource(scale int) string {
+	return fmt.Sprintf(`
+    .data
+seed:
+    .word 4242
+%s
+    .text
+%s
+
+# iteration: evaluate one position to depth 8.
+iteration:
+%s    li $a0, 8
+    li $a1, 0
+    jal eval
+%s
+
+# eval(depth, pos) -> v0: alpha-beta-ish walk. Two pruning tests per node,
+# both driven by board data xor the LCG stream: essentially coin flips
+# (prune 25%%, single-child 25%%, full expansion 50%% — expected branching
+# ~1.25 keeps the tree tens of nodes at depth 8).
+eval:
+%s    move $s2, $a0          # depth
+    move $s3, $a1          # pos
+    blez $s2, eval_leaf
+    jal rand
+    la $t0, board
+    andi $t1, $s3, 63
+    sll $t1, $t1, 2
+    add $t0, $t0, $t1
+    lw $t2, 0($t0)
+    xor $t3, $v0, $t2
+    andi $t4, $t3, 3
+    beqz $t4, eval_prune1  # 25%%
+    andi $t4, $t3, 12
+    beqz $t4, eval_prune2  # 25%% of the rest
+    # expand: two children
+    addi $a0, $s2, -1
+    sll $a1, $s3, 1
+    addi $a1, $a1, 1
+    jal eval
+    move $s4, $v0
+    addi $a0, $s2, -1
+    sll $a1, $s3, 1
+    addi $a1, $a1, 2
+    jal eval
+    add $v0, $v0, $s4
+    sra $v0, $v0, 1
+    j eval_out
+eval_prune1:
+    srl $v0, $t3, 3
+    andi $v0, $v0, 127
+    j eval_out             # early exit: wrong paths run the epilogue+ret
+eval_prune2:
+    addi $a0, $s2, -1
+    sll $a1, $s3, 1
+    jal eval
+    addi $v0, $v0, 5
+    j eval_out
+eval_leaf:
+    la $t0, board
+    andi $t1, $s3, 63
+    sll $t1, $t1, 2
+    add $t0, $t0, $t1
+    lw $v0, 0($t0)
+    andi $v0, $v0, 255
+eval_out:
+%s%s`,
+		dataWords("board", randWords(404, 64, 0)),
+		mainLoop(scale),
+		prologue(0),
+		epilogue(0),
+		prologue(3),
+		epilogue(3),
+		exitAndPrint+randFn)
+}

@@ -1,0 +1,78 @@
+package workloads
+
+import "fmt"
+
+// ijpeg clone: image-compression kernel. Nearly all time in tight,
+// perfectly-predictable nested loops doing multiply-accumulate over a
+// block, with almost no procedure calls — the control case on which no
+// return-address-stack choice has any effect (the paper: "None of these
+// choices has any impact on ijpeg").
+func init() {
+	register(Workload{
+		Name:        "ijpeg",
+		Description: "DCT-like block transform; loop-dominated, ~0.5% calls, predictable branches",
+		InstPerUnit: 850,
+		Source:      ijpegSource,
+	})
+}
+
+func ijpegSource(scale int) string {
+	return fmt.Sprintf(`
+    .data
+seed:
+    .word 7
+%s
+%s
+    .text
+%s
+
+# iteration: one 8x8 block transform plus a single clamp call.
+iteration:
+%s    la $t0, block
+    la $t1, coef
+    li $v0, 0
+    li $t2, 0              # i
+ij_row:
+    li $t3, 0              # j
+    li $t4, 0              # row accumulator
+ij_col:
+    sll $t5, $t2, 5        # i*8 words = i*32 bytes
+    sll $t6, $t3, 2
+    add $t5, $t5, $t6
+    add $t5, $t5, $t0
+    lw $t7, 0($t5)         # block[i][j]
+    add $t6, $t1, $t6
+    lw $t8, 0($t6)         # coef[j]
+    mul $t7, $t7, $t8
+    add $t4, $t4, $t7
+    addi $t3, $t3, 1
+    slti $t6, $t3, 8
+    bnez $t6, ij_col
+    # fold the row through a shift-add chain (predictable straight line)
+    sra $t5, $t4, 3
+    add $v0, $v0, $t5
+    addi $t2, $t2, 1
+    slti $t6, $t2, 8
+    bnez $t6, ij_row
+    move $a0, $v0
+    jal clamp
+%s
+
+# clamp(a0) -> v0: saturate into [0, 4095].
+clamp:
+    li $v0, 0
+    bltz $a0, clamp_done
+    li $v0, 4095
+    li $t0, 4095
+    bgt $a0, $t0, clamp_done
+    move $v0, $a0
+clamp_done:
+    ret
+%s`,
+		dataWords("block", randWords(101, 64, 256)),
+		dataWords("coef", randWords(102, 8, 16)),
+		mainLoop(scale),
+		prologue(0),
+		epilogue(0),
+		exitAndPrint)
+}

@@ -1,0 +1,176 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// li clone: lisp interpreter — the suite's deep-recursion stressor. An
+// eval/apply mutually-recursive pair walks a deliberately skewed
+// expression tree whose spine is ~56 nodes deep; with two frames per
+// level, call depth far exceeds a 32-entry return-address stack, which is
+// what makes li sensitive to stack size (overflow) in the paper's
+// sensitivity study. Call density is the highest in the suite.
+func init() {
+	register(Workload{
+		Name:        "li",
+		Description: "lisp-style eval/apply over a skewed tree; recursion ~28 deep, highest call pressure",
+		InstPerUnit: 1800,
+		Source:      liSource,
+	})
+}
+
+// liTree builds a 128-node tree with a long left spine (depth 24, i.e.
+// ~40 stacked frames (the spine descends through eval alone)) plus random shallow
+// branches. Node encoding: low 7 bits left child index, next 7 bits right
+// child, next 4 bits op, rest leaf value; index 0 = no child.
+func liTree() []uint32 {
+	const spine = 24
+	rng := rand.New(rand.NewSource(505))
+	nodes := make([]uint32, 128)
+	// Spine: node i -> left child i+1 for i < spine.
+	for i := 0; i < spine; i++ {
+		left := uint32(i + 1)
+		right := uint32(0)
+		if rng.Intn(3) == 0 {
+			// Occasional small right branch into the upper half.
+			right = uint32(64 + rng.Intn(63))
+		}
+		op := uint32(rng.Intn(4))
+		nodes[i] = left | right<<7 | op<<14 | uint32(rng.Intn(64))<<18
+	}
+	// Upper half: shallow random subtrees (children further up or leaves).
+	for i := spine; i < 128; i++ {
+		var left, right uint32
+		if i < 120 && rng.Intn(3) == 0 {
+			left = uint32(i + 1 + rng.Intn(4))
+			if left > 127 {
+				left = 0
+			}
+		}
+		if i < 118 && rng.Intn(3) == 0 {
+			right = uint32(i + 3 + rng.Intn(6))
+			if right > 127 {
+				right = 0
+			}
+		}
+		op := uint32(rng.Intn(4))
+		nodes[i] = left | right<<7 | op<<14 | uint32(rng.Intn(64))<<18
+	}
+	return nodes
+}
+
+func liSource(scale int) string {
+	return fmt.Sprintf(`
+    .data
+seed:
+    .word 11
+%s
+    .text
+%s
+
+# iteration: evaluate the whole expression once from the root.
+iteration:
+%s    li $a0, 0
+    jal eval
+%s
+
+# eval(idx) -> v0. Leaves return their value; interior nodes evaluate the
+# left child, then go through apply, which may evaluate the right child —
+# the eval->apply->eval mutual recursion doubles frames per tree level.
+eval:
+%s    jal fetchnode
+    move $s2, $v0          # node
+    andi $t2, $s2, 127     # left
+    bnez $t2, eval_inner
+    srl $v0, $s2, 18       # leaf value
+    sll $t5, $v0, 3
+    xor $t5, $t5, $v0
+    srl $t6, $t5, 7
+    add $t5, $t5, $t6
+    sll $t6, $t5, 1
+    xor $t5, $t5, $t6
+    srl $t6, $t5, 11
+    add $t5, $t5, $t6
+    j eval_out
+eval_inner:
+    move $a0, $t2
+    jal eval
+    # cons-cell bookkeeping between the recursive call and apply (keeps
+    # wrong-path windows from unwinding several frames in a burst)
+    sll $t5, $v0, 3
+    xor $t5, $t5, $v0
+    srl $t6, $t5, 7
+    add $t5, $t5, $t6
+    sll $t6, $t5, 1
+    xor $t5, $t5, $t6
+    srl $t6, $t5, 11
+    add $t5, $t5, $t6
+    move $a0, $v0          # left value
+    move $a1, $s2          # node (op + right child)
+    jal apply
+eval_out:
+%s
+
+# apply(leftval, node) -> v0: dispatch on op, evaluating the right child
+# when present.
+apply:
+%s    move $s2, $a0
+    move $s3, $a1
+    srl $t0, $s3, 7
+    andi $t0, $t0, 127     # right child
+    li $s4, 0
+    beqz $t0, apply_op
+    move $a0, $t0
+    jal eval
+    move $s4, $v0
+    # environment update work before dispatching the operator
+    sll $t5, $v0, 3
+    xor $t5, $t5, $v0
+    srl $t6, $t5, 7
+    add $t5, $t5, $t6
+    sll $t6, $t5, 1
+    xor $t5, $t5, $t6
+    srl $t6, $t5, 11
+    add $t5, $t5, $t6
+apply_op:
+    srl $t0, $s3, 14
+    andi $t0, $t0, 3
+    beqz $t0, apply_add
+    li $t1, 1
+    beq $t0, $t1, apply_xor
+    li $t1, 2
+    beq $t0, $t1, apply_shift
+    sub $v0, $s2, $s4
+    j apply_out
+apply_add:
+    add $v0, $s2, $s4
+    j apply_out
+apply_xor:
+    xor $v0, $s2, $s4
+    j apply_out
+apply_shift:
+    sll $v0, $s2, 1
+    add $v0, $v0, $s4
+apply_out:
+    andi $v0, $v0, 65535
+%s
+# fetchnode(idx) -> v0: cell fetch (car/cdr access in the real li).
+fetchnode:
+    la $t0, expr
+    andi $t1, $a0, 127
+    sll $t1, $t1, 2
+    add $t0, $t0, $t1
+    lw $v0, 0($t0)
+    ret
+%s`,
+		dataWords("expr", liTree()),
+		mainLoop(scale),
+		prologue(0),
+		epilogue(0),
+		prologue(1),
+		epilogue(1),
+		prologue(3),
+		epilogue(3),
+		exitAndPrint+randFn)
+}

@@ -1,0 +1,144 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// m88ksim clone: a CPU simulator's fetch-decode-execute loop. Decode is an
+// indirect jump through a 16-way handler table (BTB-predicted); handlers
+// do small ALU work and call a shared register-file helper. Branches are
+// fairly predictable (the simulated program is a fixed loop), call depth
+// is shallow, and the indirect jump gives the BTB real work.
+func init() {
+	register(Workload{
+		Name:        "m88ksim",
+		Description: "CPU-simulator dispatch loop; 16-way indirect jump, shallow helper calls",
+		InstPerUnit: 1580,
+		Source:      m88ksimSource,
+	})
+}
+
+func m88ksimSource(scale int) string {
+	rng := rand.New(rand.NewSource(606))
+	// The simulated program: 48 "instructions", skewed toward a handful of
+	// opcodes so the indirect jump has a favored target with excursions.
+	prog := make([]uint32, 48)
+	for i := range prog {
+		var op int
+		switch r := rng.Intn(10); {
+		case r < 5:
+			op = rng.Intn(3)
+		case r < 8:
+			op = 3 + rng.Intn(5)
+		default:
+			op = 8 + rng.Intn(8)
+		}
+		arg := rng.Intn(256)
+		prog[i] = uint32(op) | uint32(arg)<<8
+	}
+
+	var jt strings.Builder
+	jt.WriteString("jumptab:\n")
+	for op := 0; op < 16; op++ {
+		fmt.Fprintf(&jt, "    .word op%d\n", op)
+	}
+
+	var handlers strings.Builder
+	for op := 0; op < 16; op++ {
+		fmt.Fprintf(&handlers, "op%d:\n", op)
+		switch op % 4 {
+		case 0: // ALU: reads a register, writes one
+			fmt.Fprintf(&handlers, `    move $a0, $s4
+    jal regread
+    addi $v0, $v0, %d
+    move $a1, $v0
+    addi $a0, $s4, 1
+    jal regwrite
+    j m88_cont
+`, op+1)
+		case 1: // shift
+			fmt.Fprintf(&handlers, `    move $a0, $s4
+    jal regread
+    sll $v0, $v0, %d
+    andi $v0, $v0, 4095
+    move $a1, $v0
+    move $a0, $s4
+    jal regwrite
+    j m88_cont
+`, op%5+1)
+		case 2: // compare-and-set flag
+			fmt.Fprintf(&handlers, `    move $a0, $s4
+    jal regread
+    slti $t0, $v0, %d
+    add $s5, $s5, $t0
+    j m88_cont
+`, 100+op*10)
+		default: // accumulate immediate
+			fmt.Fprintf(&handlers, `    addi $s5, $s5, %d
+    j m88_cont
+`, op)
+		}
+	}
+
+	return fmt.Sprintf(`
+    .data
+seed:
+    .word 9
+%s%s
+regs:
+    .space 64
+    .text
+%s
+
+# iteration: execute the 48-instruction simulated program once.
+iteration:
+%s    li $s2, 0              # simulated pc
+    li $s5, 0              # flags/accumulator
+m88_loop:
+    la $t0, simprog
+    sll $t1, $s2, 2
+    add $t0, $t0, $t1
+    lw $s3, 0($t0)         # fetch
+    andi $t2, $s3, 15      # decode opcode
+    srl $s4, $s3, 8        # operand
+    la $t3, jumptab
+    sll $t2, $t2, 2
+    add $t3, $t3, $t2
+    lw $t9, 0($t3)
+    jr $t9                 # execute: indirect dispatch
+m88_cont:
+    addi $s2, $s2, 1
+    slti $t0, $s2, %d
+    bnez $t0, m88_loop
+    move $v0, $s5
+%s
+%s
+# regread(r) -> v0: simulated register file read.
+regread:
+    andi $t0, $a0, 15
+    la $t1, regs
+    sll $t0, $t0, 2
+    add $t1, $t1, $t0
+    lw $v0, 0($t1)
+    ret
+
+# regwrite(r, v): simulated register file write.
+regwrite:
+    andi $t0, $a0, 15
+    la $t1, regs
+    sll $t0, $t0, 2
+    add $t1, $t1, $t0
+    sw $a1, 0($t1)
+    ret
+%s`,
+		dataWords("simprog", prog),
+		jt.String(),
+		mainLoop(scale),
+		prologue(4),
+		len(prog),
+		epilogue(4),
+		handlers.String(),
+		exitAndPrint+randFn)
+}

@@ -1,0 +1,133 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Microbenchmarks: small, single-phenomenon programs used by tests,
+// examples, and ablations.
+func init() {
+	register(Workload{
+		Name:        "micro.callchain",
+		Description: "ladder of 20 distinct functions; fixed call depth 20",
+		InstPerUnit: 260,
+		Source:      callChainSource,
+	})
+	register(Workload{
+		Name:        "micro.deeprec",
+		Description: "3-cycle mutual recursion to depth 90; overflows small stacks",
+		InstPerUnit: 1400,
+		Source:      deepRecSource,
+	})
+	register(Workload{
+		Name:        "micro.branchy",
+		Description: "unpredictable early-return pattern; maximal wrong-path RAS corruption",
+		InstPerUnit: 260,
+		Source:      branchySource,
+	})
+}
+
+func callChainSource(scale int) string {
+	const depth = 20
+	var b strings.Builder
+	fmt.Fprintf(&b, "    .data\nseed:\n    .word 1\n    .text\n%s", mainLoop(scale))
+	fmt.Fprintf(&b, "iteration:\n%s    li $a0, 0\n    jal step0\n%s", prologue(0), epilogue(0))
+	for i := 0; i < depth; i++ {
+		fmt.Fprintf(&b, "step%d:\n%s    addi $a0, $a0, %d\n", i, prologue(0), i+1)
+		if i < depth-1 {
+			fmt.Fprintf(&b, "    jal step%d\n", i+1)
+		} else {
+			b.WriteString("    move $v0, $a0\n")
+		}
+		if i < depth-1 {
+			b.WriteString("    addi $v0, $v0, 1\n")
+		}
+		b.WriteString(epilogue(0))
+	}
+	b.WriteString(exitAndPrint + randFn)
+	return b.String()
+}
+
+func deepRecSource(scale int) string {
+	return fmt.Sprintf(`
+    .data
+seed:
+    .word 2
+    .text
+%s
+iteration:
+%s    li $a0, 90
+    jal down1
+%s
+down1:
+    blez $a0, recbase
+%s    addi $a0, $a0, -1
+    jal down2
+    addi $v0, $v0, 1
+%s
+down2:
+    blez $a0, recbase
+%s    addi $a0, $a0, -1
+    jal down3
+    addi $v0, $v0, 2
+%s
+down3:
+    blez $a0, recbase
+%s    addi $a0, $a0, -1
+    jal down1
+    addi $v0, $v0, 3
+%s
+recbase:
+    li $v0, 0
+    ret
+%s`,
+		mainLoop(scale),
+		prologue(0), epilogue(0),
+		prologue(0), epilogue(0),
+		prologue(0), epilogue(0),
+		prologue(0), epilogue(0),
+		exitAndPrint+randFn)
+}
+
+func branchySource(scale int) string {
+	return fmt.Sprintf(`
+    .data
+seed:
+    .word 3
+    .text
+%s
+iteration:
+%s    li $s2, 8
+    li $s3, 0
+br_loop:
+    jal work
+    add $s3, $s3, $v0
+    addi $s2, $s2, -1
+    bgtz $s2, br_loop
+    move $v0, $s3
+%s
+work:
+%s    jal rand
+    andi $t0, $v0, 1
+    beqz $t0, work_deep
+    li $v0, 1
+%s
+work_deep:
+    jal leafa
+    add $s2, $v0, $zero
+    jal leafb
+    add $v0, $v0, $s2
+%s
+leafa:
+    li $v0, 7
+    ret
+leafb:
+    li $v0, 9
+    ret
+%s`,
+		mainLoop(scale),
+		prologue(2), epilogue(2),
+		prologue(1), epilogue(1), epilogue(1),
+		exitAndPrint+randFn)
+}

@@ -1,0 +1,127 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// perl clone: bytecode interpreter. The dispatch loop makes an indirect
+// *call* (jalr) through an op table — so the return-address stack sees a
+// push per opcode — and several opcodes recurse into a nested-expression
+// evaluator whose depth is data dependent. High call density, deep
+// recursive phases, and moderately hard branches.
+func init() {
+	register(Workload{
+		Name:        "perl",
+		Description: "bytecode interpreter; jalr dispatch per op, recursive nested evaluator",
+		InstPerUnit: 7050,
+		Source:      perlSource,
+	})
+}
+
+func perlSource(scale int) string {
+	rng := rand.New(rand.NewSource(707))
+	bytecode := make([]uint32, 64)
+	for i := range bytecode {
+		op := rng.Intn(8)
+		arg := rng.Intn(64)
+		bytecode[i] = uint32(op) | uint32(arg)<<8
+	}
+
+	var table strings.Builder
+	table.WriteString("optab:\n")
+	for op := 0; op < 8; op++ {
+		fmt.Fprintf(&table, "    .word pop%d\n", op)
+	}
+
+	var handlers strings.Builder
+	for op := 0; op < 8; op++ {
+		fmt.Fprintf(&handlers, "\npop%d:\n", op)
+		switch {
+		case op < 3: // arithmetic on the virtual accumulator
+			fmt.Fprintf(&handlers, "    add $v0, $a0, $a1\n    addi $v0, $v0, %d\n    andi $v0, $v0, 8191\n    ret\n", op*7+1)
+		case op < 5: // string-hash-ish mixing
+			fmt.Fprintf(&handlers, "    sll $t0, $a0, %d\n    xor $v0, $t0, $a1\n    srl $t1, $v0, 5\n    add $v0, $v0, $t1\n    ret\n", op)
+		case op < 7: // recurse into the expression evaluator
+			fmt.Fprintf(&handlers, "%s    andi $a0, $a1, 7\n    addi $a0, $a0, %d\n    jal nested\n%s", prologue(0), op-3, epilogue(0))
+		default: // conditional accumulate with a biased but imperfect test
+			fmt.Fprintf(&handlers, `%s    jal rand
+    xor $t0, $v0, $a0
+    andi $t0, $t0, 3
+    beqz $t0, pop%d_else
+    addi $v0, $a1, 13
+%s
+pop%d_else:
+    sub $v0, $a1, $a0
+%s`, prologue(0), op, epilogue(0), op, epilogue(0))
+		}
+	}
+
+	return fmt.Sprintf(`
+    .data
+seed:
+    .word 321
+%s%s
+    .text
+%s
+
+# iteration: interpret the 64-op program once.
+iteration:
+%s    li $s2, 0              # vpc
+    li $s3, 0              # vacc
+pl_loop:
+    la $t0, bytecode
+    sll $t1, $s2, 2
+    add $t0, $t0, $t1
+    lw $t2, 0($t0)
+    andi $t3, $t2, 7       # opcode
+    srl $a1, $t2, 8        # arg
+    move $a0, $s3
+    la $t4, optab
+    sll $t3, $t3, 2
+    add $t4, $t4, $t3
+    lw $t9, 0($t4)
+    jalr $t9               # indirect call: pushes the RAS every op
+    move $s3, $v0
+    addi $s2, $s2, 1
+    slti $t0, $s2, %d
+    bnez $t0, pl_loop
+    move $v0, $s3
+%s
+%s
+
+# nested(depth) -> v0: data-dependent recursion, one or two children per
+# level depending on the LCG stream — perl's nested data structures.
+nested:
+%s    move $s2, $a0
+    blez $s2, nested_leaf
+    jal rand
+    andi $s3, $v0, 3
+    addi $a0, $s2, -1
+    jal nested
+    move $s4, $v0
+    bnez $s3, nested_one   # 75%%: single child
+    addi $a0, $s2, -2
+    jal nested
+    add $v0, $v0, $s4
+    j nested_out
+nested_one:
+    addi $v0, $s4, 2
+    j nested_out
+nested_leaf:
+    li $v0, 1
+nested_out:
+    andi $v0, $v0, 16383
+%s%s`,
+		dataWords("bytecode", bytecode),
+		table.String(),
+		mainLoop(scale),
+		prologue(2),
+		len(bytecode),
+		epilogue(2),
+		handlers.String(),
+		prologue(3),
+		epilogue(3),
+		exitAndPrint+randFn)
+}

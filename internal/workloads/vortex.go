@@ -1,0 +1,136 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// vortex clone: object-oriented database. A transaction loop walks an
+// object array and invokes tiny virtual methods through per-class vtables
+// (jalr). Methods call getters which call validators — three to four
+// frames of very short functions, so calls and returns dominate the
+// instruction mix and each callee returns to many distinct sites. This is
+// why vortex (like compress) "suffers badly if returns are only predicted
+// from the BTB": the BTB's one stale target per return is usually wrong.
+func init() {
+	register(Workload{
+		Name:        "vortex",
+		Description: "OO database; vtable dispatch, tiny methods, ~18% calls, many return sites",
+		InstPerUnit: 3350,
+		Source:      vortexSource,
+	})
+}
+
+const (
+	vtxClasses = 4
+	vtxMethods = 4
+)
+
+func vortexSource(scale int) string {
+	rng := rand.New(rand.NewSource(808))
+	// Object table: 64 objects, each word = class | field<<8.
+	objs := make([]uint32, 64)
+	for i := range objs {
+		objs[i] = uint32(rng.Intn(vtxClasses)) | uint32(rng.Intn(4096))<<8
+	}
+
+	var vt strings.Builder
+	for c := 0; c < vtxClasses; c++ {
+		fmt.Fprintf(&vt, "vtable%d:\n", c)
+		for m := 0; m < vtxMethods; m++ {
+			fmt.Fprintf(&vt, "    .word method_%d_%d\n", c, m)
+		}
+	}
+	vt.WriteString("vtables:\n")
+	for c := 0; c < vtxClasses; c++ {
+		fmt.Fprintf(&vt, "    .word vtable%d\n", c)
+	}
+
+	var methods strings.Builder
+	for c := 0; c < vtxClasses; c++ {
+		for m := 0; m < vtxMethods; m++ {
+			fmt.Fprintf(&methods, "\nmethod_%d_%d:\n%s", c, m, prologue(0))
+			// Every method goes through a getter; half also validate.
+			fmt.Fprintf(&methods, "    addi $a0, $a0, %d\n    jal getter%d\n", c*4+m, (c+m)%3)
+			if (c+m)%2 == 0 {
+				methods.WriteString("    move $a0, $v0\n    jal validate\n")
+			}
+			fmt.Fprintf(&methods, "    addi $v0, $v0, %d\n%s", m+1, epilogue(0))
+		}
+	}
+
+	var getters strings.Builder
+	for g := 0; g < 3; g++ {
+		fmt.Fprintf(&getters, `
+getter%d:
+%s    andi $t0, $a0, 63
+    la $t1, fields
+    sll $t0, $t0, 2
+    add $t1, $t1, $t0
+    lw $a0, 0($t1)
+    jal validate
+    addi $v0, $v0, %d
+%s`, g, prologue(0), g*3, epilogue(0))
+	}
+
+	return fmt.Sprintf(`
+    .data
+seed:
+    .word 55
+%s%s%s
+    .text
+%s
+
+# iteration: one transaction over the object table, dispatching a virtual
+# method on each object.
+iteration:
+%s    li $s2, 0
+    li $s3, 0
+vx_loop:
+    la $t0, objects
+    sll $t1, $s2, 2
+    add $t0, $t0, $t1
+    lw $t2, 0($t0)         # object word
+    andi $t3, $t2, 255     # class id
+    srl $a0, $t2, 8        # field
+    # method index varies with the object position (predictable-ish)
+    andi $t4, $s2, %d
+    la $t5, vtables
+    sll $t3, $t3, 2
+    add $t5, $t5, $t3
+    lw $t6, 0($t5)         # vtable base
+    sll $t4, $t4, 2
+    add $t6, $t6, $t4
+    lw $t9, 0($t6)         # method pointer
+    jalr $t9
+    add $s3, $s3, $v0
+    addi $s2, $s2, 1
+    slti $t0, $s2, %d
+    bnez $t0, vx_loop
+    move $v0, $s3
+%s
+%s%s
+# validate(v) -> v0: tiny leaf with a mostly-true range check.
+validate:
+    li $t1, 100000
+    slt $t0, $a0, $t1
+    bnez $t0, validate_ok
+    li $v0, 0
+    ret
+validate_ok:
+    andi $v0, $a0, 2047
+    ret
+%s`,
+		dataWords("objects", objs),
+		dataWords("fields", randWords(809, 64, 100000)),
+		vt.String(),
+		mainLoop(scale),
+		prologue(2),
+		vtxMethods-1,
+		len(objs),
+		epilogue(2),
+		methods.String(),
+		getters.String(),
+		exitAndPrint+randFn)
+}

@@ -1,0 +1,100 @@
+// Package workloads provides the benchmark programs driven through the
+// simulator: eight synthetic clones of the SPECint95 suite the paper
+// evaluates, plus microbenchmarks used by tests and examples.
+//
+// The clones are not the SPEC programs (those are proprietary); each is a
+// generated assembly program engineered to match its namesake's
+// qualitative control-flow character along the axes that drive the paper's
+// results: call density, call-depth distribution, recursion, early-return
+// patterns (the source of wrong-path stack corruption), indirect calls,
+// and conditional-branch predictability. DESIGN.md §6 tabulates the
+// intended profile of each clone.
+//
+// Every program is deterministic (data-dependent branches are driven by a
+// seeded LCG in the program's own data segment), terminates with an exit
+// syscall, and prints a checksum so the cycle simulator can be verified
+// against the functional emulator instruction for instruction.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"retstack/internal/asm"
+	"retstack/internal/program"
+)
+
+// Workload is one named benchmark generator. Scale controls the outer
+// iteration count; instructions grow roughly linearly with it.
+type Workload struct {
+	Name        string
+	Description string
+	// InstPerUnit estimates dynamic instructions per unit of scale, used
+	// by the harness to size runs.
+	InstPerUnit int
+	Source      func(scale int) string
+}
+
+// Build assembles the workload at the given scale.
+func (w Workload) Build(scale int) (*program.Image, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("workloads: %s: scale must be positive", w.Name)
+	}
+	im, err := asm.Assemble(w.Source(scale))
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", w.Name, err)
+	}
+	return im, nil
+}
+
+// ScaleFor returns a scale expected to produce at least wantInsts dynamic
+// instructions.
+func (w Workload) ScaleFor(wantInsts uint64) int {
+	if w.InstPerUnit <= 0 {
+		return 1
+	}
+	s := int(wantInsts/uint64(w.InstPerUnit)) + 1
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+var registry = map[string]Workload{}
+
+func register(w Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic("workloads: duplicate " + w.Name)
+	}
+	registry[w.Name] = w
+}
+
+// ByName looks up a workload.
+func ByName(name string) (Workload, bool) {
+	w, ok := registry[name]
+	return w, ok
+}
+
+// SPECNames lists the eight SPECint95 clone names in the paper's order.
+func SPECNames() []string {
+	return []string{"compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"}
+}
+
+// SPEC returns the eight SPECint95 clones in the paper's order.
+func SPEC() []Workload {
+	ws := make([]Workload, 0, 8)
+	for _, n := range SPECNames() {
+		ws = append(ws, registry[n])
+	}
+	return ws
+}
+
+// All returns every registered workload sorted by name.
+func All() []Workload {
+	ws := make([]Workload, 0, len(registry))
+	for _, w := range registry {
+		ws = append(ws, w)
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].Name < ws[j].Name })
+	return ws
+}

@@ -1,0 +1,173 @@
+package workloads
+
+import (
+	"testing"
+
+	"retstack/internal/emu"
+	"retstack/internal/isa"
+)
+
+// buildRun assembles a workload at the given scale and runs it to
+// completion on the functional emulator.
+func buildRun(t *testing.T, w Workload, scale int) *emu.Machine {
+	t.Helper()
+	im, err := w.Build(scale)
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	m := emu.NewMachine()
+	m.Load(im)
+	if _, err := m.Run(100_000_000); err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	if !m.Halted {
+		t.Fatalf("%s did not halt", w.Name)
+	}
+	return m
+}
+
+func TestRegistry(t *testing.T) {
+	if len(SPEC()) != 8 {
+		t.Fatalf("SPEC() returned %d workloads", len(SPEC()))
+	}
+	for i, name := range SPECNames() {
+		w, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing workload %s", name)
+		}
+		if w.Name != name || SPEC()[i].Name != name {
+			t.Errorf("registry order broken at %s", name)
+		}
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("unknown name should not resolve")
+	}
+	if len(All()) < 11 { // 8 SPEC + 3 micro
+		t.Errorf("All() returned only %d workloads", len(All()))
+	}
+}
+
+func TestAllWorkloadsRunAndTerminate(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			m := buildRun(t, w, 3)
+			if m.ExitCode != 0 {
+				t.Errorf("exit code %d", m.ExitCode)
+			}
+			if m.Output() == "" {
+				t.Error("no checksum printed")
+			}
+			if m.Returns == 0 && w.Name != "ijpeg" {
+				t.Error("no returns executed")
+			}
+			if m.Calls != m.Returns {
+				t.Errorf("calls %d != returns %d (unbalanced)", m.Calls, m.Returns)
+			}
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, w := range SPEC() {
+		a := buildRun(t, w, 2).Output()
+		b := buildRun(t, w, 2).Output()
+		if a != b {
+			t.Errorf("%s not deterministic", w.Name)
+		}
+	}
+}
+
+func TestScaleGrowsWork(t *testing.T) {
+	for _, w := range SPEC() {
+		small := buildRun(t, w, 1).InstCount
+		big := buildRun(t, w, 4).InstCount
+		if big < small*3 {
+			t.Errorf("%s: insts at scale 4 (%d) not ~4x scale 1 (%d)", w.Name, big, small)
+		}
+	}
+}
+
+func TestScaleFor(t *testing.T) {
+	w, _ := ByName("ijpeg")
+	s := w.ScaleFor(1_000_000)
+	if s <= 0 {
+		t.Fatal("non-positive scale")
+	}
+	m := buildRun(t, w, s)
+	if m.InstCount < 900_000 {
+		t.Errorf("ScaleFor(1M) produced only %d instructions", m.InstCount)
+	}
+	if (Workload{}).ScaleFor(100) != 1 {
+		t.Error("zero InstPerUnit should default to scale 1")
+	}
+	if _, err := (Workload{Name: "x", Source: func(int) string { return "" }}).Build(0); err == nil {
+		t.Error("scale 0 must be rejected")
+	}
+}
+
+// TestProfiles verifies each clone matches the qualitative control-flow
+// profile DESIGN.md assigns it: call density, depth, and branch counts are
+// the axes that drive the paper's results.
+func TestProfiles(t *testing.T) {
+	type profile struct {
+		minCallPct, maxCallPct float64 // calls as % of instructions
+		minDepth, maxDepth     int     // max call depth seen
+	}
+	want := map[string]profile{
+		"compress": {3.0, 12, 2, 6},
+		"gcc":      {3.0, 12, 4, 30},
+		"go":       {2.0, 10, 4, 40},
+		"ijpeg":    {0.05, 1.0, 1, 4},
+		"li":       {4.0, 15, 25, 200},
+		"m88ksim":  {2.0, 10, 2, 6},
+		"perl":     {3.0, 12, 4, 40},
+		"vortex":   {4.0, 15, 3, 8},
+	}
+	for _, w := range SPEC() {
+		m := buildRun(t, w, 4)
+		p := want[w.Name]
+		callPct := 100 * float64(m.Calls) / float64(m.InstCount)
+		t.Logf("%-9s insts=%7d calls=%5.2f%% maxdepth=%3d insts/unit=%d",
+			w.Name, m.InstCount, callPct, m.MaxDepth, m.InstCount/4)
+		if callPct < p.minCallPct || callPct > p.maxCallPct {
+			t.Errorf("%s: call density %.2f%% outside [%v, %v]",
+				w.Name, callPct, p.minCallPct, p.maxCallPct)
+		}
+		if m.MaxDepth < p.minDepth || m.MaxDepth > p.maxDepth {
+			t.Errorf("%s: max depth %d outside [%d, %d]",
+				w.Name, m.MaxDepth, p.minDepth, p.maxDepth)
+		}
+	}
+}
+
+// TestIndirectPresence: the interpreter-style clones must actually use
+// indirect control flow.
+func TestIndirectPresence(t *testing.T) {
+	for _, name := range []string{"m88ksim", "perl", "vortex"} {
+		w, _ := ByName(name)
+		m := buildRun(t, w, 2)
+		ind := m.ClassCounts[isa.ClassIndirect] + m.ClassCounts[isa.ClassIndirectCall]
+		if ind == 0 {
+			t.Errorf("%s executed no indirect jumps/calls", name)
+		}
+	}
+	w, _ := ByName("gcc")
+	m := buildRun(t, w, 2)
+	if m.ClassCounts[isa.ClassCondBranch] == 0 {
+		t.Error("gcc executed no conditional branches")
+	}
+}
+
+// TestInstPerUnitCalibration keeps the declared InstPerUnit estimates
+// within 2x of reality so ScaleFor sizes runs sensibly.
+func TestInstPerUnitCalibration(t *testing.T) {
+	for _, w := range All() {
+		m := buildRun(t, w, 4)
+		actual := int(m.InstCount / 4)
+		if w.InstPerUnit < actual/2 || w.InstPerUnit > actual*2 {
+			t.Errorf("%s: InstPerUnit=%d but measured %d/unit — update the constant",
+				w.Name, w.InstPerUnit, actual)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package retstack is the public API of this repository: a cycle-level
+// processor simulator built to reproduce "Improving Prediction for
+// Procedure Returns with Return-Address-Stack Repair Mechanisms"
+// (Skadron, Ahuja, Martonosi & Clark, MICRO-31, 1998).
+//
+// The paper's subject is the return-address stack (RAS): a small predictor
+// that pairs procedure returns with their calls. Because the stack is
+// updated speculatively at fetch, wrong-path execution after branch
+// mispredictions corrupts it. The paper proposes checkpointing the
+// top-of-stack pointer and the top-of-stack contents at each in-flight
+// branch and restoring them on misprediction — a repair that achieves
+// nearly 100% return hit rates — and shows that multipath processors need
+// one stack per path.
+//
+// # Quick start
+//
+//	w, _ := retstack.WorkloadByName("go")
+//	cfg := retstack.Baseline().WithPolicy(retstack.RepairTOSPointerAndContents)
+//	res, err := retstack.Run(cfg, w, 200_000)
+//	if err != nil { ... }
+//	fmt.Printf("IPC %.2f, return hit rate %.2f%%\n",
+//		res.Stats.IPC(), 100*res.Stats.ReturnHitRate())
+//
+// Deeper layers are exposed for direct use: the RAS itself and its repair
+// policies live in internal/core (re-exported here), the machine model in
+// internal/pipeline, the assembler for writing custom workloads in
+// internal/asm, and the paper's table/figure reproductions in
+// internal/experiments (driven by the rasbench command and the root
+// benchmark suite).
+package retstack
+
+import (
+	"fmt"
+
+	"retstack/internal/config"
+	"retstack/internal/core"
+	"retstack/internal/emu"
+	"retstack/internal/experiments"
+	"retstack/internal/pipeline"
+	"retstack/internal/program"
+	"retstack/internal/workloads"
+)
+
+// Config is the machine description; see Baseline for the paper's Table 1
+// defaults.
+type Config = config.Config
+
+// RepairPolicy selects the return-address-stack repair mechanism.
+type RepairPolicy = core.RepairPolicy
+
+// Repair mechanisms evaluated by the paper.
+const (
+	// RepairNone leaves the stack as the wrong path corrupted it.
+	RepairNone = core.RepairNone
+	// RepairTOSPointer restores only the top-of-stack pointer.
+	RepairTOSPointer = core.RepairTOSPointer
+	// RepairTOSPointerAndContents restores the pointer and the top entry —
+	// the paper's proposal.
+	RepairTOSPointerAndContents = core.RepairTOSPointerAndContents
+	// RepairFullStack snapshots the whole stack per branch (upper bound).
+	RepairFullStack = core.RepairFullStack
+)
+
+// Multipath stack organizations (Config.MPStacks).
+const (
+	MPUnified       = config.MPUnified
+	MPUnifiedRepair = config.MPUnifiedRepair
+	MPPerPath       = config.MPPerPath
+)
+
+// Return predictor selection (Config.ReturnPred).
+const (
+	ReturnRAS     = config.ReturnRAS
+	ReturnBTBOnly = config.ReturnBTBOnly
+)
+
+// Baseline returns the paper's Table 1 machine configuration.
+func Baseline() Config { return config.Baseline() }
+
+// Policies lists the four repair policies in evaluation order.
+func Policies() []RepairPolicy { return core.Policies() }
+
+// Workload is a benchmark generator; the eight SPECint95 clones the paper
+// evaluates are available via Workloads and WorkloadByName.
+type Workload = workloads.Workload
+
+// Workloads returns the eight SPECint95 clones in the paper's order.
+func Workloads() []Workload { return workloads.SPEC() }
+
+// AllWorkloads returns every registered workload, including the
+// microbenchmarks.
+func AllWorkloads() []Workload { return workloads.All() }
+
+// WorkloadByName looks up a workload ("compress", "gcc", "go", "ijpeg",
+// "li", "m88ksim", "perl", "vortex", or a "micro.*" name).
+func WorkloadByName(name string) (Workload, bool) { return workloads.ByName(name) }
+
+// Stats is the full statistics block of one simulation.
+type Stats = pipeline.Stats
+
+// Result bundles one simulation's outcome.
+type Result struct {
+	Stats *Stats
+	// Output is everything the program printed (checksum verification).
+	Output string
+	// Done reports whether the program ran to completion (exit syscall
+	// committed) rather than hitting the instruction budget.
+	Done bool
+}
+
+// Run simulates a workload on the configured machine until it exits or
+// maxInsts instructions commit (0 = unbounded). The workload is built at a
+// scale comfortably above the budget.
+func Run(cfg Config, w Workload, maxInsts uint64) (*Result, error) {
+	scale := 1
+	if maxInsts > 0 {
+		scale = w.ScaleFor(maxInsts * 2)
+	}
+	im, err := w.Build(scale)
+	if err != nil {
+		return nil, err
+	}
+	return RunImage(cfg, im, maxInsts)
+}
+
+// RunWarmed is Run with a warmup phase: the first warmup instructions
+// execute in the paper's "fast mode" (functional execution that trains
+// caches and predictors without timing), and cycle simulation measures the
+// following maxInsts instructions.
+func RunWarmed(cfg Config, w Workload, warmup, maxInsts uint64) (*Result, error) {
+	scale := w.ScaleFor((warmup + maxInsts) * 2)
+	im, err := w.Build(scale)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := pipeline.New(cfg, im)
+	if err != nil {
+		return nil, err
+	}
+	if warmup > 0 {
+		if _, err := sim.FastForward(warmup); err != nil {
+			return nil, err
+		}
+	}
+	if err := sim.Run(maxInsts); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Stats:  sim.Stats(),
+		Output: sim.Machine().Output(),
+		Done:   sim.Done(),
+	}, nil
+}
+
+// RunSMT simulates several programs co-scheduled on one SMT core (one
+// workload per hardware thread; Config.SMTThreads must match). Outputs is
+// each thread's program output.
+func RunSMT(cfg Config, ws []Workload, maxInsts uint64) (*Result, []string, error) {
+	ims := make([]*program.Image, len(ws))
+	for i, w := range ws {
+		scale := 1
+		if maxInsts > 0 {
+			scale = w.ScaleFor(maxInsts * 2)
+		}
+		im, err := w.Build(scale)
+		if err != nil {
+			return nil, nil, err
+		}
+		ims[i] = im
+	}
+	sim, err := pipeline.NewSMT(cfg, ims)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := sim.Run(maxInsts); err != nil {
+		return nil, nil, err
+	}
+	outs := make([]string, len(ws))
+	for i := range ws {
+		outs[i] = sim.ThreadMachine(i).Output()
+	}
+	return &Result{
+		Stats:  sim.Stats(),
+		Output: outs[0],
+		Done:   sim.Done(),
+	}, outs, nil
+}
+
+// RunImage simulates an already-built program image (for example one
+// produced by the internal/asm assembler).
+func RunImage(cfg Config, im *program.Image, maxInsts uint64) (*Result, error) {
+	sim, err := pipeline.New(cfg, im)
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.Run(maxInsts); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Stats:  sim.Stats(),
+		Output: sim.Machine().Output(),
+		Done:   sim.Done(),
+	}, nil
+}
+
+// Reference executes an image on the functional (non-timing) emulator and
+// returns its output — the oracle the cycle simulator is validated
+// against.
+func Reference(im *program.Image, maxInsts uint64) (string, error) {
+	m := emu.NewMachine()
+	m.Load(im)
+	if _, err := m.Run(maxInsts); err != nil {
+		return "", err
+	}
+	if !m.Halted {
+		return "", fmt.Errorf("retstack: reference run did not complete in %d instructions", maxInsts)
+	}
+	return m.Output(), nil
+}
+
+// Experiment reproduces one of the paper's tables or figures by id (t1-t4,
+// f1-f5, a1-a8); instBudget is the committed-instruction budget per
+// simulation (0 uses the default). The result's String method renders
+// paper-style rows.
+func Experiment(id string, instBudget uint64) (*experiments.Result, error) {
+	return experiments.Run(id, experiments.Params{InstBudget: instBudget})
+}
+
+// ExperimentIDs lists the reproducible artifacts in presentation order.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// ExperimentTitle returns the display title of an experiment id.
+func ExperimentTitle(id string) (string, bool) { return experiments.Title(id) }

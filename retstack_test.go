@@ -1,0 +1,133 @@
+package retstack_test
+
+import (
+	"strings"
+	"testing"
+
+	"retstack"
+	"retstack/internal/asm"
+)
+
+func TestPublicRunMatchesReference(t *testing.T) {
+	w, ok := retstack.WorkloadByName("compress")
+	if !ok {
+		t.Fatal("compress missing")
+	}
+	im, err := w.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := retstack.Reference(im, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := retstack.RunImage(retstack.Baseline(), im, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Error("run should complete")
+	}
+	if res.Output != want {
+		t.Errorf("output %q, want %q", res.Output, want)
+	}
+}
+
+func TestPublicRunBudget(t *testing.T) {
+	w, _ := retstack.WorkloadByName("gcc")
+	res, err := retstack.Run(retstack.Baseline(), w, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done {
+		t.Error("budgeted run should not complete")
+	}
+	if res.Stats.Committed < 50_000 {
+		t.Errorf("committed %d < budget", res.Stats.Committed)
+	}
+}
+
+func TestPublicWorkloadLists(t *testing.T) {
+	if len(retstack.Workloads()) != 8 {
+		t.Error("expected 8 SPEC clones")
+	}
+	if len(retstack.AllWorkloads()) <= 8 {
+		t.Error("expected micro workloads too")
+	}
+	if _, ok := retstack.WorkloadByName("bogus"); ok {
+		t.Error("bogus workload resolved")
+	}
+}
+
+func TestPublicPolicies(t *testing.T) {
+	ps := retstack.Policies()
+	if len(ps) != 4 || ps[0] != retstack.RepairNone || ps[3] != retstack.RepairFullStack {
+		t.Errorf("unexpected policy list %v", ps)
+	}
+}
+
+func TestPublicExperimentAPI(t *testing.T) {
+	ids := retstack.ExperimentIDs()
+	if len(ids) != 17 {
+		t.Errorf("expected 17 experiments, got %d (%v)", len(ids), ids)
+	}
+	for _, id := range ids {
+		if _, ok := retstack.ExperimentTitle(id); !ok {
+			t.Errorf("no title for %s", id)
+		}
+	}
+	if _, ok := retstack.ExperimentTitle("zz"); ok {
+		t.Error("bogus experiment has a title")
+	}
+	// t1 is cheap: run it end to end through the public API.
+	res, err := retstack.Experiment("t1", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.String(), "RUU") {
+		t.Errorf("t1 output missing config: %s", res)
+	}
+	if _, err := retstack.Experiment("zz", 0); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestPublicCustomImage(t *testing.T) {
+	im, err := asm.Assemble(`
+main:
+    li $a0, 21
+    jal double
+    move $a0, $v0
+    li $v0, 2
+    syscall
+    li $v0, 1
+    li $a0, 0
+    syscall
+double:
+    add $v0, $a0, $a0
+    ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := retstack.RunImage(retstack.Baseline(), im, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "42\n" {
+		t.Errorf("output %q", res.Output)
+	}
+	if res.Stats.Returns != 1 {
+		t.Errorf("returns %d", res.Stats.Returns)
+	}
+}
+
+func TestReferenceErrors(t *testing.T) {
+	im, err := asm.Assemble("main:\nloop:\n  j loop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := retstack.Reference(im, 1000); err == nil {
+		t.Error("non-terminating reference should error")
+	}
+}
