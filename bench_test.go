@@ -9,7 +9,9 @@
 package retstack_test
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"retstack"
 	"retstack/internal/core"
@@ -157,6 +159,45 @@ func BenchmarkAblationPredictorQuality(b *testing.B) {
 	res := runExperiment(b, "a8")
 	metric(b, res, "gcc-bimodal-speedup-%", "speedup", "gcc", "bimodal", 1)
 	metric(b, res, "gcc-hybrid-speedup-%", "speedup", "gcc", "hybrid", 1)
+}
+
+// sweepBenchParams is the cell-rich configuration the sweep-engine
+// benchmarks share: t3 is eight workloads x four repair policies = 32
+// independent simulations, enough cells to keep every worker busy.
+func sweepBenchParams(parallel int) experiments.Params {
+	return experiments.Params{InstBudget: benchBudget, Parallel: parallel}
+}
+
+// BenchmarkSweepSerial runs the t3 sweep on one worker — the baseline the
+// parallel engine is judged against.
+func BenchmarkSweepSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run("t3", sweepBenchParams(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel runs the same sweep across GOMAXPROCS workers and
+// reports the wall-clock speedup over a serial run measured outside the
+// timed loop.
+func BenchmarkSweepParallel(b *testing.B) {
+	serialStart := time.Now()
+	if _, err := experiments.Run("t3", sweepBenchParams(1)); err != nil {
+		b.Fatal(err)
+	}
+	serial := time.Since(serialStart)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run("t3", sweepBenchParams(runtime.GOMAXPROCS(0))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	parallelPerOp := b.Elapsed() / time.Duration(b.N)
+	if parallelPerOp > 0 {
+		b.ReportMetric(float64(serial)/float64(parallelPerOp), "speedup")
+	}
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed (simulated

@@ -7,12 +7,16 @@
 //	rasbench -exp all              # everything (EXPERIMENTS.md input)
 //	rasbench -exp f1 -insts 500000 # bigger runs
 //	rasbench -exp t3 -bench go,li  # restrict the workload set
+//	rasbench -exp all -parallel 8  # fan simulations across 8 workers
+//	rasbench -exp t3 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -23,14 +27,45 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id (t1-t4, f1-f5, a1-a8) or 'all'")
-		insts  = flag.Uint64("insts", 0, "instruction budget per simulation (0 = default)")
-		warmup = flag.Uint64("warmup", 0, "fast-forward this many instructions before measuring")
-		bench  = flag.String("bench", "", "comma-separated workload subset (default: all eight)")
-		format = flag.String("format", "table", "output format: table | csv (structured values)")
-		list   = flag.Bool("list", false, "list experiments and exit")
+		exp        = flag.String("exp", "", "experiment id (t1-t4, f1-f5, a1-a8) or 'all'")
+		insts      = flag.Uint64("insts", 0, "instruction budget per simulation (0 = default)")
+		warmup     = flag.Uint64("warmup", 0, "fast-forward this many instructions before measuring")
+		bench      = flag.String("bench", "", "comma-separated workload subset (default: all eight)")
+		format     = flag.String("format", "table", "output format: table | csv (structured values)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations to run concurrently (1 = serial; output is identical at any setting)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rasbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rasbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rasbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush unreachable objects so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rasbench:", err)
+			}
+		}()
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("reproducible artifacts:")
@@ -48,7 +83,7 @@ func main() {
 	if *exp == "all" {
 		ids = retstack.ExperimentIDs()
 	}
-	params := experiments.Params{InstBudget: *insts, Warmup: *warmup}
+	params := experiments.Params{InstBudget: *insts, Warmup: *warmup, Parallel: *parallel}
 	if *bench != "" {
 		params.Workloads = strings.Split(*bench, ",")
 	}

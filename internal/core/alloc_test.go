@@ -1,0 +1,78 @@
+package core
+
+import "testing"
+
+// TestSaveRestoreZeroAlloc pins the steady-state allocation behavior of the
+// checkpoint hot path: once a checkpoint's backing storage exists, a
+// push/save/pop/restore cycle must not allocate under any repair policy.
+// The simulator leans on this — fetch takes a checkpoint at every in-flight
+// branch, so a single allocation here multiplies by millions.
+func TestSaveRestoreZeroAlloc(t *testing.T) {
+	for _, pol := range Policies() {
+		s := NewStack(32, pol)
+		for i := 0; i < 40; i++ {
+			s.Push(uint32(i)) // wrap the circular storage once
+		}
+		var cp Checkpoint
+		s.SaveInto(&cp) // warm: the full policy allocates its buffer here
+		s.Restore(&cp)
+		allocs := testing.AllocsPerRun(200, func() {
+			s.Push(0xdead)
+			s.SaveInto(&cp)
+			s.Pop()
+			s.Restore(&cp)
+		})
+		if allocs != 0 {
+			t.Errorf("policy %s: %.1f allocs per save/restore cycle, want 0", pol, allocs)
+		}
+	}
+}
+
+// TestSaveRestoreZeroAllocRecycled checks the recycling path the pipeline
+// uses: a buffer taken from a released checkpoint and given to a fresh one
+// satisfies SaveInto without allocating.
+func TestSaveRestoreZeroAllocRecycled(t *testing.T) {
+	s := NewStack(32, RepairFullStack)
+	var warm Checkpoint
+	s.SaveInto(&warm)
+	buf := warm.TakeBuffer()
+	if buf == nil {
+		t.Fatal("full-stack checkpoint had no buffer to take")
+	}
+	if warm.Valid() {
+		t.Error("TakeBuffer must invalidate the checkpoint")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		var cp Checkpoint
+		cp.GiveBuffer(buf)
+		s.SaveInto(&cp)
+		s.Restore(&cp)
+		buf = cp.TakeBuffer()
+	})
+	if allocs != 0 {
+		t.Errorf("recycled checkpoint: %.1f allocs per cycle, want 0", allocs)
+	}
+}
+
+// TestInvalidateKeepsStorage checks Invalidate leaves the buffer in place
+// for the next SaveInto.
+func TestInvalidateKeepsStorage(t *testing.T) {
+	s := NewStack(8, RepairFullStack)
+	var cp Checkpoint
+	s.SaveInto(&cp)
+	cp.Invalidate()
+	if cp.Valid() {
+		t.Fatal("Invalidate did not clear validity")
+	}
+	s.Restore(&cp) // must be a no-op on an invalid checkpoint
+	if got := s.Stats().Restores; got != 0 {
+		t.Errorf("restores = %d, want 0 (restore of an invalid checkpoint)", got)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.SaveInto(&cp)
+		cp.Invalidate()
+	})
+	if allocs != 0 {
+		t.Errorf("SaveInto after Invalidate allocated %.1f times", allocs)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"retstack/internal/pipeline"
 	"retstack/internal/program"
 	"retstack/internal/stats"
+	"retstack/internal/sweep"
 	"retstack/internal/workloads"
 )
 
@@ -20,7 +21,6 @@ func runA1(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
 	slots := []int{1, 4, 8, 20, 0} // 0 = unbounded
 	hdr := []string{"bench"}
 	for _, s := range slots {
@@ -30,16 +30,27 @@ func runA1(p Params) (*Result, error) {
 			hdr = append(hdr, fmt.Sprintf("%d", s))
 		}
 	}
-	t := stats.NewTable("Return hit rate vs. shadow checkpoint slots (tos-ptr+contents)", hdr...)
+	var cells []simCell
 	for _, w := range ws {
-		row := []string{w.Name}
 		for _, sl := range slots {
 			cfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)
 			cfg.ShadowSlots = sl
-			sim, err := simulate(w, cfg, p)
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells, simCell{w, cfg})
+		}
+	}
+	sims, err := runSims(p, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	t := stats.NewTable("Return hit rate vs. shadow checkpoint slots (tos-ptr+contents)", hdr...)
+	next := 0
+	for _, w := range ws {
+		row := []string{w.Name}
+		for range slots {
+			sim := sims[next]
+			next++
 			hr := sim.Stats().ReturnHitRate()
 			key := hdr[len(row)]
 			res.put("hit", w.Name, key, hr)
@@ -65,25 +76,37 @@ func runA2(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
-	t := stats.NewTable("Self-checkpointing (linked) stack vs. checkpointed circular stack",
-		"bench", "circ32 ptr+contents", "linked32", "linked64", "linked128")
+	physSizes := []int{32, 64, 128}
+	// Per workload: the circular baseline, then the linked stack at each
+	// physical size.
+	var cells []simCell
 	for _, w := range ws {
-		row := []string{w.Name}
-		sim, err := simulate(w, config.Baseline().WithPolicy(core.RepairTOSPointerAndContents), p)
-		if err != nil {
-			return nil, err
-		}
-		res.put("hit", w.Name, "circ32", sim.Stats().ReturnHitRate())
-		row = append(row, pct(sim.Stats().ReturnHitRate()))
-		for _, phys := range []int{32, 64, 128} {
+		cells = append(cells, simCell{w, config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)})
+		for _, phys := range physSizes {
 			cfg := config.Baseline()
 			cfg.RASKind = config.RASLinked
 			cfg.RASEntries = phys
-			lsim, err := simulate(w, cfg, p)
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells, simCell{w, cfg})
+		}
+	}
+	sims, err := runSims(p, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	t := stats.NewTable("Self-checkpointing (linked) stack vs. checkpointed circular stack",
+		"bench", "circ32 ptr+contents", "linked32", "linked64", "linked128")
+	next := 0
+	for _, w := range ws {
+		row := []string{w.Name}
+		sim := sims[next]
+		next++
+		res.put("hit", w.Name, "circ32", sim.Stats().ReturnHitRate())
+		row = append(row, pct(sim.Stats().ReturnHitRate()))
+		for _, phys := range physSizes {
+			lsim := sims[next]
+			next++
 			key := fmt.Sprintf("linked%d", phys)
 			res.put("hit", w.Name, key, lsim.Stats().ReturnHitRate())
 			row = append(row, pct(lsim.Stats().ReturnHitRate()))
@@ -109,23 +132,24 @@ func runA3(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	base := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)
+	specCfg := base
+	specCfg.SpecHistory = true
+	var cells []simCell
+	for _, w := range ws {
+		cells = append(cells, simCell{w, base}, simCell{w, specCfg})
+	}
+	sims, err := runSims(p, cells)
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Result{}
 	t := stats.NewTable("Commit-time vs. speculative history (repair: tos-ptr+contents)",
 		"bench", "commit mispred%", "spec mispred%", "commit ipc", "spec ipc",
 		"commit ret-hit", "spec ret-hit")
-	for _, w := range ws {
-		base := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)
-		commit, err := simulate(w, base, p)
-		if err != nil {
-			return nil, err
-		}
-		specCfg := base
-		specCfg.SpecHistory = true
-		spec, err := simulate(w, specCfg, p)
-		if err != nil {
-			return nil, err
-		}
-		cs, ss := commit.Stats(), spec.Stats()
+	for i, w := range ws {
+		cs, ss := sims[2*i].Stats(), sims[2*i+1].Stats()
 		t.AddRowf(
 			"%s", w.Name,
 			"%.2f", 100*cs.CondMispredRate(),
@@ -160,48 +184,62 @@ func runA4(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	btbCfg := config.Baseline()
+	btbCfg.ReturnPred = config.ReturnBTBOnly
+	btbCfg.RASEntries = 0
+	tcCfg := config.Baseline()
+	tcCfg.ReturnPred = config.ReturnTargetCache
+	tcCfg.RASEntries = 0
+	rasCfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)
+	retCfgs := []struct {
+		key string
+		cfg config.Config
+	}{
+		{"ret-btb", btbCfg}, {"ret-tc", tcCfg}, {"ret-ras", rasCfg},
+	}
+	indCfgs := []struct {
+		key  string
+		kind config.IndirectPredictor
+	}{
+		{"ind-btb", config.IndirectBTB}, {"ind-tc", config.IndirectTargetCache},
+	}
+	// Per workload: three return predictors, then two indirect predictors.
+	var cells []simCell
+	for _, w := range ws {
+		for _, c := range retCfgs {
+			cells = append(cells, simCell{w, c.cfg})
+		}
+		for _, c := range indCfgs {
+			cfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)
+			cfg.IndirectPred = c.kind
+			cells = append(cells, simCell{w, cfg})
+		}
+	}
+	sims, err := runSims(p, cells)
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Result{}
 	t := stats.NewTable("Target cache vs. BTB vs. RAS",
 		"bench", "ret: btb-only", "ret: target-cache", "ret: ras",
 		"ind: btb", "ind: target-cache")
+	next := 0
 	for _, w := range ws {
 		row := []string{w.Name}
 
 		// Returns by three predictors.
-		btbCfg := config.Baseline()
-		btbCfg.ReturnPred = config.ReturnBTBOnly
-		btbCfg.RASEntries = 0
-		tcCfg := config.Baseline()
-		tcCfg.ReturnPred = config.ReturnTargetCache
-		tcCfg.RASEntries = 0
-		rasCfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)
-		for _, c := range []struct {
-			key string
-			cfg config.Config
-		}{
-			{"ret-btb", btbCfg}, {"ret-tc", tcCfg}, {"ret-ras", rasCfg},
-		} {
-			sim, err := simulate(w, c.cfg, p)
-			if err != nil {
-				return nil, err
-			}
+		for _, c := range retCfgs {
+			sim := sims[next]
+			next++
 			res.put("hit", w.Name, c.key, sim.Stats().ReturnHitRate())
 			row = append(row, pct(sim.Stats().ReturnHitRate()))
 		}
 
 		// Indirect jumps by two predictors (RAS handles returns in both).
-		for _, c := range []struct {
-			key  string
-			kind config.IndirectPredictor
-		}{
-			{"ind-btb", config.IndirectBTB}, {"ind-tc", config.IndirectTargetCache},
-		} {
-			cfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)
-			cfg.IndirectPred = c.kind
-			sim, err := simulate(w, cfg, p)
-			if err != nil {
-				return nil, err
-			}
+		for _, c := range indCfgs {
+			sim := sims[next]
+			next++
 			if sim.Stats().Indirects == 0 {
 				row = append(row, "-")
 				continue
@@ -229,23 +267,33 @@ func runA5(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
 	ks := []int{0, 1, 2, 4, 8, 32}
 	hdr := []string{"bench"}
 	for _, k := range ks {
 		hdr = append(hdr, fmt.Sprintf("K=%d", k))
 	}
-	t := stats.NewTable("Return hit rate vs. checkpointed entries (32-entry stack)", hdr...)
+	var cells []simCell
 	for _, w := range ws {
-		row := []string{w.Name}
 		for _, k := range ks {
 			cfg := config.Baseline()
 			cfg.RASKind = config.RASTopK
 			cfg.RASTopK = k
-			sim, err := simulate(w, cfg, p)
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells, simCell{w, cfg})
+		}
+	}
+	sims, err := runSims(p, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	t := stats.NewTable("Return hit rate vs. checkpointed entries (32-entry stack)", hdr...)
+	next := 0
+	for _, w := range ws {
+		row := []string{w.Name}
+		for _, k := range ks {
+			sim := sims[next]
+			next++
 			hr := sim.Stats().ReturnHitRate()
 			res.put("hit", w.Name, fmt.Sprintf("K%d", k), hr)
 			row = append(row, pct(hr))
@@ -270,28 +318,39 @@ func runA6(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfgs := []struct {
+		key string
+		cfg config.Config
+	}{
+		{"none", config.Baseline().WithPolicy(core.RepairNone)},
+		{"valid-bits", func() config.Config {
+			c := config.Baseline()
+			c.RASKind = config.RASValidBits
+			return c
+		}()},
+		{"tos-ptr", config.Baseline().WithPolicy(core.RepairTOSPointer)},
+		{"tos-ptr+contents", config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)},
+	}
+	var cells []simCell
+	for _, w := range ws {
+		for _, c := range cfgs {
+			cells = append(cells, simCell{w, c.cfg})
+		}
+	}
+	sims, err := runSims(p, cells)
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Result{}
 	t := stats.NewTable("Valid-bits (Pentium-style) repair vs. checkpoint repair",
 		"bench", "none", "valid-bits", "tos-ptr", "tos-ptr+contents")
+	next := 0
 	for _, w := range ws {
 		row := []string{w.Name}
-		for _, c := range []struct {
-			key string
-			cfg config.Config
-		}{
-			{"none", config.Baseline().WithPolicy(core.RepairNone)},
-			{"valid-bits", func() config.Config {
-				c := config.Baseline()
-				c.RASKind = config.RASValidBits
-				return c
-			}()},
-			{"tos-ptr", config.Baseline().WithPolicy(core.RepairTOSPointer)},
-			{"tos-ptr+contents", config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)},
-		} {
-			sim, err := simulate(w, c.cfg, p)
-			if err != nil {
-				return nil, err
-			}
+		for _, c := range cfgs {
+			sim := sims[next]
+			next++
 			hr := sim.Stats().ReturnHitRate()
 			res.put("hit", w.Name, c.key, hr)
 			res.put("ipc", w.Name, c.key, sim.Stats().IPC())
@@ -315,15 +374,20 @@ func runF5(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var cells []simCell
+	for _, w := range ws {
+		cells = append(cells, simCell{w, config.Baseline().WithPolicy(core.RepairNone)})
+	}
+	sims, err := runSims(p, cells)
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Result{}
 	t := stats.NewTable("Wrong-path RAS activity per 1K committed instructions (repair: none)",
 		"bench", "wp pushes", "wp pops", "recoveries", "squashed insts", "ret hit")
-	for _, w := range ws {
-		sim, err := simulate(w, config.Baseline().WithPolicy(core.RepairNone), p)
-		if err != nil {
-			return nil, err
-		}
-		st := sim.Stats()
+	for i, w := range ws {
+		st := sims[i].Stats()
 		per1k := func(n uint64) float64 { return 1000 * stats.Ratio(n, st.Committed) }
 		t.AddRowf(
 			"%s", w.Name,
@@ -355,28 +419,42 @@ func runA7(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sharing := []bool{true, false}
+	// SMT cells do not fit simCell's single-image shape, so fan them out
+	// with sweep.Map directly: one cell per (workload, sharing) pair, in
+	// assembly order.
+	sims, err := sweep.Map(p.workers(), len(ws)*len(sharing), func(i int) (*pipeline.Sim, error) {
+		w := ws[i/len(sharing)]
+		cfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)
+		cfg.SMTThreads = 2
+		cfg.SMTSharedRAS = sharing[i%len(sharing)]
+		im, err := buildFor(w, p)
+		if err != nil {
+			return nil, err
+		}
+		sim, err := pipeline.NewSMT(cfg, []*program.Image{im, im})
+		if err != nil {
+			return nil, err
+		}
+		if err := sim.Run(p.InstBudget); err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		return sim, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Result{}
 	t := stats.NewTable("2-thread SMT: shared vs. per-thread return-address stacks",
 		"bench", "shared hit", "shared ipc", "per-thread hit", "per-thread ipc")
+	next := 0
 	for _, w := range ws {
 		row := []string{w.Name}
 		var cells []string
-		for _, sharedStack := range []bool{true, false} {
-			cfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)
-			cfg.SMTThreads = 2
-			cfg.SMTSharedRAS = sharedStack
-			im, err := buildFor(w, p)
-			if err != nil {
-				return nil, err
-			}
-			sim, err := pipeline.NewSMT(cfg, []*program.Image{im, im})
-			if err != nil {
-				return nil, err
-			}
-			if err := sim.Run(p.InstBudget); err != nil {
-				return nil, fmt.Errorf("%s: %w", w.Name, err)
-			}
-			st := sim.Stats()
+		for _, sharedStack := range sharing {
+			st := sims[next].Stats()
+			next++
 			key := "per-thread"
 			if sharedStack {
 				key = "shared"
@@ -410,25 +488,33 @@ func runA8(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
 	kinds := []config.DirPredKind{config.DirBimodal, config.DirGShare, config.DirHybrid}
-	t := stats.NewTable("Repair speedup vs. direction-predictor quality",
-		"bench", "bimodal mispred%", "speedup", "gshare mispred%", "speedup",
-		"hybrid mispred%", "speedup")
+	// Per workload, per predictor kind: the no-repair baseline then the
+	// proposal.
+	var cells []simCell
 	for _, w := range ws {
-		row := []string{w.Name}
 		for _, kind := range kinds {
 			base := config.Baseline().WithPolicy(core.RepairNone)
 			base.DirPred = kind
-			none, err := simulate(w, base, p)
-			if err != nil {
-				return nil, err
-			}
-			rep := base.WithPolicy(core.RepairTOSPointerAndContents)
-			prop, err := simulate(w, rep, p)
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells, simCell{w, base}, simCell{w, base.WithPolicy(core.RepairTOSPointerAndContents)})
+		}
+	}
+	sims, err := runSims(p, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	t := stats.NewTable("Repair speedup vs. direction-predictor quality",
+		"bench", "bimodal mispred%", "speedup", "gshare mispred%", "speedup",
+		"hybrid mispred%", "speedup")
+	next := 0
+	for _, w := range ws {
+		row := []string{w.Name}
+		for _, kind := range kinds {
+			none := sims[next]
+			prop := sims[next+1]
+			next += 2
 			sp := stats.Speedup(none.Stats().IPC(), prop.Stats().IPC())
 			mr := prop.Stats().CondMispredRate()
 			res.put("mispred", w.Name, kind.String(), mr)

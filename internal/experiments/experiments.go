@@ -13,6 +13,7 @@ import (
 	"retstack/internal/config"
 	"retstack/internal/pipeline"
 	"retstack/internal/stats"
+	"retstack/internal/sweep"
 	"retstack/internal/workloads"
 )
 
@@ -26,6 +27,12 @@ type Params struct {
 	// Workloads optionally restricts the benchmark set (default: the
 	// eight SPECint95 clones).
 	Workloads []string
+	// Parallel bounds how many simulation cells run concurrently (the
+	// rasbench -parallel flag). Values below 1 select
+	// runtime.GOMAXPROCS(0); 1 runs serially. Cells are independent and
+	// reassembled deterministically, so tables and Values are
+	// byte-identical at every setting.
+	Parallel int
 }
 
 // DefaultParams sizes runs for interactive use.
@@ -145,6 +152,27 @@ func Run(id string, p Params) (*Result, error) {
 	res.Title = r.title
 	return res, nil
 }
+
+// simCell is one independent simulation of a sweep: a workload under a
+// machine configuration. Cells share no mutable state, which is what lets
+// the sweep engine fan them out.
+type simCell struct {
+	w   workloads.Workload
+	cfg config.Config
+}
+
+// runSims executes one simulation per cell across p.workers() workers and
+// returns the sims in cell order. Each runner appends cells in exactly the
+// order its serial assembly consumes them, so parallel output is
+// byte-identical to serial.
+func runSims(p Params, cells []simCell) ([]*pipeline.Sim, error) {
+	return sweep.Map(p.workers(), len(cells), func(i int) (*pipeline.Sim, error) {
+		return simulate(cells[i].w, cells[i].cfg, p)
+	})
+}
+
+// workers resolves Params.Parallel to a concrete worker count.
+func (p Params) workers() int { return sweep.Workers(p.Parallel) }
 
 // simulate builds the workload sized to the params' budget and runs one
 // simulation, honoring the warmup fast-forward.

@@ -19,8 +19,23 @@ func runF1(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	pols := []core.RepairPolicy{core.RepairNone, core.RepairTOSPointerAndContents}
+	var cells []simCell
+	for _, pol := range pols {
+		for _, w := range ws {
+			for _, d := range stackDepths {
+				cells = append(cells, simCell{w, config.Baseline().WithPolicy(pol).WithRASEntries(d)})
+			}
+		}
+	}
+	sims, err := runSims(p, cells)
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Result{}
-	for _, pol := range []core.RepairPolicy{core.RepairNone, core.RepairTOSPointerAndContents} {
+	next := 0
+	for _, pol := range pols {
 		hdr := []string{"bench"}
 		for _, d := range stackDepths {
 			hdr = append(hdr, fmt.Sprintf("%d", d))
@@ -29,10 +44,8 @@ func runF1(p Params) (*Result, error) {
 		for _, w := range ws {
 			row := []string{w.Name}
 			for _, d := range stackDepths {
-				sim, err := simulate(w, config.Baseline().WithPolicy(pol).WithRASEntries(d), p)
-				if err != nil {
-					return nil, err
-				}
+				sim := sims[next]
+				next++
 				hr := sim.Stats().ReturnHitRate()
 				res.put("hit."+pol.String(), w.Name, fmt.Sprintf("%d", d), hr)
 				row = append(row, pct(hr))
@@ -56,6 +69,18 @@ func runF2(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var cells []simCell
+	for _, w := range ws {
+		for _, d := range stackDepths {
+			cells = append(cells, simCell{w,
+				config.Baseline().WithPolicy(core.RepairTOSPointerAndContents).WithRASEntries(d)})
+		}
+	}
+	sims, err := runSims(p, cells)
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Result{}
 	hdr := []string{"bench"}
 	for _, d := range stackDepths {
@@ -63,16 +88,13 @@ func runF2(p Params) (*Result, error) {
 	}
 	tOvf := stats.NewTable("Overflows per 1K returns", hdr...)
 	tUdf := stats.NewTable("Underflows per 1K returns", hdr...)
+	next := 0
 	for _, w := range ws {
 		rowO := []string{w.Name}
 		rowU := []string{w.Name}
 		for _, d := range stackDepths {
-			cfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents).WithRASEntries(d)
-			sim, err := simulate(w, cfg, p)
-			if err != nil {
-				return nil, err
-			}
-			st := sim.Stats()
+			st := sims[next].Stats()
+			next++
 			ovf := 1000 * stats.Ratio(st.RAS.Overflows, st.Returns)
 			udf := 1000 * stats.Ratio(st.RAS.Underflows, st.Returns)
 			res.put("ovf", w.Name, fmt.Sprintf("%d", d), ovf)
@@ -98,22 +120,38 @@ func runF3(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	repairPols := []core.RepairPolicy{core.RepairTOSPointer, core.RepairTOSPointerAndContents, core.RepairFullStack}
+	btbCfg := config.Baseline()
+	btbCfg.ReturnPred = config.ReturnBTBOnly
+	btbCfg.RASEntries = 0
+	// Per workload: the no-repair baseline, the three repair policies, and
+	// the BTB-only machine — in the order the assembly consumes them.
+	var cells []simCell
+	for _, w := range ws {
+		cells = append(cells, simCell{w, config.Baseline().WithPolicy(core.RepairNone)})
+		for _, pol := range repairPols {
+			cells = append(cells, simCell{w, config.Baseline().WithPolicy(pol)})
+		}
+		cells = append(cells, simCell{w, btbCfg})
+	}
+	sims, err := runSims(p, cells)
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Result{}
 	t := stats.NewTable("IPC speedup over the unrepaired stack (and over BTB-only)",
 		"bench", "ipc(none)", "tos-ptr", "tos-ptr+contents", "full", "vs btb-only")
 	var geoNone, geoBest []float64
+	next := 0
 	for _, w := range ws {
-		base, err := simulate(w, config.Baseline().WithPolicy(core.RepairNone), p)
-		if err != nil {
-			return nil, err
-		}
+		base := sims[next]
+		next++
 		baseIPC := base.Stats().IPC()
 		row := []string{w.Name, fmt.Sprintf("%.3f", baseIPC)}
-		for _, pol := range []core.RepairPolicy{core.RepairTOSPointer, core.RepairTOSPointerAndContents, core.RepairFullStack} {
-			sim, err := simulate(w, config.Baseline().WithPolicy(pol), p)
-			if err != nil {
-				return nil, err
-			}
+		for _, pol := range repairPols {
+			sim := sims[next]
+			next++
 			sp := stats.Speedup(baseIPC, sim.Stats().IPC())
 			res.put("speedup", w.Name, pol.String(), sp)
 			res.put("ipc", w.Name, pol.String(), sim.Stats().IPC())
@@ -123,13 +161,8 @@ func runF3(p Params) (*Result, error) {
 				geoBest = append(geoBest, sim.Stats().IPC())
 			}
 		}
-		btbCfg := config.Baseline()
-		btbCfg.ReturnPred = config.ReturnBTBOnly
-		btbCfg.RASEntries = 0
-		btb, err := simulate(w, btbCfg, p)
-		if err != nil {
-			return nil, err
-		}
+		btb := sims[next]
+		next++
 		best, _ := res.Get("ipc", w.Name, core.RepairTOSPointerAndContents.String())
 		spBTB := stats.Speedup(btb.Stats().IPC(), best)
 		res.put("speedup", w.Name, "vs-btb-only", spBTB)
@@ -154,9 +187,29 @@ func runF4(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
 	orgs := []config.MultipathRAS{config.MPUnified, config.MPUnifiedRepair, config.MPPerPath}
-	for _, paths := range []int{2, 4} {
+	pathCounts := []int{2, 4}
+	var cells []simCell
+	for _, paths := range pathCounts {
+		for _, w := range ws {
+			for _, org := range orgs {
+				cfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents).
+					WithMultipath(paths, org)
+				if org == config.MPUnified {
+					cfg.RASPolicy = core.RepairNone
+				}
+				cells = append(cells, simCell{w, cfg})
+			}
+		}
+	}
+	sims, err := runSims(p, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	next := 0
+	for _, paths := range pathCounts {
 		t := stats.NewTable(
 			fmt.Sprintf("%d-path relative performance (normalized to %d-path unified)", paths, paths),
 			"bench", "unified ipc", "unified+repair", "per-path", "per-path hit")
@@ -164,15 +217,8 @@ func runF4(p Params) (*Result, error) {
 			ipcs := map[config.MultipathRAS]float64{}
 			var perPathHit float64
 			for _, org := range orgs {
-				cfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents).
-					WithMultipath(paths, org)
-				if org == config.MPUnified {
-					cfg.RASPolicy = core.RepairNone
-				}
-				sim, err := simulate(w, cfg, p)
-				if err != nil {
-					return nil, err
-				}
+				sim := sims[next]
+				next++
 				ipcs[org] = sim.Stats().IPC()
 				key := fmt.Sprintf("%dp-%s", paths, org)
 				res.put("ipc", w.Name, key, sim.Stats().IPC())

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestParallelMatchesSerial is the sweep engine's determinism contract:
+// running an experiment with any worker count must produce bit-identical
+// structured values and rendered tables. t3 covers the plain simCell path
+// (workloads x repair policies); f2 covers a depth sweep whose cells share
+// a workload but differ in configuration.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, id := range []string{"t3", "f2"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			serial := Params{InstBudget: 20_000, Workloads: []string{"go", "li"}, Parallel: 1}
+			par := serial
+			par.Parallel = 4
+
+			sres, err := Run(id, serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pres, err := Run(id, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if len(sres.Values) == 0 {
+				t.Fatal("serial run produced no structured values")
+			}
+			if len(pres.Values) != len(sres.Values) {
+				t.Fatalf("value count: serial %d, parallel %d", len(sres.Values), len(pres.Values))
+			}
+			for k, sv := range sres.Values {
+				if pv, ok := pres.Values[k]; !ok || pv != sv {
+					t.Errorf("%s: serial %v, parallel %v", k, sv, pres.Values[k])
+				}
+			}
+			if s, p := sres.String(), pres.String(); s != p {
+				t.Errorf("rendered output differs:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+			}
+		})
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"retstack/internal/config"
 	"retstack/internal/core"
 	"retstack/internal/emu"
+	"retstack/internal/pipeline"
 	"retstack/internal/stats"
+	"retstack/internal/sweep"
 )
 
 // runT1 prints the baseline machine description (the paper's Table 1).
@@ -31,29 +33,43 @@ func runT2(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
-	t := stats.NewTable("Workload summary ("+fmt.Sprintf("%d", p.InstBudget)+" insts simulated)",
-		"bench", "insts", "calls%", "returns%", "mean depth", "p95 depth", "max depth", "cond mispred%")
-	for _, w := range ws {
+	// One cell per workload: the functional characterization run plus the
+	// baseline timing simulation.
+	type t2cell struct {
+		m   *emu.Machine
+		sim *pipeline.Sim
+	}
+	cells, err := sweep.Map(p.workers(), len(ws), func(i int) (t2cell, error) {
+		w := ws[i]
 		im, err := w.Build(w.ScaleFor(p.InstBudget * 2))
 		if err != nil {
-			return nil, err
+			return t2cell{}, err
 		}
 		m := emu.NewMachine()
 		m.Load(im)
 		if _, err := m.Run(p.InstBudget); err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+			return t2cell{}, fmt.Errorf("%s: %w", w.Name, err)
 		}
+		sim, err := simulate(w, config.Baseline().WithPolicy(core.RepairTOSPointerAndContents), p)
+		if err != nil {
+			return t2cell{}, err
+		}
+		return t2cell{m, sim}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	t := stats.NewTable("Workload summary ("+fmt.Sprintf("%d", p.InstBudget)+" insts simulated)",
+		"bench", "insts", "calls%", "returns%", "mean depth", "p95 depth", "max depth", "cond mispred%")
+	for i, w := range ws {
+		m := cells[i].m
 		meanDepth := 0.0
 		if m.Calls > 0 {
 			meanDepth = float64(m.SumDepth) / float64(m.Calls)
 		}
-
-		sim, err := simulate(w, config.Baseline().WithPolicy(core.RepairTOSPointerAndContents), p)
-		if err != nil {
-			return nil, err
-		}
-		mr := sim.Stats().CondMispredRate()
+		mr := cells[i].sim.Stats().CondMispredRate()
 
 		t.AddRowf(
 			"%s", w.Name,
@@ -85,16 +101,27 @@ func runT3(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	pols := core.Policies()
+	var cells []simCell
+	for _, w := range ws {
+		for _, pol := range pols {
+			cells = append(cells, simCell{w, config.Baseline().WithPolicy(pol)})
+		}
+	}
+	sims, err := runSims(p, cells)
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Result{}
 	t := stats.NewTable("Return hit rate by repair mechanism (32-entry stack)",
 		"bench", "none", "tos-ptr", "tos-ptr+contents", "full")
+	next := 0
 	for _, w := range ws {
 		row := []string{w.Name}
-		for _, pol := range core.Policies() {
-			sim, err := simulate(w, config.Baseline().WithPolicy(pol), p)
-			if err != nil {
-				return nil, err
-			}
+		for _, pol := range pols {
+			sim := sims[next]
+			next++
 			hr := sim.Stats().ReturnHitRate()
 			res.put("hit", w.Name, pol.String(), hr)
 			res.put("ipc", w.Name, pol.String(), sim.Stats().IPC())
@@ -116,23 +143,24 @@ func runT4(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
-	t := stats.NewTable("Returns predicted from the BTB alone vs. a repaired stack",
-		"bench", "btb-only hit", "btb-only ipc", "ras hit", "ras ipc", "ras speedup")
 	btbCfg := config.Baseline()
 	btbCfg.ReturnPred = config.ReturnBTBOnly
 	btbCfg.RASEntries = 0
 	rasCfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)
+	var cells []simCell
 	for _, w := range ws {
-		b, err := simulate(w, btbCfg, p)
-		if err != nil {
-			return nil, err
-		}
-		r, err := simulate(w, rasCfg, p)
-		if err != nil {
-			return nil, err
-		}
-		bs, rs := b.Stats(), r.Stats()
+		cells = append(cells, simCell{w, btbCfg}, simCell{w, rasCfg})
+	}
+	sims, err := runSims(p, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	t := stats.NewTable("Returns predicted from the BTB alone vs. a repaired stack",
+		"bench", "btb-only hit", "btb-only ipc", "ras hit", "ras ipc", "ras speedup")
+	for i, w := range ws {
+		bs, rs := sims[2*i].Stats(), sims[2*i+1].Stats()
 		speedup := stats.Speedup(bs.IPC(), rs.IPC())
 		t.AddRowf(
 			"%s", w.Name,

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"retstack/internal/core"
 	"retstack/internal/emu"
 	"retstack/internal/isa"
 )
@@ -43,8 +44,10 @@ func (s *Sim) dispatchStage() {
 		}
 
 		e := &s.ruu[s.ruuTail]
-		// Swap checkpoint buffers so slot and entry never alias storage.
-		oldCP := e.checkpoint
+		// The checkpoint moves from the fetch slot into the RUU entry. The
+		// entry's previous checkpoint was recycled when it was released at
+		// commit; recycle defensively in case that invariant ever slips.
+		s.recycleCheckpoint(&e.checkpoint)
 		*e = ruuEntry{
 			valid:         true,
 			seq:           slot.seq,
@@ -66,7 +69,7 @@ func (s *Sim) dispatchStage() {
 			isCtrl:        slot.class.IsControl(),
 			depIdx:        [2]int{invalidIdx, invalidIdx},
 		}
-		slot.checkpoint = oldCP
+		slot.checkpoint = core.Checkpoint{} // buffer now owned by the entry
 		slot.hasCheckpoint = false
 		s.popFetchSlot()
 
@@ -91,7 +94,8 @@ func (s *Sim) popFetchSlot() {
 	s.fetchQLen--
 }
 
-// dropFetchSlot accounts a never-dispatched slot as wrong-path work.
+// dropFetchSlot accounts a never-dispatched slot as wrong-path work and
+// recycles its checkpoint buffer.
 func (s *Sim) dropFetchSlot(slot *fetchSlot) {
 	if slot.rasPushed {
 		s.stats.WrongPathPushes++
@@ -103,6 +107,7 @@ func (s *Sim) dropFetchSlot(slot *fetchSlot) {
 		s.shadowUsed--
 		slot.hasCheckpoint = false
 	}
+	s.recycleCheckpoint(&slot.checkpoint)
 }
 
 // executeAtDispatch runs the instruction functionally and fills in the

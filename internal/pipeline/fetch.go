@@ -55,26 +55,21 @@ func (s *Sim) fetchPath(p *path, budget int) int {
 		s.stats.Fetched++
 		s.nextSeq++
 
-		// Reserve the ring slot up front and recycle its checkpoint buffer
-		// (the full-stack policy's backing array) instead of reallocating.
+		// Reserve the ring slot up front. Checkpoint buffers are pooled
+		// centrally (cpFree), so the slot starts with an empty checkpoint;
+		// takeCheckpoint borrows a recycled buffer when it needs one.
 		ringIdx := (s.fetchQHead + s.fetchQLen) % len(s.fetchQ)
 		slot := fetchSlot{
-			seq:        s.nextSeq,
-			pathTok:    p.token,
-			pc:         pc,
-			inst:       in,
-			class:      in.Class(),
-			readyAt:    s.cycle + uint64(s.cfg.BranchLat),
-			predNPC:    pc + isa.WordBytes,
-			checkpoint: s.fetchQ[ringIdx].checkpoint,
+			seq:     s.nextSeq,
+			pathTok: p.token,
+			pc:      pc,
+			inst:    in,
+			class:   in.Class(),
+			readyAt: s.cycle + uint64(s.cfg.BranchLat),
+			predNPC: pc + isa.WordBytes,
 		}
 
 		stop := s.predictControl(p, &slot)
-		if !slot.hasCheckpoint {
-			// SaveInto may not have run; make sure stale contents cannot
-			// masquerade as a valid checkpoint.
-			slot.checkpoint = core.Checkpoint{}
-		}
 		s.fetchQ[ringIdx] = slot
 		s.fetchQLen++
 		s.emit(TraceFetch, slot.seq, p.token, pc, in, slot.predNPC)
@@ -223,13 +218,16 @@ func (s *Sim) takeCheckpoint(p *path, slot *fetchSlot) {
 	if p.ras == nil {
 		return
 	}
+	s.lendCheckpointBuffer(&slot.checkpoint)
 	p.ras.SaveInto(&slot.checkpoint)
 	if !slot.checkpoint.Valid() {
+		// Policy saved nothing; return any lent buffer to the pool.
+		s.recycleCheckpoint(&slot.checkpoint)
 		return
 	}
 	if s.cfg.ShadowSlots > 0 && s.shadowUsed >= s.cfg.ShadowSlots {
 		s.stats.CheckpointsDenied++
-		slot.checkpoint = core.Checkpoint{}
+		s.recycleCheckpoint(&slot.checkpoint)
 		return
 	}
 	s.shadowUsed++

@@ -1,6 +1,9 @@
 package pipeline
 
-import "retstack/internal/isa"
+import (
+	"retstack/internal/core"
+	"retstack/internal/isa"
+)
 
 // issueStage selects ready instructions oldest-first and sends them to
 // functional units, respecting the issue width, per-class unit counts, and
@@ -173,9 +176,30 @@ func (s *Sim) allocMSHR(lat uint64) {
 	s.misses = append(s.misses, s.cycle+lat)
 }
 
+// releaseCheckpoint frees an entry's shadow slot and recycles its buffer.
+// Safe to call more than once (resolution and commit both release).
 func (s *Sim) releaseCheckpoint(e *ruuEntry) {
 	if e.hasCheckpoint {
 		s.shadowUsed--
 		e.hasCheckpoint = false
+	}
+	s.recycleCheckpoint(&e.checkpoint)
+}
+
+// recycleCheckpoint invalidates a checkpoint and moves its full-stack
+// backing buffer (if any) to the free list, so released checkpoints never
+// keep a stack copy alive.
+func (s *Sim) recycleCheckpoint(c *core.Checkpoint) {
+	if b := c.TakeBuffer(); b != nil {
+		s.cpFree = append(s.cpFree, b)
+	}
+}
+
+// lendCheckpointBuffer hands a recycled buffer to a checkpoint about to be
+// saved into, making the save allocation-free in steady state.
+func (s *Sim) lendCheckpointBuffer(c *core.Checkpoint) {
+	if n := len(s.cpFree); n > 0 {
+		c.GiveBuffer(s.cpFree[n-1])
+		s.cpFree = s.cpFree[:n-1]
 	}
 }

@@ -175,7 +175,7 @@ func (s *Sim) flushFetchQ(match func(*fetchSlot) bool) {
 		}
 		j := (s.fetchQHead + kept) % len(s.fetchQ)
 		if j != i {
-			s.fetchQ[j], s.fetchQ[i] = sl, s.fetchQ[j] // swap keeps buffers owned
+			s.fetchQ[j] = sl // checkpoint buffers are pool-owned; plain move
 		}
 		kept++
 	}

@@ -53,6 +53,13 @@ type Sim struct {
 	nextSeq    uint64
 	shadowUsed int
 
+	// cpFree recycles full-stack checkpoint backing buffers: released
+	// checkpoints return their buffer here instead of keeping the stack
+	// copy alive, and takeCheckpoint draws from it, so the steady state
+	// allocates nothing and retains only as many buffers as there are
+	// concurrently live checkpoints.
+	cpFree [][]uint32
+
 	misses []uint64 // completion cycles of outstanding data-cache misses
 
 	cycle  uint64

@@ -47,23 +47,42 @@ func GeoMean(xs []float64) float64 {
 	return math.Exp(sum / float64(n))
 }
 
+// histDense is the dense fast-path range. The simulator's per-cycle
+// observations (call depths, queue occupancies) are small non-negative
+// integers, so values in [0, histDense) are counted in a flat array — one
+// increment, no hashing. Anything else falls back to a lazily allocated
+// map.
+const histDense = 512
+
 // Histogram counts integer-valued observations.
 type Histogram struct {
-	counts map[int]uint64
+	dense  []uint64       // counts for values in [0, histDense); nil until first use
+	sparse map[int]uint64 // outlier counts; nil until first use
 	total  uint64
 	sum    int64
 	max    int
 	min    int
 }
 
-// NewHistogram returns an empty histogram.
+// NewHistogram returns an empty histogram. Storage is allocated on first
+// use, so idle histograms cost one struct.
 func NewHistogram() *Histogram {
-	return &Histogram{counts: make(map[int]uint64), min: math.MaxInt}
+	return &Histogram{min: math.MaxInt}
 }
 
 // Add records one observation of value v.
 func (h *Histogram) Add(v int) {
-	h.counts[v]++
+	if uint(v) < histDense {
+		if h.dense == nil {
+			h.dense = make([]uint64, histDense)
+		}
+		h.dense[v]++
+	} else {
+		if h.sparse == nil {
+			h.sparse = make(map[int]uint64)
+		}
+		h.sparse[v]++
+	}
 	h.total++
 	h.sum += int64(v)
 	if v > h.max {
@@ -102,17 +121,49 @@ func (h *Histogram) Min() int {
 }
 
 // Count returns the number of observations of exactly v.
-func (h *Histogram) Count(v int) uint64 { return h.counts[v] }
+func (h *Histogram) Count(v int) uint64 {
+	if uint(v) < histDense {
+		if h.dense == nil {
+			return 0
+		}
+		return h.dense[v]
+	}
+	return h.sparse[v]
+}
 
 // CountAtLeast returns the number of observations >= v.
 func (h *Histogram) CountAtLeast(v int) uint64 {
 	var n uint64
-	for k, c := range h.counts {
+	if h.dense != nil {
+		start := v
+		if start < 0 {
+			start = 0
+		}
+		for k := start; k < histDense; k++ {
+			n += h.dense[k]
+		}
+	}
+	for k, c := range h.sparse {
 		if k >= v {
 			n += c
 		}
 	}
 	return n
+}
+
+// keys returns every observed value in increasing order.
+func (h *Histogram) keys() []int {
+	keys := make([]int, 0, len(h.sparse)+16)
+	for k := range h.sparse {
+		keys = append(keys, k)
+	}
+	for k := range h.dense {
+		if h.dense[k] > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // Percentile returns the smallest value v such that at least p percent of
@@ -121,18 +172,14 @@ func (h *Histogram) Percentile(p float64) int {
 	if h.total == 0 {
 		return 0
 	}
-	keys := make([]int, 0, len(h.counts))
-	for k := range h.counts {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
+	keys := h.keys()
 	threshold := uint64(math.Ceil(p / 100 * float64(h.total)))
 	if threshold == 0 {
 		threshold = 1
 	}
 	var cum uint64
 	for _, k := range keys {
-		cum += h.counts[k]
+		cum += h.Count(k)
 		if cum >= threshold {
 			return k
 		}

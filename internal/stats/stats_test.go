@@ -71,6 +71,63 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// TestHistogramOutliers exercises the sparse fallback: negative values and
+// values at or beyond the dense range must behave identically to small
+// ones.
+func TestHistogramOutliers(t *testing.T) {
+	h := NewHistogram()
+	vals := []int{-5, -5, 0, histDense - 1, histDense, histDense + 100, 1 << 20}
+	for _, v := range vals {
+		h.Add(v)
+	}
+	if h.Total() != uint64(len(vals)) {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Count(-5) != 2 || h.Count(histDense) != 1 || h.Count(1<<20) != 1 {
+		t.Errorf("outlier counts wrong: %d %d %d", h.Count(-5), h.Count(histDense), h.Count(1<<20))
+	}
+	if h.Count(0) != 1 || h.Count(histDense-1) != 1 {
+		t.Errorf("dense-edge counts wrong")
+	}
+	if h.Min() != -5 || h.Max() != 1<<20 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if got := h.CountAtLeast(histDense - 1); got != 4 {
+		t.Errorf("countAtLeast(%d) = %d, want 4", histDense-1, got)
+	}
+	if got := h.CountAtLeast(-5); got != 7 {
+		t.Errorf("countAtLeast(-5) = %d, want 7", got)
+	}
+	if got := h.CountAtLeast(-100); got != 7 {
+		t.Errorf("countAtLeast(-100) = %d, want 7", got)
+	}
+	if h.Percentile(0) != -5 {
+		t.Errorf("p0 = %d", h.Percentile(0))
+	}
+	if h.Percentile(100) != 1<<20 {
+		t.Errorf("p100 = %d", h.Percentile(100))
+	}
+	if h.Percentile(50) != histDense-1 {
+		t.Errorf("p50 = %d, want %d", h.Percentile(50), histDense-1)
+	}
+}
+
+// TestHistogramDenseOnly checks a histogram that never leaves the dense
+// range allocates no map.
+func TestHistogramDenseOnly(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Add(i % histDense)
+	}
+	if h.sparse != nil {
+		t.Error("dense-range observations must not allocate the sparse map")
+	}
+	allocs := testing.AllocsPerRun(1000, func() { h.Add(7) })
+	if allocs != 0 {
+		t.Errorf("dense Add allocated %.1f times per op", allocs)
+	}
+}
+
 func TestHistogramQuickMeanBounds(t *testing.T) {
 	f := func(vals []int16) bool {
 		h := NewHistogram()

@@ -1,0 +1,101 @@
+// Package sweep is the parallel sweep engine behind the experiment
+// harness. The paper's evaluation is a large (workload × repair-policy ×
+// machine-configuration) product of independent simulations; sweep fans
+// those cells out across a bounded worker pool and reassembles the results
+// deterministically, so a parallel sweep is byte-identical to a serial one.
+//
+// Cells must be independent: each owns its pipeline.Sim and shares no
+// mutable state with its siblings. Everything the simulator reads at
+// package level (decode tables, workload registry) is immutable after
+// init, which is what makes the fan-out safe.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count: any value below 1 selects
+// runtime.GOMAXPROCS(0), i.e. one worker per available CPU.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes fn(0), fn(1), …, fn(n-1) across at most workers goroutines
+// (workers < 1 selects GOMAXPROCS) and waits for completion.
+//
+// Determinism contract: indices are claimed in increasing order, each cell
+// writes only state it owns (typically its slot of a results slice), and
+// the returned error is the one a serial loop would have returned — the
+// error from the lowest failing index. After a failure no new indices are
+// claimed, but everything already in flight finishes; since claims are
+// monotonic, every index below the lowest failure has run by then.
+func Run(workers, n int, fn func(i int) error) error {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+
+		mu     sync.Mutex
+		errIdx = n
+		errVal error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, errVal = i, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return errVal
+}
+
+// Map runs fn for every index in [0, n) across at most workers goroutines
+// and returns the results in index order. On error the results are
+// discarded and the lowest failing index's error is returned (see Run).
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Run(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	for _, n := range []int{0, -1} {
+		if got := Workers(n); got != want {
+			t.Errorf("Workers(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		out, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: got %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if err := Run(4, 0, func(int) error { t.Error("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRunsEveryIndexOnce(t *testing.T) {
+	var ran [257]atomic.Int32
+	if err := Run(8, len(ran), func(i int) error { ran[i].Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if n := ran[i].Load(); n != 1 {
+			t.Errorf("index %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	err := Run(workers, 50, func(i int) error {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent cells, want <= %d", p, workers)
+	}
+}
+
+// TestRunErrorIsLowestIndex checks the determinism contract: regardless of
+// worker count or scheduling, the reported error matches the serial run's
+// (the lowest failing index).
+func TestRunErrorIsLowestIndex(t *testing.T) {
+	boom := func(i int) error {
+		if i == 13 || i == 37 {
+			return fmt.Errorf("cell %d failed", i)
+		}
+		return nil
+	}
+	for _, workers := range []int{1, 2, 8} {
+		for trial := 0; trial < 20; trial++ {
+			err := Run(workers, 64, boom)
+			if err == nil || err.Error() != "cell 13 failed" {
+				t.Fatalf("workers=%d: err = %v, want cell 13's", workers, err)
+			}
+		}
+	}
+}
+
+func TestRunStopsClaimingAfterFailure(t *testing.T) {
+	sentinel := errors.New("stop")
+	var after atomic.Int32
+	err := Run(2, 10_000, func(i int) error {
+		if i == 0 {
+			time.Sleep(5 * time.Millisecond) // let the flag propagate
+			return sentinel
+		}
+		if i > 100 {
+			after.Add(1)
+		}
+		time.Sleep(50 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	// Not all 10k cells should have run; the pool aborts once the failure
+	// lands. The bound is generous to stay robust under slow CI.
+	if n := after.Load(); n > 5_000 {
+		t.Errorf("%d cells ran after the failure window", n)
+	}
+}
