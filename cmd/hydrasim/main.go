@@ -8,6 +8,14 @@
 //	hydrasim -bench vortex -returns btb-only
 //	hydrasim -bench perl -paths 4 -mpstacks per-path
 //	hydrasim -list
+//
+// Observability (all off by default; the stats block stays byte-identical):
+//
+//	hydrasim -bench go -progress                  # live cycle/commit line on stderr
+//	hydrasim -bench go -metrics-out m.prom        # Prometheus exposition dump
+//	hydrasim -bench go -events-out e.jsonl        # JSONL cycle-sample event log
+//	hydrasim -bench go -manifest-out manifest.json
+//	hydrasim -bench go -http :6060                # live /metrics + /debug/pprof
 package main
 
 import (
@@ -15,17 +23,83 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"retstack"
 	"retstack/internal/config"
 	"retstack/internal/core"
 	"retstack/internal/pipeline"
 	"retstack/internal/stats"
+	"retstack/internal/telemetry"
 )
 
+// obs bundles the opt-in observability sinks threaded through a run. A nil
+// *obs (or any nil sink inside one) is fully inert.
+type obs struct {
+	reg         *telemetry.Registry
+	pipe        *telemetry.PipelineMetrics
+	events      *telemetry.EventLog
+	progress    bool
+	sampleEvery uint64
+	budget      uint64
+}
+
+// attach wires the cycle sampler into a simulation: registry instruments,
+// JSONL sample events, and the live stderr progress line. The sampler is
+// read-only, so results are unchanged (pipeline.TestSamplerDoesNotPerturb).
+func (o *obs) attach(sim *pipeline.Sim, bench string) {
+	if o == nil || (o.pipe == nil && o.events == nil && !o.progress) {
+		return
+	}
+	sim.SetSampler(o.sampleEvery, func(sm pipeline.Sample) {
+		o.pipe.Observe(sm.RUUOccupancy, sm.FetchQLen, sm.LivePaths,
+			sm.RASDepth, sm.CheckpointsLive, sm.NewSquashed, sm.NewRecoveries)
+		o.events.Emit("sample", map[string]any{
+			"bench": bench, "cycle": sm.Cycle, "committed": sm.Committed,
+			"ruu": sm.RUUOccupancy, "fetchq": sm.FetchQLen, "paths": sm.LivePaths,
+			"ras_depth": sm.RASDepth, "checkpoints": sm.CheckpointsLive,
+			"squashed": sm.Squashed, "recoveries": sm.Recoveries,
+		})
+		if o.progress {
+			line := fmt.Sprintf("\rhydrasim %s: cycle %d, committed %d", bench, sm.Cycle, sm.Committed)
+			if o.budget > 0 {
+				line += fmt.Sprintf("/%d (%.0f%%)", o.budget, 100*float64(sm.Committed)/float64(o.budget))
+			}
+			fmt.Fprint(os.Stderr, line)
+		}
+	})
+}
+
+// finish publishes the run's final counters into the registry so the
+// -metrics-out exposition carries end-of-run totals alongside the sampled
+// distributions.
+func (o *obs) finish(st *pipeline.Stats) {
+	if o == nil {
+		return
+	}
+	if o.progress {
+		fmt.Fprintln(os.Stderr)
+	}
+	if o.reg != nil {
+		o.reg.Counter("retstack_sim_cycles_total", "simulated cycles").Add(st.Cycles)
+		o.reg.Counter("retstack_sim_committed_total", "committed instructions").Add(st.Committed)
+		o.reg.Counter("retstack_sim_returns_total", "committed return instructions").Add(st.Returns)
+		o.reg.Counter("retstack_sim_return_hits_total", "correctly predicted returns").Add(st.ReturnsCorrect)
+		o.reg.Counter("retstack_sim_recoveries_total", "branch-misprediction recoveries").Add(st.Recoveries)
+		o.reg.Counter("retstack_sim_squashed_total", "RUU entries squashed").Add(st.Squashed)
+		o.reg.Counter("retstack_sim_ras_pushes_total", "return-address-stack pushes").Add(st.RAS.Pushes)
+		o.reg.Counter("retstack_sim_ras_pops_total", "return-address-stack pops").Add(st.RAS.Pops)
+		o.reg.Counter("retstack_sim_ras_restores_total", "return-address-stack checkpoint restores").Add(st.RAS.Restores)
+	}
+	o.events.Emit("run_done", map[string]any{
+		"cycles": st.Cycles, "committed": st.Committed, "ipc": st.IPC(),
+		"return_hit_rate": st.ReturnHitRate(), "recoveries": st.Recoveries,
+	})
+}
+
 // run executes the simulation directly through the pipeline package so the
-// tracer can be attached.
-func run(cfg retstack.Config, bench string, insts uint64, traceN int) (*pipeline.Stats, error) {
+// tracer and the telemetry sampler can be attached.
+func run(cfg retstack.Config, bench string, insts uint64, traceN int, o *obs) (*pipeline.Stats, error) {
 	w, ok := retstack.WorkloadByName(bench)
 	if !ok {
 		return nil, fmt.Errorf("unknown workload %q (use -list)", bench)
@@ -45,6 +119,7 @@ func run(cfg retstack.Config, bench string, insts uint64, traceN int) (*pipeline
 	if traceN > 0 {
 		sim.SetTracer(&pipeline.TextTracer{W: os.Stderr, MaxEvents: traceN})
 	}
+	o.attach(sim, bench)
 	if err := sim.Run(insts); err != nil {
 		return nil, err
 	}
@@ -70,6 +145,13 @@ func main() {
 		smtShare = flag.Bool("smtshared", false, "share one RAS among SMT threads")
 		showCfg  = flag.Bool("config", false, "print the machine configuration and exit")
 		list     = flag.Bool("list", false, "list available workloads and exit")
+
+		metricsOut  = flag.String("metrics-out", "", "write the Prometheus text exposition to this file on exit")
+		eventsOut   = flag.String("events-out", "", "write a JSONL event log (cycle samples + run records) to this file")
+		manifestOut = flag.String("manifest-out", "", "write a JSON run manifest (resolved config, hash) to this file")
+		progress    = flag.Bool("progress", false, "print a live cycle/commit progress line to stderr")
+		httpAddr    = flag.String("http", "", "serve /metrics and /debug/pprof on this address (e.g. :6060) while the run lasts")
+		sampleEvery = flag.Uint64("sample-every", pipeline.DefaultSampleEvery, "cycles between pipeline samples when telemetry is enabled")
 	)
 	flag.Parse()
 
@@ -93,8 +175,53 @@ func main() {
 		return
 	}
 
+	// Telemetry sinks: all nil (and therefore free) unless requested.
+	var o *obs
+	if *metricsOut != "" || *eventsOut != "" || *httpAddr != "" || *progress {
+		o = &obs{progress: *progress, sampleEvery: *sampleEvery, budget: *insts}
+		if *metricsOut != "" || *httpAddr != "" {
+			o.reg = telemetry.NewRegistry()
+			o.pipe = telemetry.NewPipelineMetrics(o.reg)
+		}
+		if *eventsOut != "" {
+			o.events, err = telemetry.CreateEventLog(*eventsOut, map[string]any{
+				"tool":   "hydrasim",
+				"run_id": fmt.Sprintf("%x", time.Now().UnixNano()),
+			})
+			if err != nil {
+				fatal(err)
+			}
+			defer func() {
+				if err := o.events.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "hydrasim: event log:", err)
+				}
+			}()
+		}
+		if *httpAddr != "" {
+			bound, err := telemetry.Serve(*httpAddr, o.reg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "hydrasim: serving /metrics and /debug/pprof on http://%s\n", bound)
+		}
+	}
+
+	names := []string{*bench}
 	if *smt != "" {
-		names := append([]string{*bench}, strings.Split(*smt, ",")...)
+		names = append(names, strings.Split(*smt, ",")...)
+	}
+	man := telemetry.NewManifest("hydrasim", os.Args[1:])
+	man.InstBudget = *insts
+	man.Workloads = names
+	man.Parallel = 1
+	man.Config = cfg.Describe()
+	man.ComputeHash()
+	if o != nil {
+		o.events.Emit("run_start", man.Fields())
+	}
+
+	var st *pipeline.Stats
+	if *smt != "" {
 		ws := make([]retstack.Workload, len(names))
 		for i, n := range names {
 			w, ok := retstack.WorkloadByName(n)
@@ -108,19 +235,35 @@ func main() {
 		if err := cfg.Validate(); err != nil {
 			fatal(err)
 		}
+		// The SMT harness owns sim construction, so the cycle sampler does
+		// not attach here; final counters and the manifest still record.
 		res, _, err := retstack.RunSMT(cfg, ws, *insts)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("threads         %v (per-thread committed %v)\n", names, res.Stats.PerThreadCommitted)
-		printStats(strings.Join(names, "+"), cfg, res.Stats)
-		return
+		st = res.Stats
+		fmt.Printf("threads         %v (per-thread committed %v)\n", names, st.PerThreadCommitted)
+		printStats(strings.Join(names, "+"), cfg, st)
+	} else {
+		st, err = run(cfg, *bench, *insts, *traceN, o)
+		if err != nil {
+			fatal(err)
+		}
+		printStats(*bench, cfg, st)
 	}
-	st, err := run(cfg, *bench, *insts, *traceN)
-	if err != nil {
-		fatal(err)
+
+	o.finish(st)
+	man.Finish()
+	if *manifestOut != "" {
+		if err := man.WriteFile(*manifestOut); err != nil {
+			fatal(err)
+		}
 	}
-	printStats(*bench, cfg, st)
+	if *metricsOut != "" {
+		if err := o.reg.DumpFile(*metricsOut); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func buildConfig(repair string, rasSize int, rasKind string, topK int, returns, indirect string, shadow, paths int, mpstacks string) (retstack.Config, error) {

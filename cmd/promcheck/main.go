@@ -1,0 +1,87 @@
+// Command promcheck validates the artifacts the telemetry flags emit, so
+// CI can assert a run's observability output is well-formed:
+//
+//	promcheck -prom m.prom            # Prometheus text exposition
+//	promcheck -events e.jsonl         # JSONL structured event log
+//	promcheck -manifest manifest.json # run manifest (config hash present)
+//
+// Any combination of flags may be given; the command exits non-zero on the
+// first malformed artifact.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"retstack/internal/telemetry"
+)
+
+func main() {
+	var (
+		prom     = flag.String("prom", "", "Prometheus exposition file to validate")
+		events   = flag.String("events", "", "JSONL event log to validate")
+		manifest = flag.String("manifest", "", "run manifest to validate")
+	)
+	flag.Parse()
+	if *prom == "" && *events == "" && *manifest == "" {
+		fmt.Fprintln(os.Stderr, "promcheck: nothing to check (use -prom, -events, and/or -manifest)")
+		os.Exit(2)
+	}
+
+	checked := 0
+	if *prom != "" {
+		withFile(*prom, func(f *os.File) error { return telemetry.CheckExposition(f) })
+		checked++
+	}
+	if *events != "" {
+		withFile(*events, func(f *os.File) error { return telemetry.CheckJSONL(f) })
+		checked++
+	}
+	if *manifest != "" {
+		withFile(*manifest, checkManifest)
+		checked++
+	}
+	fmt.Printf("promcheck: %d artifact(s) ok\n", checked)
+}
+
+// checkManifest verifies the manifest decodes into the telemetry schema
+// and carries the fields that make a run reproducible.
+func checkManifest(f *os.File) error {
+	var m telemetry.Manifest
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return err
+	}
+	switch {
+	case m.Tool == "":
+		return fmt.Errorf("manifest has no tool name")
+	case m.Config == "":
+		return fmt.Errorf("manifest has no resolved config")
+	case m.ConfigHash == "":
+		return fmt.Errorf("manifest has no config hash")
+	case len(m.ConfigHash) != 64:
+		return fmt.Errorf("config hash %q is not a sha256 hex digest", m.ConfigHash)
+	case m.InstBudget == 0:
+		return fmt.Errorf("manifest has no instruction budget")
+	}
+	return nil
+}
+
+func withFile(path string, check func(*os.File) error) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := check(f); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "promcheck:", err)
+	os.Exit(1)
+}

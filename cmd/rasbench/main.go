@@ -9,11 +9,20 @@
 //	rasbench -exp t3 -bench go,li  # restrict the workload set
 //	rasbench -exp all -parallel 8  # fan simulations across 8 workers
 //	rasbench -exp t3 -cpuprofile cpu.out -memprofile mem.out
+//
+// Observability (all off by default; table/CSV output stays byte-identical):
+//
+//	rasbench -exp all -progress                  # live sweep progress on stderr
+//	rasbench -exp t3 -metrics-out m.prom         # Prometheus exposition dump
+//	rasbench -exp t3 -events-out e.jsonl         # JSONL structured event log
+//	rasbench -exp t3 -manifest-out manifest.json # reproducibility manifest
+//	rasbench -exp all -http :6060                # live /metrics + /debug/pprof
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -23,6 +32,9 @@ import (
 
 	"retstack"
 	"retstack/internal/experiments"
+	"retstack/internal/pipeline"
+	"retstack/internal/sweep"
+	"retstack/internal/telemetry"
 )
 
 func main() {
@@ -36,19 +48,24 @@ func main() {
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations to run concurrently (1 = serial; output is identical at any setting)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		metricsOut  = flag.String("metrics-out", "", "write the Prometheus text exposition to this file on exit")
+		eventsOut   = flag.String("events-out", "", "write a JSONL structured event log to this file")
+		manifestOut = flag.String("manifest-out", "", "write a JSON run manifest (resolved config, hash, per-cell timings) to this file")
+		progress    = flag.Bool("progress", false, "print a live sweep progress line to stderr")
+		httpAddr    = flag.String("http", "", "serve /metrics and /debug/pprof on this address (e.g. :6060) while the run lasts")
+		sampleEvery = flag.Uint64("sample-every", pipeline.DefaultSampleEvery, "cycles between pipeline samples when metrics are enabled")
 	)
 	flag.Parse()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rasbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "rasbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -79,6 +96,36 @@ func main() {
 		return
 	}
 
+	// Telemetry sinks: all nil (and therefore free) unless requested.
+	var reg *telemetry.Registry
+	if *metricsOut != "" || *httpAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
+	var events *telemetry.EventLog
+	if *eventsOut != "" {
+		var err error
+		events, err = telemetry.CreateEventLog(*eventsOut, map[string]any{
+			"tool":   "rasbench",
+			"run_id": fmt.Sprintf("%x", time.Now().UnixNano()),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := events.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "rasbench: event log:", err)
+			}
+		}()
+	}
+	if *httpAddr != "" {
+		bound, err := telemetry.Serve(*httpAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rasbench: serving /metrics and /debug/pprof on http://%s\n", bound)
+	}
+	pipeMetrics := telemetry.NewPipelineMetrics(reg) // nil reg -> nil, no-op
+
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = retstack.ExperimentIDs()
@@ -87,26 +134,125 @@ func main() {
 	if *bench != "" {
 		params.Workloads = strings.Split(*bench, ",")
 	}
+
+	man := telemetry.NewManifest("rasbench", os.Args[1:])
+	man.InstBudget, man.Warmup = *insts, *warmup
+	if man.InstBudget == 0 {
+		man.InstBudget = experiments.DefaultParams().InstBudget
+	}
+	man.Workloads = params.Workloads
+	man.Parallel = sweep.Workers(*parallel)
+	man.Config = retstack.Baseline().Describe()
+	man.ComputeHash()
+	events.Emit("run_start", man.Fields())
+
+	// With every telemetry flag off, nothing below attaches to the run:
+	// no monitor, no sampler — the sweep executes exactly as before.
+	observing := reg != nil || events != nil || *manifestOut != "" || *progress
+
 	for _, id := range ids {
 		start := time.Now()
-		res, err := experiments.Run(id, params)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "rasbench:", err)
-			os.Exit(1)
+		p := params
+		var timing *sweep.Timing
+		var prog *sweep.Progress
+		if observing {
+			timing = sweep.NewTiming()
+			mons := []sweep.Monitor{timing, telemetry.NewSweepObserver(reg, events, "exp", id)}
+			if *progress {
+				prog = sweep.NewProgress(os.Stderr, id)
+				mons = append(mons, prog)
+			}
+			p.Monitor = sweep.Monitors(mons...)
 		}
+		if reg != nil {
+			p.SampleEvery = *sampleEvery
+			p.Sample = func(cell int, sm pipeline.Sample) {
+				pipeMetrics.Observe(sm.RUUOccupancy, sm.FetchQLen, sm.LivePaths,
+					sm.RASDepth, sm.CheckpointsLive, sm.NewSquashed, sm.NewRecoveries)
+			}
+		}
+		events.Emit("experiment_start", map[string]any{"exp": id})
+
+		res, err := experiments.Run(id, p)
+		if prog != nil {
+			prog.Finish()
+		}
+		if err != nil {
+			events.Emit("experiment_error", map[string]any{"exp": id, "error": err.Error()})
+			fatal(err)
+		}
+
+		elapsed := time.Since(start)
+		if timing != nil {
+			man.Experiments = append(man.Experiments, experimentRecord(id, elapsed, timing))
+			events.Emit("experiment_done", map[string]any{
+				"exp": id, "seconds": elapsed.Seconds(), "cells": len(timing.Cells()),
+			})
+		}
+		if *progress && timing != nil {
+			reportSweep(os.Stderr, id, *parallel, timing)
+		}
+
 		switch *format {
 		case "csv":
-			printCSV(res)
+			if err := printCSV(os.Stdout, res); err != nil {
+				fatal(err)
+			}
 		default:
 			fmt.Print(res)
-			fmt.Fprintf(os.Stderr, "(%.1fs)\n\n", time.Since(start).Seconds())
+			fmt.Fprintf(os.Stderr, "(%.1fs)\n\n", elapsed.Seconds())
+		}
+	}
+
+	man.Finish()
+	events.Emit("run_done", map[string]any{"seconds": man.WallSeconds})
+	if *manifestOut != "" {
+		if err := man.WriteFile(*manifestOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsOut != "" {
+		if err := reg.DumpFile(*metricsOut); err != nil {
+			fatal(err)
 		}
 	}
 }
 
+// experimentRecord converts one experiment's timing into manifest form.
+func experimentRecord(id string, elapsed time.Duration, timing *sweep.Timing) telemetry.ExperimentRecord {
+	title, _ := retstack.ExperimentTitle(id)
+	rec := telemetry.ExperimentRecord{ID: id, Title: title, WallSeconds: elapsed.Seconds()}
+	for _, c := range timing.Cells() {
+		rec.Cells = append(rec.Cells, telemetry.CellRecord{
+			Cell: c.Cell, Worker: c.Worker, Seconds: c.Elapsed.Seconds(), Error: c.Err,
+		})
+	}
+	return rec
+}
+
+// reportSweep prints the post-sweep utilization/straggler summary that
+// -progress promises: which cells gated the wall clock and how busy the
+// pool stayed.
+func reportSweep(w io.Writer, id string, workers int, timing *sweep.Timing) {
+	cells := timing.Cells()
+	if len(cells) == 0 {
+		return
+	}
+	line := fmt.Sprintf("sweep %s: %d cells, utilization %.0f%%, median cell %.2fs",
+		id, len(cells), 100*timing.Utilization(sweep.Workers(workers)), timing.Median().Seconds())
+	if stragglers := timing.Stragglers(3); len(stragglers) != 0 {
+		s := stragglers[0]
+		line += fmt.Sprintf("; straggler cell %d (%.2fs on worker %d)",
+			s.Cell, s.Elapsed.Seconds(), s.Worker)
+	}
+	fmt.Fprintln(w, line)
+}
+
 // printCSV dumps the experiment's structured values as
 // experiment,metric,bench,config,value rows (stable order for diffing).
-func printCSV(res *experiments.Result) {
+// Keys that do not split into metric/bench/config are reported as errors
+// rather than panicking mid-dump.
+func printCSV(w io.Writer, res *experiments.Result) error {
 	keys := make([]string, 0, len(res.Values))
 	for k := range res.Values {
 		keys = append(keys, k)
@@ -114,6 +260,15 @@ func printCSV(res *experiments.Result) {
 	sort.Strings(keys)
 	for _, k := range keys {
 		parts := strings.SplitN(k, "/", 3)
-		fmt.Printf("%s,%s,%s,%s,%g\n", res.ID, parts[0], parts[1], parts[2], res.Values[k])
+		if len(parts) != 3 {
+			return fmt.Errorf("%s: malformed value key %q (want metric/bench/config)", res.ID, k)
+		}
+		fmt.Fprintf(w, "%s,%s,%s,%s,%g\n", res.ID, parts[0], parts[1], parts[2], res.Values[k])
 	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rasbench:", err)
+	os.Exit(1)
 }

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"retstack/internal/experiments"
+)
+
+// TestPrintCSVWellFormed: structured values render one sorted
+// experiment,metric,bench,config,value row each.
+func TestPrintCSVWellFormed(t *testing.T) {
+	res := &experiments.Result{
+		ID: "t3",
+		Values: map[string]float64{
+			"hit/go/full":  0.995,
+			"hit/go/none":  0.72,
+			"ipc/li/tos-p": 1.25,
+		},
+	}
+	var b strings.Builder
+	if err := printCSV(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	want := "t3,hit,go,full,0.995\n" +
+		"t3,hit,go,none,0.72\n" +
+		"t3,ipc,li,tos-p,1.25\n"
+	if b.String() != want {
+		t.Errorf("printCSV output:\n%q\nwant:\n%q", b.String(), want)
+	}
+}
+
+// TestPrintCSVMalformedKey: a value key that does not split into
+// metric/bench/config must surface as an error, not a panic (the seed
+// indexed parts[1]/parts[2] unchecked).
+func TestPrintCSVMalformedKey(t *testing.T) {
+	for _, key := range []string{"badkey", "only/two"} {
+		res := &experiments.Result{ID: "t9", Values: map[string]float64{key: 1}}
+		var b strings.Builder
+		err := printCSV(&b, res)
+		if err == nil {
+			t.Fatalf("key %q: printCSV accepted a malformed key", key)
+		}
+		if !strings.Contains(err.Error(), key) {
+			t.Errorf("key %q: error %q does not name the key", key, err)
+		}
+	}
+}

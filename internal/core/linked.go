@@ -9,6 +9,7 @@ type ReturnStack interface {
 	Restore(c *Checkpoint)
 	Stats() *Stats
 	Size() int
+	Depth() int
 	CloneStack() ReturnStack
 }
 

@@ -33,6 +33,19 @@ type Params struct {
 	// reassembled deterministically, so tables and Values are
 	// byte-identical at every setting.
 	Parallel int
+
+	// Monitor, if non-nil, observes every sweep cell's lifecycle: start,
+	// completion, owning worker, and wall-clock duration. Strictly
+	// observational — it cannot affect results (asserted by
+	// TestTelemetryDoesNotPerturb).
+	Monitor sweep.Monitor
+	// Sample, if non-nil, attaches a cycle sampler to every simulation:
+	// every SampleEvery cycles (0 = pipeline.DefaultSampleEvery) it
+	// receives the sweep-cell index and a read-only pipeline snapshot.
+	// Samples from concurrent cells interleave; aggregate them with
+	// commutative operations (counters, histograms).
+	Sample      func(cell int, sm pipeline.Sample)
+	SampleEvery uint64
 }
 
 // DefaultParams sizes runs for interactive use.
@@ -166,8 +179,8 @@ type simCell struct {
 // order its serial assembly consumes them, so parallel output is
 // byte-identical to serial.
 func runSims(p Params, cells []simCell) ([]*pipeline.Sim, error) {
-	return sweep.Map(p.workers(), len(cells), func(i int) (*pipeline.Sim, error) {
-		return simulate(cells[i].w, cells[i].cfg, p)
+	return sweep.MapMonitored(p.workers(), len(cells), p.Monitor, func(i int) (*pipeline.Sim, error) {
+		return simulateCell(i, cells[i].w, cells[i].cfg, p)
 	})
 }
 
@@ -177,12 +190,13 @@ func (p Params) workers() int { return sweep.Workers(p.Parallel) }
 // simulate builds the workload sized to the params' budget and runs one
 // simulation, honoring the warmup fast-forward.
 func simulate(w workloads.Workload, cfg config.Config, p Params) (*pipeline.Sim, error) {
-	return simulateWarm(w, cfg, p.InstBudget, p.Warmup)
+	return simulateCell(0, w, cfg, p)
 }
 
-// simulateWarm fast-forwards warmup instructions before cycle simulation.
-func simulateWarm(w workloads.Workload, cfg config.Config, budget, warmup uint64) (*pipeline.Sim, error) {
-	im, err := w.Build(w.ScaleFor((budget + warmup) * 2)) // headroom: the budget cuts the run
+// simulateCell is simulate for one sweep cell: it additionally attaches
+// the params' cycle sampler (tagged with the cell index) before running.
+func simulateCell(cell int, w workloads.Workload, cfg config.Config, p Params) (*pipeline.Sim, error) {
+	im, err := w.Build(w.ScaleFor((p.InstBudget + p.Warmup) * 2)) // headroom: the budget cuts the run
 	if err != nil {
 		return nil, err
 	}
@@ -190,12 +204,15 @@ func simulateWarm(w workloads.Workload, cfg config.Config, budget, warmup uint64
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", w.Name, err)
 	}
-	if warmup > 0 {
-		if _, err := sim.FastForward(warmup); err != nil {
+	if p.Sample != nil {
+		sim.SetSampler(p.SampleEvery, func(sm pipeline.Sample) { p.Sample(cell, sm) })
+	}
+	if p.Warmup > 0 {
+		if _, err := sim.FastForward(p.Warmup); err != nil {
 			return nil, fmt.Errorf("%s: %w", w.Name, err)
 		}
 	}
-	if err := sim.Run(budget); err != nil {
+	if err := sim.Run(p.InstBudget); err != nil {
 		return nil, fmt.Errorf("%s: %w", w.Name, err)
 	}
 	return sim, nil

@@ -39,7 +39,7 @@ func runT2(p Params) (*Result, error) {
 		m   *emu.Machine
 		sim *pipeline.Sim
 	}
-	cells, err := sweep.Map(p.workers(), len(ws), func(i int) (t2cell, error) {
+	cells, err := sweep.MapMonitored(p.workers(), len(ws), p.Monitor, func(i int) (t2cell, error) {
 		w := ws[i]
 		im, err := w.Build(w.ScaleFor(p.InstBudget * 2))
 		if err != nil {
@@ -50,7 +50,7 @@ func runT2(p Params) (*Result, error) {
 		if _, err := m.Run(p.InstBudget); err != nil {
 			return t2cell{}, fmt.Errorf("%s: %w", w.Name, err)
 		}
-		sim, err := simulate(w, config.Baseline().WithPolicy(core.RepairTOSPointerAndContents), p)
+		sim, err := simulateCell(i, w, config.Baseline().WithPolicy(core.RepairTOSPointerAndContents), p)
 		if err != nil {
 			return t2cell{}, err
 		}

@@ -68,6 +68,13 @@ type Sim struct {
 	done   bool
 	runErr error
 
+	// Cycle sampling (see sampler.go). Disabled (nil sampler) costs one
+	// nil check per cycle.
+	sampler        func(Sample)
+	sampleEvery    uint64
+	lastSquashed   uint64
+	lastRecoveries uint64
+
 	maxInsts uint64
 }
 
@@ -262,6 +269,9 @@ func (s *Sim) step() {
 	s.dispatchStage()
 	s.fetchStage()
 	s.cycle++
+	if s.sampler != nil && s.cycle%s.sampleEvery == 0 {
+		s.takeSample()
+	}
 }
 
 func (s *Sim) fail(format string, args ...interface{}) {

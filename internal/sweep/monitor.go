@@ -1,0 +1,235 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Monitor observes sweep-cell lifecycle. Implementations are called
+// concurrently from worker goroutines and must be safe for that; they
+// must not influence cell execution. CellDone receives the error the cell
+// returned (including converted panics), after any recovery.
+type Monitor interface {
+	CellStart(cell, worker int)
+	CellDone(cell, worker int, d time.Duration, err error)
+}
+
+// Monitors fans callbacks out to several monitors, skipping nils. It
+// returns nil when nothing remains, so callers can pass the result
+// straight to RunMonitored.
+func Monitors(ms ...Monitor) Monitor {
+	kept := make(multiMonitor, 0, len(ms))
+	for _, m := range ms {
+		if m != nil {
+			kept = append(kept, m)
+		}
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	return kept
+}
+
+type multiMonitor []Monitor
+
+func (mm multiMonitor) CellStart(cell, worker int) {
+	for _, m := range mm {
+		m.CellStart(cell, worker)
+	}
+}
+
+func (mm multiMonitor) CellDone(cell, worker int, d time.Duration, err error) {
+	for _, m := range mm {
+		m.CellDone(cell, worker, d, err)
+	}
+}
+
+// CellTiming is one finished cell's accounting.
+type CellTiming struct {
+	Cell    int
+	Worker  int
+	Start   time.Duration // offset of the cell's start from NewTiming
+	Elapsed time.Duration
+	Err     bool
+}
+
+// Timing collects per-cell wall-clock accounting for a sweep: cell
+// durations, per-worker busy time, and straggler identification. One
+// Timing may span several RunMonitored calls (an experiment that sweeps
+// more than once); records accumulate.
+type Timing struct {
+	mu    sync.Mutex
+	epoch time.Time
+	cells []CellTiming
+	busy  map[int]time.Duration
+}
+
+// NewTiming starts a collector; offsets are measured from this call.
+func NewTiming() *Timing {
+	return &Timing{epoch: time.Now(), busy: map[int]time.Duration{}}
+}
+
+// CellStart implements Monitor.
+func (t *Timing) CellStart(cell, worker int) {}
+
+// CellDone implements Monitor.
+func (t *Timing) CellDone(cell, worker int, d time.Duration, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	start := time.Since(t.epoch) - d
+	if start < 0 {
+		start = 0
+	}
+	t.cells = append(t.cells, CellTiming{
+		Cell: cell, Worker: worker, Start: start, Elapsed: d, Err: err != nil,
+	})
+	t.busy[worker] += d
+}
+
+// Cells returns a copy of the records, ordered by cell index then start.
+func (t *Timing) Cells() []CellTiming {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]CellTiming, len(t.cells))
+	copy(out, t.cells)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cell != out[j].Cell {
+			return out[i].Cell < out[j].Cell
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
+}
+
+// Wall returns the wall clock elapsed since the collector started.
+func (t *Timing) Wall() time.Duration { return time.Since(t.epoch) }
+
+// BusySeconds returns total busy time summed over all workers.
+func (t *Timing) BusySeconds() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var total time.Duration
+	for _, d := range t.busy {
+		total += d
+	}
+	return total.Seconds()
+}
+
+// Utilization returns aggregate worker utilization: busy time divided by
+// (workers × wall clock). 1.0 means no worker ever idled.
+func (t *Timing) Utilization(workers int) float64 {
+	wall := t.Wall().Seconds()
+	if workers < 1 || wall <= 0 {
+		return 0
+	}
+	return t.BusySeconds() / (float64(workers) * wall)
+}
+
+// Median returns the median cell duration (0 with no records).
+func (t *Timing) Median() time.Duration {
+	t.mu.Lock()
+	ds := make([]time.Duration, 0, len(t.cells))
+	for _, c := range t.cells {
+		ds = append(ds, c.Elapsed)
+	}
+	t.mu.Unlock()
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2]
+}
+
+// Stragglers returns the cells whose duration exceeded factor × the
+// median, slowest first — the cells that gate a sweep's wall clock.
+func (t *Timing) Stragglers(factor float64) []CellTiming {
+	med := t.Median()
+	if med <= 0 {
+		return nil
+	}
+	cut := time.Duration(float64(med) * factor)
+	var out []CellTiming
+	t.mu.Lock()
+	for _, c := range t.cells {
+		if c.Elapsed > cut {
+			out = append(out, c)
+		}
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Elapsed > out[j].Elapsed })
+	return out
+}
+
+// Progress prints a live one-line report to W as cells finish:
+//
+//	sweep t3: 12 cells done (1 running), 3.8 cells/s, elapsed 3.2s
+//
+// The line is rewritten in place with \r; call Finish to terminate it
+// with a newline. The cell total is generally unknown to the caller (each
+// experiment builds its own cells), so the report shows throughput rather
+// than a completion percentage.
+type Progress struct {
+	W     io.Writer
+	Label string
+
+	mu      sync.Mutex
+	epoch   time.Time
+	running int
+	done    int
+	errs    int
+	width   int
+}
+
+// NewProgress builds a progress line labeled label (e.g. the experiment
+// id) writing to w.
+func NewProgress(w io.Writer, label string) *Progress {
+	return &Progress{W: w, Label: label, epoch: time.Now()}
+}
+
+// CellStart implements Monitor.
+func (p *Progress) CellStart(cell, worker int) {
+	p.mu.Lock()
+	p.running++
+	p.mu.Unlock()
+}
+
+// CellDone implements Monitor.
+func (p *Progress) CellDone(cell, worker int, d time.Duration, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.running--
+	p.done++
+	if err != nil {
+		p.errs++
+	}
+	elapsed := time.Since(p.epoch)
+	line := fmt.Sprintf("sweep %s: %d cells done (%d running), %.1f cells/s, elapsed %.1fs",
+		p.Label, p.done, p.running, float64(p.done)/elapsed.Seconds(), elapsed.Seconds())
+	if p.errs > 0 {
+		line += fmt.Sprintf(", %d errors", p.errs)
+	}
+	p.write(line)
+}
+
+// write repaints the line, padding over any longer previous content.
+func (p *Progress) write(line string) {
+	pad := p.width - len(line)
+	p.width = len(line)
+	if pad < 0 {
+		pad = 0
+	}
+	fmt.Fprintf(p.W, "\r%s%*s", line, pad, "")
+}
+
+// Finish terminates the progress line (no-op if nothing was printed).
+func (p *Progress) Finish() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.width > 0 {
+		fmt.Fprintln(p.W)
+		p.width = 0
+	}
+}

@@ -1,0 +1,191 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPanicBecomesError: a panicking cell must not kill the process; it
+// surfaces as a *PanicError naming the cell and carrying a stack trace,
+// through both the serial and parallel paths.
+func TestPanicBecomesError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := Run(workers, 8, func(i int) error {
+			if i == 5 {
+				panic("simulated blowup")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %T %v, want *PanicError", workers, err, err)
+		}
+		if pe.Cell != 5 {
+			t.Errorf("workers=%d: panic attributed to cell %d, want 5", workers, pe.Cell)
+		}
+		if !strings.Contains(pe.Error(), "simulated blowup") ||
+			!strings.Contains(pe.Error(), "monitor_test.go") {
+			t.Errorf("workers=%d: error lacks value or stack:\n%s", workers, pe.Error())
+		}
+	}
+}
+
+// TestPanicKeepsLowestIndexSemantics: a panic competes with ordinary
+// errors under the same lowest-failing-index rule.
+func TestPanicKeepsLowestIndexSemantics(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		err := Run(8, 64, func(i int) error {
+			switch i {
+			case 9:
+				return fmt.Errorf("plain failure")
+			case 40:
+				panic("late panic")
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "plain failure" {
+			t.Fatalf("trial %d: err = %v, want cell 9's plain failure", trial, err)
+		}
+	}
+}
+
+// TestMonitorSeesEveryCell: CellStart/CellDone fire exactly once per cell
+// with matching worker ids and the cell's error.
+func TestMonitorSeesEveryCell(t *testing.T) {
+	const n = 100
+	var started, done [n]atomic.Int32
+	var errSeen atomic.Int32
+	m := monitorFuncs{
+		start: func(cell, worker int) { started[cell].Add(1) },
+		done: func(cell, worker int, d time.Duration, err error) {
+			done[cell].Add(1)
+			if err != nil {
+				errSeen.Add(1)
+			}
+			if d < 0 {
+				t.Errorf("cell %d: negative duration", cell)
+			}
+		},
+	}
+	err := RunMonitored(4, n, m, func(i int) error {
+		if i == 99 {
+			return fmt.Errorf("tail error")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected the tail error")
+	}
+	for i := 0; i < n; i++ {
+		if started[i].Load() != 1 || done[i].Load() != 1 {
+			t.Fatalf("cell %d: started %d done %d, want 1/1", i, started[i].Load(), done[i].Load())
+		}
+	}
+	if errSeen.Load() != 1 {
+		t.Errorf("monitor saw %d errors, want 1", errSeen.Load())
+	}
+}
+
+type monitorFuncs struct {
+	start func(cell, worker int)
+	done  func(cell, worker int, d time.Duration, err error)
+}
+
+func (m monitorFuncs) CellStart(cell, worker int) { m.start(cell, worker) }
+func (m monitorFuncs) CellDone(cell, worker int, d time.Duration, err error) {
+	m.done(cell, worker, d, err)
+}
+
+// TestTimingAccounting runs a sweep with one deliberately slow cell and
+// checks record counts, busy-time accounting, and straggler detection.
+func TestTimingAccounting(t *testing.T) {
+	timing := NewTiming()
+	const n = 16
+	err := RunMonitored(4, n, timing, func(i int) error {
+		d := time.Millisecond
+		if i == 7 {
+			d = 60 * time.Millisecond
+		}
+		time.Sleep(d)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := timing.Cells()
+	if len(cells) != n {
+		t.Fatalf("%d cell records, want %d", len(cells), n)
+	}
+	for i, c := range cells {
+		if c.Cell != i {
+			t.Fatalf("record %d is cell %d (sorted order broken)", i, c.Cell)
+		}
+		if c.Err {
+			t.Errorf("cell %d flagged as error", i)
+		}
+	}
+	if med := timing.Median(); med <= 0 || med > 50*time.Millisecond {
+		t.Errorf("median = %v, implausible", med)
+	}
+	stragglers := timing.Stragglers(5)
+	if len(stragglers) == 0 || stragglers[0].Cell != 7 {
+		t.Errorf("straggler detection missed cell 7: %+v", stragglers)
+	}
+	if busy := timing.BusySeconds(); busy < 0.06 {
+		t.Errorf("busy seconds = %v, want at least the slow cell's 60ms", busy)
+	}
+	if u := timing.Utilization(4); u <= 0 || u > 1.01 {
+		t.Errorf("utilization = %v, outside (0,1]", u)
+	}
+}
+
+// TestMonitorsCombinesAndSkipsNil: the fan-out helper must drop nils and
+// collapse to nil when nothing remains.
+func TestMonitorsCombinesAndSkipsNil(t *testing.T) {
+	if m := Monitors(nil, nil); m != nil {
+		t.Fatalf("Monitors(nil, nil) = %v, want nil", m)
+	}
+	var calls atomic.Int32
+	count := monitorFuncs{
+		start: func(int, int) { calls.Add(1) },
+		done:  func(int, int, time.Duration, error) { calls.Add(1) },
+	}
+	m := Monitors(nil, count, count)
+	if err := RunMonitored(2, 3, m, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2*2*3 {
+		t.Errorf("combined monitor fired %d times, want %d", got, 2*2*3)
+	}
+}
+
+// TestProgressLine: the progress monitor emits a labeled, \r-repainted
+// line and Finish terminates it.
+func TestProgressLine(t *testing.T) {
+	var b strings.Builder
+	p := NewProgress(&b, "t3")
+	m := Monitors(p)
+	if err := RunMonitored(2, 5, m, func(i int) error {
+		if i == 2 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	}); err == nil {
+		t.Fatal("expected error from cell 2")
+	}
+	p.Finish()
+	out := b.String()
+	if !strings.Contains(out, "sweep t3:") || !strings.Contains(out, "cells done") {
+		t.Errorf("progress output missing label or counts: %q", out)
+	}
+	if !strings.Contains(out, "errors") {
+		t.Errorf("progress output missing error count: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Errorf("Finish did not terminate the line: %q", out)
+	}
+}

@@ -11,9 +11,12 @@
 package sweep
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Workers normalizes a requested worker count: any value below 1 selects
@@ -34,14 +37,26 @@ func Workers(n int) int {
 // error from the lowest failing index. After a failure no new indices are
 // claimed, but everything already in flight finishes; since claims are
 // monotonic, every index below the lowest failure has run by then.
+//
+// A cell that panics does not kill the process: the panic is recovered in
+// the worker and converted to a *PanicError carrying the cell index and
+// stack trace, then flows through the same lowest-index error selection.
 func Run(workers, n int, fn func(i int) error) error {
+	return RunMonitored(workers, n, nil, fn)
+}
+
+// RunMonitored is Run with an optional Monitor observing each cell's
+// start, completion, owning worker, and wall-clock duration. The monitor
+// is purely observational: it receives callbacks concurrently from worker
+// goroutines and must not affect cell execution.
+func RunMonitored(workers, n int, m Monitor, fn func(i int) error) error {
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := runCell(m, 0, i, fn); err != nil {
 				return err
 			}
 		}
@@ -59,14 +74,14 @@ func Run(workers, n int, fn func(i int) error) error {
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for !failed.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := runCell(m, w, i, fn); err != nil {
 					mu.Lock()
 					if i < errIdx {
 						errIdx, errVal = i, err
@@ -75,18 +90,53 @@ func Run(workers, n int, fn func(i int) error) error {
 					failed.Store(true)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return errVal
+}
+
+// runCell executes one cell under the monitor, converting a panic into a
+// *PanicError naming the cell. The recover defer is registered after the
+// monitor defer so CellDone observes the converted error.
+func runCell(m Monitor, worker, i int, fn func(int) error) (err error) {
+	if m != nil {
+		start := time.Now()
+		m.CellStart(i, worker)
+		defer func() { m.CellDone(i, worker, time.Since(start), err) }()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Cell: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
+// PanicError reports a sweep cell that panicked. It preserves the cell
+// index and the panicking goroutine's stack so a failure deep inside one
+// simulation of a multi-hundred-cell sweep is attributable.
+type PanicError struct {
+	Cell  int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sweep: cell %d panicked: %v\n%s", e.Cell, e.Value, e.Stack)
 }
 
 // Map runs fn for every index in [0, n) across at most workers goroutines
 // and returns the results in index order. On error the results are
 // discarded and the lowest failing index's error is returned (see Run).
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapMonitored[T](workers, n, nil, fn)
+}
+
+// MapMonitored is Map with an optional Monitor (see RunMonitored).
+func MapMonitored[T any](workers, n int, m Monitor, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := Run(workers, n, func(i int) error {
+	err := RunMonitored(workers, n, m, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

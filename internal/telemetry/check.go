@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition validates a Prometheus text exposition: every sample
+// belongs to a family declared by exactly one # TYPE line, no family is
+// declared twice, no series (name + label set) repeats, and every sample
+// value parses as a number. It is the CI smoke check behind -metrics-out.
+func CheckExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	typed := map[string]string{} // family -> type
+	seen := map[string]bool{}    // full series line key
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 4 && f[1] == "TYPE" {
+				name, typ := f[2], f[3]
+				if _, dup := typed[name]; dup {
+					return fmt.Errorf("line %d: duplicate # TYPE for %s", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q for %s", lineNo, typ, name)
+				}
+				typed[name] = typ
+			}
+			continue
+		}
+		series, value, err := splitSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if value != "+Inf" && value != "-Inf" && value != "NaN" {
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				return fmt.Errorf("line %d: sample value %q is not a number", lineNo, value)
+			}
+		}
+		if seen[series] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, series)
+		}
+		seen[series] = true
+		if fam := familyOf(seriesName(series), typed); fam == "" {
+			return fmt.Errorf("line %d: sample %s has no # TYPE declaration", lineNo, seriesName(series))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(typed) == 0 {
+		return fmt.Errorf("exposition declares no metrics")
+	}
+	return nil
+}
+
+// splitSample separates "name{labels} value [timestamp]" into the series
+// part and the value.
+func splitSample(line string) (series, value string, err error) {
+	end := strings.LastIndex(line, "}")
+	rest := line
+	if end >= 0 {
+		series = line[:end+1]
+		rest = strings.TrimSpace(line[end+1:])
+	} else {
+		i := strings.IndexAny(line, " \t")
+		if i < 0 {
+			return "", "", fmt.Errorf("sample %q has no value", line)
+		}
+		series = line[:i]
+		rest = strings.TrimSpace(line[i:])
+	}
+	f := strings.Fields(rest)
+	if len(f) < 1 || len(f) > 2 {
+		return "", "", fmt.Errorf("sample %q is malformed", line)
+	}
+	return series, f[0], nil
+}
+
+func seriesName(series string) string {
+	if i := strings.Index(series, "{"); i >= 0 {
+		return series[:i]
+	}
+	return series
+}
+
+// familyOf resolves a sample name to its declared family, accounting for
+// the histogram/summary suffixes.
+func familyOf(name string, typed map[string]string) string {
+	if _, ok := typed[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if t := typed[base]; t == "histogram" || t == "summary" {
+				return base
+			}
+		}
+	}
+	return ""
+}
+
+// CheckJSONL validates a JSON Lines stream: every non-empty line must be
+// one JSON object.
+func CheckJSONL(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo, records := 0, 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			return fmt.Errorf("line %d: not a JSON object: %v", lineNo, err)
+		}
+		records++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if records == 0 {
+		return fmt.Errorf("event log holds no records")
+	}
+	return nil
+}

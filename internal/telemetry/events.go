@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// EventLog writes structured events as JSON Lines: one self-contained
+// object per line, run-scoped base fields merged into every record. A nil
+// *EventLog no-ops everywhere, so call sites need no conditionals.
+//
+// Event records carry a wall-clock timestamp; the log is an operational
+// artifact, not part of the deterministic experiment output.
+type EventLog struct {
+	mu   sync.Mutex
+	w    *bufio.Writer
+	c    io.Closer // owned file, if any
+	base map[string]any
+	err  error
+}
+
+// NewEventLog wraps a writer. base fields (run id, tool name, …) are
+// repeated on every record; it may be nil.
+func NewEventLog(w io.Writer, base map[string]any) *EventLog {
+	return &EventLog{w: bufio.NewWriter(w), base: base}
+}
+
+// CreateEventLog opens (truncating) a JSONL file owned by the log; Close
+// flushes and closes it.
+func CreateEventLog(path string, base map[string]any) (*EventLog, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	l := NewEventLog(f, base)
+	l.c = f
+	return l, nil
+}
+
+// Emit writes one event record. The "event" name and a "ts" timestamp are
+// added to the base and per-event fields; per-event fields win collisions.
+// Safe for concurrent use; no-op on a nil log.
+func (l *EventLog) Emit(event string, fields map[string]any) {
+	if l == nil {
+		return
+	}
+	rec := make(map[string]any, len(l.base)+len(fields)+2)
+	for k, v := range l.base {
+		rec[k] = v
+	}
+	rec["event"] = event
+	rec["ts"] = time.Now().UTC().Format(time.RFC3339Nano)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	b, err := json.Marshal(rec) // map keys marshal sorted: stable field order
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err != nil {
+		if l.err == nil {
+			l.err = err
+		}
+		return
+	}
+	if _, err := l.w.Write(append(b, '\n')); err != nil && l.err == nil {
+		l.err = err
+	}
+}
+
+// Err returns the first write or encoding error (nil for a nil log).
+func (l *EventLog) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close flushes and, if the log owns its file, closes it. Nil-safe.
+func (l *EventLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil && l.err == nil {
+		l.err = err
+	}
+	if l.c != nil {
+		if err := l.c.Close(); err != nil && l.err == nil {
+			l.err = err
+		}
+		l.c = nil
+	}
+	return l.err
+}

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventLogJSONL(t *testing.T) {
+	var b strings.Builder
+	log := NewEventLog(&b, map[string]any{"run_id": "r1", "tool": "test"})
+	log.Emit("start", nil)
+	log.Emit("cell_done", map[string]any{"cell": 3, "seconds": 0.25})
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("line 2 not JSON: %v", err)
+	}
+	for k, want := range map[string]any{"run_id": "r1", "event": "cell_done", "cell": 3.0} {
+		if rec[k] != want {
+			t.Errorf("rec[%q] = %v, want %v", k, rec[k], want)
+		}
+	}
+	if _, ok := rec["ts"]; !ok {
+		t.Error("record missing ts")
+	}
+	if err := CheckJSONL(strings.NewReader(b.String())); err != nil {
+		t.Errorf("emitted log fails CheckJSONL: %v", err)
+	}
+}
+
+func TestEventLogConcurrent(t *testing.T) {
+	var b strings.Builder
+	var mu sync.Mutex
+	safe := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	})
+	log := NewEventLog(safe, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				log.Emit("tick", map[string]any{"worker": w, "i": i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckJSONL(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("concurrent log corrupt: %v", err)
+	}
+	if n := strings.Count(b.String(), "\n"); n != 8*200 {
+		t.Errorf("got %d records, want %d", n, 8*200)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestCheckJSONLRejectsGarbage(t *testing.T) {
+	for _, text := range []string{"", "not json\n", `{"ok":1}` + "\n[1,2]\n"} {
+		if err := CheckJSONL(strings.NewReader(text)); err == nil {
+			t.Errorf("CheckJSONL(%q) passed, want error", text)
+		}
+	}
+}
+
+func TestManifestHashAndRoundTrip(t *testing.T) {
+	m := NewManifest("rasbench", []string{"-exp", "t1"})
+	m.Config = "Fetch width 4"
+	m.InstBudget = 20000
+	m.Workloads = []string{"go", "li"}
+	h1 := m.ComputeHash()
+
+	same := NewManifest("rasbench", nil)
+	same.Config, same.InstBudget, same.Workloads = m.Config, m.InstBudget, m.Workloads
+	if h2 := same.ComputeHash(); h2 != h1 {
+		t.Errorf("equal settings hash differently: %s vs %s", h1, h2)
+	}
+	same.InstBudget++
+	if h3 := same.ComputeHash(); h3 == h1 {
+		t.Error("different budgets must hash differently")
+	}
+
+	m.Experiments = append(m.Experiments, ExperimentRecord{
+		ID: "t1", WallSeconds: 0.5,
+		Cells: []CellRecord{{Cell: 0, Worker: 1, Seconds: 0.5}},
+	})
+	m.Finish()
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("manifest not JSON: %v", err)
+	}
+	if back.ConfigHash != h1 || len(back.Experiments) != 1 || back.Experiments[0].Cells[0].Worker != 1 {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+	if back.Start.After(time.Now().Add(time.Minute)) {
+		t.Error("implausible start time")
+	}
+}

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Manifest records everything needed to trace a results artifact
+// (EXPERIMENTS.md rows, CSV dumps) back to the run that produced it: the
+// resolved machine configuration and its hash, the instruction budget,
+// the environment, and per-cell wall-clock timings.
+type Manifest struct {
+	Tool      string   `json:"tool"`
+	Args      []string `json:"args,omitempty"`
+	GoVersion string   `json:"go_version"`
+	OS        string   `json:"os"`
+	Arch      string   `json:"arch"`
+
+	Start       time.Time `json:"start"`
+	WallSeconds float64   `json:"wall_seconds"`
+
+	// Run parameters that determine the numbers.
+	InstBudget uint64   `json:"inst_budget"`
+	Warmup     uint64   `json:"warmup,omitempty"`
+	Workloads  []string `json:"workloads,omitempty"`
+	// Parallel is recorded for performance context only: results are
+	// byte-identical at any worker count.
+	Parallel int `json:"parallel,omitempty"`
+
+	// Config is the resolved machine configuration (Config.Describe).
+	Config string `json:"config"`
+	// ConfigHash is a sha256 over the result-determining fields (config,
+	// budget, warmup, workload set) — two runs with equal hashes produce
+	// identical tables.
+	ConfigHash string `json:"config_hash"`
+
+	Experiments []ExperimentRecord `json:"experiments,omitempty"`
+}
+
+// ExperimentRecord is one experiment's timing within a run.
+type ExperimentRecord struct {
+	ID          string       `json:"id"`
+	Title       string       `json:"title,omitempty"`
+	WallSeconds float64      `json:"wall_seconds"`
+	Cells       []CellRecord `json:"cells,omitempty"`
+}
+
+// CellRecord is one sweep cell's accounting.
+type CellRecord struct {
+	Cell    int     `json:"cell"`
+	Worker  int     `json:"worker"`
+	Seconds float64 `json:"seconds"`
+	Error   bool    `json:"error,omitempty"`
+}
+
+// NewManifest starts a manifest for the named tool, stamping the
+// environment and start time.
+func NewManifest(tool string, args []string) *Manifest {
+	return &Manifest{
+		Tool:      tool,
+		Args:      args,
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		Start:     time.Now().UTC(),
+	}
+}
+
+// ComputeHash fills ConfigHash from the result-determining fields and
+// returns it. Call after Config, InstBudget, Warmup, and Workloads are
+// final.
+func (m *Manifest) ComputeHash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "config:%s\ninsts:%d\nwarmup:%d\nworkloads:%s\n",
+		m.Config, m.InstBudget, m.Warmup, strings.Join(m.Workloads, ","))
+	m.ConfigHash = hex.EncodeToString(h.Sum(nil))
+	return m.ConfigHash
+}
+
+// Finish stamps the total wall clock relative to Start.
+func (m *Manifest) Finish() { m.WallSeconds = time.Since(m.Start).Seconds() }
+
+// WriteFile writes the manifest as indented JSON.
+func (m *Manifest) WriteFile(path string) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Fields returns the manifest as event-log fields, so runs with an event
+// log but no -manifest-out still record their provenance.
+func (m *Manifest) Fields() map[string]any {
+	return map[string]any{
+		"go_version":  m.GoVersion,
+		"os":          m.OS,
+		"arch":        m.Arch,
+		"inst_budget": m.InstBudget,
+		"warmup":      m.Warmup,
+		"workloads":   strings.Join(m.Workloads, ","),
+		"parallel":    m.Parallel,
+		"config_hash": m.ConfigHash,
+	}
+}

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"strconv"
+	"time"
+)
+
+// Metric names exposed by the observers below. Declared as constants so
+// the CLIs, tests, and docs agree on the schema.
+const (
+	MetricSweepInflight    = "retstack_sweep_cells_inflight"
+	MetricSweepCompleted   = "retstack_sweep_cells_completed_total"
+	MetricSweepErrors      = "retstack_sweep_cell_errors_total"
+	MetricSweepCellSeconds = "retstack_sweep_cell_seconds"
+	MetricSweepCellMs      = "retstack_sweep_cell_ms_total"
+	MetricSweepWorkerMs    = "retstack_sweep_worker_busy_ms_total"
+
+	MetricSamples     = "retstack_pipeline_samples_total"
+	MetricRASDepth    = "retstack_pipeline_ras_depth"
+	MetricRUUOcc      = "retstack_pipeline_ruu_occupancy"
+	MetricFetchQOcc   = "retstack_pipeline_fetchq_occupancy"
+	MetricLivePaths   = "retstack_pipeline_live_paths"
+	MetricCheckpoints = "retstack_pipeline_checkpoints_live"
+	MetricSquashes    = "retstack_pipeline_squashes_total"
+	MetricRecoveries  = "retstack_pipeline_recoveries_total"
+)
+
+// SweepObserver feeds sweep-cell lifecycle callbacks into a registry and
+// an event log. It satisfies internal/sweep.Monitor structurally, keeping
+// this package dependency-free. Either sink may be nil; a fully nil
+// observer is still safe to call.
+type SweepObserver struct {
+	reg    *Registry
+	log    *EventLog
+	labels []string // constant labels (e.g. exp="t3") on every metric
+
+	inflight  *Gauge
+	completed *Counter
+	errors    *Counter
+	seconds   *Histogram
+}
+
+// NewSweepObserver builds an observer publishing under the given constant
+// labels (alternating key/value, e.g. "exp", "t3").
+func NewSweepObserver(reg *Registry, log *EventLog, labels ...string) *SweepObserver {
+	return &SweepObserver{
+		reg:    reg,
+		log:    log,
+		labels: labels,
+		inflight: reg.Gauge(MetricSweepInflight,
+			"sweep cells currently executing", labels...),
+		completed: reg.Counter(MetricSweepCompleted,
+			"sweep cells finished", labels...),
+		errors: reg.Counter(MetricSweepErrors,
+			"sweep cells finished with an error", labels...),
+		seconds: reg.Histogram(MetricSweepCellSeconds,
+			"per-cell simulation wall clock",
+			[]float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}, labels...),
+	}
+}
+
+// CellStart implements sweep.Monitor.
+func (o *SweepObserver) CellStart(cell, worker int) {
+	if o == nil {
+		return
+	}
+	o.inflight.Add(1)
+}
+
+// CellDone implements sweep.Monitor: it publishes the cell's wall clock as
+// a histogram observation, a per-cell counter, and a per-worker busy-time
+// counter, and emits a cell_done event.
+func (o *SweepObserver) CellDone(cell, worker int, d time.Duration, err error) {
+	if o == nil {
+		return
+	}
+	o.inflight.Add(-1)
+	o.completed.Inc()
+	if err != nil {
+		o.errors.Inc()
+	}
+	o.seconds.Observe(d.Seconds())
+	ms := uint64(d.Milliseconds())
+	o.reg.Counter(MetricSweepCellMs, "per-cell wall clock in milliseconds",
+		append([]string{"cell", strconv.Itoa(cell)}, o.labels...)...).Add(ms)
+	o.reg.Counter(MetricSweepWorkerMs, "per-worker busy time in milliseconds",
+		append([]string{"worker", strconv.Itoa(worker)}, o.labels...)...).Add(ms)
+	fields := map[string]any{
+		"cell": cell, "worker": worker, "seconds": d.Seconds(),
+	}
+	for i := 0; i+1 < len(o.labels); i += 2 {
+		fields[o.labels[i]] = o.labels[i+1]
+	}
+	if err != nil {
+		fields["error"] = err.Error()
+	}
+	o.log.Emit("cell_done", fields)
+}
+
+// PipelineMetrics aggregates simulator cycle samples into registry
+// instruments. Occupancy-style quantities are recorded as histogram
+// observations (so sweeps over many concurrent cells aggregate sensibly);
+// squash/recovery activity accumulates via per-sample deltas.
+type PipelineMetrics struct {
+	samples     *Counter
+	rasDepth    *Histogram
+	ruu         *Histogram
+	fetchq      *Histogram
+	livePaths   *Histogram
+	checkpoints *Histogram
+	squashes    *Counter
+	recoveries  *Counter
+}
+
+// NewPipelineMetrics registers the pipeline instrument set. A nil registry
+// yields a nil collector whose Observe no-ops.
+func NewPipelineMetrics(reg *Registry) *PipelineMetrics {
+	if reg == nil {
+		return nil
+	}
+	occ := []float64{0, 1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128}
+	return &PipelineMetrics{
+		samples:  reg.Counter(MetricSamples, "pipeline cycle samples recorded"),
+		rasDepth: reg.Histogram(MetricRASDepth, "sampled return-address-stack depth", occ),
+		ruu:      reg.Histogram(MetricRUUOcc, "sampled RUU (instruction window) occupancy", occ),
+		fetchq:   reg.Histogram(MetricFetchQOcc, "sampled fetch-queue occupancy", occ),
+		livePaths: reg.Histogram(MetricLivePaths, "sampled live fetch/execution paths",
+			[]float64{1, 2, 3, 4, 6, 8, 12, 16}),
+		checkpoints: reg.Histogram(MetricCheckpoints, "sampled in-flight RAS checkpoints", occ),
+		squashes:    reg.Counter(MetricSquashes, "RUU entries squashed (sampled deltas)"),
+		recoveries:  reg.Counter(MetricRecoveries, "branch-misprediction recoveries (sampled deltas)"),
+	}
+}
+
+// Observe records one cycle sample. The argument list mirrors
+// pipeline.Sample field-by-field so this package needs no simulator
+// import.
+func (p *PipelineMetrics) Observe(ruuOcc, fetchqOcc, livePaths, rasDepth, checkpointsLive int,
+	newSquashed, newRecoveries uint64) {
+	if p == nil {
+		return
+	}
+	p.samples.Inc()
+	p.ruu.ObserveInt(ruuOcc)
+	p.fetchq.ObserveInt(fetchqOcc)
+	p.livePaths.ObserveInt(livePaths)
+	p.rasDepth.ObserveInt(rasDepth)
+	p.checkpoints.ObserveInt(checkpointsLive)
+	p.squashes.Add(newSquashed)
+	p.recoveries.Add(newRecoveries)
+}

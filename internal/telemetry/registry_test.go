@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentInstruments hammers one counter, gauge, and histogram from
+// many goroutines; run under -race this pins the lock-free hot path.
+func TestConcurrentInstruments(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("t_ops_total", "ops")
+	g := reg.Gauge("t_inflight", "inflight")
+	h := reg.Histogram("t_latency", "latency", []float64{1, 2, 4})
+
+	const workers, per = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i % 5))
+				// Concurrent lookup of an existing instrument must return
+				// the same child, not a fresh one.
+				reg.Counter("t_ops_total", "ops").Add(0)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	wantSum := float64(workers) * per / 5 * (0 + 1 + 2 + 3 + 4)
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %g, want %g", got, wantSum)
+	}
+}
+
+// TestNilSafety: every instrument and the registry itself must no-op when
+// nil — that is the "telemetry off" fast path.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	reg.Counter("x_total", "x").Inc()
+	reg.Gauge("g", "g").Set(3)
+	reg.Histogram("h", "h", []float64{1}).Observe(2)
+	if err := reg.WritePrometheus(nil); err != nil {
+		t.Fatalf("nil registry write: %v", err)
+	}
+	var log *EventLog
+	log.Emit("x", nil)
+	if err := log.Close(); err != nil {
+		t.Fatalf("nil log close: %v", err)
+	}
+	NewPipelineMetrics(nil).Observe(1, 2, 3, 4, 5, 6, 7)
+	var obs *SweepObserver
+	obs.CellStart(0, 0)
+	obs.CellDone(0, 0, 0, nil)
+}
+
+// TestExpositionGolden pins the exact exposition text for a small
+// registry: format drift is an API break for scrapers.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("app_requests_total", "requests served", "code", "200").Add(3)
+	reg.Counter("app_requests_total", "requests served", "code", "500").Add(1)
+	reg.Gauge("app_inflight", "in-flight requests").Set(2)
+	h := reg.Histogram("app_seconds", "request latency", []float64{0.5, 1})
+	h.Observe(0.3)
+	h.Observe(0.75)
+	h.Observe(4)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_inflight in-flight requests
+# TYPE app_inflight gauge
+app_inflight 2
+# HELP app_requests_total requests served
+# TYPE app_requests_total counter
+app_requests_total{code="200"} 3
+app_requests_total{code="500"} 1
+# HELP app_seconds request latency
+# TYPE app_seconds histogram
+app_seconds_bucket{le="0.5"} 1
+app_seconds_bucket{le="1"} 2
+app_seconds_bucket{le="+Inf"} 3
+app_seconds_sum 5.05
+app_seconds_count 3
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+	if err := CheckExposition(strings.NewReader(b.String())); err != nil {
+		t.Errorf("golden exposition fails its own check: %v", err)
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type conflict")
+		}
+	}()
+	reg := NewRegistry()
+	reg.Counter("dual", "as counter")
+	reg.Gauge("dual", "as gauge")
+}
+
+func TestCheckExposition(t *testing.T) {
+	bad := []struct{ name, text string }{
+		{"no type", "loose_metric 1\n"},
+		{"dup type", "# TYPE a counter\n# TYPE a counter\na 1\n"},
+		{"dup series", "# TYPE a counter\na 1\na 2\n"},
+		{"bad value", "# TYPE a counter\na one\n"},
+		{"empty", "\n"},
+	}
+	for _, tc := range bad {
+		if err := CheckExposition(strings.NewReader(tc.text)); err == nil {
+			t.Errorf("%s: check passed, want error", tc.name)
+		}
+	}
+	good := "# TYPE a counter\na{x=\"1\"} 1\na{x=\"2\"} 2\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 0.5\nh_count 1\n"
+	if err := CheckExposition(strings.NewReader(good)); err != nil {
+		t.Errorf("good exposition rejected: %v", err)
+	}
+}

@@ -1,0 +1,34 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+)
+
+// Serve starts the live observability endpoint in the background: /metrics
+// renders the registry's Prometheus exposition and /debug/pprof/* exposes
+// the standard runtime profiles, so a long sweep can be profiled while it
+// runs. It returns the bound address (useful with ":0") once the listener
+// is up; the server lives until the process exits. A nil registry serves
+// an empty exposition.
+func Serve(addr string, reg *Registry) (net.Addr, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go http.Serve(ln, mux) //nolint:errcheck // best-effort debug endpoint
+	return ln.Addr(), nil
+}
