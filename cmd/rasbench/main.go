@@ -142,6 +142,7 @@ func main() {
 	}
 	man.Workloads = params.Workloads
 	man.Parallel = sweep.Workers(*parallel)
+	man.ExperimentIDs = ids
 	man.Config = retstack.Baseline().Describe()
 	man.ComputeHash()
 	events.Emit("run_start", man.Fields())

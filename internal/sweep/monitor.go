@@ -206,8 +206,12 @@ func (p *Progress) CellDone(cell, worker int, d time.Duration, err error) {
 		p.errs++
 	}
 	elapsed := time.Since(p.epoch)
+	rate := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		rate = float64(p.done) / s
+	}
 	line := fmt.Sprintf("sweep %s: %d cells done (%d running), %.1f cells/s, elapsed %.1fs",
-		p.Label, p.done, p.running, float64(p.done)/elapsed.Seconds(), elapsed.Seconds())
+		p.Label, p.done, p.running, rate, elapsed.Seconds())
 	if p.errs > 0 {
 		line += fmt.Sprintf(", %d errors", p.errs)
 	}

@@ -91,12 +91,18 @@ func TestManifestHashAndRoundTrip(t *testing.T) {
 
 	same := NewManifest("rasbench", nil)
 	same.Config, same.InstBudget, same.Workloads = m.Config, m.InstBudget, m.Workloads
+	same.ExperimentIDs = m.ExperimentIDs
 	if h2 := same.ComputeHash(); h2 != h1 {
 		t.Errorf("equal settings hash differently: %s vs %s", h1, h2)
 	}
 	same.InstBudget++
 	if h3 := same.ComputeHash(); h3 == h1 {
 		t.Error("different budgets must hash differently")
+	}
+	same.InstBudget--
+	same.ExperimentIDs = []string{"t3"}
+	if h4 := same.ComputeHash(); h4 == h1 {
+		t.Error("different experiment sets must hash differently")
 	}
 
 	m.Experiments = append(m.Experiments, ExperimentRecord{

@@ -20,15 +20,34 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		return nil
 	}
 	bw := bufio.NewWriter(w)
+	// Snapshot the registration structures (family list, child order, and
+	// instrument pointers) while holding the lock: Registry.lookup mutates
+	// them concurrently when instruments register lazily mid-run (e.g. a
+	// live /metrics scrape during a sweep). Instrument values are atomic,
+	// so they are safe to read after unlocking.
+	type child struct {
+		labels string
+		inst   any
+	}
+	type famSnap struct {
+		name, help, typ string
+		children        []child
+	}
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for name := range r.families {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fams := make([]*family, len(names))
+	fams := make([]famSnap, len(names))
 	for i, name := range names {
-		fams[i] = r.families[name]
+		f := r.families[name]
+		fs := famSnap{name: f.name, help: f.help, typ: f.typ,
+			children: make([]child, len(f.order))}
+		for j, ls := range f.order {
+			fs.children[j] = child{labels: ls, inst: f.children[ls]}
+		}
+		fams[i] = fs
 	}
 	r.mu.Unlock()
 
@@ -37,14 +56,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		}
 		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
-		for _, ls := range f.order {
-			switch m := f.children[ls].(type) {
+		for _, c := range f.children {
+			switch m := c.inst.(type) {
 			case *Counter:
-				fmt.Fprintf(bw, "%s%s %d\n", f.name, ls, m.Value())
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, c.labels, m.Value())
 			case *Gauge:
-				fmt.Fprintf(bw, "%s%s %d\n", f.name, ls, m.Value())
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, c.labels, m.Value())
 			case *Histogram:
-				writeHistogram(bw, f.name, ls, m)
+				writeHistogram(bw, f.name, c.labels, m)
 			}
 		}
 	}

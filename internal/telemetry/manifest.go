@@ -32,12 +32,15 @@ type Manifest struct {
 	// Parallel is recorded for performance context only: results are
 	// byte-identical at any worker count.
 	Parallel int `json:"parallel,omitempty"`
+	// ExperimentIDs is the experiment set the run was asked to produce
+	// (the resolved -exp selection), which determines which tables exist.
+	ExperimentIDs []string `json:"experiment_ids,omitempty"`
 
 	// Config is the resolved machine configuration (Config.Describe).
 	Config string `json:"config"`
 	// ConfigHash is a sha256 over the result-determining fields (config,
-	// budget, warmup, workload set) — two runs with equal hashes produce
-	// identical tables.
+	// budget, warmup, workload set, experiment set) — two runs with equal
+	// hashes produce identical tables.
 	ConfigHash string `json:"config_hash"`
 
 	Experiments []ExperimentRecord `json:"experiments,omitempty"`
@@ -73,12 +76,13 @@ func NewManifest(tool string, args []string) *Manifest {
 }
 
 // ComputeHash fills ConfigHash from the result-determining fields and
-// returns it. Call after Config, InstBudget, Warmup, and Workloads are
-// final.
+// returns it. Call after Config, InstBudget, Warmup, Workloads, and
+// ExperimentIDs are final.
 func (m *Manifest) ComputeHash() string {
 	h := sha256.New()
-	fmt.Fprintf(h, "config:%s\ninsts:%d\nwarmup:%d\nworkloads:%s\n",
-		m.Config, m.InstBudget, m.Warmup, strings.Join(m.Workloads, ","))
+	fmt.Fprintf(h, "config:%s\ninsts:%d\nwarmup:%d\nworkloads:%s\nexperiments:%s\n",
+		m.Config, m.InstBudget, m.Warmup, strings.Join(m.Workloads, ","),
+		strings.Join(m.ExperimentIDs, ","))
 	m.ConfigHash = hex.EncodeToString(h.Sum(nil))
 	return m.ConfigHash
 }
@@ -106,6 +110,7 @@ func (m *Manifest) Fields() map[string]any {
 		"warmup":      m.Warmup,
 		"workloads":   strings.Join(m.Workloads, ","),
 		"parallel":    m.Parallel,
+		"experiments": strings.Join(m.ExperimentIDs, ","),
 		"config_hash": m.ConfigHash,
 	}
 }

@@ -12,7 +12,6 @@ const (
 	MetricSweepCompleted   = "retstack_sweep_cells_completed_total"
 	MetricSweepErrors      = "retstack_sweep_cell_errors_total"
 	MetricSweepCellSeconds = "retstack_sweep_cell_seconds"
-	MetricSweepCellMs      = "retstack_sweep_cell_ms_total"
 	MetricSweepWorkerMs    = "retstack_sweep_worker_busy_ms_total"
 
 	MetricSamples     = "retstack_pipeline_samples_total"
@@ -68,8 +67,11 @@ func (o *SweepObserver) CellStart(cell, worker int) {
 }
 
 // CellDone implements sweep.Monitor: it publishes the cell's wall clock as
-// a histogram observation, a per-cell counter, and a per-worker busy-time
-// counter, and emits a cell_done event.
+// a histogram observation and a per-worker busy-time counter, and emits a
+// cell_done event. There is deliberately no per-cell series: cell indices
+// are unbounded label cardinality (a -exp all run has hundreds), and
+// per-cell timings are already captured exactly in the run manifest via
+// sweep.Timing.
 func (o *SweepObserver) CellDone(cell, worker int, d time.Duration, err error) {
 	if o == nil {
 		return
@@ -80,11 +82,8 @@ func (o *SweepObserver) CellDone(cell, worker int, d time.Duration, err error) {
 		o.errors.Inc()
 	}
 	o.seconds.Observe(d.Seconds())
-	ms := uint64(d.Milliseconds())
-	o.reg.Counter(MetricSweepCellMs, "per-cell wall clock in milliseconds",
-		append([]string{"cell", strconv.Itoa(cell)}, o.labels...)...).Add(ms)
 	o.reg.Counter(MetricSweepWorkerMs, "per-worker busy time in milliseconds",
-		append([]string{"worker", strconv.Itoa(worker)}, o.labels...)...).Add(ms)
+		append([]string{"worker", strconv.Itoa(worker)}, o.labels...)...).Add(uint64(d.Milliseconds()))
 	fields := map[string]any{
 		"cell": cell, "worker": worker, "seconds": d.Seconds(),
 	}

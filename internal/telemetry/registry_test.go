@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"io"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -45,6 +47,56 @@ func TestConcurrentInstruments(t *testing.T) {
 	wantSum := float64(workers) * per / 5 * (0 + 1 + 2 + 3 + 4)
 	if got := h.Sum(); got != wantSum {
 		t.Errorf("histogram sum = %g, want %g", got, wantSum)
+	}
+}
+
+// TestScrapeDuringRegistration writes the exposition concurrently with
+// lazy instrument registration — the live /metrics case, where a scrape
+// lands mid-sweep while SweepObserver.CellDone is still creating labeled
+// children. Under -race this pins WritePrometheus snapshotting the
+// registration structures while holding the lock.
+func TestScrapeDuringRegistration(t *testing.T) {
+	reg := NewRegistry()
+	const workers, per = 4, 500
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			if err := reg.WritePrometheus(io.Discard); err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				reg.Counter("t_busy_ms_total", "busy", "worker", strconv.Itoa(w*per+i)).Inc()
+				reg.Histogram("t_seconds", "latency", []float64{1, 2}).Observe(0.5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scraper.Wait()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckExposition(strings.NewReader(b.String())); err != nil {
+		t.Errorf("final exposition invalid: %v", err)
 	}
 }
 
