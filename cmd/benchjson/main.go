@@ -1,0 +1,189 @@
+// Command benchjson converts `go test -bench -benchmem` text output into a
+// machine-readable JSON report, so benchmark numbers can be committed,
+// diffed, and validated in CI instead of living in terminal scrollback.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkSweep' -benchmem . | benchjson -out BENCH_sweep.json
+//	benchjson -validate BENCH_sweep.json -require BenchmarkSweepSerial,BenchmarkSweepParallel
+//
+// The parser understands the standard benchmark line shape — name,
+// iteration count, then (value, unit) pairs — and keeps the well-known
+// units (ns/op, B/op, allocs/op) as top-level fields. Anything else
+// (b.ReportMetric output such as "speedup" or "simInsts/s") lands in the
+// custom-metrics map. Header lines (goos/goarch/pkg/cpu) are captured as
+// report context.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Report is the BENCH_*.json schema.
+type Report struct {
+	GOOS       string  `json:"goos,omitempty"`
+	GOARCH     string  `json:"goarch,omitempty"`
+	Package    string  `json:"pkg,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// Bench is one benchmark result line.
+type Bench struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"` // the -N GOMAXPROCS suffix (1 when absent)
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "", "write the JSON report here (default stdout)")
+		validate = flag.String("validate", "", "validate an existing report file instead of parsing stdin")
+		require  = flag.String("require", "", "comma-separated benchmark names that must be present (validate mode)")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		if err := validateFile(*validate, *require); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: %s ok\n", *validate)
+		return
+	}
+
+	rep, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// Parse reads `go test -bench` text output into a Report. Non-benchmark
+// lines other than the known headers (PASS, ok, test chatter) are ignored.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: []Bench{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseLine decodes one "BenchmarkName-N  iters  v unit  v unit ..." line.
+func parseLine(line string) (Bench, error) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return Bench{}, fmt.Errorf("short benchmark line %q", line)
+	}
+	b := Bench{Name: f[0], Procs: 1}
+	if i := strings.LastIndex(f[0], "-"); i > 0 {
+		if n, err := strconv.Atoi(f[0][i+1:]); err == nil {
+			b.Name, b.Procs = f[0][:i], n
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Bench{}, fmt.Errorf("bad iteration count in %q: %v", line, err)
+	}
+	b.Iterations = iters
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Bench{}, fmt.Errorf("bad value %q in %q: %v", f[i], line, err)
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	if b.NsPerOp == 0 {
+		return Bench{}, fmt.Errorf("no ns/op in benchmark line %q", line)
+	}
+	return b, nil
+}
+
+// validateFile checks that a committed report parses, is non-empty, has
+// sane numbers, and contains every required benchmark.
+func validateFile(path, require string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("%s: no benchmarks", path)
+	}
+	byName := map[string]Bench{}
+	for _, b := range rep.Benchmarks {
+		if b.Name == "" || b.Iterations <= 0 || b.NsPerOp <= 0 {
+			return fmt.Errorf("%s: malformed benchmark %+v", path, b)
+		}
+		byName[b.Name] = b
+	}
+	if require != "" {
+		for _, name := range strings.Split(require, ",") {
+			if _, ok := byName[name]; !ok {
+				return fmt.Errorf("%s: required benchmark %q missing", path, name)
+			}
+		}
+	}
+	return nil
+}

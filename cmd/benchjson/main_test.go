@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: retstack
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkSweepSerial 	       1	 814331239 ns/op	23092480 B/op	  128027 allocs/op
+BenchmarkSweepParallel-4 	       2	 600123456 ns/op	         1.357 speedup	23000000 B/op	  127000 allocs/op
+BenchmarkSimulatorThroughput 	       5	  20000000 ns/op	   5000000 simInsts/s
+PASS
+ok  	retstack	3.210s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.Package != "retstack" {
+		t.Errorf("header: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks", len(rep.Benchmarks))
+	}
+	s := rep.Benchmarks[0]
+	if s.Name != "BenchmarkSweepSerial" || s.Procs != 1 || s.Iterations != 1 ||
+		s.NsPerOp != 814331239 || s.BytesPerOp != 23092480 || s.AllocsOp != 128027 {
+		t.Errorf("serial: %+v", s)
+	}
+	p := rep.Benchmarks[1]
+	if p.Name != "BenchmarkSweepParallel" || p.Procs != 4 {
+		t.Errorf("parallel name/procs: %+v", p)
+	}
+	if got := p.Metrics["speedup"]; got != 1.357 {
+		t.Errorf("speedup = %v", got)
+	}
+	if got := rep.Benchmarks[2].Metrics["simInsts/s"]; got != 5000000 {
+		t.Errorf("simInsts/s = %v", got)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",                    // no iterations
+		"BenchmarkX abc",                // bad iterations
+		"BenchmarkX 1 twelve ns/op",     // bad value
+		"BenchmarkX 1 100 B/op",         // no ns/op
+		"BenchmarkX 1 100 allocs/op",    // no ns/op either
+		"BenchmarkX 1 1 speedup 2 B/op", // still no ns/op
+	} {
+		if _, err := Parse(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("Parse(%q) accepted", line)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := json.Marshal(rep)
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateFile(path, "BenchmarkSweepSerial,BenchmarkSweepParallel"); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateFile(path, "BenchmarkMissing"); err == nil {
+		t.Error("missing required benchmark accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	os.WriteFile(empty, []byte(`{"benchmarks":[]}`), 0o644)
+	if err := validateFile(empty, ""); err == nil {
+		t.Error("empty report accepted")
+	}
+}

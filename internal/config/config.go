@@ -215,6 +215,14 @@ type Config struct {
 	// (interleaved calls/returns corrupt it — Hily & Seznec's negative
 	// result); false gives each thread its own stack.
 	SMTSharedRAS bool
+
+	// NoPredecode disables the predecode instruction plane, forcing every
+	// fetch through Memory.Read32 + isa.Decode. The plane is a pure
+	// simulator-speed optimization — results are byte-identical either way
+	// (pinned by TestPredecodeMatchesFallback) — so this exists only for
+	// that test and for A/B measurements (rasbench -no-predecode). Not a
+	// machine parameter: it does not appear in Describe().
+	NoPredecode bool
 }
 
 // Baseline returns the paper's Table 1 machine.

@@ -27,6 +27,15 @@ type Machine struct {
 	// ClassCounts tallies retired instructions by class (for Table 2).
 	ClassCounts [16]uint64
 
+	// plane is the loaded image's predecode plane (nil when the image has
+	// no code segment or predecode is disabled); FetchInst serves from it.
+	plane *program.Plane
+	// PredecodeHits / PredecodeFallbacks count FetchInst calls served from
+	// the plane vs. decoded from memory (plane off, PC outside the code
+	// segment, or code region dirtied by a store).
+	PredecodeHits      uint64
+	PredecodeFallbacks uint64
+
 	// Call-depth tracking for workload characterization.
 	depth     int
 	MaxDepth  int
@@ -41,15 +50,34 @@ func NewMachine() *Machine {
 	return &Machine{Mem: NewMemory(), DepthHist: stats.NewHistogram()}
 }
 
-// Load copies an image into memory and initializes PC, $sp and $gp.
+// Load maps an image into memory and initializes PC, $sp and $gp. The
+// code segment is installed as the memory's flat code region — aliasing
+// the image's bytes, shared read-only with every other machine loading
+// the same image (copy-on-write protects the image from self-modifying
+// stores) — and the image's predecode plane is attached for FetchInst.
+// Data segments are copied into the page map as before.
 func (m *Machine) Load(im *program.Image) {
+	code, hasCode := im.CodeSegment()
 	for _, seg := range im.Segments {
+		if hasCode && seg.Addr == code.Addr {
+			m.Mem.SetCodeRegion(seg.Addr, seg.Data)
+			continue
+		}
 		m.Mem.WriteBytes(seg.Addr, seg.Data)
+	}
+	m.plane = nil
+	if hasCode {
+		m.plane = im.Predecode()
 	}
 	m.PC = im.Entry
 	m.Regs[isa.SP] = program.DefaultStackTop
 	m.Regs[isa.GP] = program.DefaultGPBase
 }
+
+// DisablePredecode detaches the predecode plane, forcing every FetchInst
+// through Read32+Decode. Used by the determinism tests and the
+// -no-predecode flag to pin that the plane changes nothing but speed.
+func (m *Machine) DisablePredecode() { m.plane = nil }
 
 // ReadReg implements State.
 func (m *Machine) ReadReg(r int) uint32 {
@@ -86,6 +114,24 @@ func (m *Machine) WriteMem32(addr uint32, v uint32) { m.Mem.Write32(addr, v) }
 
 // FetchWord returns the instruction word at addr.
 func (m *Machine) FetchWord(addr uint32) uint32 { return m.Mem.Read32(addr) }
+
+// FetchInst returns the decoded instruction at pc. It is served from the
+// image's predecode plane when possible — one bounds-checked table load —
+// and falls back to FetchWord+Decode when the plane is absent, pc lies
+// outside the predecoded code segment (e.g. wrong-path fetch running into
+// data), or a store has dirtied the code region. The fallback decodes the
+// same bytes the plane was built from, so the result is identical either
+// way; only the cost differs.
+func (m *Machine) FetchInst(pc uint32) isa.Inst {
+	if m.plane != nil && !m.Mem.codeDirty {
+		if in, ok := m.plane.Lookup(pc); ok {
+			m.PredecodeHits++
+			return in
+		}
+	}
+	m.PredecodeFallbacks++
+	return isa.Decode(m.Mem.Read32(pc))
+}
 
 // ApplySyscall performs the architectural side effects of a syscall
 // outcome. It is exported so the pipeline can apply syscalls at the point
@@ -132,7 +178,7 @@ func (m *Machine) Step() (isa.Inst, Outcome, error) {
 	if m.Halted {
 		return isa.Inst{}, Outcome{}, fmt.Errorf("emu: step after halt")
 	}
-	in := isa.Decode(m.FetchWord(m.PC))
+	in := m.FetchInst(m.PC)
 	out, err := Exec(m, m.PC, in)
 	if err != nil {
 		return in, out, fmt.Errorf("emu: at pc=%#x (%s): %w", m.PC, in.Disasm(m.PC), err)

@@ -14,12 +14,60 @@ const (
 // Memory is a sparse, zero-filled, little-endian byte-addressed memory.
 // Reads of unmapped addresses return zero; writes allocate pages on demand.
 // The zero value is ready to use.
+//
+// Two fast paths sit in front of the page map:
+//
+//   - A flat code region (SetCodeRegion): one contiguous slice covering
+//     the loaded image's text segment, indexed with a single bounds check.
+//     The slice initially aliases the image's bytes — shared read-only by
+//     every machine loading the same image — and is cloned copy-on-write
+//     by the first store into it, which also sets the codeDirty flag so
+//     instruction fetch stops trusting the predecode plane.
+//   - A 1-entry last-page cache for everything else, exploiting the
+//     locality of stack and data traffic. Pages are never freed, so the
+//     cache can only go stale by being overwritten, never dangle.
 type Memory struct {
 	pages map[uint32]*[pageSize]byte
+
+	codeBase   uint32
+	code       []byte
+	codeShared bool // code still aliases the image segment (clone before store)
+	codeDirty  bool // some store has landed in the code region
+
+	lastKey  uint32 // cached page key + 1; 0 = empty
+	lastPage *[pageSize]byte
 }
 
 // NewMemory returns an empty memory.
 func NewMemory() *Memory { return &Memory{pages: make(map[uint32]*[pageSize]byte)} }
+
+// SetCodeRegion installs the flat code region [base, base+len(data)).
+// data is retained and aliased, not copied: callers share one image's
+// segment bytes across machines, and the first store into the region
+// clones it (copy-on-write) so the image stays immutable. Reads and
+// writes inside the region never touch the page map.
+func (m *Memory) SetCodeRegion(base uint32, data []byte) {
+	m.codeBase = base
+	m.code = data
+	m.codeShared = true
+	m.codeDirty = false
+}
+
+// CodeDirty reports whether any store has hit the code region since
+// SetCodeRegion. Instruction fetch uses it as the predecode-plane
+// invalidation hook: once dirty, fetch falls back to decode-on-read.
+func (m *Memory) CodeDirty() bool { return m.codeDirty }
+
+// storeCode performs a code-region store: clone-on-first-write, then mark
+// the region dirty.
+func (m *Memory) storeCode(off uint32, v byte) {
+	if m.codeShared {
+		m.code = append([]byte(nil), m.code...)
+		m.codeShared = false
+	}
+	m.code[off] = v
+	m.codeDirty = true
+}
 
 func (m *Memory) page(addr uint32, alloc bool) *[pageSize]byte {
 	if m.pages == nil {
@@ -34,11 +82,21 @@ func (m *Memory) page(addr uint32, alloc bool) *[pageSize]byte {
 		p = new([pageSize]byte)
 		m.pages[key] = p
 	}
+	if p != nil {
+		m.lastKey = key + 1
+		m.lastPage = p
+	}
 	return p
 }
 
 // Read8 returns the byte at addr.
 func (m *Memory) Read8(addr uint32) byte {
+	if off := addr - m.codeBase; off < uint32(len(m.code)) {
+		return m.code[off]
+	}
+	if key := addr>>pageShift + 1; key == m.lastKey {
+		return m.lastPage[addr&pageMask]
+	}
 	p := m.page(addr, false)
 	if p == nil {
 		return 0
@@ -48,15 +106,41 @@ func (m *Memory) Read8(addr uint32) byte {
 
 // Write8 stores one byte at addr.
 func (m *Memory) Write8(addr uint32, v byte) {
+	if off := addr - m.codeBase; off < uint32(len(m.code)) {
+		m.storeCode(off, v)
+		return
+	}
+	if key := addr>>pageShift + 1; key == m.lastKey {
+		m.lastPage[addr&pageMask] = v
+		return
+	}
 	m.page(addr, true)[addr&pageMask] = v
+}
+
+// straddlesCode reports whether the 4-byte access at addr begins below the
+// code region but reaches into it (only possible when the region is not
+// page-aligned); such accesses must take the byte path.
+func (m *Memory) straddlesCode(addr uint32) bool {
+	return len(m.code) != 0 && m.codeBase-addr < 4
 }
 
 // Read32 returns the little-endian word at addr (no alignment requirement
 // at this layer; callers enforce ISA alignment).
 func (m *Memory) Read32(addr uint32) uint32 {
-	// Fast path: whole word within one page.
-	if addr&pageMask <= pageSize-4 {
-		p := m.page(addr, false)
+	// Fast path: whole word within the flat code region.
+	if off := addr - m.codeBase; off < uint32(len(m.code)) {
+		if uint32(len(m.code))-off >= 4 {
+			c := m.code
+			return uint32(c[off]) | uint32(c[off+1])<<8 | uint32(c[off+2])<<16 | uint32(c[off+3])<<24
+		}
+	} else if addr&pageMask <= pageSize-4 && !m.straddlesCode(addr) {
+		// Fast path: whole word within one data page.
+		var p *[pageSize]byte
+		if key := addr>>pageShift + 1; key == m.lastKey {
+			p = m.lastPage
+		} else {
+			p = m.page(addr, false)
+		}
 		if p == nil {
 			return 0
 		}
@@ -69,8 +153,15 @@ func (m *Memory) Read32(addr uint32) uint32 {
 
 // Write32 stores a little-endian word at addr.
 func (m *Memory) Write32(addr uint32, v uint32) {
-	if addr&pageMask <= pageSize-4 {
-		p := m.page(addr, true)
+	if off := addr - m.codeBase; off < uint32(len(m.code)) {
+		// Code-region store: byte path (storeCode handles CoW + dirty).
+	} else if addr&pageMask <= pageSize-4 && !m.straddlesCode(addr) {
+		var p *[pageSize]byte
+		if key := addr>>pageShift + 1; key == m.lastKey {
+			p = m.lastPage
+		} else {
+			p = m.page(addr, true)
+		}
 		o := addr & pageMask
 		p[o], p[o+1], p[o+2], p[o+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
 		return
@@ -100,4 +191,5 @@ func (m *Memory) WriteBytes(addr uint32, data []byte) {
 }
 
 // PageCount returns the number of allocated pages (for tests and stats).
+// The flat code region is not paged and does not count.
 func (m *Memory) PageCount() int { return len(m.pages) }

@@ -1,0 +1,150 @@
+package emu
+
+import (
+	"testing"
+
+	"retstack/internal/isa"
+	"retstack/internal/program"
+)
+
+// testImage assembles a tiny program: main calls leaf, adds, exits.
+func testImage(t *testing.T) *program.Image {
+	t.Helper()
+	b := program.NewBuilder()
+	b.Label("main")
+	b.Li(2, 5)
+	b.Jal("leaf")
+	b.Emit(isa.I(isa.OpADDI, 2, 2, 1))
+	b.Li(isa.V0, int32(SysExit))
+	b.Li(isa.A0, 0)
+	b.Emit(isa.Syscall())
+	b.Label("leaf")
+	b.Emit(isa.R(isa.OpADD, 2, 2, 2), isa.Jr(isa.RA))
+	im, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+// TestCodeRegionReadWrite pins the flat code region's byte-accurate
+// semantics: reads inside it see the image, reads around it see the page
+// map, and word accesses straddling its boundary mix the two correctly.
+func TestCodeRegionReadWrite(t *testing.T) {
+	m := NewMemory()
+	m.SetCodeRegion(0x1002, []byte{0x11, 0x22, 0x33, 0x44, 0x55, 0x66})
+	if got := m.Read32(0x1002); got != 0x44332211 {
+		t.Fatalf("in-region word: got %#x", got)
+	}
+	// Straddle below: two page bytes (zero) + two code bytes.
+	if got := m.Read32(0x1000); got != 0x22110000 {
+		t.Fatalf("straddle-low word: got %#x", got)
+	}
+	// Straddle above: last two code bytes + two page bytes (zero).
+	if got := m.Read32(0x1006); got != 0x00006655 {
+		t.Fatalf("straddle-high word: got %#x", got)
+	}
+	// A write below the region lands in the page map, not the code slice.
+	m.Write32(0x1000, 0xAABBCCDD)
+	if got := m.Read8(0x1001); got != 0xCC {
+		t.Fatalf("page byte under region write: got %#x", got)
+	}
+	if got, want := m.Read8(0x1002), byte(0xBB); got != want {
+		t.Fatalf("code byte after straddling write: got %#x want %#x", got, want)
+	}
+}
+
+// TestCodeWriteInvalidation: a store into the code region must (a) be
+// visible to subsequent fetches, (b) flip CodeDirty so FetchInst abandons
+// the plane, and (c) not corrupt the shared image (copy-on-write).
+func TestCodeWriteInvalidation(t *testing.T) {
+	im := testImage(t)
+	seg, _ := im.CodeSegment()
+	orig := append([]byte(nil), seg.Data...)
+
+	a, b := NewMachine(), NewMachine()
+	a.Load(im)
+	b.Load(im)
+
+	if a.Mem.CodeDirty() {
+		t.Fatal("fresh load reports a dirty code region")
+	}
+	before := a.FetchInst(im.Entry)
+	if a.PredecodeHits == 0 {
+		t.Fatal("clean in-segment fetch bypassed the plane")
+	}
+
+	// Overwrite the entry instruction with a recognizable word.
+	patched := isa.I(isa.OpADDI, 9, 0, 42)
+	a.Mem.Write32(im.Entry, patched.Raw)
+	if !a.Mem.CodeDirty() {
+		t.Fatal("code store did not dirty the region")
+	}
+	got := a.FetchInst(im.Entry)
+	if got != patched {
+		t.Fatalf("fetch after code store: got %+v want %+v", got, patched)
+	}
+
+	// Machine b and the image itself must be untouched.
+	if in := b.FetchInst(im.Entry); in != before {
+		t.Fatalf("sibling machine saw the store: %+v != %+v", in, before)
+	}
+	seg2, _ := im.CodeSegment()
+	for i := range orig {
+		if seg2.Data[i] != orig[i] {
+			t.Fatalf("image byte %d mutated: %#x != %#x", i, seg2.Data[i], orig[i])
+		}
+	}
+}
+
+// TestFetchInstMatchesDecode: for every PC in and around the code segment,
+// FetchInst equals Decode(Read32), plane or no plane.
+func TestFetchInstMatchesDecode(t *testing.T) {
+	im := testImage(t)
+	seg, _ := im.CodeSegment()
+
+	withPlane, noPlane := NewMachine(), NewMachine()
+	withPlane.Load(im)
+	noPlane.Load(im)
+	noPlane.DisablePredecode()
+
+	for pc := seg.Addr - 8; pc < seg.End()+8; pc += 4 {
+		want := isa.Decode(withPlane.Mem.Read32(pc))
+		if got := withPlane.FetchInst(pc); got != want {
+			t.Fatalf("pc %#x: plane fetch %+v != decode %+v", pc, got, want)
+		}
+		if got := noPlane.FetchInst(pc); got != want {
+			t.Fatalf("pc %#x: fallback fetch %+v != decode %+v", pc, got, want)
+		}
+	}
+	if withPlane.PredecodeHits == 0 || withPlane.PredecodeFallbacks == 0 {
+		t.Fatalf("expected both hits and fallbacks, got %d/%d",
+			withPlane.PredecodeHits, withPlane.PredecodeFallbacks)
+	}
+	if noPlane.PredecodeHits != 0 {
+		t.Fatalf("disabled plane still hit %d times", noPlane.PredecodeHits)
+	}
+}
+
+// TestRunIdenticalWithAndWithoutPlane runs the same program to completion
+// both ways and compares every piece of architectural state.
+func TestRunIdenticalWithAndWithoutPlane(t *testing.T) {
+	im := testImage(t)
+	a, b := NewMachine(), NewMachine()
+	a.Load(im)
+	b.Load(im)
+	b.DisablePredecode()
+
+	na, errA := a.Run(0)
+	nb, errB := b.Run(0)
+	if errA != nil || errB != nil {
+		t.Fatalf("run errors: %v / %v", errA, errB)
+	}
+	if na != nb || a.PC != b.PC || a.Regs != b.Regs || a.ExitCode != b.ExitCode {
+		t.Fatalf("diverged: insts %d/%d pc %#x/%#x exit %d/%d",
+			na, nb, a.PC, b.PC, a.ExitCode, b.ExitCode)
+	}
+	if a.PredecodeHits == 0 {
+		t.Fatal("plane never used during Run")
+	}
+}

@@ -421,26 +421,36 @@ func runA7(p Params) (*Result, error) {
 	}
 	sharing := []bool{true, false}
 	// SMT cells do not fit simCell's single-image shape, so fan them out
-	// with sweep.Map directly: one cell per (workload, sharing) pair, in
-	// assembly order.
-	sims, err := sweep.Map(p.workers(), len(ws)*len(sharing), func(i int) (*pipeline.Sim, error) {
-		w := ws[i/len(sharing)]
-		cfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)
-		cfg.SMTThreads = 2
-		cfg.SMTSharedRAS = sharing[i%len(sharing)]
-		im, err := buildFor(w, p)
-		if err != nil {
-			return nil, err
-		}
-		sim, err := pipeline.NewSMT(cfg, []*program.Image{im, im})
-		if err != nil {
-			return nil, err
-		}
-		if err := sim.Run(p.InstBudget); err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
-		}
-		return sim, nil
-	})
+	// with the sweep engine directly: one cell per (workload, sharing)
+	// pair, in assembly order, both threads (and both sharing cells)
+	// running one shared prebuilt image.
+	ims, err := buildImages(p, ws)
+	if err != nil {
+		return nil, err
+	}
+	rec := newRecyclers(p.workers())
+	sims, err := sweep.MapWorkersMonitored(p.workers(), len(ws)*len(sharing), p.Monitor,
+		func(worker, i int) (sim *pipeline.Sim, err error) {
+			p.doCell(i, func() {
+				w := ws[i/len(sharing)]
+				cfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)
+				cfg.SMTThreads = 2
+				cfg.SMTSharedRAS = sharing[i%len(sharing)]
+				cfg.NoPredecode = p.NoPredecode
+				r := rec.of(worker)
+				im := ims[w.Name]
+				sim, err = pipeline.NewSMTWithRecycler(cfg, []*program.Image{im, im}, r)
+				if err != nil {
+					return
+				}
+				if err = sim.Run(p.InstBudget); err != nil {
+					err = fmt.Errorf("%s: %w", w.Name, err)
+					return
+				}
+				sim.Release(r)
+			})
+			return sim, err
+		})
 	if err != nil {
 		return nil, err
 	}

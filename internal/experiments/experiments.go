@@ -7,11 +7,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 
 	"retstack/internal/config"
 	"retstack/internal/pipeline"
+	"retstack/internal/program"
 	"retstack/internal/stats"
 	"retstack/internal/sweep"
 	"retstack/internal/workloads"
@@ -46,6 +50,16 @@ type Params struct {
 	// commutative operations (counters, histograms).
 	Sample      func(cell int, sm pipeline.Sample)
 	SampleEvery uint64
+
+	// NoPredecode disables the predecoded-instruction fast path in every
+	// simulation (the rasbench -no-predecode flag). Results are
+	// byte-identical either way (pinned by TestPredecodeMatchesFallback);
+	// the switch exists for A/B benchmarking and as a fallback.
+	NoPredecode bool
+
+	// expID is the experiment id being run, set by Run; it labels the
+	// sweep's pprof profiles (see doCell).
+	expID string
 }
 
 // DefaultParams sizes runs for interactive use.
@@ -157,6 +171,7 @@ func Run(id string, p Params) (*Result, error) {
 	if p.InstBudget == 0 {
 		p.InstBudget = DefaultParams().InstBudget
 	}
+	p.expID = id
 	res, err := r.fn(p)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", id, err)
@@ -178,29 +193,95 @@ type simCell struct {
 // returns the sims in cell order. Each runner appends cells in exactly the
 // order its serial assembly consumes them, so parallel output is
 // byte-identical to serial.
+//
+// Each distinct workload's image is built (and predecoded) exactly once
+// and shared read-only by every cell that runs it — machines copy code
+// pages on write, so sharing is invisible to results. Each worker owns a
+// pipeline.Recycler so consecutive cells on that worker reuse the big
+// simulator allocations.
 func runSims(p Params, cells []simCell) ([]*pipeline.Sim, error) {
-	return sweep.MapMonitored(p.workers(), len(cells), p.Monitor, func(i int) (*pipeline.Sim, error) {
-		return simulateCell(i, cells[i].w, cells[i].cfg, p)
-	})
+	ws := make([]workloads.Workload, len(cells))
+	for i, c := range cells {
+		ws[i] = c.w
+	}
+	ims, err := buildImages(p, ws)
+	if err != nil {
+		return nil, err
+	}
+	rec := newRecyclers(p.workers())
+	return sweep.MapWorkersMonitored(p.workers(), len(cells), p.Monitor,
+		func(worker, i int) (sim *pipeline.Sim, err error) {
+			p.doCell(i, func() {
+				sim, err = simulateCell(i, cells[i].w, ims[cells[i].w.Name], cells[i].cfg, p, rec.of(worker))
+			})
+			return sim, err
+		})
 }
 
 // workers resolves Params.Parallel to a concrete worker count.
 func (p Params) workers() int { return sweep.Workers(p.Parallel) }
 
-// simulate builds the workload sized to the params' budget and runs one
-// simulation, honoring the warmup fast-forward.
-func simulate(w workloads.Workload, cfg config.Config, p Params) (*pipeline.Sim, error) {
-	return simulateCell(0, w, cfg, p)
+// doCell runs one sweep cell's body under pprof labels naming the
+// experiment and cell, so CPU/goroutine profiles of a sweep (rasbench
+// -pprof, the live telemetry endpoint) attribute samples to cells.
+func (p Params) doCell(cell int, fn func()) {
+	pprof.Do(context.Background(),
+		pprof.Labels("experiment", p.expID, "cell", strconv.Itoa(cell)),
+		func(context.Context) { fn() })
 }
 
-// simulateCell is simulate for one sweep cell: it additionally attaches
-// the params' cycle sampler (tagged with the cell index) before running.
-func simulateCell(cell int, w workloads.Workload, cfg config.Config, p Params) (*pipeline.Sim, error) {
-	im, err := w.Build(w.ScaleFor((p.InstBudget + p.Warmup) * 2)) // headroom: the budget cuts the run
+// buildImages builds each distinct workload in ws exactly once, in
+// parallel, returning the immutable images keyed by workload name. Cells
+// of a sweep share these; nothing downstream may mutate them.
+func buildImages(p Params, ws []workloads.Workload) (map[string]*program.Image, error) {
+	var distinct []workloads.Workload
+	index := map[string]int{}
+	for _, w := range ws {
+		if _, ok := index[w.Name]; !ok {
+			index[w.Name] = len(distinct)
+			distinct = append(distinct, w)
+		}
+	}
+	built, err := sweep.Map(p.workers(), len(distinct), func(i int) (*program.Image, error) {
+		return buildFor(distinct[i], p)
+	})
 	if err != nil {
 		return nil, err
 	}
-	sim, err := pipeline.New(cfg, im)
+	ims := make(map[string]*program.Image, len(distinct))
+	for name, i := range index {
+		ims[name] = built[i]
+	}
+	return ims, nil
+}
+
+// recyclers is one lazily created pipeline.Recycler per sweep worker.
+// of() is safe without locking because a worker runs its cells strictly
+// sequentially and never touches another worker's slot.
+type recyclers []*pipeline.Recycler
+
+func newRecyclers(workers int) recyclers { return make(recyclers, workers) }
+
+func (r recyclers) of(worker int) *pipeline.Recycler {
+	if worker < 0 || worker >= len(r) {
+		return nil
+	}
+	if r[worker] == nil {
+		r[worker] = pipeline.NewRecycler()
+	}
+	return r[worker]
+}
+
+// simulateCell runs one sweep cell on a prebuilt shared image: it attaches
+// the params' cycle sampler (tagged with the cell index), honors the
+// warmup fast-forward, runs to the budget, and returns the Sim (with its
+// bulk storage released back to the worker's pool — stats, machines and
+// predictors remain readable).
+func simulateCell(cell int, w workloads.Workload, im *program.Image, cfg config.Config, p Params, r *pipeline.Recycler) (*pipeline.Sim, error) {
+	if p.NoPredecode {
+		cfg.NoPredecode = true
+	}
+	sim, err := pipeline.NewWithRecycler(cfg, im, r)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", w.Name, err)
 	}
@@ -215,6 +296,7 @@ func simulateCell(cell int, w workloads.Workload, cfg config.Config, p Params) (
 	if err := sim.Run(p.InstBudget); err != nil {
 		return nil, fmt.Errorf("%s: %w", w.Name, err)
 	}
+	sim.Release(r)
 	return sim, nil
 }
 

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestPredecodeMatchesFallback is the predecode plane's determinism
+// contract: every experiment result must be bit-identical whether fetch
+// reads the predecoded instruction table or decodes from memory. The plane
+// is purely a representation change — any divergence is a decode bug. t3
+// covers the plain simCell path; a7 covers SMT cells that share one image
+// across two threads.
+func TestPredecodeMatchesFallback(t *testing.T) {
+	for _, id := range []string{"t3", "a7"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			plane := Params{InstBudget: 20_000, Workloads: []string{"go", "li"}}
+			fallback := plane
+			fallback.NoPredecode = true
+
+			pres, err := Run(id, plane)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fres, err := Run(id, fallback)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if len(pres.Values) == 0 {
+				t.Fatal("predecoded run produced no structured values")
+			}
+			if len(fres.Values) != len(pres.Values) {
+				t.Fatalf("value count: plane %d, fallback %d", len(pres.Values), len(fres.Values))
+			}
+			for k, pv := range pres.Values {
+				if fv, ok := fres.Values[k]; !ok || fv != pv {
+					t.Errorf("%s: plane %v, fallback %v", k, pv, fres.Values[k])
+				}
+			}
+			if ps, fs := pres.String(), fres.String(); ps != fs {
+				t.Errorf("rendered output differs:\n--- plane ---\n%s\n--- fallback ---\n%s", ps, fs)
+			}
+		})
+	}
+}

@@ -34,28 +34,37 @@ func runT2(p Params) (*Result, error) {
 		return nil, err
 	}
 	// One cell per workload: the functional characterization run plus the
-	// baseline timing simulation.
+	// baseline timing simulation. Both run the same prebuilt image — the
+	// functional machine copies code pages on write, so sharing is safe.
+	ims, err := buildImages(p, ws)
+	if err != nil {
+		return nil, err
+	}
 	type t2cell struct {
 		m   *emu.Machine
 		sim *pipeline.Sim
 	}
-	cells, err := sweep.MapMonitored(p.workers(), len(ws), p.Monitor, func(i int) (t2cell, error) {
-		w := ws[i]
-		im, err := w.Build(w.ScaleFor(p.InstBudget * 2))
-		if err != nil {
-			return t2cell{}, err
-		}
-		m := emu.NewMachine()
-		m.Load(im)
-		if _, err := m.Run(p.InstBudget); err != nil {
-			return t2cell{}, fmt.Errorf("%s: %w", w.Name, err)
-		}
-		sim, err := simulateCell(i, w, config.Baseline().WithPolicy(core.RepairTOSPointerAndContents), p)
-		if err != nil {
-			return t2cell{}, err
-		}
-		return t2cell{m, sim}, nil
-	})
+	rec := newRecyclers(p.workers())
+	cells, err := sweep.MapWorkersMonitored(p.workers(), len(ws), p.Monitor,
+		func(worker, i int) (out t2cell, err error) {
+			p.doCell(i, func() {
+				w := ws[i]
+				m := emu.NewMachine()
+				m.Load(ims[w.Name])
+				if _, err2 := m.Run(p.InstBudget); err2 != nil {
+					err = fmt.Errorf("%s: %w", w.Name, err2)
+					return
+				}
+				sim, err2 := simulateCell(i, w, ims[w.Name],
+					config.Baseline().WithPolicy(core.RepairTOSPointerAndContents), p, rec.of(worker))
+				if err2 != nil {
+					err = err2
+					return
+				}
+				out = t2cell{m, sim}
+			})
+			return out, err
+		})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,11 @@
 package isa
 
-var functToOp = map[uint32]Op{
+// The decode tables are dense 64-entry arrays indexed by the 6-bit funct
+// and major-opcode fields: unassigned slots hold the zero value OpInvalid,
+// so a lookup is one bounds-check-free load instead of a map probe. Decode
+// sits on the simulator's per-instruction fallback path (and the predecode
+// plane's build path), so this matters.
+var functToOp = [64]Op{
 	fnSLL: OpSLL, fnSRL: OpSRL, fnSRA: OpSRA,
 	fnSLLV: OpSLLV, fnSRLV: OpSRLV, fnSRAV: OpSRAV,
 	fnJR: OpJR, fnJALR: OpJALR, fnSYSCALL: OpSYSCALL,
@@ -9,7 +14,7 @@ var functToOp = map[uint32]Op{
 	fnXOR: OpXOR, fnNOR: OpNOR, fnSLT: OpSLT, fnSLTU: OpSLTU,
 }
 
-var majorToOpI = map[uint32]Op{
+var majorToOpI = [64]Op{
 	majBEQ: OpBEQ, majBNE: OpBNE, majBLEZ: OpBLEZ, majBGTZ: OpBGTZ,
 	majADDI: OpADDI, majSLTI: OpSLTI, majSLTIU: OpSLTIU,
 	majANDI: OpANDI, majORI: OpORI, majXORI: OpXORI, majLUI: OpLUI,
@@ -38,9 +43,8 @@ func Decode(raw uint32) Inst {
 	major := raw >> 26
 	switch major {
 	case majSpecial:
-		op, ok := functToOp[raw&0x3F]
-		if !ok {
-			i.Op = OpInvalid
+		op := functToOp[raw&0x3F]
+		if op == OpInvalid {
 			return i
 		}
 		// Only populate the fields the operation actually uses, so that a
@@ -80,9 +84,8 @@ func Decode(raw uint32) Inst {
 		i.Target = raw & (1<<26 - 1)
 		return i
 	}
-	op, ok := majorToOpI[major]
-	if !ok {
-		i.Op = OpInvalid
+	op := majorToOpI[major&0x3F]
+	if op == OpInvalid {
 		return i
 	}
 	i.Op = op

@@ -1,0 +1,78 @@
+package isa_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"retstack/internal/isa"
+	"retstack/internal/program"
+)
+
+// FuzzDecode checks two invariants over arbitrary 32-bit words:
+//
+//  1. Encode is a right inverse of Decode on valid encodings: any word that
+//     decodes to a real operation re-encodes without error, and the
+//     re-encoded word decodes to the identical instruction. The re-encoded
+//     word itself may differ from the input — Decode ignores don't-care
+//     bits (e.g. LUI's Rs field) that Encode canonicalizes to zero — but
+//     the canonical form must be a fixed point.
+//
+//  2. The predecode plane is a pure representation change: looking a word
+//     up through an image's predecoded table yields exactly Decode of that
+//     word, valid or not.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint32(0))          // SLL r0,r0,0 (canonical NOP)
+	f.Add(uint32(0xFFFFFFFF)) // invalid
+	seed := []isa.Inst{
+		isa.R(isa.OpADD, 1, 2, 3),
+		isa.Lui(4, 0x1234),
+		isa.Mem(isa.OpLW, 5, 6, -8),
+		isa.Branch(isa.OpBEQ, 7, 8, 16),
+		isa.Jr(isa.RA),
+		isa.Jalr(isa.RA, 9),
+		isa.Syscall(),
+	}
+	for _, in := range seed {
+		f.Add(in.Raw)
+	}
+
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in := isa.Decode(w)
+		if in.Raw != w {
+			t.Fatalf("Decode(%#08x).Raw = %#08x", w, in.Raw)
+		}
+
+		if in.Op != isa.OpInvalid {
+			w2, err := in.Encode()
+			if err != nil {
+				t.Fatalf("Decode(%#08x) = %+v does not re-encode: %v", w, in, err)
+			}
+			in2 := isa.Decode(w2)
+			// Raw carries the pre-canonicalization bits; mask it out of the
+			// field comparison.
+			in.Raw, in2.Raw = 0, 0
+			if in2 != in {
+				t.Fatalf("round trip: Decode(%#08x) = %+v, but Decode(Encode) = %+v (word %#08x)", w, in, in2, w2)
+			}
+			if w3, err := in2.Encode(); err != nil || w3 != w2 {
+				t.Fatalf("canonical form not a fixed point: %#08x re-encodes to %#08x (err %v)", w2, w3, err)
+			}
+		}
+
+		const base = 0x1000
+		im := program.New()
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], w)
+		if err := im.AddSegment(base, buf[:]); err != nil {
+			t.Fatal(err)
+		}
+		im.Entry = base
+		got, ok := im.Predecode().Lookup(base)
+		if !ok {
+			t.Fatalf("plane miss for covered pc %#x", base)
+		}
+		if want := isa.Decode(w); got != want {
+			t.Fatalf("plane lookup %#08x: got %+v, want %+v", w, got, want)
+		}
+	})
+}

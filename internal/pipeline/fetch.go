@@ -50,16 +50,23 @@ func (s *Sim) fetchPath(p *path, budget int) int {
 			}
 		}
 
-		in := isa.Decode(s.threadOf(p).mach.Mem.Read32(pc))
+		// Fetch through the predecode plane: one table load for in-segment
+		// PCs, Read32+Decode otherwise (identical result, see FetchInst).
+		in := s.threadOf(p).mach.FetchInst(pc)
 		budget--
 		s.stats.Fetched++
 		s.nextSeq++
 
-		// Reserve the ring slot up front. Checkpoint buffers are pooled
-		// centrally (cpFree), so the slot starts with an empty checkpoint;
-		// takeCheckpoint borrows a recycled buffer when it needs one.
-		ringIdx := (s.fetchQHead + s.fetchQLen) % len(s.fetchQ)
-		slot := fetchSlot{
+		// Build the slot directly in its ring position. Writing a local
+		// fetchSlot first and copying it in would make the local escape to
+		// the heap (predictControl passes &slot.checkpoint through the
+		// core.ReturnStack interface) — one allocation per fetched
+		// instruction, the simulator's dominant allocation site. Checkpoint
+		// buffers are pooled centrally (cpFree), so the slot starts with an
+		// empty checkpoint; takeCheckpoint borrows a recycled buffer when it
+		// needs one.
+		slot := &s.fetchQ[(s.fetchQHead+s.fetchQLen)%len(s.fetchQ)]
+		*slot = fetchSlot{
 			seq:     s.nextSeq,
 			pathTok: p.token,
 			pc:      pc,
@@ -69,8 +76,7 @@ func (s *Sim) fetchPath(p *path, budget int) int {
 			predNPC: pc + isa.WordBytes,
 		}
 
-		stop := s.predictControl(p, &slot)
-		s.fetchQ[ringIdx] = slot
+		stop := s.predictControl(p, slot)
 		s.fetchQLen++
 		s.emit(TraceFetch, slot.seq, p.token, pc, in, slot.predNPC)
 		p.fetchPC = slot.predNPC

@@ -165,17 +165,19 @@ func (s *Sim) squashEntry(e *ruuEntry) {
 // flushFetchQ removes (and accounts) every queued slot matching the
 // predicate, compacting the ring in place.
 func (s *Sim) flushFetchQ(match func(*fetchSlot) bool) {
+	// Work on ring slots in place: copying a slot to a local and passing
+	// its address into match/dropFetchSlot forces a heap allocation per
+	// examined slot (the local escapes through the checkpoint pointer).
 	kept := 0
 	for k := 0; k < s.fetchQLen; k++ {
 		i := (s.fetchQHead + k) % len(s.fetchQ)
-		sl := s.fetchQ[i]
-		if match(&sl) {
-			s.dropFetchSlot(&sl)
+		if match(&s.fetchQ[i]) {
+			s.dropFetchSlot(&s.fetchQ[i])
 			continue
 		}
 		j := (s.fetchQHead + kept) % len(s.fetchQ)
 		if j != i {
-			s.fetchQ[j] = sl // checkpoint buffers are pool-owned; plain move
+			s.fetchQ[j] = s.fetchQ[i] // checkpoint buffers are pool-owned; plain move
 		}
 		kept++
 	}

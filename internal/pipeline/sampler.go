@@ -40,6 +40,14 @@ type Sample struct {
 	Recoveries    uint64
 	NewSquashed   uint64
 	NewRecoveries uint64
+
+	// Predecode-plane activity, summed over threads: fetches served from
+	// the flat predecoded table vs. decoded from memory. Cumulative plus
+	// since-last-sample deltas, like the squash counters above.
+	PredecodeHits         uint64
+	PredecodeFallbacks    uint64
+	NewPredecodeHits      uint64
+	NewPredecodeFallbacks uint64
 }
 
 // SetSampler installs fn to run every `every` cycles (every < 1 selects
@@ -53,10 +61,21 @@ func (s *Sim) SetSampler(every uint64, fn func(Sample)) {
 	s.sampleEvery = every
 	s.lastSquashed = s.stats.Squashed
 	s.lastRecoveries = s.stats.Recoveries
+	s.lastPredecodeHits, s.lastPredecodeFalls = s.predecodeCounters()
+}
+
+// predecodeCounters sums the per-thread predecode counters.
+func (s *Sim) predecodeCounters() (hits, falls uint64) {
+	for _, th := range s.threads {
+		hits += th.mach.PredecodeHits
+		falls += th.mach.PredecodeFallbacks
+	}
+	return hits, falls
 }
 
 // takeSample builds and delivers one snapshot.
 func (s *Sim) takeSample() {
+	pdHits, pdFalls := s.predecodeCounters()
 	sm := Sample{
 		Cycle:           s.cycle,
 		Committed:       s.stats.Committed,
@@ -71,9 +90,16 @@ func (s *Sim) takeSample() {
 		Recoveries:      s.stats.Recoveries,
 		NewSquashed:     s.stats.Squashed - s.lastSquashed,
 		NewRecoveries:   s.stats.Recoveries - s.lastRecoveries,
+
+		PredecodeHits:         pdHits,
+		PredecodeFallbacks:    pdFalls,
+		NewPredecodeHits:      pdHits - s.lastPredecodeHits,
+		NewPredecodeFallbacks: pdFalls - s.lastPredecodeFalls,
 	}
 	s.lastSquashed = sm.Squashed
 	s.lastRecoveries = sm.Recoveries
+	s.lastPredecodeHits = pdHits
+	s.lastPredecodeFalls = pdFalls
 	s.sampler(sm)
 }
 

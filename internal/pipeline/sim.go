@@ -70,10 +70,12 @@ type Sim struct {
 
 	// Cycle sampling (see sampler.go). Disabled (nil sampler) costs one
 	// nil check per cycle.
-	sampler        func(Sample)
-	sampleEvery    uint64
-	lastSquashed   uint64
-	lastRecoveries uint64
+	sampler            func(Sample)
+	sampleEvery        uint64
+	lastSquashed       uint64
+	lastRecoveries     uint64
+	lastPredecodeHits  uint64
+	lastPredecodeFalls uint64
 
 	maxInsts uint64
 }
@@ -96,6 +98,12 @@ func New(cfg config.Config, im *program.Image) (*Sim, error) {
 // NewSMT builds a simulator running one program per hardware thread. The
 // number of images must match Config.SMTThreads (or be 1 when SMT is off).
 func NewSMT(cfg config.Config, ims []*program.Image) (*Sim, error) {
+	return NewSMTWithRecycler(cfg, ims, nil)
+}
+
+// NewSMTWithRecycler is NewSMT drawing bulk storage from a worker-local
+// pool (nil behaves like NewSMT); see Recycler.
+func NewSMTWithRecycler(cfg config.Config, ims []*program.Image, r *Recycler) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -121,8 +129,9 @@ func NewSMT(cfg config.Config, ims []*program.Image) (*Sim, error) {
 		btb:  bpred.NewBTB(cfg.BTBSets, cfg.BTBWays),
 		conf: bpred.NewConfidence(10, 4, cfg.ConfThreshold),
 
-		ruu:       make([]ruuEntry, cfg.RUUSize),
-		fetchQ:    make([]fetchSlot, cfg.FetchWidth*(cfg.BranchLat+2)),
+		ruu:       r.takeRUU(cfg.RUUSize),
+		fetchQ:    r.takeSlots(cfg.FetchWidth * (cfg.BranchLat + 2)),
+		cpFree:    r.takeBufs(),
 		pathByTok: make(map[uint64]*path),
 	}
 	switch cfg.DirPred {
@@ -153,6 +162,9 @@ func NewSMT(cfg config.Config, ims []*program.Image) (*Sim, error) {
 	for i, im := range ims {
 		m := emu.NewMachine()
 		m.Load(im)
+		if cfg.NoPredecode {
+			m.DisablePredecode()
+		}
 		th := &thread{id: i, mach: m}
 		s.threads = append(s.threads, th)
 
@@ -253,7 +265,20 @@ func (s *Sim) Run(maxInsts uint64) error {
 	}
 	// Fold per-path stack stats that are still live into the aggregate.
 	s.foldLiveStackStats()
+	s.foldPredecodeStats()
 	return nil
+}
+
+// foldPredecodeStats snapshots the per-machine predecode counters into the
+// aggregate stats (assignment, not accumulation, so repeated Run calls
+// stay idempotent).
+func (s *Sim) foldPredecodeStats() {
+	var hits, falls uint64
+	for _, th := range s.threads {
+		hits += th.mach.PredecodeHits
+		falls += th.mach.PredecodeFallbacks
+	}
+	s.stats.PredecodeHits, s.stats.PredecodeFallbacks = hits, falls
 }
 
 // step advances one cycle. Stages run commit-first so that a result

@@ -190,6 +190,14 @@ type Stats struct {
 	// (per-path stacks die with their paths; their counts are folded in).
 	RAS core.Stats
 
+	// Predecode-plane effectiveness, summed over threads at the end of
+	// Run: fetches served from the flat predecoded table vs. decoded from
+	// memory (plane disabled, PC outside the code segment, or code region
+	// dirtied by a store). Purely observational — the fetched instruction
+	// is identical either way.
+	PredecodeHits      uint64
+	PredecodeFallbacks uint64
+
 	// PerThreadCommitted breaks Committed down by SMT thread.
 	PerThreadCommitted []uint64
 }

@@ -1,0 +1,97 @@
+package program
+
+import (
+	"sync"
+	"testing"
+
+	"retstack/internal/isa"
+)
+
+func buildTestImage(t *testing.T) *Image {
+	t.Helper()
+	b := NewBuilder()
+	b.Label("main")
+	b.Li(2, 7)
+	b.Jal("leaf")
+	b.Emit(isa.I(isa.OpADDI, 2, 2, 1))
+	b.Emit(isa.Syscall())
+	b.Label("leaf")
+	b.Emit(isa.R(isa.OpADD, 2, 2, 2), isa.Jr(isa.RA))
+	b.Words(0xDEADBEEF, 0x12345678)
+	im, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+// TestPredecodeMatchesDecode pins the plane's core contract: every covered
+// PC yields exactly what Read-then-Decode yields, and everything outside
+// (data addresses, unaligned PCs) misses.
+func TestPredecodeMatchesDecode(t *testing.T) {
+	im := buildTestImage(t)
+	pl := im.Predecode()
+	if pl == nil {
+		t.Fatal("Predecode returned nil for an image with code")
+	}
+	seg, _ := im.CodeSegment()
+	if pl.Base() != seg.Addr {
+		t.Fatalf("plane base %#x, code segment at %#x", pl.Base(), seg.Addr)
+	}
+	if pl.Len() != len(seg.Data)/isa.WordBytes {
+		t.Fatalf("plane covers %d words, segment holds %d", pl.Len(), len(seg.Data)/isa.WordBytes)
+	}
+	for i := 0; i < pl.Len(); i++ {
+		pc := seg.Addr + uint32(i)*isa.WordBytes
+		got, ok := pl.Lookup(pc)
+		if !ok {
+			t.Fatalf("Lookup(%#x) missed inside the code segment", pc)
+		}
+		w, _ := im.Word(pc)
+		if want := isa.Decode(w); got != want {
+			t.Fatalf("Lookup(%#x) = %+v, Decode = %+v", pc, got, want)
+		}
+	}
+	if _, ok := pl.Lookup(seg.Addr + 1); ok {
+		t.Fatal("Lookup accepted an unaligned PC")
+	}
+	if _, ok := pl.Lookup(seg.End()); ok {
+		t.Fatal("Lookup accepted a PC past the segment")
+	}
+	if _, ok := pl.Lookup(DefaultDataBase); ok {
+		t.Fatal("Lookup accepted a data address")
+	}
+	if _, ok := pl.Lookup(seg.Addr - 4); ok {
+		t.Fatal("Lookup accepted a PC below the segment")
+	}
+}
+
+// TestPredecodeConcurrent exercises the sync.Once guard: many goroutines
+// predecoding the same image must observe one identical plane.
+func TestPredecodeConcurrent(t *testing.T) {
+	im := buildTestImage(t)
+	planes := make([]*Plane, 16)
+	var wg sync.WaitGroup
+	for i := range planes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			planes[i] = im.Predecode()
+		}(i)
+	}
+	wg.Wait()
+	for i, pl := range planes {
+		if pl != planes[0] {
+			t.Fatalf("goroutine %d saw a different plane", i)
+		}
+	}
+}
+
+// TestPredecodeNoCode: an image whose entry lies in no segment has no plane.
+func TestPredecodeNoCode(t *testing.T) {
+	im := New()
+	im.Entry = 0x1000
+	if pl := im.Predecode(); pl != nil {
+		t.Fatalf("expected nil plane, got base %#x", pl.Base())
+	}
+}

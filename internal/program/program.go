@@ -6,6 +6,7 @@ package program
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"retstack/internal/isa"
 )
@@ -28,11 +29,18 @@ type Segment struct {
 // End returns the first address past the segment.
 func (s Segment) End() uint32 { return s.Addr + uint32(len(s.Data)) }
 
-// Image is a complete loadable program.
+// Image is a complete loadable program. Images are immutable once built
+// (AddSegment is construction-time only), which is what lets one image —
+// and its lazily built predecode plane — be shared read-only across every
+// sweep cell simulating the same workload.
 type Image struct {
 	Segments []Segment
 	Entry    uint32
 	Symbols  map[string]uint32
+
+	// Predecode plane, built at most once (see predecode.go).
+	predecodeOnce sync.Once
+	plane         *Plane
 }
 
 // New returns an empty image with an initialized symbol table.

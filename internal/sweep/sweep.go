@@ -50,6 +50,16 @@ func Run(workers, n int, fn func(i int) error) error {
 // is purely observational: it receives callbacks concurrently from worker
 // goroutines and must not affect cell execution.
 func RunMonitored(workers, n int, m Monitor, fn func(i int) error) error {
+	return RunWorkersMonitored(workers, n, m, func(_, i int) error { return fn(i) })
+}
+
+// RunWorkersMonitored is RunMonitored for cells that want to know which
+// worker runs them: fn receives (worker, i) with worker in [0, Workers(n)).
+// A worker runs its cells strictly sequentially, so worker-indexed state
+// (scratch buffers, allocation pools) needs no locking — that is the whole
+// point of exposing the index. Cell results must still depend only on i,
+// never on worker, or the determinism contract breaks.
+func RunWorkersMonitored(workers, n int, m Monitor, fn func(worker, i int) error) error {
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
@@ -99,7 +109,7 @@ func RunMonitored(workers, n int, m Monitor, fn func(i int) error) error {
 // runCell executes one cell under the monitor, converting a panic into a
 // *PanicError naming the cell. The recover defer is registered after the
 // monitor defer so CellDone observes the converted error.
-func runCell(m Monitor, worker, i int, fn func(int) error) (err error) {
+func runCell(m Monitor, worker, i int, fn func(worker, i int) error) (err error) {
 	if m != nil {
 		start := time.Now()
 		m.CellStart(i, worker)
@@ -110,7 +120,7 @@ func runCell(m Monitor, worker, i int, fn func(int) error) (err error) {
 			err = &PanicError{Cell: i, Value: r, Stack: debug.Stack()}
 		}
 	}()
-	return fn(i)
+	return fn(worker, i)
 }
 
 // PanicError reports a sweep cell that panicked. It preserves the cell
@@ -135,9 +145,16 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 
 // MapMonitored is Map with an optional Monitor (see RunMonitored).
 func MapMonitored[T any](workers, n int, m Monitor, fn func(i int) (T, error)) ([]T, error) {
+	return MapWorkersMonitored(workers, n, m, func(_, i int) (T, error) { return fn(i) })
+}
+
+// MapWorkersMonitored is MapMonitored for worker-aware cells (see
+// RunWorkersMonitored): fn receives (worker, i) so it can reach
+// worker-indexed state without locking, while results stay keyed by i.
+func MapWorkersMonitored[T any](workers, n int, m Monitor, fn func(worker, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := RunMonitored(workers, n, m, func(i int) error {
-		v, err := fn(i)
+	err := RunWorkersMonitored(workers, n, m, func(w, i int) error {
+		v, err := fn(w, i)
 		if err != nil {
 			return err
 		}

@@ -99,6 +99,34 @@ func TestRunErrorIsLowestIndex(t *testing.T) {
 	}
 }
 
+// TestMapWorkersMonitored checks the worker-aware variant: worker ids stay
+// in range, each worker's cells run sequentially (worker-indexed state
+// needs no locking), and results are still keyed by cell index.
+func TestMapWorkersMonitored(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		busy := make([]atomic.Int32, workers)
+		out, err := MapWorkersMonitored(workers, 200, nil, func(w, i int) (int, error) {
+			if w < 0 || w >= workers {
+				return 0, fmt.Errorf("cell %d: worker %d out of range [0,%d)", i, w, workers)
+			}
+			if busy[w].Add(1) != 1 {
+				return 0, fmt.Errorf("cell %d: worker %d running two cells at once", i, w)
+			}
+			time.Sleep(20 * time.Microsecond)
+			busy[w].Add(-1)
+			return i * 3, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*3 {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
 func TestRunStopsClaimingAfterFailure(t *testing.T) {
 	sentinel := errors.New("stop")
 	var after atomic.Int32

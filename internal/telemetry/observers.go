@@ -22,6 +22,9 @@ const (
 	MetricCheckpoints = "retstack_pipeline_checkpoints_live"
 	MetricSquashes    = "retstack_pipeline_squashes_total"
 	MetricRecoveries  = "retstack_pipeline_recoveries_total"
+
+	MetricPredecodeHits      = "retstack_pipeline_predecode_hits_total"
+	MetricPredecodeFallbacks = "retstack_pipeline_predecode_fallbacks_total"
 )
 
 // SweepObserver feeds sweep-cell lifecycle callbacks into a registry and
@@ -109,6 +112,8 @@ type PipelineMetrics struct {
 	checkpoints *Histogram
 	squashes    *Counter
 	recoveries  *Counter
+	pdHits      *Counter
+	pdFallbacks *Counter
 }
 
 // NewPipelineMetrics registers the pipeline instrument set. A nil registry
@@ -128,6 +133,10 @@ func NewPipelineMetrics(reg *Registry) *PipelineMetrics {
 		checkpoints: reg.Histogram(MetricCheckpoints, "sampled in-flight RAS checkpoints", occ),
 		squashes:    reg.Counter(MetricSquashes, "RUU entries squashed (sampled deltas)"),
 		recoveries:  reg.Counter(MetricRecoveries, "branch-misprediction recoveries (sampled deltas)"),
+		pdHits: reg.Counter(MetricPredecodeHits,
+			"fetches served from the predecoded instruction plane (sampled deltas)"),
+		pdFallbacks: reg.Counter(MetricPredecodeFallbacks,
+			"fetches decoded from memory instead of the plane (sampled deltas)"),
 	}
 }
 
@@ -135,7 +144,7 @@ func NewPipelineMetrics(reg *Registry) *PipelineMetrics {
 // pipeline.Sample field-by-field so this package needs no simulator
 // import.
 func (p *PipelineMetrics) Observe(ruuOcc, fetchqOcc, livePaths, rasDepth, checkpointsLive int,
-	newSquashed, newRecoveries uint64) {
+	newSquashed, newRecoveries, newPredecodeHits, newPredecodeFallbacks uint64) {
 	if p == nil {
 		return
 	}
@@ -147,4 +156,6 @@ func (p *PipelineMetrics) Observe(ruuOcc, fetchqOcc, livePaths, rasDepth, checkp
 	p.checkpoints.ObserveInt(checkpointsLive)
 	p.squashes.Add(newSquashed)
 	p.recoveries.Add(newRecoveries)
+	p.pdHits.Add(newPredecodeHits)
+	p.pdFallbacks.Add(newPredecodeFallbacks)
 }
