@@ -16,6 +16,11 @@
 //	hydrasim -bench go -events-out e.jsonl        # JSONL cycle-sample event log
 //	hydrasim -bench go -manifest-out manifest.json
 //	hydrasim -bench go -http :6060                # live /metrics + /debug/pprof
+//
+// Fault injection (dev; see README "Robustness"):
+//
+//	hydrasim -bench go -disturb 5000              # corrupt the RAS top entry every 5000 cycles
+//	hydrasim -bench go -disturb 5000 -repair none # watch the corruption land as mispredictions
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"retstack"
 	"retstack/internal/config"
 	"retstack/internal/core"
+	"retstack/internal/faultinject"
 	"retstack/internal/pipeline"
 	"retstack/internal/stats"
 	"retstack/internal/telemetry"
@@ -99,8 +105,9 @@ func (o *obs) finish(st *pipeline.Stats) {
 }
 
 // run executes the simulation directly through the pipeline package so the
-// tracer and the telemetry sampler can be attached.
-func run(cfg retstack.Config, bench string, insts uint64, traceN int, o *obs) (*pipeline.Stats, error) {
+// tracer, the telemetry sampler, and the dev-only RAS disturber can be
+// attached.
+func run(cfg retstack.Config, bench string, insts uint64, traceN int, disturb, disturbSeed uint64, o *obs) (*pipeline.Stats, error) {
 	w, ok := retstack.WorkloadByName(bench)
 	if !ok {
 		return nil, fmt.Errorf("unknown workload %q (use -list)", bench)
@@ -119,6 +126,9 @@ func run(cfg retstack.Config, bench string, insts uint64, traceN int, o *obs) (*
 	}
 	if traceN > 0 {
 		sim.SetTracer(&pipeline.TextTracer{W: os.Stderr, MaxEvents: traceN})
+	}
+	if disturb > 0 {
+		sim.SetDisturber(disturb, faultinject.Addr(disturbSeed))
 	}
 	o.attach(sim, bench)
 	if err := sim.Run(insts); err != nil {
@@ -142,6 +152,8 @@ func main() {
 		mpstacks = flag.String("mpstacks", "per-path", "multipath stacks: unified | unified+repair | per-path")
 		specHist = flag.Bool("spechistory", false, "speculative predictor-history update (21264-style)")
 		traceN   = flag.Int("trace", 0, "write the first N pipeline events to stderr")
+		disturb  = flag.Uint64("disturb", 0, "dev: corrupt the live RAS top entry every N cycles (0 = off); exercises the repair mechanisms")
+		dseed    = flag.Uint64("disturb-seed", 1, "seed for the -disturb corruption address sequence")
 		smt      = flag.String("smt", "", "comma-separated second..Nth workloads to co-schedule (SMT)")
 		smtShare = flag.Bool("smtshared", false, "share one RAS among SMT threads")
 		showCfg  = flag.Bool("config", false, "print the machine configuration and exit")
@@ -222,6 +234,9 @@ func main() {
 	}
 
 	var st *pipeline.Stats
+	if *smt != "" && *disturb > 0 {
+		fatal(fmt.Errorf("-disturb applies to single-context runs only (the SMT harness owns sim construction)"))
+	}
 	if *smt != "" {
 		ws := make([]retstack.Workload, len(names))
 		for i, n := range names {
@@ -246,11 +261,15 @@ func main() {
 		fmt.Printf("threads         %v (per-thread committed %v)\n", names, st.PerThreadCommitted)
 		printStats(strings.Join(names, "+"), cfg, st)
 	} else {
-		st, err = run(cfg, *bench, *insts, *traceN, o)
+		st, err = run(cfg, *bench, *insts, *traceN, *disturb, *dseed, o)
 		if err != nil {
 			fatal(err)
 		}
 		printStats(*bench, cfg, st)
+		if *disturb > 0 {
+			fmt.Printf("injected        RAS corruptions %d (every %d cycles, seed %d)\n",
+				st.RAS.Corruptions, *disturb, *dseed)
+		}
 	}
 
 	o.finish(st)

@@ -17,21 +17,39 @@
 //	rasbench -exp t3 -events-out e.jsonl         # JSONL structured event log
 //	rasbench -exp t3 -manifest-out manifest.json # reproducibility manifest
 //	rasbench -exp all -http :6060                # live /metrics + /debug/pprof
+//
+// Resilience (see README "Robustness"):
+//
+//	rasbench -exp all -journal run.jsonl         # crash-safe per-cell journal
+//	rasbench -exp all -resume run.jsonl          # splice journaled cells back in
+//	rasbench -exp all -on-cell-error=skip        # hole failed cells, keep going
+//	rasbench -exp all -on-cell-error=retry       # retry transient failures
+//	rasbench -exp all -cell-timeout 5m           # per-cell watchdog
+//	rasbench -exp t3 -inject panic:3             # dev: deterministic fault injection
+//
+// SIGINT/SIGTERM cancel the sweep cleanly: in-flight cells drain, telemetry
+// sinks flush, the manifest records status "interrupted", and the exit code
+// is 130. With -journal, an interrupted run's completed cells are on disk
+// and -resume picks them up.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"retstack"
 	"retstack/internal/experiments"
+	"retstack/internal/faultinject"
 	"retstack/internal/pipeline"
 	"retstack/internal/sweep"
 	"retstack/internal/telemetry"
@@ -56,6 +74,15 @@ func main() {
 		progress    = flag.Bool("progress", false, "print a live sweep progress line to stderr")
 		httpAddr    = flag.String("http", "", "serve /metrics and /debug/pprof on this address (e.g. :6060) while the run lasts")
 		sampleEvery = flag.Uint64("sample-every", pipeline.DefaultSampleEvery, "cycles between pipeline samples when metrics are enabled")
+
+		onCellError  = flag.String("on-cell-error", "abort", "failed-cell policy: abort | skip (hole the cell, keep sweeping) | retry (transient errors, bounded backoff)")
+		retries      = flag.Int("retries", 3, "max attempts per cell under -on-cell-error=retry")
+		retryBackoff = flag.Duration("retry-backoff", 100*time.Millisecond, "initial backoff between retry attempts (doubles per attempt)")
+		cellTimeout  = flag.Duration("cell-timeout", 0, "per-cell watchdog: abandon a cell producing no result within this duration (0 = off)")
+		journalPath  = flag.String("journal", "", "append every completed cell to this crash-safe JSONL journal")
+		resumePath   = flag.String("resume", "", "splice completed cells from this journal instead of re-running them (implies -journal to the same file)")
+		injectSpec   = flag.String("inject", "", "dev: deterministic fault plan, e.g. 'panic:3,transient:t3/5x2,hang:7,corrupt:2'")
+		injectSeed   = flag.Uint64("inject-seed", 1, "seed for the -inject corruption address sequence")
 	)
 	flag.Parse()
 
@@ -97,6 +124,21 @@ func main() {
 		return
 	}
 
+	// SIGINT/SIGTERM cancel this context; the sweep engine drains in-flight
+	// cells and returns context.Canceled, which the loop below turns into
+	// an orderly "interrupted" shutdown instead of a mid-write kill.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	policy, err := sweep.ParseOnError(*onCellError)
+	if err != nil {
+		fatal(err)
+	}
+	plan, err := faultinject.Parse(*injectSpec, *injectSeed)
+	if err != nil {
+		fatal(err)
+	}
+
 	// Telemetry sinks: all nil (and therefore free) unless requested.
 	var reg *telemetry.Registry
 	if *metricsOut != "" || *httpAddr != "" {
@@ -104,7 +146,6 @@ func main() {
 	}
 	var events *telemetry.EventLog
 	if *eventsOut != "" {
-		var err error
 		events, err = telemetry.CreateEventLog(*eventsOut, map[string]any{
 			"tool":   "rasbench",
 			"run_id": fmt.Sprintf("%x", time.Now().UnixNano()),
@@ -131,7 +172,11 @@ func main() {
 	if *exp == "all" {
 		ids = retstack.ExperimentIDs()
 	}
-	params := experiments.Params{InstBudget: *insts, Warmup: *warmup, Parallel: *parallel, NoPredecode: *noPredecode}
+	params := experiments.Params{
+		InstBudget: *insts, Warmup: *warmup, Parallel: *parallel, NoPredecode: *noPredecode,
+		Ctx: ctx, OnCellError: policy, RetryAttempts: *retries, RetryBackoff: *retryBackoff,
+		CellTimeout: *cellTimeout, Inject: plan,
+	}
 	if *bench != "" {
 		params.Workloads = strings.Split(*bench, ",")
 	}
@@ -146,6 +191,42 @@ func main() {
 	man.ExperimentIDs = ids
 	man.Config = retstack.Baseline().Describe()
 	man.ComputeHash()
+
+	// Journal scopes are keyed by the manifest's config hash, so a journal
+	// written under different result-determining parameters replays
+	// nothing — resuming from a stale journal degrades to a fresh run.
+	params.JournalScope = man.ConfigHash
+	if *resumePath != "" {
+		replay, err := sweep.ReadJournal(*resumePath)
+		if err != nil {
+			fatal(err)
+		}
+		params.Replay = replay
+		man.Resume = resumeRecord(*resumePath, replay, man.ConfigHash)
+		if n := len(replay.Runs); n > 0 && replay.Runs[n-1].ConfigHash != man.ConfigHash {
+			fmt.Fprintf(os.Stderr,
+				"rasbench: warning: journal %s was written by a run with different parameters (hash %.12s != %.12s); replaying nothing from it\n",
+				*resumePath, replay.Runs[n-1].ConfigHash, man.ConfigHash)
+		}
+		if *journalPath == "" {
+			*journalPath = *resumePath // keep appending where the last run left off
+		}
+	}
+	var journal *sweep.Journal
+	if *journalPath != "" {
+		journal, err = sweep.OpenJournal(*journalPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer journal.Close()
+		if err := journal.Stamp(sweep.RunStamp{
+			Tool: "rasbench", Start: man.Start.Format(time.RFC3339Nano),
+			ConfigHash: man.ConfigHash, Args: os.Args[1:],
+		}); err != nil {
+			fatal(err)
+		}
+		params.Journal = journal
+	}
 	events.Emit("run_start", man.Fields())
 
 	// With every telemetry flag off, nothing below attaches to the run:
@@ -181,6 +262,26 @@ func main() {
 			prog.Finish()
 		}
 		if err != nil {
+			if ctx.Err() != nil {
+				// A signal canceled the sweep mid-experiment. Flush what we
+				// have — journaled cells are already fsynced — and exit with
+				// the conventional SIGINT code. os.Exit skips the defers
+				// above, so the sinks are flushed explicitly here.
+				stop()
+				events.Emit("run_interrupted", map[string]any{
+					"exp": id, "seconds": time.Since(man.Start).Seconds(),
+				})
+				man.Status = "interrupted"
+				flushSinks(man, events, reg, journal, *manifestOut, *metricsOut)
+				if *cpuprofile != "" {
+					pprof.StopCPUProfile()
+				}
+				fmt.Fprintln(os.Stderr, "rasbench: interrupted")
+				if *journalPath != "" {
+					fmt.Fprintf(os.Stderr, "rasbench: completed cells are journaled; rerun with -resume %s to continue\n", *journalPath)
+				}
+				os.Exit(130)
+			}
 			events.Emit("experiment_error", map[string]any{"exp": id, "error": err.Error()})
 			fatal(err)
 		}
@@ -190,6 +291,7 @@ func main() {
 			man.Experiments = append(man.Experiments, experimentRecord(id, elapsed, timing))
 			events.Emit("experiment_done", map[string]any{
 				"exp": id, "seconds": elapsed.Seconds(), "cells": len(timing.Cells()),
+				"holes": len(res.Holes),
 			})
 		}
 		if *progress && timing != nil {
@@ -207,6 +309,7 @@ func main() {
 		}
 	}
 
+	man.Status = "completed"
 	man.Finish()
 	events.Emit("run_done", map[string]any{"seconds": man.WallSeconds})
 	if *manifestOut != "" {
@@ -218,6 +321,48 @@ func main() {
 		if err := reg.DumpFile(*metricsOut); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// resumeRecord builds the manifest's resume provenance: how many journaled
+// cells this run can splice in (those under scopes keyed by its own config
+// hash) and the stamps of every run that fed the journal.
+func resumeRecord(path string, replay sweep.Replay, configHash string) *telemetry.ResumeRecord {
+	rec := &telemetry.ResumeRecord{Journal: path}
+	for scope, cells := range replay.Cells {
+		if strings.HasPrefix(scope, configHash+"/") {
+			rec.CellsReplayed += len(cells)
+		}
+	}
+	for _, r := range replay.Runs {
+		rec.PriorRuns = append(rec.PriorRuns, fmt.Sprintf("%s@%s", r.Tool, r.Start))
+	}
+	return rec
+}
+
+// flushSinks finalizes every sink on the interrupted path, reporting (not
+// swallowing) flush failures — the one thing an interrupted run must still
+// do reliably is persist what it finished.
+func flushSinks(man *telemetry.Manifest, events *telemetry.EventLog, reg *telemetry.Registry,
+	journal *sweep.Journal, manifestOut, metricsOut string) {
+	man.Finish()
+	if manifestOut != "" {
+		if err := man.WriteFile(manifestOut); err != nil {
+			fmt.Fprintln(os.Stderr, "rasbench: manifest:", err)
+		}
+	}
+	if metricsOut != "" {
+		if err := reg.DumpFile(metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "rasbench: metrics:", err)
+		}
+	}
+	if events != nil {
+		if err := events.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "rasbench: event log:", err)
+		}
+	}
+	if err := journal.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "rasbench: journal:", err)
 	}
 }
 
@@ -253,9 +398,14 @@ func reportSweep(w io.Writer, id string, workers int, timing *sweep.Timing) {
 
 // printCSV dumps the experiment's structured values as
 // experiment,metric,bench,config,value rows (stable order for diffing).
-// Keys that do not split into metric/bench/config are reported as errors
-// rather than panicking mid-dump.
+// Skip-policy holes are emitted as "# hole:" comment rows first, so a
+// consumer of the CSV can tell a missing series from a zero one. Keys that
+// do not split into metric/bench/config are reported as errors rather than
+// panicking mid-dump.
 func printCSV(w io.Writer, res *experiments.Result) error {
+	for _, h := range res.Holes {
+		fmt.Fprintf(w, "# hole: %s: %s\n", res.ID, h)
+	}
 	keys := make([]string, 0, len(res.Values))
 	for k := range res.Values {
 		keys = append(keys, k)

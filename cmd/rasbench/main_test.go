@@ -1,11 +1,199 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"retstack/internal/experiments"
+	"retstack/internal/sweep"
+	"retstack/internal/telemetry"
 )
+
+// TestMain lets the test binary impersonate the rasbench CLI: the e2e
+// tests below re-exec themselves with RASBENCH_MAIN=1 so they can run the
+// real main() — signal handling, journal, exit codes and all — as a child
+// process they are free to kill.
+func TestMain(m *testing.M) {
+	if os.Getenv("RASBENCH_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func rasbench(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "RASBENCH_MAIN=1")
+	return cmd
+}
+
+var e2eArgs = []string{"-exp", "all", "-insts", "60000", "-bench", "go,li"}
+
+// TestKillAndResume is the end-to-end resilience contract: a journaled run
+// killed by SIGINT mid-sweep exits cleanly (code 130, manifest flushed),
+// and a -resume run reassembles output byte-identical to an uninterrupted
+// run while recording the resume provenance in its manifest.
+func TestKillAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "run.jsonl")
+
+	// Reference: one clean, uninterrupted run.
+	clean := rasbench(t, e2eArgs...)
+	var cleanOut bytes.Buffer
+	clean.Stdout = &cleanOut
+	if err := clean.Run(); err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+
+	// Interrupted run: serial (so it is still sweeping when the signal
+	// lands), journaling, killed as soon as one cell is on disk.
+	intMan := filepath.Join(dir, "interrupted.json")
+	inter := rasbench(t, append([]string{"-parallel", "1", "-journal", journal, "-manifest-out", intMan}, e2eArgs...)...)
+	var interErr bytes.Buffer
+	inter.Stderr = &interErr
+	if err := inter.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if rep, err := sweep.ReadJournal(journal); err == nil && rep.Total() >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			inter.Process.Kill()
+			t.Fatal("no cell journaled within 30s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := inter.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	err := inter.Wait()
+	interrupted := false
+	if ee, ok := err.(*exec.ExitError); ok {
+		if code := ee.ExitCode(); code != 130 {
+			t.Fatalf("interrupted run exited %d (stderr: %s), want 130", code, interErr.String())
+		}
+		interrupted = true
+	} else if err != nil {
+		t.Fatalf("interrupted run: %v", err)
+	}
+	// err == nil means the run beat the signal; resume still replays it.
+	if interrupted {
+		var m telemetry.Manifest
+		b, err := os.ReadFile(intMan)
+		if err != nil {
+			t.Fatalf("interrupted run flushed no manifest: %v", err)
+		}
+		if err := json.Unmarshal(b, &m); err != nil {
+			t.Fatal(err)
+		}
+		if m.Status != "interrupted" {
+			t.Errorf("interrupted manifest status = %q, want interrupted", m.Status)
+		}
+	}
+
+	// Resume: journaled cells splice in; output must match the clean run
+	// byte for byte, and the manifest must chain back to the killed run.
+	resMan := filepath.Join(dir, "resumed.json")
+	resume := rasbench(t, append([]string{"-resume", journal, "-manifest-out", resMan}, e2eArgs...)...)
+	var resumeOut, resumeErrB bytes.Buffer
+	resume.Stdout, resume.Stderr = &resumeOut, &resumeErrB
+	if err := resume.Run(); err != nil {
+		t.Fatalf("resume run: %v (stderr: %s)", err, resumeErrB.String())
+	}
+	if !bytes.Equal(cleanOut.Bytes(), resumeOut.Bytes()) {
+		t.Errorf("resumed stdout differs from clean run\n--- clean ---\n%s--- resumed ---\n%s",
+			cleanOut.String(), resumeOut.String())
+	}
+	var m telemetry.Manifest
+	b, err := os.ReadFile(resMan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Status != "completed" {
+		t.Errorf("resumed manifest status = %q, want completed", m.Status)
+	}
+	if m.Resume == nil {
+		t.Fatal("resumed manifest has no resume record")
+	}
+	if m.Resume.CellsReplayed < 1 {
+		t.Errorf("resume record replayed %d cells, want >= 1", m.Resume.CellsReplayed)
+	}
+	if len(m.Resume.PriorRuns) < 1 {
+		t.Errorf("resume record chains to %d prior runs, want >= 1", len(m.Resume.PriorRuns))
+	}
+}
+
+// TestInjectedFaultsSurviveRetry: with bounded injected faults and the
+// retry policy, the CLI's output is byte-identical to a clean run — the
+// harness absorbs its own sabotage.
+func TestInjectedFaultsSurviveRetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	args := []string{"-exp", "t3", "-insts", "40000", "-bench", "go,li"}
+	clean := rasbench(t, args...)
+	var cleanOut bytes.Buffer
+	clean.Stdout = &cleanOut
+	if err := clean.Run(); err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+
+	hurt := rasbench(t, append([]string{
+		"-inject", "panic:1x2,transient:5x2", "-on-cell-error", "retry", "-retry-backoff", "1ms",
+	}, args...)...)
+	var hurtOut, hurtErr bytes.Buffer
+	hurt.Stdout, hurt.Stderr = &hurtOut, &hurtErr
+	if err := hurt.Run(); err != nil {
+		t.Fatalf("injected run failed despite retry policy: %v (stderr: %s)", err, hurtErr.String())
+	}
+	if !bytes.Equal(cleanOut.Bytes(), hurtOut.Bytes()) {
+		t.Errorf("injected+retried stdout differs from clean run\n--- clean ---\n%s--- injected ---\n%s",
+			cleanOut.String(), hurtOut.String())
+	}
+}
+
+// TestSkipPolicyEmitsCSVHole: a failed cell under -on-cell-error=skip
+// shows up in CSV output as an explicit "# hole:" comment, and the holed
+// series is absent rather than zero.
+func TestSkipPolicyEmitsCSVHole(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	cmd := rasbench(t, "-exp", "t3", "-insts", "40000", "-bench", "go,li",
+		"-format", "csv", "-inject", "panic:3x9", "-on-cell-error", "skip")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("skip-policy run aborted: %v (stderr: %s)", err, errb.String())
+	}
+	csv := out.String()
+	if !strings.Contains(csv, "# hole: t3: sweep: cell 3") {
+		t.Errorf("CSV output carries no hole comment:\n%s", csv)
+	}
+	// Cell 3 is (go, full): its series must be absent, its siblings present.
+	if strings.Contains(csv, "t3,hit,go,full,") {
+		t.Errorf("holed cell still emitted a CSV row:\n%s", csv)
+	}
+	if !strings.Contains(csv, "t3,hit,go,none,") {
+		t.Errorf("sibling cells lost their CSV rows:\n%s", csv)
+	}
+}
 
 // TestPrintCSVWellFormed: structured values render one sorted
 // experiment,metric,bench,config,value row each.
@@ -25,6 +213,25 @@ func TestPrintCSVWellFormed(t *testing.T) {
 	want := "t3,hit,go,full,0.995\n" +
 		"t3,hit,go,none,0.72\n" +
 		"t3,ipc,li,tos-p,1.25\n"
+	if b.String() != want {
+		t.Errorf("printCSV output:\n%q\nwant:\n%q", b.String(), want)
+	}
+}
+
+// TestPrintCSVHoleComments: Result.Holes render as "# hole:" comment lines
+// ahead of the data rows.
+func TestPrintCSVHoleComments(t *testing.T) {
+	res := &experiments.Result{
+		ID:     "t3",
+		Holes:  []string{"sweep: cell 3: panicked: boom"},
+		Values: map[string]float64{"hit/go/none": 0.72},
+	}
+	var b strings.Builder
+	if err := printCSV(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	want := "# hole: t3: sweep: cell 3: panicked: boom\n" +
+		"t3,hit,go,none,0.72\n"
 	if b.String() != want {
 		t.Errorf("printCSV output:\n%q\nwant:\n%q", b.String(), want)
 	}

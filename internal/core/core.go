@@ -61,11 +61,12 @@ func Policies() []RepairPolicy {
 // mispredictions) is accounted where resolution happens — in the pipeline —
 // since the stack itself cannot know whether a prediction was right.
 type Stats struct {
-	Pushes     uint64
-	Pops       uint64
-	Overflows  uint64 // push onto a full stack (oldest entry lost)
-	Underflows uint64 // pop from an empty stack (garbage prediction)
-	Restores   uint64 // repairs applied after mispredictions
+	Pushes      uint64
+	Pops        uint64
+	Overflows   uint64 // push onto a full stack (oldest entry lost)
+	Underflows  uint64 // pop from an empty stack (garbage prediction)
+	Restores    uint64 // repairs applied after mispredictions
+	Corruptions uint64 // entries overwritten by injected faults (dev only)
 }
 
 // Checkpoint is the shadow state saved for one in-flight branch. Its
@@ -221,6 +222,39 @@ func (s *Stack) Restore(c *Checkpoint) {
 	case RepairFullStack:
 		copy(s.entries, c.full)
 	}
+}
+
+// CorruptTop overwrites the current top entry in place — the fault
+// injector's model of an external corruption event (a bit flip, or the
+// cross-thread interference the paper's SMT discussion describes). The
+// pointer and depth are untouched, so a subsequent pop predicts the
+// corrupted address: the repair mechanisms either restore the entry from
+// a checkpoint (RepairTOSPointerAndContents and up) or the return
+// mispredicts — never anything worse.
+func (s *Stack) CorruptTop(addr uint32) {
+	s.entries[s.tos] = addr
+	s.stats.Corruptions++
+}
+
+// CorruptSavedTop overwrites the top entry a checkpoint captured — the
+// matching injection point for shadow state. Only checkpoints that saved
+// contents are affected; corrupting a pointer-only checkpoint is a no-op
+// because there is nothing saved to corrupt.
+func (c *Checkpoint) CorruptSavedTop(addr uint32) {
+	if !c.valid {
+		return
+	}
+	c.top = addr
+	if len(c.full) > 0 && c.tos < len(c.full) {
+		c.full[c.tos] = addr
+	}
+}
+
+// Corruptible is implemented by stacks that support injected corruption
+// (currently the circular Stack); the pipeline's disturber type-asserts
+// against it so exotic stack kinds simply ignore injection.
+type Corruptible interface {
+	CorruptTop(addr uint32)
 }
 
 // Clone returns an independent copy of the stack with zeroed statistics —

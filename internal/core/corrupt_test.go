@@ -1,0 +1,78 @@
+package core
+
+import "testing"
+
+// TestCorruptTopRepairedByContents: the paper's proposal (TOS pointer +
+// contents) restores a corrupted top entry from the checkpoint; pointer-
+// only repair cannot, so the corruption surfaces as a wrong prediction.
+func TestCorruptTopRepairedByContents(t *testing.T) {
+	for _, tc := range []struct {
+		policy   RepairPolicy
+		repaired bool
+	}{
+		{RepairTOSPointer, false},
+		{RepairTOSPointerAndContents, true},
+		{RepairFullStack, true},
+	} {
+		s := NewStack(8, tc.policy)
+		s.Push(0x100)
+		s.Push(0x200)
+		var cp Checkpoint
+		s.SaveInto(&cp) // branch checkpoint before the corruption event
+		s.CorruptTop(0xDEAD)
+		if got := s.Top(); got != 0xDEAD {
+			t.Fatalf("%v: top = %#x after corruption", tc.policy, got)
+		}
+		s.Restore(&cp)
+		got, ok := s.Pop()
+		if !ok {
+			t.Fatalf("%v: pop underflowed", tc.policy)
+		}
+		if tc.repaired && got != 0x200 {
+			t.Errorf("%v: predicted %#x, want repaired 0x200", tc.policy, got)
+		}
+		if !tc.repaired && got != 0xDEAD {
+			t.Errorf("%v: predicted %#x, want the corrupted value (misprediction)", tc.policy, got)
+		}
+		if s.Stats().Corruptions != 1 {
+			t.Errorf("%v: corruptions = %d, want 1", tc.policy, s.Stats().Corruptions)
+		}
+	}
+}
+
+// TestCorruptSavedTop: corrupting the shadow copy means the repair itself
+// writes back garbage — the prediction goes wrong even under the
+// proposal, but nothing crashes.
+func TestCorruptSavedTop(t *testing.T) {
+	s := NewStack(8, RepairTOSPointerAndContents)
+	s.Push(0x100)
+	var cp Checkpoint
+	s.SaveInto(&cp)
+	cp.CorruptSavedTop(0xBEEF)
+	s.Restore(&cp)
+	if got, _ := s.Pop(); got != 0xBEEF {
+		t.Errorf("restore from corrupted checkpoint predicted %#x, want 0xBEEF", got)
+	}
+
+	// An invalid checkpoint has nothing to corrupt.
+	var empty Checkpoint
+	empty.CorruptSavedTop(0xBEEF)
+	if empty.Valid() {
+		t.Error("corrupting an empty checkpoint validated it")
+	}
+
+	// Full-stack checkpoints corrupt the saved copy, not the live stack.
+	f := NewStack(4, RepairFullStack)
+	f.Push(0x10)
+	f.Push(0x20)
+	var fc Checkpoint
+	f.SaveInto(&fc)
+	fc.CorruptSavedTop(0xAA)
+	if f.Top() != 0x20 {
+		t.Errorf("live stack changed by checkpoint corruption: %#x", f.Top())
+	}
+	f.Restore(&fc)
+	if got, _ := f.Pop(); got != 0xAA {
+		t.Errorf("full restore predicted %#x, want corrupted 0xAA", got)
+	}
+}

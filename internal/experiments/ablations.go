@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"retstack/internal/config"
@@ -8,7 +9,6 @@ import (
 	"retstack/internal/pipeline"
 	"retstack/internal/program"
 	"retstack/internal/stats"
-	"retstack/internal/sweep"
 	"retstack/internal/workloads"
 )
 
@@ -49,12 +49,16 @@ func runA1(p Params) (*Result, error) {
 	for _, w := range ws {
 		row := []string{w.Name}
 		for range slots {
-			sim := sims[next]
+			st := sims[next].Stats()
 			next++
-			hr := sim.Stats().ReturnHitRate()
+			if st == nil {
+				row = append(row, "-")
+				continue
+			}
+			hr := st.ReturnHitRate()
 			key := hdr[len(row)]
 			res.put("hit", w.Name, key, hr)
-			res.put("denied", w.Name, key, float64(sim.Stats().CheckpointsDenied))
+			res.put("denied", w.Name, key, float64(st.CheckpointsDenied))
 			row = append(row, pct(hr))
 		}
 		t.AddRow(row...)
@@ -100,16 +104,23 @@ func runA2(p Params) (*Result, error) {
 	next := 0
 	for _, w := range ws {
 		row := []string{w.Name}
-		sim := sims[next]
+		if st := sims[next].Stats(); st == nil {
+			row = append(row, "-")
+		} else {
+			res.put("hit", w.Name, "circ32", st.ReturnHitRate())
+			row = append(row, pct(st.ReturnHitRate()))
+		}
 		next++
-		res.put("hit", w.Name, "circ32", sim.Stats().ReturnHitRate())
-		row = append(row, pct(sim.Stats().ReturnHitRate()))
 		for _, phys := range physSizes {
-			lsim := sims[next]
+			lst := sims[next].Stats()
 			next++
+			if lst == nil {
+				row = append(row, "-")
+				continue
+			}
 			key := fmt.Sprintf("linked%d", phys)
-			res.put("hit", w.Name, key, lsim.Stats().ReturnHitRate())
-			row = append(row, pct(lsim.Stats().ReturnHitRate()))
+			res.put("hit", w.Name, key, lst.ReturnHitRate())
+			row = append(row, pct(lst.ReturnHitRate()))
 		}
 		t.AddRow(row...)
 	}
@@ -150,6 +161,10 @@ func runA3(p Params) (*Result, error) {
 		"commit ret-hit", "spec ret-hit")
 	for i, w := range ws {
 		cs, ss := sims[2*i].Stats(), sims[2*i+1].Stats()
+		if cs == nil || ss == nil {
+			t.AddRow(w.Name, "-", "-", "-", "-", "-", "-")
+			continue
+		}
 		t.AddRowf(
 			"%s", w.Name,
 			"%.2f", 100*cs.CondMispredRate(),
@@ -230,21 +245,25 @@ func runA4(p Params) (*Result, error) {
 
 		// Returns by three predictors.
 		for _, c := range retCfgs {
-			sim := sims[next]
+			st := sims[next].Stats()
 			next++
-			res.put("hit", w.Name, c.key, sim.Stats().ReturnHitRate())
-			row = append(row, pct(sim.Stats().ReturnHitRate()))
+			if st == nil {
+				row = append(row, "-")
+				continue
+			}
+			res.put("hit", w.Name, c.key, st.ReturnHitRate())
+			row = append(row, pct(st.ReturnHitRate()))
 		}
 
 		// Indirect jumps by two predictors (RAS handles returns in both).
 		for _, c := range indCfgs {
-			sim := sims[next]
+			st := sims[next].Stats()
 			next++
-			if sim.Stats().Indirects == 0 {
+			if st == nil || st.Indirects == 0 {
 				row = append(row, "-")
 				continue
 			}
-			hr := stats.Ratio(sim.Stats().IndirectsCorrect, sim.Stats().Indirects)
+			hr := stats.Ratio(st.IndirectsCorrect, st.Indirects)
 			res.put("indhit", w.Name, c.key, hr)
 			row = append(row, pct(hr))
 		}
@@ -292,9 +311,13 @@ func runA5(p Params) (*Result, error) {
 	for _, w := range ws {
 		row := []string{w.Name}
 		for _, k := range ks {
-			sim := sims[next]
+			st := sims[next].Stats()
 			next++
-			hr := sim.Stats().ReturnHitRate()
+			if st == nil {
+				row = append(row, "-")
+				continue
+			}
+			hr := st.ReturnHitRate()
 			res.put("hit", w.Name, fmt.Sprintf("K%d", k), hr)
 			row = append(row, pct(hr))
 		}
@@ -349,11 +372,15 @@ func runA6(p Params) (*Result, error) {
 	for _, w := range ws {
 		row := []string{w.Name}
 		for _, c := range cfgs {
-			sim := sims[next]
+			st := sims[next].Stats()
 			next++
-			hr := sim.Stats().ReturnHitRate()
+			if st == nil {
+				row = append(row, "-")
+				continue
+			}
+			hr := st.ReturnHitRate()
 			res.put("hit", w.Name, c.key, hr)
-			res.put("ipc", w.Name, c.key, sim.Stats().IPC())
+			res.put("ipc", w.Name, c.key, st.IPC())
 			row = append(row, pct(hr))
 		}
 		t.AddRow(row...)
@@ -388,6 +415,10 @@ func runF5(p Params) (*Result, error) {
 		"bench", "wp pushes", "wp pops", "recoveries", "squashed insts", "ret hit")
 	for i, w := range ws {
 		st := sims[i].Stats()
+		if st == nil {
+			t.AddRow(w.Name, "-", "-", "-", "-", "-")
+			continue
+		}
 		per1k := func(n uint64) float64 { return 1000 * stats.Ratio(n, st.Committed) }
 		t.AddRowf(
 			"%s", w.Name,
@@ -421,36 +452,40 @@ func runA7(p Params) (*Result, error) {
 	}
 	sharing := []bool{true, false}
 	// SMT cells do not fit simCell's single-image shape, so fan them out
-	// with the sweep engine directly: one cell per (workload, sharing)
+	// through the resilient core directly: one cell per (workload, sharing)
 	// pair, in assembly order, both threads (and both sharing cells)
 	// running one shared prebuilt image.
-	ims, err := buildImages(p, ws)
+	ims, err := p.imagesFor(len(ws)*len(sharing), func(i int) workloads.Workload { return ws[i/len(sharing)] })
 	if err != nil {
 		return nil, err
 	}
-	rec := newRecyclers(p.workers())
-	sims, err := sweep.MapWorkersMonitored(p.workers(), len(ws)*len(sharing), p.Monitor,
-		func(worker, i int) (sim *pipeline.Sim, err error) {
-			p.doCell(i, func() {
-				w := ws[i/len(sharing)]
-				cfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)
-				cfg.SMTThreads = 2
-				cfg.SMTSharedRAS = sharing[i%len(sharing)]
-				cfg.NoPredecode = p.NoPredecode
-				r := rec.of(worker)
-				im := ims[w.Name]
-				sim, err = pipeline.NewSMTWithRecycler(cfg, []*program.Image{im, im}, r)
-				if err != nil {
-					return
-				}
-				if err = sim.Run(p.InstBudget); err != nil {
-					err = fmt.Errorf("%s: %w", w.Name, err)
-					return
-				}
-				sim.Release(r)
-			})
-			return sim, err
+	rec := p.newRecyclers()
+	sims, err := runCells(p, len(ws)*len(sharing), func(ctx context.Context, worker, i int) (out cellOut, err error) {
+		p.doCell(ctx, i, func() {
+			w := ws[i/len(sharing)]
+			cfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)
+			cfg.SMTThreads = 2
+			cfg.SMTSharedRAS = sharing[i%len(sharing)]
+			cfg.NoPredecode = p.NoPredecode
+			r := rec.of(worker)
+			im := ims[w.Name]
+			sim, err2 := pipeline.NewSMTWithRecycler(cfg, []*program.Image{im, im}, r)
+			if err2 != nil {
+				err = err2
+				return
+			}
+			if every, addr, ok := p.Inject.Disturb(p.expID, i); ok {
+				sim.SetDisturber(every, addr)
+			}
+			if err2 := sim.Run(p.InstBudget); err2 != nil {
+				err = fmt.Errorf("%s: %w", w.Name, err2)
+				return
+			}
+			sim.Release(r)
+			out = cellOut{Sim: sim.Stats()}
 		})
+		return out, err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -465,6 +500,10 @@ func runA7(p Params) (*Result, error) {
 		for _, sharedStack := range sharing {
 			st := sims[next].Stats()
 			next++
+			if st == nil {
+				cells = append(cells, "-", "-")
+				continue
+			}
 			key := "per-thread"
 			if sharedStack {
 				key = "shared"
@@ -522,11 +561,15 @@ func runA8(p Params) (*Result, error) {
 	for _, w := range ws {
 		row := []string{w.Name}
 		for _, kind := range kinds {
-			none := sims[next]
-			prop := sims[next+1]
+			none := sims[next].Stats()
+			prop := sims[next+1].Stats()
 			next += 2
-			sp := stats.Speedup(none.Stats().IPC(), prop.Stats().IPC())
-			mr := prop.Stats().CondMispredRate()
+			if none == nil || prop == nil {
+				row = append(row, "-", "-")
+				continue
+			}
+			sp := stats.Speedup(none.IPC(), prop.IPC())
+			mr := prop.CondMispredRate()
 			res.put("mispred", w.Name, kind.String(), mr)
 			res.put("speedup", w.Name, kind.String(), sp)
 			row = append(row, fmt.Sprintf("%.2f", 100*mr), fmt.Sprintf("%+.2f%%", sp))

@@ -8,12 +8,15 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"runtime/pprof"
 	"sort"
 	"strconv"
+	"time"
 
 	"retstack/internal/config"
+	"retstack/internal/faultinject"
 	"retstack/internal/pipeline"
 	"retstack/internal/program"
 	"retstack/internal/stats"
@@ -57,9 +60,42 @@ type Params struct {
 	// the switch exists for A/B benchmarking and as a fallback.
 	NoPredecode bool
 
+	// Resilience knobs (the rasbench flags of the same names). Zero values
+	// are the legacy behavior: background context, abort on the first
+	// failing cell, no watchdog, no journal, no replay, no injection.
+
+	// Ctx cancels the sweep between cells: once done, no new cells are
+	// claimed, in-flight cells drain, and Run returns Ctx.Err().
+	Ctx context.Context
+	// OnCellError selects what a failing cell does to the sweep: abort
+	// (default), skip (an explicit hole in the tables), or retry.
+	OnCellError sweep.OnError
+	// RetryAttempts and RetryBackoff shape the retry policy (<=0 selects
+	// the sweep package defaults: 3 attempts, 100ms doubling backoff).
+	RetryAttempts int
+	RetryBackoff  time.Duration
+	// CellTimeout arms the per-cell watchdog. When set, worker-pooled
+	// simulator recycling is disabled: an abandoned attempt may still be
+	// running when the worker claims its next cell, so they must not
+	// share storage.
+	CellTimeout time.Duration
+	// Inject is the parsed -inject fault plan (nil injects nothing).
+	Inject *faultinject.Plan
+	// Journal, when non-nil, records every completed cell crash-safely
+	// under scope JournalScope+"/"+<experiment id> before the cell counts
+	// as done. Replay holds journaled cells from a previous run to splice
+	// in instead of executing (the -resume flag).
+	Journal      *sweep.Journal
+	JournalScope string
+	Replay       sweep.Replay
+
 	// expID is the experiment id being run, set by Run; it labels the
-	// sweep's pprof profiles (see doCell).
+	// sweep's pprof profiles (see doCell), journal scopes, and injection
+	// matches.
 	expID string
+	// holes, set by Run, collects the skip-policy failure descriptions the
+	// runners' sweeps produce; Run copies it into Result.Holes.
+	holes *[]string
 }
 
 // DefaultParams sizes runs for interactive use.
@@ -94,6 +130,11 @@ type Result struct {
 	// Values holds structured numbers keyed "metric/bench/config" for
 	// programmatic assertions.
 	Values map[string]float64
+	// Holes describes cells that failed under -on-cell-error=skip. The
+	// affected table entries render as "-", the structured values are
+	// absent, and rasbench's CSV output carries these as "# hole:"
+	// comments — missing data is always explicit, never silently zero.
+	Holes []string
 }
 
 // Get returns a structured value.
@@ -114,6 +155,9 @@ func (r *Result) String() string {
 	out := fmt.Sprintf("== %s: %s ==\n", r.ID, r.Title)
 	for _, t := range r.Tables {
 		out += t.String() + "\n"
+	}
+	for _, h := range r.Holes {
+		out += "hole: " + h + "\n"
 	}
 	for _, n := range r.Notes {
 		out += "note: " + n + "\n"
@@ -172,12 +216,15 @@ func Run(id string, p Params) (*Result, error) {
 		p.InstBudget = DefaultParams().InstBudget
 	}
 	p.expID = id
+	var holes []string
+	p.holes = &holes
 	res, err := r.fn(p)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", id, err)
 	}
 	res.ID = id
 	res.Title = r.title
+	res.Holes = holes
 	return res, nil
 }
 
@@ -189,45 +236,160 @@ type simCell struct {
 	cfg config.Config
 }
 
+// cellOut is one sweep cell's outcome: the simulation statistics (plus,
+// for t2, the functional characterization) — or nothing, the hole a cell
+// skipped under -on-cell-error=skip leaves behind. It is also the unit
+// the crash-safe journal records, so every field must survive a JSON
+// round trip exactly; pipeline.Stats and core.Stats are all-integer
+// structs, which encoding/json preserves digit-for-digit.
+type cellOut struct {
+	Sim     *pipeline.Stats  `json:"stats,omitempty"`
+	Profile *workloadProfile `json:"profile,omitempty"`
+}
+
+// Stats returns the cell's simulation statistics — nil for a hole, which
+// the renderers print as "-".
+func (c cellOut) Stats() *pipeline.Stats { return c.Sim }
+
+// workloadProfile is the functional characterization Table 2 derives from
+// the emulator: the counters the table renders, extracted in-cell so a
+// journaled t2 cell replays without re-running the machine.
+type workloadProfile struct {
+	Insts    uint64 `json:"insts"`
+	Calls    uint64 `json:"calls"`
+	Returns  uint64 `json:"returns"`
+	SumDepth uint64 `json:"sum_depth"`
+	MaxDepth int    `json:"max_depth"`
+	P95Depth int    `json:"p95_depth"`
+}
+
+// runCells is the resilient sweep core every runner fans out through. On
+// top of the engine's determinism contract it adds, per Params:
+//
+//   - cancellation: the sweep stops claiming cells once p.Ctx is done;
+//   - resume: cells journaled by a previous run are spliced in from
+//     p.Replay instead of executing (no execution, no monitor callbacks);
+//   - crash-safety: each completed cell is fsynced to p.Journal before it
+//     counts as done, keyed by scope so a stale journal cannot poison a
+//     run with different parameters;
+//   - fault injection: p.Inject's harness faults fire at the top of each
+//     attempt, so panics/hangs/transients hit exactly the chosen cells;
+//   - failure policy: retry with backoff, or skip — recording the failure
+//     as an explicit hole on the Result.
+func runCells(p Params, n int, body func(ctx context.Context, worker, i int) (cellOut, error)) ([]cellOut, error) {
+	scope := p.scope()
+	replayed := p.Replay.Scope(scope)
+	spliced := make(map[int]cellOut, len(replayed))
+	for i, raw := range replayed {
+		if i >= n {
+			continue
+		}
+		var c cellOut
+		if err := json.Unmarshal(raw, &c); err != nil {
+			return nil, fmt.Errorf("resume %s cell %d: %w", scope, i, err)
+		}
+		spliced[i] = c
+	}
+	pol := sweep.Policy{
+		OnError:     p.OnCellError,
+		MaxAttempts: p.RetryAttempts,
+		Backoff:     p.RetryBackoff,
+		CellTimeout: p.CellTimeout,
+	}
+	if len(spliced) > 0 {
+		pol.Skip = func(cell int) bool { _, ok := spliced[cell]; return ok }
+	}
+	if p.Journal != nil {
+		pol.OnSuccess = func(cell int, v any) error { return p.Journal.Append(scope, cell, v) }
+	}
+	out, fails, err := sweep.MapWorkersPolicy(p.ctx(), p.workers(), n, p.Monitor, pol,
+		func(ctx context.Context, worker, i int) (cellOut, error) {
+			if err := p.Inject.Harness(ctx, p.expID, i); err != nil {
+				return cellOut{}, err
+			}
+			return body(ctx, worker, i)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range spliced {
+		out[i] = c
+	}
+	for _, f := range fails {
+		out[f.Cell] = cellOut{} // explicit hole
+		if p.holes != nil {
+			*p.holes = append(*p.holes, f.Err.Error())
+		}
+	}
+	return out, nil
+}
+
 // runSims executes one simulation per cell across p.workers() workers and
-// returns the sims in cell order. Each runner appends cells in exactly the
-// order its serial assembly consumes them, so parallel output is
-// byte-identical to serial.
+// returns the cell outcomes in cell order. Each runner appends cells in
+// exactly the order its serial assembly consumes them, so parallel output
+// is byte-identical to serial.
 //
 // Each distinct workload's image is built (and predecoded) exactly once
 // and shared read-only by every cell that runs it — machines copy code
 // pages on write, so sharing is invisible to results. Each worker owns a
 // pipeline.Recycler so consecutive cells on that worker reuse the big
 // simulator allocations.
-func runSims(p Params, cells []simCell) ([]*pipeline.Sim, error) {
-	ws := make([]workloads.Workload, len(cells))
-	for i, c := range cells {
-		ws[i] = c.w
-	}
-	ims, err := buildImages(p, ws)
+func runSims(p Params, cells []simCell) ([]cellOut, error) {
+	ims, err := p.imagesFor(len(cells), func(i int) workloads.Workload { return cells[i].w })
 	if err != nil {
 		return nil, err
 	}
-	rec := newRecyclers(p.workers())
-	return sweep.MapWorkersMonitored(p.workers(), len(cells), p.Monitor,
-		func(worker, i int) (sim *pipeline.Sim, err error) {
-			p.doCell(i, func() {
-				sim, err = simulateCell(i, cells[i].w, ims[cells[i].w.Name], cells[i].cfg, p, rec.of(worker))
-			})
-			return sim, err
+	rec := p.newRecyclers()
+	return runCells(p, len(cells), func(ctx context.Context, worker, i int) (out cellOut, err error) {
+		p.doCell(ctx, i, func() {
+			var sim *pipeline.Sim
+			sim, err = simulateCell(i, cells[i].w, ims[cells[i].w.Name], cells[i].cfg, p, rec.of(worker))
+			if err == nil {
+				out = cellOut{Sim: sim.Stats()}
+			}
 		})
+		return out, err
+	})
 }
 
 // workers resolves Params.Parallel to a concrete worker count.
 func (p Params) workers() int { return sweep.Workers(p.Parallel) }
 
+// ctx resolves Params.Ctx.
+func (p Params) ctx() context.Context {
+	if p.Ctx != nil {
+		return p.Ctx
+	}
+	return context.Background()
+}
+
+// scope is the journal key for this experiment's cells: the caller's
+// scope prefix (rasbench passes the manifest config hash, so only a run
+// with identical result-determining parameters replays) plus the
+// experiment id (cell indices restart at 0 per experiment).
+func (p Params) scope() string { return p.JournalScope + "/" + p.expID }
+
 // doCell runs one sweep cell's body under pprof labels naming the
 // experiment and cell, so CPU/goroutine profiles of a sweep (rasbench
 // -pprof, the live telemetry endpoint) attribute samples to cells.
-func (p Params) doCell(cell int, fn func()) {
-	pprof.Do(context.Background(),
+func (p Params) doCell(ctx context.Context, cell int, fn func()) {
+	pprof.Do(ctx,
 		pprof.Labels("experiment", p.expID, "cell", strconv.Itoa(cell)),
 		func(context.Context) { fn() })
+}
+
+// imagesFor builds the images a sweep's non-replayed cells need, where
+// workload(i) names cell i's workload. On resume, workloads whose every
+// cell replays from the journal are never rebuilt.
+func (p Params) imagesFor(n int, workload func(i int) workloads.Workload) (map[string]*program.Image, error) {
+	replayed := p.Replay.Scope(p.scope())
+	need := make([]workloads.Workload, 0, n)
+	for i := 0; i < n; i++ {
+		if _, ok := replayed[i]; !ok {
+			need = append(need, workload(i))
+		}
+	}
+	return buildImages(p, need)
 }
 
 // buildImages builds each distinct workload in ws exactly once, in
@@ -242,7 +404,7 @@ func buildImages(p Params, ws []workloads.Workload) (map[string]*program.Image, 
 			distinct = append(distinct, w)
 		}
 	}
-	built, err := sweep.Map(p.workers(), len(distinct), func(i int) (*program.Image, error) {
+	built, err := sweep.MapContext(p.ctx(), p.workers(), len(distinct), func(_ context.Context, i int) (*program.Image, error) {
 		return buildFor(distinct[i], p)
 	})
 	if err != nil {
@@ -260,7 +422,16 @@ func buildImages(p Params, ws []workloads.Workload) (map[string]*program.Image, 
 // sequentially and never touches another worker's slot.
 type recyclers []*pipeline.Recycler
 
-func newRecyclers(workers int) recyclers { return make(recyclers, workers) }
+// newRecyclers sizes the pool to the worker count — except under a cell
+// watchdog, where recycling is disabled entirely: an attempt the watchdog
+// abandoned may still be simulating when its worker claims the next cell,
+// and two simulations must never share pooled storage.
+func (p Params) newRecyclers() recyclers {
+	if p.CellTimeout > 0 {
+		return nil
+	}
+	return make(recyclers, p.workers())
+}
 
 func (r recyclers) of(worker int) *pipeline.Recycler {
 	if worker < 0 || worker >= len(r) {
@@ -287,6 +458,9 @@ func simulateCell(cell int, w workloads.Workload, im *program.Image, cfg config.
 	}
 	if p.Sample != nil {
 		sim.SetSampler(p.SampleEvery, func(sm pipeline.Sample) { p.Sample(cell, sm) })
+	}
+	if every, addr, ok := p.Inject.Disturb(p.expID, cell); ok {
+		sim.SetDisturber(every, addr)
 	}
 	if p.Warmup > 0 {
 		if _, err := sim.FastForward(p.Warmup); err != nil {

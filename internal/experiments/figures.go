@@ -44,9 +44,13 @@ func runF1(p Params) (*Result, error) {
 		for _, w := range ws {
 			row := []string{w.Name}
 			for _, d := range stackDepths {
-				sim := sims[next]
+				st := sims[next].Stats()
 				next++
-				hr := sim.Stats().ReturnHitRate()
+				if st == nil {
+					row = append(row, "-")
+					continue
+				}
+				hr := st.ReturnHitRate()
 				res.put("hit."+pol.String(), w.Name, fmt.Sprintf("%d", d), hr)
 				row = append(row, pct(hr))
 			}
@@ -95,6 +99,11 @@ func runF2(p Params) (*Result, error) {
 		for _, d := range stackDepths {
 			st := sims[next].Stats()
 			next++
+			if st == nil {
+				rowO = append(rowO, "-")
+				rowU = append(rowU, "-")
+				continue
+			}
 			ovf := 1000 * stats.Ratio(st.RAS.Overflows, st.Returns)
 			udf := 1000 * stats.Ratio(st.RAS.Underflows, st.Returns)
 			res.put("ovf", w.Name, fmt.Sprintf("%d", d), ovf)
@@ -144,7 +153,19 @@ func runF3(p Params) (*Result, error) {
 		"bench", "ipc(none)", "tos-ptr", "tos-ptr+contents", "full", "vs btb-only")
 	var geoNone, geoBest []float64
 	next := 0
+	perBench := 2 + len(repairPols) // baseline + repairs + btb-only
 	for _, w := range ws {
+		// The row's columns are all ratios against the same baseline, so a
+		// hole in any of the bench's cells voids the whole row.
+		holed := false
+		for k := 0; k < perBench; k++ {
+			holed = holed || sims[next+k].Stats() == nil
+		}
+		if holed {
+			next += perBench
+			t.AddRow(w.Name, "-", "-", "-", "-", "-")
+			continue
+		}
 		base := sims[next]
 		next++
 		baseIPC := base.Stats().IPC()
@@ -214,6 +235,15 @@ func runF4(p Params) (*Result, error) {
 			fmt.Sprintf("%d-path relative performance (normalized to %d-path unified)", paths, paths),
 			"bench", "unified ipc", "unified+repair", "per-path", "per-path hit")
 		for _, w := range ws {
+			holed := false
+			for k := range orgs {
+				holed = holed || sims[next+k].Stats() == nil
+			}
+			if holed {
+				next += len(orgs)
+				t.AddRow(w.Name, "-", "-", "-", "-")
+				continue
+			}
 			ipcs := map[config.MultipathRAS]float64{}
 			var perPathHit float64
 			for _, org := range orgs {

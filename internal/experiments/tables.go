@@ -1,14 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"retstack/internal/config"
 	"retstack/internal/core"
 	"retstack/internal/emu"
-	"retstack/internal/pipeline"
 	"retstack/internal/stats"
-	"retstack/internal/sweep"
+	"retstack/internal/workloads"
 )
 
 // runT1 prints the baseline machine description (the paper's Table 1).
@@ -36,35 +36,37 @@ func runT2(p Params) (*Result, error) {
 	// One cell per workload: the functional characterization run plus the
 	// baseline timing simulation. Both run the same prebuilt image — the
 	// functional machine copies code pages on write, so sharing is safe.
-	ims, err := buildImages(p, ws)
+	ims, err := p.imagesFor(len(ws), func(i int) workloads.Workload { return ws[i] })
 	if err != nil {
 		return nil, err
 	}
-	type t2cell struct {
-		m   *emu.Machine
-		sim *pipeline.Sim
-	}
-	rec := newRecyclers(p.workers())
-	cells, err := sweep.MapWorkersMonitored(p.workers(), len(ws), p.Monitor,
-		func(worker, i int) (out t2cell, err error) {
-			p.doCell(i, func() {
-				w := ws[i]
-				m := emu.NewMachine()
-				m.Load(ims[w.Name])
-				if _, err2 := m.Run(p.InstBudget); err2 != nil {
-					err = fmt.Errorf("%s: %w", w.Name, err2)
-					return
-				}
-				sim, err2 := simulateCell(i, w, ims[w.Name],
-					config.Baseline().WithPolicy(core.RepairTOSPointerAndContents), p, rec.of(worker))
-				if err2 != nil {
-					err = err2
-					return
-				}
-				out = t2cell{m, sim}
-			})
-			return out, err
+	rec := p.newRecyclers()
+	cells, err := runCells(p, len(ws), func(ctx context.Context, worker, i int) (out cellOut, err error) {
+		p.doCell(ctx, i, func() {
+			w := ws[i]
+			m := emu.NewMachine()
+			m.Load(ims[w.Name])
+			if _, err2 := m.Run(p.InstBudget); err2 != nil {
+				err = fmt.Errorf("%s: %w", w.Name, err2)
+				return
+			}
+			sim, err2 := simulateCell(i, w, ims[w.Name],
+				config.Baseline().WithPolicy(core.RepairTOSPointerAndContents), p, rec.of(worker))
+			if err2 != nil {
+				err = err2
+				return
+			}
+			out = cellOut{Sim: sim.Stats(), Profile: &workloadProfile{
+				Insts:    m.InstCount,
+				Calls:    m.Calls,
+				Returns:  m.Returns,
+				SumDepth: m.SumDepth,
+				MaxDepth: m.MaxDepth,
+				P95Depth: m.DepthHist.Percentile(95),
+			}}
 		})
+		return out, err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -73,26 +75,30 @@ func runT2(p Params) (*Result, error) {
 	t := stats.NewTable("Workload summary ("+fmt.Sprintf("%d", p.InstBudget)+" insts simulated)",
 		"bench", "insts", "calls%", "returns%", "mean depth", "p95 depth", "max depth", "cond mispred%")
 	for i, w := range ws {
-		m := cells[i].m
+		m, st := cells[i].Profile, cells[i].Stats()
+		if m == nil || st == nil {
+			t.AddRow(w.Name, "-", "-", "-", "-", "-", "-", "-")
+			continue
+		}
 		meanDepth := 0.0
 		if m.Calls > 0 {
 			meanDepth = float64(m.SumDepth) / float64(m.Calls)
 		}
-		mr := cells[i].sim.Stats().CondMispredRate()
+		mr := st.CondMispredRate()
 
 		t.AddRowf(
 			"%s", w.Name,
-			"%d", m.InstCount,
-			"%.2f", 100*stats.Ratio(m.Calls, m.InstCount),
-			"%.2f", 100*stats.Ratio(m.Returns, m.InstCount),
+			"%d", m.Insts,
+			"%.2f", 100*stats.Ratio(m.Calls, m.Insts),
+			"%.2f", 100*stats.Ratio(m.Returns, m.Insts),
 			"%.1f", meanDepth,
-			"%d", m.DepthHist.Percentile(95),
+			"%d", m.P95Depth,
 			"%d", m.MaxDepth,
 			"%.2f", 100*mr,
 		)
-		res.put("callpct", w.Name, "base", 100*stats.Ratio(m.Calls, m.InstCount))
+		res.put("callpct", w.Name, "base", 100*stats.Ratio(m.Calls, m.Insts))
 		res.put("maxdepth", w.Name, "base", float64(m.MaxDepth))
-		res.put("p95depth", w.Name, "base", float64(m.DepthHist.Percentile(95)))
+		res.put("p95depth", w.Name, "base", float64(m.P95Depth))
 		res.put("mispred", w.Name, "base", mr)
 	}
 	res.Tables = []*stats.Table{t}
@@ -129,11 +135,15 @@ func runT3(p Params) (*Result, error) {
 	for _, w := range ws {
 		row := []string{w.Name}
 		for _, pol := range pols {
-			sim := sims[next]
+			st := sims[next].Stats()
 			next++
-			hr := sim.Stats().ReturnHitRate()
+			if st == nil {
+				row = append(row, "-")
+				continue
+			}
+			hr := st.ReturnHitRate()
 			res.put("hit", w.Name, pol.String(), hr)
-			res.put("ipc", w.Name, pol.String(), sim.Stats().IPC())
+			res.put("ipc", w.Name, pol.String(), st.IPC())
 			row = append(row, pct(hr))
 		}
 		t.AddRow(row...)
@@ -170,6 +180,10 @@ func runT4(p Params) (*Result, error) {
 		"bench", "btb-only hit", "btb-only ipc", "ras hit", "ras ipc", "ras speedup")
 	for i, w := range ws {
 		bs, rs := sims[2*i].Stats(), sims[2*i+1].Stats()
+		if bs == nil || rs == nil {
+			t.AddRow(w.Name, "-", "-", "-", "-", "-")
+			continue
+		}
 		speedup := stats.Speedup(bs.IPC(), rs.IPC())
 		t.AddRowf(
 			"%s", w.Name,

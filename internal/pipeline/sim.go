@@ -72,6 +72,8 @@ type Sim struct {
 	// nil check per cycle.
 	sampler            func(Sample)
 	sampleEvery        uint64
+	disturbEvery       uint64
+	disturbAddr        func(cycle uint64) uint32
 	lastSquashed       uint64
 	lastRecoveries     uint64
 	lastPredecodeHits  uint64
@@ -294,8 +296,51 @@ func (s *Sim) step() {
 	s.dispatchStage()
 	s.fetchStage()
 	s.cycle++
+	if s.disturbEvery != 0 && s.cycle%s.disturbEvery == 0 {
+		s.disturb()
+	}
 	if s.sampler != nil && s.cycle%s.sampleEvery == 0 {
 		s.takeSample()
+	}
+}
+
+// SetDisturber installs a periodic RAS corruption source (the faultinject
+// dev path): every `every` cycles the top entry of each live stack is
+// overwritten with addr(cycle). Deterministic input gives deterministic
+// results, so a disturbed run is exactly reproducible. Disabled (the
+// default) it costs one comparison per cycle, mirroring the sampler.
+func (s *Sim) SetDisturber(every uint64, addr func(cycle uint64) uint32) {
+	if every == 0 || addr == nil {
+		s.disturbEvery, s.disturbAddr = 0, nil
+		return
+	}
+	s.disturbEvery, s.disturbAddr = every, addr
+}
+
+// disturb corrupts each distinct live stack's top entry. Stack kinds that
+// do not support corruption (they lack core.Corruptible) are skipped. The
+// duplicate scan is quadratic in live paths, which is bounded by the
+// multipath fork limit (small), and runs only on disturb cycles.
+func (s *Sim) disturb() {
+	a := s.disturbAddr(s.cycle)
+	for i := range s.paths {
+		p := &s.paths[i]
+		if !p.live || p.ras == nil {
+			continue
+		}
+		dup := false
+		for j := 0; j < i; j++ {
+			if s.paths[j].live && s.paths[j].ras == p.ras {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		if c, ok := p.ras.(core.Corruptible); ok {
+			c.CorruptTop(a)
+		}
 	}
 }
 
@@ -330,4 +375,5 @@ func (s *Sim) addStackStats(st *core.Stats) {
 	s.stats.RAS.Overflows += st.Overflows
 	s.stats.RAS.Underflows += st.Underflows
 	s.stats.RAS.Restores += st.Restores
+	s.stats.RAS.Corruptions += st.Corruptions
 }

@@ -1,0 +1,181 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Journal is an append-only, fsync-on-record JSONL log of completed sweep
+// cells. Each record is one line, written and synced atomically under a
+// lock, so a run killed at any instant leaves at worst one truncated
+// trailing line — which ReadJournal tolerates by recovering the valid
+// prefix. A nil *Journal is a no-op sink.
+//
+// Records are keyed by (scope, cell). Scope is chosen by the caller —
+// rasbench uses "<config-hash>/<experiment-id>" so a journal can only
+// resume a run whose result-determining parameters match.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// journalRecord is one JSONL line: either a run stamp (Run != nil) or a
+// completed cell result.
+type journalRecord struct {
+	Run    *RunStamp       `json:"run,omitempty"`
+	Scope  string          `json:"scope,omitempty"`
+	Cell   int             `json:"cell"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// RunStamp marks a run boundary inside a journal: every process that
+// appends to the journal writes one first, so a resumed run's manifest
+// can record the full provenance chain.
+type RunStamp struct {
+	Tool       string   `json:"tool"`
+	Start      string   `json:"start"` // RFC3339
+	ConfigHash string   `json:"config_hash"`
+	Args       []string `json:"args,omitempty"`
+}
+
+// OpenJournal opens (creating if needed) a journal for appending.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: journal: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+// Stamp appends a run-boundary record.
+func (j *Journal) Stamp(s RunStamp) error {
+	if j == nil {
+		return nil
+	}
+	return j.append(journalRecord{Run: &s})
+}
+
+// Append records one completed cell's result (any JSON-marshalable value)
+// under the given scope. The record is fsynced before Append returns, so
+// a crash immediately after a cell completes cannot lose it.
+func (j *Journal) Append(scope string, cell int, result any) error {
+	if j == nil {
+		return nil
+	}
+	raw, err := json.Marshal(result)
+	if err != nil {
+		return fmt.Errorf("sweep: journal cell %d: %w", cell, err)
+	}
+	return j.append(journalRecord{Scope: scope, Cell: cell, Result: raw})
+}
+
+func (j *Journal) append(rec journalRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("sweep: journal: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("sweep: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("sweep: journal: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// Replay is the parsed content of a journal: completed cell results keyed
+// by scope and cell index, plus the stamps of every run that appended to
+// it. The zero value replays nothing.
+type Replay struct {
+	Cells map[string]map[int]json.RawMessage
+	Runs  []RunStamp
+}
+
+// Scope returns the replayable cells recorded under one scope (nil when
+// none).
+func (r Replay) Scope(scope string) map[int]json.RawMessage {
+	return r.Cells[scope]
+}
+
+// Total counts replayable cells across all scopes.
+func (r Replay) Total() int {
+	n := 0
+	for _, cells := range r.Cells {
+		n += len(cells)
+	}
+	return n
+}
+
+// ReadJournal parses a journal file. A missing file is not an error: it
+// returns an empty Replay, so "resume from a journal that never got
+// written" degrades to a fresh run.
+func ReadJournal(path string) (Replay, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return Replay{}, nil
+	}
+	if err != nil {
+		return Replay{}, fmt.Errorf("sweep: journal: %w", err)
+	}
+	rep, _ := ParseJournal(data)
+	return rep, nil
+}
+
+// ParseJournal parses journal bytes, tolerating a truncated or corrupt
+// tail — the state a crash mid-append leaves behind. Parsing stops at the
+// first malformed line and everything before it is kept; the second
+// result is the length of that valid prefix in bytes. Duplicate
+// (scope, cell) records keep the latest (a retried run re-journals).
+func ParseJournal(data []byte) (Replay, int) {
+	rep := Replay{Cells: map[string]map[int]json.RawMessage{}}
+	consumed := 0
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break // no terminator: a crash truncated this line
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		if len(bytes.TrimSpace(line)) == 0 {
+			consumed += nl + 1
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break
+		}
+		switch {
+		case rec.Run != nil:
+			rep.Runs = append(rep.Runs, *rec.Run)
+		case rec.Scope != "" && rec.Cell >= 0 && len(rec.Result) > 0:
+			m := rep.Cells[rec.Scope]
+			if m == nil {
+				m = map[int]json.RawMessage{}
+				rep.Cells[rec.Scope] = m
+			}
+			m[rec.Cell] = rec.Result
+		default:
+			// Parsable JSON that is not a journal record: treat like a
+			// corrupt tail and stop, keeping the prefix.
+			return rep, consumed
+		}
+		consumed += nl + 1
+	}
+	return rep, consumed
+}

@@ -1,0 +1,208 @@
+package sweep
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type journalPayload struct {
+	Hits uint64 `json:"hits"`
+	Name string `json:"name"`
+}
+
+func writeTestJournal(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Stamp(RunStamp{Tool: "test", Start: "2026-01-02T03:04:05Z", ConfigHash: "abc123"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append("abc123/t3", i, journalPayload{Hits: uint64(100 + i), Name: "go"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Append("abc123/f2", 0, journalPayload{Hits: 7}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := writeTestJournal(t)
+	rep, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 1 || rep.Runs[0].ConfigHash != "abc123" {
+		t.Fatalf("runs = %+v", rep.Runs)
+	}
+	if rep.Total() != 4 {
+		t.Fatalf("Total() = %d, want 4", rep.Total())
+	}
+	cells := rep.Scope("abc123/t3")
+	if len(cells) != 3 {
+		t.Fatalf("t3 scope has %d cells, want 3", len(cells))
+	}
+	var p journalPayload
+	if err := json.Unmarshal(cells[2], &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Hits != 102 || p.Name != "go" {
+		t.Errorf("cell 2 payload = %+v", p)
+	}
+	if rep.Scope("missing") != nil {
+		t.Error("unknown scope should be nil")
+	}
+}
+
+// TestJournalDuplicateKeepsLatest: a re-run that re-journals a cell wins.
+func TestJournalDuplicateKeepsLatest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append("s", 0, journalPayload{Hits: 1})
+	j.Append("s", 0, journalPayload{Hits: 2})
+	j.Close()
+	rep, _ := ReadJournal(path)
+	var p journalPayload
+	if err := json.Unmarshal(rep.Scope("s")[0], &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Hits != 2 {
+		t.Errorf("duplicate cell kept hits=%d, want the latest (2)", p.Hits)
+	}
+}
+
+// TestJournalTruncatedTail: chopping the file at every byte offset (the
+// crash case) must never lose a fully synced record before the cut and
+// must never error — the valid prefix is recovered.
+func TestJournalTruncatedTail(t *testing.T) {
+	path := writeTestJournal(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := ParseJournal(data)
+	for cut := 0; cut <= len(data); cut++ {
+		rep, consumed := ParseJournal(data[:cut])
+		if consumed > cut {
+			t.Fatalf("cut=%d: consumed %d bytes beyond the input", cut, consumed)
+		}
+		// Records are whole lines: counting newlines in the prefix bounds
+		// how many records can survive.
+		if rep.Total()+len(rep.Runs) > countLines(data[:cut]) {
+			t.Fatalf("cut=%d: parsed more records than complete lines", cut)
+		}
+		if cut == len(data) && rep.Total() != full.Total() {
+			t.Fatalf("full parse lost records: %d vs %d", rep.Total(), full.Total())
+		}
+	}
+	// A cut right after the second record keeps exactly stamp+record.
+	secondNL := indexNthNewline(data, 2)
+	rep, _ := ParseJournal(data[:secondNL+1])
+	if len(rep.Runs) != 1 || rep.Total() != 1 {
+		t.Fatalf("prefix of 2 lines: runs=%d cells=%d, want 1/1", len(rep.Runs), rep.Total())
+	}
+}
+
+// TestJournalCorruptTail: garbage appended after valid records (torn
+// write, disk corruption) leaves the valid prefix intact.
+func TestJournalCorruptTail(t *testing.T) {
+	path := writeTestJournal(t)
+	data, _ := os.ReadFile(path)
+	for _, tail := range []string{"{\"scope\":\"x\",\"cell\":", "\x00\xff garbage\n", "{}\n"} {
+		rep, consumed := ParseJournal(append(append([]byte{}, data...), tail...))
+		if rep.Total() != 4 || len(rep.Runs) != 1 {
+			t.Errorf("tail %q: prefix lost (cells=%d runs=%d)", tail, rep.Total(), len(rep.Runs))
+		}
+		if consumed != len(data) {
+			t.Errorf("tail %q: consumed %d, want %d", tail, consumed, len(data))
+		}
+	}
+}
+
+func TestReadJournalMissingFile(t *testing.T) {
+	rep, err := ReadJournal(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil {
+		t.Fatalf("missing journal should not error: %v", err)
+	}
+	if rep.Total() != 0 || len(rep.Runs) != 0 {
+		t.Errorf("missing journal replayed something: %+v", rep)
+	}
+}
+
+func TestNilJournalIsNoop(t *testing.T) {
+	var j *Journal
+	if err := j.Append("s", 0, 1); err != nil {
+		t.Error(err)
+	}
+	if err := j.Stamp(RunStamp{}); err != nil {
+		t.Error(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func countLines(b []byte) int {
+	n := 0
+	for _, c := range b {
+		if c == '\n' {
+			n++
+		}
+	}
+	return n
+}
+
+func indexNthNewline(b []byte, n int) int {
+	for i, c := range b {
+		if c == '\n' {
+			n--
+			if n == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// FuzzJournal: the parser must never panic, must never consume beyond its
+// input, and parsing the valid prefix it reports must reproduce exactly
+// the same records (the resume path depends on this stability).
+func FuzzJournal(f *testing.F) {
+	f.Add([]byte(`{"run":{"tool":"rasbench","start":"2026-01-02T03:04:05Z","config_hash":"abc"},"cell":0}
+{"scope":"abc/t3","cell":0,"result":{"hits":100}}
+{"scope":"abc/t3","cell":1,"result":{"hits":101}}
+`))
+	f.Add([]byte(`{"scope":"abc/t3","cell":0,"result":{"hits":100}}
+{"scope":"abc/t3","cell":1,"res`)) // truncated mid-record
+	f.Add([]byte("{\"scope\":\"s\",\"cell\":2,\"result\":[1,2]}\n\x00\xde\xad\n"))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte("{}\n{\"scope\":\"s\",\"cell\":1,\"result\":1}\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, consumed := ParseJournal(data)
+		if consumed < 0 || consumed > len(data) {
+			t.Fatalf("consumed %d of %d bytes", consumed, len(data))
+		}
+		if rep.Total()+len(rep.Runs) > countLines(data) {
+			t.Fatalf("more records (%d) than input lines (%d)", rep.Total()+len(rep.Runs), countLines(data))
+		}
+		again, consumedAgain := ParseJournal(data[:consumed])
+		if consumedAgain != consumed {
+			t.Fatalf("re-parsing the valid prefix consumed %d, want %d", consumedAgain, consumed)
+		}
+		if again.Total() != rep.Total() || len(again.Runs) != len(rep.Runs) {
+			t.Fatalf("re-parsing the valid prefix changed the records: %d/%d vs %d/%d",
+				again.Total(), len(again.Runs), rep.Total(), len(rep.Runs))
+		}
+	})
+}

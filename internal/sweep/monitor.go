@@ -47,6 +47,17 @@ func (mm multiMonitor) CellDone(cell, worker int, d time.Duration, err error) {
 	}
 }
 
+// CellRetry forwards retry notifications to the members that observe them
+// (a combined monitor always satisfies RetryMonitor; members that do not
+// implement it simply never see retries).
+func (mm multiMonitor) CellRetry(cell, attempt int, err error) {
+	for _, m := range mm {
+		if rm, ok := m.(RetryMonitor); ok {
+			rm.CellRetry(cell, attempt, err)
+		}
+	}
+}
+
 // CellTiming is one finished cell's accounting.
 type CellTiming struct {
 	Cell    int
@@ -180,6 +191,7 @@ type Progress struct {
 	running int
 	done    int
 	errs    int
+	retries int
 	width   int
 }
 
@@ -212,10 +224,21 @@ func (p *Progress) CellDone(cell, worker int, d time.Duration, err error) {
 	}
 	line := fmt.Sprintf("sweep %s: %d cells done (%d running), %.1f cells/s, elapsed %.1fs",
 		p.Label, p.done, p.running, rate, elapsed.Seconds())
+	if p.retries > 0 {
+		line += fmt.Sprintf(", %d retries", p.retries)
+	}
 	if p.errs > 0 {
 		line += fmt.Sprintf(", %d errors", p.errs)
 	}
 	p.write(line)
+}
+
+// CellRetry implements RetryMonitor: retried attempts show up in the
+// progress line so a sweep limping through transient failures is visible.
+func (p *Progress) CellRetry(cell, attempt int, err error) {
+	p.mu.Lock()
+	p.retries++
+	p.mu.Unlock()
 }
 
 // write repaints the line, padding over any longer previous content.

@@ -27,9 +27,21 @@ func TestPanicBecomesError(t *testing.T) {
 		if pe.Cell != 5 {
 			t.Errorf("workers=%d: panic attributed to cell %d, want 5", workers, pe.Cell)
 		}
+		var ce *CellError
+		if !errors.As(err, &ce) || ce.Cell != 5 {
+			t.Errorf("workers=%d: panic not wrapped in cell 5's *CellError: %v", workers, err)
+		}
+		// The one-line form names the value and the panic site but never
+		// dumps the stack (that is what Verbose is for).
 		if !strings.Contains(pe.Error(), "simulated blowup") ||
 			!strings.Contains(pe.Error(), "monitor_test.go") {
-			t.Errorf("workers=%d: error lacks value or stack:\n%s", workers, pe.Error())
+			t.Errorf("workers=%d: error lacks value or panic site:\n%s", workers, pe.Error())
+		}
+		if strings.ContainsAny(pe.Error(), "\n") || strings.Contains(pe.Error(), "goroutine") {
+			t.Errorf("workers=%d: Error() leaks the multi-line stack: %q", workers, pe.Error())
+		}
+		if !strings.Contains(pe.Verbose(), "goroutine") || !strings.Contains(pe.Verbose(), "monitor_test.go") {
+			t.Errorf("workers=%d: Verbose() lacks the stack:\n%s", workers, pe.Verbose())
 		}
 	}
 }
@@ -47,7 +59,8 @@ func TestPanicKeepsLowestIndexSemantics(t *testing.T) {
 			}
 			return nil
 		})
-		if err == nil || err.Error() != "plain failure" {
+		var ce *CellError
+		if !errors.As(err, &ce) || ce.Cell != 9 || err.Error() != "sweep: cell 9: plain failure" {
 			t.Fatalf("trial %d: err = %v, want cell 9's plain failure", trial, err)
 		}
 	}

@@ -1,0 +1,319 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// OnError selects what the engine does with a cell whose final attempt
+// failed.
+type OnError uint8
+
+const (
+	// Abort stops claiming new cells and returns the lowest failing
+	// index's error (the legacy behavior, and the zero value).
+	Abort OnError = iota
+	// Skip records the failure as a CellFailure hole and keeps sweeping.
+	Skip
+	// Retry re-runs the cell with exponential backoff while the error is
+	// transient and attempts remain, then aborts.
+	Retry
+)
+
+func (o OnError) String() string {
+	switch o {
+	case Skip:
+		return "skip"
+	case Retry:
+		return "retry"
+	default:
+		return "abort"
+	}
+}
+
+// ParseOnError parses the -on-cell-error flag value.
+func ParseOnError(s string) (OnError, error) {
+	switch s {
+	case "", "abort":
+		return Abort, nil
+	case "skip":
+		return Skip, nil
+	case "retry":
+		return Retry, nil
+	}
+	return Abort, fmt.Errorf("sweep: unknown cell-error policy %q (want abort, skip, or retry)", s)
+}
+
+// Policy configures the engine's failure handling. The zero value is the
+// legacy behavior: no timeout, no retries, abort on the first error.
+type Policy struct {
+	OnError OnError
+
+	// MaxAttempts bounds how often a cell runs under Retry (<=0 selects
+	// 3). Backoff is the sleep before the second attempt and doubles per
+	// further attempt (<=0 selects 100ms).
+	MaxAttempts int
+	Backoff     time.Duration
+
+	// Transient decides whether an error is worth retrying. Nil retries
+	// everything except cancellation; a watchdog timeout is retried (the
+	// next attempt gets a fresh deadline).
+	Transient func(error) bool
+
+	// CellTimeout arms a per-cell watchdog: an attempt that produces no
+	// result within the limit is abandoned (its context is canceled, the
+	// goroutine left to die) and fails with a *TimeoutError. Zero
+	// disables the watchdog and runs cells inline on their worker.
+	CellTimeout time.Duration
+
+	// Skip marks cells to omit entirely — no execution, no monitor
+	// callbacks, zero-value results. Used by resume to splice journaled
+	// cells around the engine.
+	Skip func(cell int) bool
+
+	// OnSuccess runs on the worker after a cell's fn succeeds, before the
+	// cell is considered done; an error from it fails the cell. Used to
+	// journal results crash-safely: the engine guarantees it is never
+	// called for an abandoned (timed-out) attempt, so a journal never
+	// records a cell the engine discarded.
+	OnSuccess func(cell int, v any) error
+
+	// sleep is a test seam for the backoff delay.
+	sleep func(ctx context.Context, d time.Duration)
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 100 * time.Millisecond
+	}
+	if p.Transient == nil {
+		p.Transient = func(err error) bool {
+			return !errors.Is(err, context.Canceled)
+		}
+	}
+	if p.sleep == nil {
+		p.sleep = ctxSleep
+	}
+	return p
+}
+
+func ctxSleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// RetryMonitor is an optional Monitor extension: monitors implementing it
+// additionally observe each failed attempt that will be retried. CellDone
+// still fires exactly once per cell, with the final error.
+type RetryMonitor interface {
+	Monitor
+	CellRetry(cell, attempt int, err error)
+}
+
+// engine is the shared (non-generic) state of one MapWorkersPolicy run.
+type engine struct {
+	ctx context.Context
+	m   Monitor
+	pol Policy
+
+	next    atomic.Int64
+	aborted atomic.Bool
+
+	mu     sync.Mutex
+	errIdx int
+	errVal error
+	fails  []CellFailure
+}
+
+// abort records an aborting failure, keeping the lowest index's error.
+func (e *engine) abort(i int, err error) {
+	e.mu.Lock()
+	if i < e.errIdx {
+		e.errIdx, e.errVal = i, err
+	}
+	e.mu.Unlock()
+	e.aborted.Store(true)
+}
+
+// hole records a skip-policy failure.
+func (e *engine) hole(i int, err error) {
+	e.mu.Lock()
+	e.fails = append(e.fails, CellFailure{Cell: i, Err: err})
+	e.mu.Unlock()
+}
+
+// RunContext is Run honoring a context: once ctx is canceled no new cells
+// are claimed (in-flight cells finish), and ctx.Err() is returned when
+// cancellation — rather than a cell — ended the sweep.
+func RunContext(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	_, _, err := MapWorkersPolicy(ctx, workers, n, nil, Policy{},
+		func(ctx context.Context, _, i int) (struct{}, error) { return struct{}{}, fn(ctx, i) })
+	return err
+}
+
+// MapContext is Map honoring a context (see RunContext).
+func MapContext[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out, _, err := MapWorkersPolicy(ctx, workers, n, nil, Policy{},
+		func(ctx context.Context, _, i int) (T, error) { return fn(ctx, i) })
+	return out, err
+}
+
+// RunWorkersPolicy is MapWorkersPolicy for cells without results.
+func RunWorkersPolicy(ctx context.Context, workers, n int, m Monitor, pol Policy, fn func(ctx context.Context, worker, i int) error) ([]CellFailure, error) {
+	_, fails, err := MapWorkersPolicy(ctx, workers, n, m, pol,
+		func(ctx context.Context, w, i int) (struct{}, error) { return struct{}{}, fn(ctx, w, i) })
+	return fails, err
+}
+
+// MapWorkersPolicy is the engine every sweep entry point runs on: it fans
+// cells [0, n) across at most workers goroutines under a context, a
+// monitor, and a failure policy.
+//
+// The determinism contract of RunWorkersMonitored holds here too: indices
+// are claimed monotonically, each cell writes only its own slot, and an
+// aborting error is the one a serial loop would have hit — the lowest
+// failing index's. Cell failures always surface as *CellError (wrapping
+// the cause: the fn error, a *PanicError, or a *TimeoutError).
+//
+// Under Policy.Skip == nil and OnError == Abort this is exactly the
+// legacy engine; Skip-policy failures come back as sorted CellFailures
+// with a nil error, and cancellation returns ctx.Err() once every
+// in-flight cell has drained. On a non-nil error the results are
+// discarded (nil slice).
+func MapWorkersPolicy[T any](ctx context.Context, workers, n int, m Monitor, pol Policy, fn func(ctx context.Context, worker, i int) (T, error)) ([]T, []CellFailure, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	e := &engine{ctx: ctx, m: m, pol: pol.withDefaults(), errIdx: n}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !e.aborted.Load() && ctx.Err() == nil {
+				i := int(e.next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if e.pol.Skip != nil && e.pol.Skip(i) {
+					continue
+				}
+				runCellPolicy(e, w, i, &out[i], fn)
+			}
+		}(w)
+	}
+	wg.Wait()
+	sort.Slice(e.fails, func(a, b int) bool { return e.fails[a].Cell < e.fails[b].Cell })
+	if e.errVal != nil {
+		return nil, e.fails, e.errVal
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, e.fails, err
+	}
+	return out, e.fails, nil
+}
+
+// runCellPolicy executes one cell: monitor callbacks exactly once, the
+// attempt/retry loop, and routing the final error per the policy.
+func runCellPolicy[T any](e *engine, w, i int, slot *T, fn func(ctx context.Context, worker, i int) (T, error)) {
+	var finalErr error
+	if e.m != nil {
+		start := time.Now()
+		e.m.CellStart(i, w)
+		defer func() { e.m.CellDone(i, w, time.Since(start), finalErr) }()
+	}
+	for attempt := 1; ; attempt++ {
+		v, err := runAttempt(e.ctx, e.pol.CellTimeout, w, i, fn)
+		if err == nil {
+			if e.pol.OnSuccess != nil {
+				err = e.pol.OnSuccess(i, v)
+			}
+			if err == nil {
+				*slot = v
+				finalErr = nil // a retried cell that succeeded is not an error
+				return
+			}
+		}
+		finalErr = &CellError{Cell: i, Attempt: attempt, Err: err}
+		if e.pol.OnError == Retry && attempt < e.pol.MaxAttempts &&
+			e.pol.Transient(err) && e.ctx.Err() == nil {
+			if rm, ok := e.m.(RetryMonitor); ok {
+				rm.CellRetry(i, attempt, finalErr)
+			}
+			backoff := e.pol.Backoff << uint(min(attempt-1, 16))
+			e.pol.sleep(e.ctx, backoff)
+			continue
+		}
+		break
+	}
+	if e.pol.OnError == Skip && !errors.Is(finalErr, context.Canceled) {
+		e.hole(i, finalErr)
+		return
+	}
+	e.abort(i, finalErr)
+}
+
+// attemptResult carries one attempt's outcome through the watchdog channel.
+type attemptResult[T any] struct {
+	v   T
+	err error
+}
+
+// runAttempt runs fn once for cell i. With no timeout it runs inline on
+// the worker (panics recovered to *PanicError). With a timeout the
+// attempt runs in its own goroutine under a cancelable child context; if
+// no result arrives in time the goroutine is abandoned — its context
+// canceled so cooperative cells unwind — and a *TimeoutError is returned.
+// An abandoned attempt's late result (and any late panic) is discarded,
+// so the engine never touches results it did not wait for.
+func runAttempt[T any](ctx context.Context, timeout time.Duration, w, i int, fn func(ctx context.Context, worker, i int) (T, error)) (T, error) {
+	if timeout <= 0 {
+		return callCell(ctx, w, i, fn)
+	}
+	cellCtx, cancel := context.WithCancel(ctx)
+	ch := make(chan attemptResult[T], 1)
+	go func() {
+		v, err := callCell(cellCtx, w, i, fn)
+		ch <- attemptResult[T]{v, err}
+	}()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		cancel()
+		return r.v, r.err
+	case <-t.C:
+		cancel()
+		var zero T
+		return zero, &TimeoutError{Cell: i, Limit: timeout}
+	}
+}
+
+// callCell invokes fn with panic recovery, converting a panic into a
+// *PanicError naming the cell.
+func callCell[T any](ctx context.Context, w, i int, fn func(ctx context.Context, worker, i int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Cell: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, w, i)
+}

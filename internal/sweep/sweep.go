@@ -8,15 +8,18 @@
 // mutable state with its siblings. Everything the simulator reads at
 // package level (decode tables, workload registry) is immutable after
 // init, which is what makes the fan-out safe.
+//
+// The engine is resilient by policy (see Policy and MapWorkersPolicy):
+// cells can be canceled via a context, watched by a per-cell timeout,
+// retried with backoff, or skipped with the failure reported as an
+// explicit hole. Failures are always typed — *CellError wrapping the
+// cause — and completed results can be journaled crash-safely (Journal)
+// for later resume.
 package sweep
 
 import (
-	"fmt"
+	"context"
 	"runtime"
-	"runtime/debug"
-	"sync"
-	"sync/atomic"
-	"time"
 )
 
 // Workers normalizes a requested worker count: any value below 1 selects
@@ -39,8 +42,9 @@ func Workers(n int) int {
 // monotonic, every index below the lowest failure has run by then.
 //
 // A cell that panics does not kill the process: the panic is recovered in
-// the worker and converted to a *PanicError carrying the cell index and
-// stack trace, then flows through the same lowest-index error selection.
+// the worker and converted to a *PanicError, wrapped (like every cell
+// failure) in a *CellError carrying the cell index, then flows through the
+// same lowest-index error selection.
 func Run(workers, n int, fn func(i int) error) error {
 	return RunMonitored(workers, n, nil, fn)
 }
@@ -60,80 +64,9 @@ func RunMonitored(workers, n int, m Monitor, fn func(i int) error) error {
 // point of exposing the index. Cell results must still depend only on i,
 // never on worker, or the determinism contract breaks.
 func RunWorkersMonitored(workers, n int, m Monitor, fn func(worker, i int) error) error {
-	workers = Workers(workers)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := runCell(m, 0, i, fn); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	var (
-		next   atomic.Int64
-		failed atomic.Bool
-		wg     sync.WaitGroup
-
-		mu     sync.Mutex
-		errIdx = n
-		errVal error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for !failed.Load() {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if err := runCell(m, w, i, fn); err != nil {
-					mu.Lock()
-					if i < errIdx {
-						errIdx, errVal = i, err
-					}
-					mu.Unlock()
-					failed.Store(true)
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	return errVal
-}
-
-// runCell executes one cell under the monitor, converting a panic into a
-// *PanicError naming the cell. The recover defer is registered after the
-// monitor defer so CellDone observes the converted error.
-func runCell(m Monitor, worker, i int, fn func(worker, i int) error) (err error) {
-	if m != nil {
-		start := time.Now()
-		m.CellStart(i, worker)
-		defer func() { m.CellDone(i, worker, time.Since(start), err) }()
-	}
-	defer func() {
-		if r := recover(); r != nil {
-			err = &PanicError{Cell: i, Value: r, Stack: debug.Stack()}
-		}
-	}()
-	return fn(worker, i)
-}
-
-// PanicError reports a sweep cell that panicked. It preserves the cell
-// index and the panicking goroutine's stack so a failure deep inside one
-// simulation of a multi-hundred-cell sweep is attributable.
-type PanicError struct {
-	Cell  int
-	Value any
-	Stack []byte
-}
-
-func (e *PanicError) Error() string {
-	return fmt.Sprintf("sweep: cell %d panicked: %v\n%s", e.Cell, e.Value, e.Stack)
+	_, err := RunWorkersPolicy(context.Background(), workers, n, m, Policy{},
+		func(_ context.Context, w, i int) error { return fn(w, i) })
+	return err
 }
 
 // Map runs fn for every index in [0, n) across at most workers goroutines
@@ -152,17 +85,7 @@ func MapMonitored[T any](workers, n int, m Monitor, fn func(i int) (T, error)) (
 // RunWorkersMonitored): fn receives (worker, i) so it can reach
 // worker-indexed state without locking, while results stay keyed by i.
 func MapWorkersMonitored[T any](workers, n int, m Monitor, fn func(worker, i int) (T, error)) ([]T, error) {
-	out := make([]T, n)
-	err := RunWorkersMonitored(workers, n, m, func(w, i int) error {
-		v, err := fn(w, i)
-		if err != nil {
-			return err
-		}
-		out[i] = v
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	out, _, err := MapWorkersPolicy(context.Background(), workers, n, m, Policy{},
+		func(_ context.Context, w, i int) (T, error) { return fn(w, i) })
+	return out, err
 }

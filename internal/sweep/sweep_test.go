@@ -81,19 +81,27 @@ func TestRunBoundsConcurrency(t *testing.T) {
 
 // TestRunErrorIsLowestIndex checks the determinism contract: regardless of
 // worker count or scheduling, the reported error matches the serial run's
-// (the lowest failing index).
+// (the lowest failing index), wrapped in a *CellError naming that cell.
 func TestRunErrorIsLowestIndex(t *testing.T) {
+	sentinel := errors.New("injected failure")
 	boom := func(i int) error {
 		if i == 13 || i == 37 {
-			return fmt.Errorf("cell %d failed", i)
+			return fmt.Errorf("cell %d failed: %w", i, sentinel)
 		}
 		return nil
 	}
 	for _, workers := range []int{1, 2, 8} {
 		for trial := 0; trial < 20; trial++ {
 			err := Run(workers, 64, boom)
-			if err == nil || err.Error() != "cell 13 failed" {
-				t.Fatalf("workers=%d: err = %v, want cell 13's", workers, err)
+			var ce *CellError
+			if !errors.As(err, &ce) || ce.Cell != 13 {
+				t.Fatalf("workers=%d: err = %v, want cell 13's *CellError", workers, err)
+			}
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("workers=%d: CellError does not unwrap to the cause: %v", workers, err)
+			}
+			if err.Error() != "sweep: cell 13: cell 13 failed: injected failure" {
+				t.Fatalf("workers=%d: err.Error() = %q", workers, err)
 			}
 		}
 	}

@@ -43,7 +43,27 @@ type Manifest struct {
 	// hashes produce identical tables.
 	ConfigHash string `json:"config_hash"`
 
+	// Status is how the run ended: "completed", or "interrupted" when a
+	// signal canceled the sweep and the partial state was flushed. It is
+	// provenance, not a result-determining field, so it is outside
+	// ConfigHash.
+	Status string `json:"status,omitempty"`
+	// Resume records crash-safe-resume provenance when -resume spliced
+	// journaled cells into this run, chaining back to every prior run
+	// that appended to the journal.
+	Resume *ResumeRecord `json:"resume,omitempty"`
+
 	Experiments []ExperimentRecord `json:"experiments,omitempty"`
+}
+
+// ResumeRecord traces a resumed run back to the journal that fed it.
+// PriorRuns carries the journal's run stamps as "tool@start" strings, so
+// the manifest alone reconstructs the full chain of partial runs that
+// produced the artifact.
+type ResumeRecord struct {
+	Journal       string   `json:"journal"`
+	PriorRuns     []string `json:"prior_runs,omitempty"`
+	CellsReplayed int      `json:"cells_replayed"`
 }
 
 // ExperimentRecord is one experiment's timing within a run.

@@ -11,6 +11,7 @@ const (
 	MetricSweepInflight    = "retstack_sweep_cells_inflight"
 	MetricSweepCompleted   = "retstack_sweep_cells_completed_total"
 	MetricSweepErrors      = "retstack_sweep_cell_errors_total"
+	MetricSweepRetries     = "retstack_sweep_cell_retries_total"
 	MetricSweepCellSeconds = "retstack_sweep_cell_seconds"
 	MetricSweepWorkerMs    = "retstack_sweep_worker_busy_ms_total"
 
@@ -39,6 +40,7 @@ type SweepObserver struct {
 	inflight  *Gauge
 	completed *Counter
 	errors    *Counter
+	retries   *Counter
 	seconds   *Histogram
 }
 
@@ -55,6 +57,8 @@ func NewSweepObserver(reg *Registry, log *EventLog, labels ...string) *SweepObse
 			"sweep cells finished", labels...),
 		errors: reg.Counter(MetricSweepErrors,
 			"sweep cells finished with an error", labels...),
+		retries: reg.Counter(MetricSweepRetries,
+			"failed cell attempts that were retried", labels...),
 		seconds: reg.Histogram(MetricSweepCellSeconds,
 			"per-cell simulation wall clock",
 			[]float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}, labels...),
@@ -97,6 +101,24 @@ func (o *SweepObserver) CellDone(cell, worker int, d time.Duration, err error) {
 		fields["error"] = err.Error()
 	}
 	o.log.Emit("cell_done", fields)
+}
+
+// CellRetry implements sweep.RetryMonitor: a failed attempt the engine is
+// about to re-run. CellDone still fires exactly once per cell with the
+// final outcome; retries are visible only here.
+func (o *SweepObserver) CellRetry(cell, attempt int, err error) {
+	if o == nil {
+		return
+	}
+	o.retries.Inc()
+	fields := map[string]any{"cell": cell, "attempt": attempt}
+	for i := 0; i+1 < len(o.labels); i += 2 {
+		fields[o.labels[i]] = o.labels[i+1]
+	}
+	if err != nil {
+		fields["error"] = err.Error()
+	}
+	o.log.Emit("cell_retry", fields)
 }
 
 // PipelineMetrics aggregates simulator cycle samples into registry
