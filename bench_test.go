@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"retstack"
+	"retstack/internal/config"
 	"retstack/internal/core"
 	"retstack/internal/experiments"
 )
@@ -180,8 +181,11 @@ func BenchmarkSweepSerial(b *testing.B) {
 
 // BenchmarkSweepParallel runs the same sweep across GOMAXPROCS workers and
 // reports the wall-clock speedup over a serial run measured outside the
-// timed loop.
+// timed loop. The worker count is reported alongside the speedup: a
+// speedup of ~1.0 on a 1-CPU machine is expected, not a regression, and
+// comparing speedups across reports is only meaningful at equal "procs".
 func BenchmarkSweepParallel(b *testing.B) {
+	procs := runtime.GOMAXPROCS(0)
 	serialStart := time.Now()
 	if _, err := experiments.Run("t3", sweepBenchParams(1)); err != nil {
 		b.Fatal(err)
@@ -190,7 +194,7 @@ func BenchmarkSweepParallel(b *testing.B) {
 
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Run("t3", sweepBenchParams(runtime.GOMAXPROCS(0))); err != nil {
+		if _, err := experiments.Run("t3", sweepBenchParams(procs)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -198,6 +202,7 @@ func BenchmarkSweepParallel(b *testing.B) {
 	if parallelPerOp > 0 {
 		b.ReportMetric(float64(serial)/float64(parallelPerOp), "speedup")
 	}
+	b.ReportMetric(float64(procs), "procs")
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed (simulated
@@ -206,6 +211,38 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	w, _ := retstack.WorkloadByName("gcc")
 	cfg := retstack.Baseline().WithPolicy(retstack.RepairTOSPointerAndContents)
 	const insts = 100_000
+	if _, err := retstack.Run(cfg, w, insts); err != nil { // warm the workload build cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var committed uint64
+	for i := 0; i < b.N; i++ {
+		res, err := retstack.Run(cfg, w, insts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		committed += res.Stats.Committed
+	}
+	b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "simInsts/s")
+}
+
+// BenchmarkSimulatorThroughputMispred is the wrong-path-heavy companion to
+// BenchmarkSimulatorThroughput: a weaker direction predictor (bimodal, and
+// a short global history for returns' surrounding branches) drives the
+// misprediction rate up so the run spends most of its time in speculative
+// execution, squash, and recovery — the paths the flat overlay and
+// allocation-free recovery exist for.
+func BenchmarkSimulatorThroughputMispred(b *testing.B) {
+	w, _ := retstack.WorkloadByName("gcc")
+	cfg := retstack.Baseline().WithPolicy(retstack.RepairTOSPointerAndContents)
+	cfg.DirPred = config.DirBimodal
+	cfg.GAgHistBits = 6
+	const insts = 100_000
+	if _, err := retstack.Run(cfg, w, insts); err != nil { // warm the workload build cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var committed uint64
 	for i := 0; i < b.N; i++ {

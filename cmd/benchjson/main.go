@@ -6,6 +6,7 @@
 //
 //	go test -run '^$' -bench 'BenchmarkSweep' -benchmem . | benchjson -out BENCH_sweep.json
 //	benchjson -validate BENCH_sweep.json -require BenchmarkSweepSerial,BenchmarkSweepParallel
+//	go test -run '^$' -bench . -benchmem . | benchjson -baseline BENCH_sweep.json
 //
 // The parser understands the standard benchmark line shape — name,
 // iteration count, then (value, unit) pairs — and keeps the well-known
@@ -48,9 +49,11 @@ type Bench struct {
 
 func main() {
 	var (
-		out      = flag.String("out", "", "write the JSON report here (default stdout)")
-		validate = flag.String("validate", "", "validate an existing report file instead of parsing stdin")
-		require  = flag.String("require", "", "comma-separated benchmark names that must be present (validate mode)")
+		out        = flag.String("out", "", "write the JSON report here (default stdout)")
+		validate   = flag.String("validate", "", "validate an existing report file instead of parsing stdin")
+		require    = flag.String("require", "", "comma-separated benchmark names that must be present (validate mode)")
+		baseline   = flag.String("baseline", "", "committed report to compare allocs/op against; regressions fail the run")
+		allocSlack = flag.Float64("alloc-slack", 0.10, "relative allocs/op headroom allowed over the baseline (baseline mode)")
 	)
 	flag.Parse()
 
@@ -74,13 +77,30 @@ func main() {
 		os.Exit(1)
 	}
 	buf = append(buf, '\n')
-	if *out == "" {
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	} else if *baseline == "" {
 		os.Stdout.Write(buf)
-		return
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+
+	if *baseline != "" {
+		base, err := readReport(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		regs, checked := CompareAllocs(rep, base, *allocSlack)
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)
+		}
+		if len(regs) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: allocs/op within %.0f%% of %s for %d benchmark(s)\n",
+			*allocSlack*100, *baseline, checked)
 	}
 }
 
@@ -155,6 +175,48 @@ func parseLine(line string) (Bench, error) {
 		return Bench{}, fmt.Errorf("no ns/op in benchmark line %q", line)
 	}
 	return b, nil
+}
+
+// readReport loads and decodes a committed BENCH_*.json report.
+func readReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+// CompareAllocs checks cur's allocs/op against base for every benchmark
+// present in both reports, returning one message per regression and the
+// number of benchmarks compared. Allocation counts are the stable axis to
+// guard in CI — wall-clock on shared runners is too noisy to gate on, but
+// allocs/op only moves when the code's allocation behavior actually
+// changes. slack is relative headroom (0.10 = 10%); a few allocs of
+// absolute headroom are always granted so tiny baselines (0–2 allocs/op)
+// don't trip on one-off runtime noise.
+func CompareAllocs(cur, base *Report, slack float64) (regressions []string, checked int) {
+	baseBy := map[string]Bench{}
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	for _, b := range cur.Benchmarks {
+		bb, ok := baseBy[b.Name]
+		if !ok {
+			continue
+		}
+		checked++
+		limit := bb.AllocsOp*(1+slack) + 4
+		if b.AllocsOp > limit {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f allocs/op exceeds baseline %.0f (limit %.0f)",
+				b.Name, b.AllocsOp, bb.AllocsOp, limit))
+		}
+	}
+	return regressions, checked
 }
 
 // validateFile checks that a committed report parses, is non-empty, has

@@ -84,3 +84,41 @@ func TestValidate(t *testing.T) {
 		t.Error("empty report accepted")
 	}
 }
+
+func TestCompareAllocs(t *testing.T) {
+	base := &Report{Benchmarks: []Bench{
+		{Name: "BenchmarkA", AllocsOp: 1000},
+		{Name: "BenchmarkB", AllocsOp: 2},
+		{Name: "BenchmarkGone", AllocsOp: 50},
+	}}
+
+	// Within slack (and within the small absolute grace for tiny baselines).
+	cur := &Report{Benchmarks: []Bench{
+		{Name: "BenchmarkA", AllocsOp: 1050},
+		{Name: "BenchmarkB", AllocsOp: 5},
+		{Name: "BenchmarkNew", AllocsOp: 1 << 20}, // not in baseline: ignored
+	}}
+	regs, checked := CompareAllocs(cur, base, 0.10)
+	if len(regs) != 0 {
+		t.Errorf("unexpected regressions: %v", regs)
+	}
+	if checked != 2 {
+		t.Errorf("checked = %d, want 2", checked)
+	}
+
+	// A real regression must be reported by name.
+	cur = &Report{Benchmarks: []Bench{
+		{Name: "BenchmarkA", AllocsOp: 1200},
+		{Name: "BenchmarkB", AllocsOp: 2},
+	}}
+	regs, _ = CompareAllocs(cur, base, 0.10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkA") {
+		t.Errorf("regressions = %v, want one naming BenchmarkA", regs)
+	}
+
+	// An improvement never fails.
+	cur = &Report{Benchmarks: []Bench{{Name: "BenchmarkA", AllocsOp: 10}}}
+	if regs, _ = CompareAllocs(cur, base, 0.10); len(regs) != 0 {
+		t.Errorf("improvement flagged: %v", regs)
+	}
+}

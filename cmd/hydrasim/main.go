@@ -60,7 +60,8 @@ func (o *obs) attach(sim *pipeline.Sim, bench string) {
 	sim.SetSampler(o.sampleEvery, func(sm pipeline.Sample) {
 		o.pipe.Observe(sm.RUUOccupancy, sm.FetchQLen, sm.LivePaths,
 			sm.RASDepth, sm.CheckpointsLive, sm.NewSquashed, sm.NewRecoveries,
-			sm.NewPredecodeHits, sm.NewPredecodeFallbacks)
+			sm.NewPredecodeHits, sm.NewPredecodeFallbacks,
+			sm.NewOverlaySpills, sm.NewOverlayReuses)
 		o.events.Emit("sample", map[string]any{
 			"bench": bench, "cycle": sm.Cycle, "committed": sm.Committed,
 			"ruu": sm.RUUOccupancy, "fetchq": sm.FetchQLen, "paths": sm.LivePaths,

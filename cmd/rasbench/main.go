@@ -65,6 +65,7 @@ func main() {
 		list        = flag.Bool("list", false, "list experiments and exit")
 		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations to run concurrently (1 = serial; output is identical at any setting)")
 		noPredecode = flag.Bool("no-predecode", false, "decode every fetch from memory instead of the predecoded instruction plane (A/B switch; output is identical either way)")
+		flatOverlay = flag.Bool("flat-overlay", true, "use the flat word-granular wrong-path overlay; false selects the original map-based overlay (A/B switch; output is identical either way)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
@@ -174,7 +175,8 @@ func main() {
 	}
 	params := experiments.Params{
 		InstBudget: *insts, Warmup: *warmup, Parallel: *parallel, NoPredecode: *noPredecode,
-		Ctx: ctx, OnCellError: policy, RetryAttempts: *retries, RetryBackoff: *retryBackoff,
+		NoFlatOverlay: !*flatOverlay,
+		Ctx:           ctx, OnCellError: policy, RetryAttempts: *retries, RetryBackoff: *retryBackoff,
 		CellTimeout: *cellTimeout, Inject: plan,
 	}
 	if *bench != "" {
@@ -252,7 +254,8 @@ func main() {
 			p.Sample = func(cell int, sm pipeline.Sample) {
 				pipeMetrics.Observe(sm.RUUOccupancy, sm.FetchQLen, sm.LivePaths,
 					sm.RASDepth, sm.CheckpointsLive, sm.NewSquashed, sm.NewRecoveries,
-					sm.NewPredecodeHits, sm.NewPredecodeFallbacks)
+					sm.NewPredecodeHits, sm.NewPredecodeFallbacks,
+					sm.NewOverlaySpills, sm.NewOverlayReuses)
 			}
 		}
 		events.Emit("experiment_start", map[string]any{"exp": id})

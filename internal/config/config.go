@@ -223,6 +223,14 @@ type Config struct {
 	// that test and for A/B measurements (rasbench -no-predecode). Not a
 	// machine parameter: it does not appear in Describe().
 	NoPredecode bool
+
+	// NoFlatOverlay swaps the flat word-granular wrong-path overlay for the
+	// original per-byte map implementation. Like NoPredecode this is a pure
+	// simulator-speed switch — results are byte-identical either way
+	// (pinned by TestFlatOverlayMatchesMap) — kept for that test and for
+	// A/B measurements (rasbench -flat-overlay=false). Not a machine
+	// parameter: it does not appear in Describe().
+	NoFlatOverlay bool
 }
 
 // Baseline returns the paper's Table 1 machine.

@@ -133,6 +133,21 @@ func (m *Machine) FetchInst(pc uint32) isa.Inst {
 	return isa.Decode(m.Mem.Read32(pc))
 }
 
+// FetchInstClass is FetchInst plus the instruction's class, served from the
+// plane's precomputed class table on a hit so fetch classifies in two table
+// loads instead of re-deriving the class per instruction.
+func (m *Machine) FetchInstClass(pc uint32) (isa.Inst, isa.Class) {
+	if m.plane != nil && !m.Mem.codeDirty {
+		if in, cl, ok := m.plane.LookupClass(pc); ok {
+			m.PredecodeHits++
+			return in, cl
+		}
+	}
+	m.PredecodeFallbacks++
+	in := isa.Decode(m.Mem.Read32(pc))
+	return in, in.Class()
+}
+
 // ApplySyscall performs the architectural side effects of a syscall
 // outcome. It is exported so the pipeline can apply syscalls at the point
 // its model treats as architectural.
@@ -152,8 +167,14 @@ func (m *Machine) ApplySyscall(out Outcome) {
 // NoteRetired updates instruction-mix and call-depth statistics for one
 // retired instruction.
 func (m *Machine) NoteRetired(in isa.Inst) {
+	m.NoteRetiredClass(in.Class())
+}
+
+// NoteRetiredClass is NoteRetired for callers that already know the
+// instruction's class (the pipeline carries it from fetch), skipping the
+// per-retire reclassification.
+func (m *Machine) NoteRetiredClass(c isa.Class) {
 	m.InstCount++
-	c := in.Class()
 	m.ClassCounts[c]++
 	switch {
 	case c.IsCall():

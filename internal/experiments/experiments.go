@@ -60,6 +60,13 @@ type Params struct {
 	// the switch exists for A/B benchmarking and as a fallback.
 	NoPredecode bool
 
+	// NoFlatOverlay swaps the flat wrong-path overlay for the original
+	// map-based implementation in every simulation (the rasbench
+	// -flat-overlay=false flag). Same contract as NoPredecode: byte-
+	// identical results (pinned by TestFlatOverlayMatchesMap), kept for
+	// A/B measurement.
+	NoFlatOverlay bool
+
 	// Resilience knobs (the rasbench flags of the same names). Zero values
 	// are the legacy behavior: background context, abort on the first
 	// failing cell, no watchdog, no journal, no replay, no injection.
@@ -451,6 +458,9 @@ func (r recyclers) of(worker int) *pipeline.Recycler {
 func simulateCell(cell int, w workloads.Workload, im *program.Image, cfg config.Config, p Params, r *pipeline.Recycler) (*pipeline.Sim, error) {
 	if p.NoPredecode {
 		cfg.NoPredecode = true
+	}
+	if p.NoFlatOverlay {
+		cfg.NoFlatOverlay = true
 	}
 	sim, err := pipeline.NewWithRecycler(cfg, im, r)
 	if err != nil {

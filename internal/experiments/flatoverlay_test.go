@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestFlatOverlayMatchesMap is the speculative-state determinism contract:
+// every experiment result must be bit-identical whether wrong-path state
+// lives in the flat word-granular overlay or the original map overlay. The
+// flat store is purely a representation change — any divergence is a
+// masking or reset bug. t3 covers the plain simCell path; a7 covers SMT
+// cells and the ablation grid.
+func TestFlatOverlayMatchesMap(t *testing.T) {
+	for _, id := range []string{"t3", "a7"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			flat := Params{InstBudget: 20_000, Workloads: []string{"go", "li"}}
+			mapped := flat
+			mapped.NoFlatOverlay = true
+
+			fres, err := Run(id, flat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mres, err := Run(id, mapped)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if len(fres.Values) == 0 {
+				t.Fatal("flat-overlay run produced no structured values")
+			}
+			if len(mres.Values) != len(fres.Values) {
+				t.Fatalf("value count: flat %d, map %d", len(fres.Values), len(mres.Values))
+			}
+			for k, fv := range fres.Values {
+				if mv, ok := mres.Values[k]; !ok || mv != fv {
+					t.Errorf("%s: flat %v, map %v", k, fv, mres.Values[k])
+				}
+			}
+			if fs, ms := fres.String(), mres.String(); fs != ms {
+				t.Errorf("rendered output differs:\n--- flat ---\n%s\n--- map ---\n%s", fs, ms)
+			}
+		})
+	}
+}

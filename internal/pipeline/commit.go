@@ -17,11 +17,12 @@ func (s *Sim) commitStage() {
 		if s.ruuCount == 0 {
 			break
 		}
-		e := &s.ruu[s.ruuHead]
-		if !e.valid || !e.completed {
+		st := s.ruuState[s.ruuHead]
+		if st&ruuValid == 0 || st&ruuCompleted == 0 {
 			break
 		}
-		if !e.squashed {
+		e := &s.ruu[s.ruuHead]
+		if st&ruuSquashed == 0 {
 			s.retire(e)
 			s.emit(TraceCommit, e.seq, e.pathTok, e.pc, e.inst, 0)
 		}
@@ -30,8 +31,10 @@ func (s *Sim) commitStage() {
 			e.lsqHeld = false
 			s.lsqCount--
 		}
-		e.valid = false
-		s.ruuHead = (s.ruuHead + 1) % len(s.ruu)
+		s.ruuState[s.ruuHead] = 0
+		if s.ruuHead++; s.ruuHead == len(s.ruu) {
+			s.ruuHead = 0
+		}
 		s.ruuCount--
 		if s.done {
 			break
@@ -44,13 +47,13 @@ func (s *Sim) commitStage() {
 // instruction.
 func (s *Sim) retire(e *ruuEntry) {
 	th := s.threads[0]
-	if p := s.pathByTok[e.pathTok]; p != nil {
+	if p := s.pathByToken(e.pathTok); p != nil {
 		th = s.threadOf(p)
 	}
 	s.stats.Committed++
 	s.stats.PerThreadCommitted[th.id]++
 	s.stats.CommittedByClass[e.class]++
-	th.mach.NoteRetired(e.inst)
+	th.mach.NoteRetiredClass(e.class)
 
 	if e.isStore {
 		// The value was written to architectural memory at dispatch; the

@@ -20,7 +20,7 @@ func (s *Sim) dispatchStage() {
 		if slot.readyAt > s.cycle {
 			return // models front-end depth
 		}
-		p := s.pathByTok[slot.pathTok]
+		p := s.pathByToken(slot.pathTok)
 		if p == nil {
 			// The owning path was killed after this slot was enqueued but
 			// before a flush could see it; drop it as wrong-path work.
@@ -48,8 +48,8 @@ func (s *Sim) dispatchStage() {
 		// entry's previous checkpoint was recycled when it was released at
 		// commit; recycle defensively in case that invariant ever slips.
 		s.recycleCheckpoint(&e.checkpoint)
+		s.ruuState[s.ruuTail] = ruuValid
 		*e = ruuEntry{
-			valid:         true,
 			seq:           slot.seq,
 			pathTok:       slot.pathTok,
 			pc:            slot.pc,
@@ -81,7 +81,9 @@ func (s *Sim) dispatchStage() {
 			e.lsqHeld = true
 			s.lsqCount++
 		}
-		s.ruuTail = (s.ruuTail + 1) % len(s.ruu)
+		if s.ruuTail++; s.ruuTail == len(s.ruu) {
+			s.ruuTail = 0
+		}
 		s.ruuCount++
 		if s.runErr != nil {
 			return
@@ -90,7 +92,9 @@ func (s *Sim) dispatchStage() {
 }
 
 func (s *Sim) popFetchSlot() {
-	s.fetchQHead = (s.fetchQHead + 1) % len(s.fetchQ)
+	if s.fetchQHead++; s.fetchQHead == len(s.fetchQ) {
+		s.fetchQHead = 0
+	}
 	s.fetchQLen--
 }
 
@@ -181,7 +185,7 @@ func (s *Sim) fillOutcome(e *ruuEntry, out emu.Outcome) {
 // settleFork decides, at the forked branch's dispatch, which side will be
 // squashed when the branch resolves, and prepares the child context.
 func (s *Sim) settleFork(p *path, e *ruuEntry) {
-	child := s.pathByTok[e.childToken]
+	child := s.pathByToken(e.childToken)
 	if child == nil {
 		// Child was already killed by an older recovery; resolution will
 		// have nothing to do on that side.
@@ -213,9 +217,12 @@ func (s *Sim) settleFork(p *path, e *ruuEntry) {
 		return
 	}
 	// Fork taken on an already-wrong path: both sides are wrong. The
-	// overlay outcome still picks which side resolution squashes.
+	// overlay outcome still picks which side resolution squashes. The
+	// child's fork-time overlay is superseded by a copy of the parent's
+	// speculative state; recycle it rather than dropping it to the GC.
 	child.correct = false
-	child.overlay = p.overlay.Clone()
+	s.recycleOverlay(child.overlay)
+	child.overlay = s.cloneOverlay(p.overlay)
 	if e.execErr || e.actualTaken {
 		e.loserToken = child.token
 	} else {
@@ -235,8 +242,11 @@ func (s *Sim) wireDependencies(p *path, e *ruuEntry) {
 		if idx == invalidIdx {
 			continue
 		}
+		if st := s.ruuState[idx]; st&ruuValid == 0 || st&ruuCompleted != 0 {
+			continue
+		}
 		prod := &s.ruu[idx]
-		if prod.valid && prod.seq == p.creatorSeq[r] && !prod.completed {
+		if prod.seq == p.creatorSeq[r] {
 			e.depIdx[slotNo] = idx
 			e.depSeq[slotNo] = prod.seq
 		}

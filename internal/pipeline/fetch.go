@@ -3,7 +3,6 @@ package pipeline
 import (
 	"retstack/internal/config"
 	"retstack/internal/core"
-	"retstack/internal/emu"
 	"retstack/internal/isa"
 )
 
@@ -50,9 +49,10 @@ func (s *Sim) fetchPath(p *path, budget int) int {
 			}
 		}
 
-		// Fetch through the predecode plane: one table load for in-segment
-		// PCs, Read32+Decode otherwise (identical result, see FetchInst).
-		in := s.threadOf(p).mach.FetchInst(pc)
+		// Fetch through the predecode plane: two table loads (instruction
+		// and precomputed class) for in-segment PCs, Read32+Decode+classify
+		// otherwise (identical result, see FetchInstClass).
+		in, cl := s.threadOf(p).mach.FetchInstClass(pc)
 		budget--
 		s.stats.Fetched++
 		s.nextSeq++
@@ -65,13 +65,17 @@ func (s *Sim) fetchPath(p *path, budget int) int {
 		// buffers are pooled centrally (cpFree), so the slot starts with an
 		// empty checkpoint; takeCheckpoint borrows a recycled buffer when it
 		// needs one.
-		slot := &s.fetchQ[(s.fetchQHead+s.fetchQLen)%len(s.fetchQ)]
+		tail := s.fetchQHead + s.fetchQLen
+		if tail >= len(s.fetchQ) {
+			tail -= len(s.fetchQ)
+		}
+		slot := &s.fetchQ[tail]
 		*slot = fetchSlot{
 			seq:     s.nextSeq,
 			pathTok: p.token,
 			pc:      pc,
 			inst:    in,
-			class:   in.Class(),
+			class:   cl,
 			readyAt: s.cycle + uint64(s.cfg.BranchLat),
 			predNPC: pc + isa.WordBytes,
 		}
@@ -273,9 +277,8 @@ func (s *Sim) tryFork(p *path, slot *fetchSlot) bool {
 		correct:     false, // settled when the branch dispatches
 	}
 	child.resetCreators()
-	child.overlay = emu.NewOverlay(s.threadOf(p).mach)
+	child.overlay = s.takeOverlay(s.threadOf(p).mach)
 	child.ras = s.pathStack(p.ras)
-	s.pathByTok[child.token] = child
 	s.liveCount++
 
 	// Under the unified-with-repair organization the fork itself takes a

@@ -1,0 +1,194 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"retstack/internal/asm"
+	"retstack/internal/config"
+	"retstack/internal/core"
+	"retstack/internal/program"
+)
+
+// TestFlatOverlayMatchesMap is the pipeline-level A/B contract: the flat
+// word-granular overlay and the original map overlay must produce identical
+// committed state and statistics on a misprediction-dense workload, across
+// single-path and multipath (shared- and per-path-stack) machines.
+func TestFlatOverlayMatchesMap(t *testing.T) {
+	im := mustAssemble(t, corruptorProgram)
+	cfgs := map[string]config.Config{
+		"single":         config.Baseline().WithPolicy(core.RepairTOSPointerAndContents),
+		"no-repair":      config.Baseline(),
+		"2-path":         mpConfig(2, config.MPPerPath),
+		"4-path-unified": mpConfig(4, config.MPUnifiedRepair),
+	}
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			mapCfg := cfg
+			mapCfg.NoFlatOverlay = true
+			flat := runSim(t, cfg, im)
+			ref := runSim(t, mapCfg, im)
+
+			// The overlay counters are the one legitimate difference: the
+			// map path never spills or pools. Zero them before comparing.
+			fs, ms := *flat.Stats(), *ref.Stats()
+			fs.OverlaySpills, fs.OverlayReuses = 0, 0
+			ms.OverlaySpills, ms.OverlayReuses = 0, 0
+			if !reflect.DeepEqual(fs, ms) {
+				t.Errorf("stats diverge:\nflat: %+v\nmap:  %+v", fs, ms)
+			}
+			if flat.Machine().Regs != ref.Machine().Regs {
+				t.Error("architectural registers diverge")
+			}
+			if ms.OverlaySpills != 0 || ms.OverlayReuses != 0 {
+				t.Error("map overlay reported flat-overlay counters")
+			}
+		})
+	}
+}
+
+// TestSteadyStateStepAllocs pins the tentpole allocation property: once
+// warmed up, stepping a misprediction-heavy single-path simulation — wrong
+// -path execution on the overlay, squashes, recoveries, checkpoint traffic
+// — allocates nothing per cycle.
+func TestSteadyStateStepAllocs(t *testing.T) {
+	im := mustAssemble(t, corruptorProgram)
+	s, err := New(config.Baseline().WithPolicy(core.RepairTOSPointerAndContents), im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ { // warm caches, pools, and the overlay table
+		if err := s.StepForTest(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := testing.AllocsPerRun(20, func() {
+		for i := 0; i < 200; i++ {
+			_ = s.StepForTest()
+		}
+	})
+	if s.Done() {
+		t.Fatal("program finished during measurement; shorten the warmup")
+	}
+	if n != 0 {
+		t.Fatalf("steady-state stepping allocates %v times per 200 cycles, want 0", n)
+	}
+	if s.Stats().Recoveries == 0 {
+		t.Fatal("workload produced no recoveries; the pin is vacuous")
+	}
+}
+
+// TestFoldLiveStackStatsAllocs pins the scratch-slice replacement of the
+// per-call seen map: folding live stack stats allocates nothing.
+func TestFoldLiveStackStatsAllocs(t *testing.T) {
+	im := mustAssemble(t, corruptorProgram)
+	s, err := New(mpConfig(4, config.MPPerPath), im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		if err := s.StepForTest(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	save := s.stats.RAS
+	if n := testing.AllocsPerRun(50, s.foldLiveStackStats); n != 0 {
+		t.Fatalf("foldLiveStackStats allocates %v times, want 0", n)
+	}
+	s.stats.RAS = save // the repeated folds double-counted; restore
+}
+
+// TestOverlayPoolRecycles checks the fork/squash overlay lifecycle: under
+// multipath with plentiful squashes, released paths' overlays are reused by
+// later forks instead of freshly allocated.
+func TestOverlayPoolRecycles(t *testing.T) {
+	im := mustAssemble(t, corruptorProgram)
+	s := runSim(t, mpConfig(4, config.MPPerPath), im)
+	st := s.Stats()
+	if st.Forks == 0 || st.PathsSquashed == 0 {
+		t.Fatalf("workload forked %d / squashed %d paths; test is vacuous", st.Forks, st.PathsSquashed)
+	}
+	if st.OverlayReuses == 0 {
+		t.Error("no overlay was ever served from the pool")
+	}
+	// Every fork after the pool primes should hit it; allow the first few
+	// forks (one per concurrently-live path) to allocate.
+	if st.OverlayReuses+uint64(s.cfg.MaxPaths) < st.Forks {
+		t.Errorf("only %d of %d forks reused a pooled overlay", st.OverlayReuses, st.Forks)
+	}
+}
+
+// benchImage assembles a test program for a benchmark.
+func benchImage(b *testing.B, src string) *program.Image {
+	im, err := asm.Assemble(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return im
+}
+
+// benchWarm runs one untimed simulation to fill the recycler's pools, so a
+// -benchtime 1x run (the CI allocation guard) measures the recycled steady
+// state the committed baseline records, not first-run pool construction.
+func benchWarm(b *testing.B, cfg config.Config, im *program.Image, rec *Recycler) {
+	b.Helper()
+	s, err := NewWithRecycler(cfg, im, rec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Run(20_000); err != nil {
+		b.Fatal(err)
+	}
+	s.Release(rec)
+}
+
+// BenchmarkRecovery measures the wrong-path-and-recover cycle end to end: a
+// misprediction-dense single-path run where the dominant work is overlay
+// execution, squash, and RAS repair. The recycler mirrors sweep-worker use
+// so steady-state iterations exercise the pools.
+func BenchmarkRecovery(b *testing.B) {
+	im := benchImage(b, corruptorProgram)
+	cfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)
+	rec := NewRecycler()
+	benchWarm(b, cfg, im, rec)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var recoveries uint64
+	for i := 0; i < b.N; i++ {
+		s, err := NewWithRecycler(cfg, im, rec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Run(20_000); err != nil {
+			b.Fatal(err)
+		}
+		recoveries += s.Stats().Recoveries
+		s.Release(rec)
+	}
+	b.ReportMetric(float64(recoveries)/float64(b.N), "recoveries/op")
+}
+
+// BenchmarkPathFork measures multipath forking with per-path stacks: every
+// low-confidence branch clones a path context (overlay from the pool, stack
+// copied), and resolution squashes the loser.
+func BenchmarkPathFork(b *testing.B) {
+	im := benchImage(b, corruptorProgram)
+	cfg := mpConfig(4, config.MPPerPath)
+	rec := NewRecycler()
+	benchWarm(b, cfg, im, rec)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var forks uint64
+	for i := 0; i < b.N; i++ {
+		s, err := NewWithRecycler(cfg, im, rec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Run(20_000); err != nil {
+			b.Fatal(err)
+		}
+		forks += s.Stats().Forks
+		s.Release(rec)
+	}
+	b.ReportMetric(float64(forks)/float64(b.N), "forks/op")
+}

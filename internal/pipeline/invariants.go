@@ -12,7 +12,11 @@ func (s *Sim) CheckInvariants() error {
 	checkpoints := 0
 	for i := range s.ruu {
 		e := &s.ruu[i]
-		if !e.valid {
+		st := s.ruuState[i]
+		if st&ruuValid == 0 {
+			if st != 0 {
+				return fmt.Errorf("invariant: invalid RUU slot %d has state bits %#x", i, st)
+			}
 			continue
 		}
 		valid++
@@ -22,10 +26,10 @@ func (s *Sim) CheckInvariants() error {
 		if e.hasCheckpoint {
 			checkpoints++
 		}
-		if e.squashed && !e.completed {
+		if st&ruuSquashed != 0 && st&ruuCompleted == 0 {
 			return fmt.Errorf("invariant: squashed entry seq %d not completed", e.seq)
 		}
-		if e.issued && e.completeAt == 0 && !e.completed {
+		if st&ruuIssued != 0 && e.completeAt == 0 && st&ruuCompleted == 0 {
 			return fmt.Errorf("invariant: issued entry seq %d has no completion time", e.seq)
 		}
 	}
@@ -52,7 +56,9 @@ func (s *Sim) CheckInvariants() error {
 		return fmt.Errorf("invariant: shadowUsed %d exceeds %d slots", s.shadowUsed, s.cfg.ShadowSlots)
 	}
 
-	// Path bookkeeping.
+	// Path bookkeeping. Tokens must be unique among live slots: the
+	// scan-based pathByToken must resolve each live path to exactly its own
+	// slot, and a live path must carry an overlay.
 	live := 0
 	correct := 0
 	for i := range s.paths {
@@ -64,15 +70,15 @@ func (s *Sim) CheckInvariants() error {
 		if p.correct {
 			correct++
 		}
-		if got := s.pathByTok[p.token]; got != p {
-			return fmt.Errorf("invariant: path token %d not indexed to its slot", p.token)
+		if got := s.pathByToken(p.token); got != p {
+			return fmt.Errorf("invariant: path token %d does not resolve to its slot", p.token)
+		}
+		if p.overlay == nil {
+			return fmt.Errorf("invariant: live path token %d has no overlay", p.token)
 		}
 	}
 	if live != s.liveCount {
 		return fmt.Errorf("invariant: %d live paths but liveCount=%d", live, s.liveCount)
-	}
-	if len(s.pathByTok) != live {
-		return fmt.Errorf("invariant: token index has %d entries for %d live paths", len(s.pathByTok), live)
 	}
 	if correct > 1 {
 		return fmt.Errorf("invariant: %d paths claim to be the correct path", correct)
@@ -80,7 +86,8 @@ func (s *Sim) CheckInvariants() error {
 	// Every RUU entry's token refers to a live path or is squashed.
 	for i := range s.ruu {
 		e := &s.ruu[i]
-		if e.valid && !e.squashed && s.pathByTok[e.pathTok] == nil {
+		st := s.ruuState[i]
+		if st&ruuValid != 0 && st&ruuSquashed == 0 && s.pathByToken(e.pathTok) == nil {
 			return fmt.Errorf("invariant: live entry seq %d owned by dead path %d", e.seq, e.pathTok)
 		}
 	}

@@ -15,12 +15,21 @@ func (s *Sim) issueStage() {
 	memLeft := s.cfg.MemPorts
 	s.expireMisses()
 
+	// Increment-and-wrap beats a per-element modulo: this loop runs RUU-size
+	// iterations every cycle, and the division is measurable.
+	next := s.ruuHead
 	for k := 0; k < s.ruuCount && issueLeft > 0; k++ {
-		idx := (s.ruuHead + k) % len(s.ruu)
-		e := &s.ruu[idx]
-		if !e.valid || e.issued || e.completed || e.squashed {
+		idx := next
+		if next++; next == len(s.ruu) {
+			next = 0
+		}
+		// Reject on the compact state byte before touching the entry: most
+		// slots are already issued or completed, and the wide ruuEntry load
+		// is what makes this scan expensive.
+		if s.ruuState[idx] != ruuValid {
 			continue
 		}
+		e := &s.ruu[idx]
 		if !s.depsReady(e) {
 			continue
 		}
@@ -82,7 +91,7 @@ func (s *Sim) issueStage() {
 			lat = 1
 		}
 
-		e.issued = true
+		s.ruuState[idx] |= ruuIssued
 		e.completeAt = s.cycle + uint64(lat)
 		issueLeft--
 	}
@@ -95,8 +104,10 @@ func (s *Sim) depsReady(e *ruuEntry) bool {
 		if idx == invalidIdx {
 			continue
 		}
-		prod := &s.ruu[idx]
-		if prod.valid && prod.seq == e.depSeq[i] && !prod.completed {
+		if st := s.ruuState[idx]; st&ruuValid == 0 || st&ruuCompleted != 0 {
+			continue
+		}
+		if s.ruu[idx].seq == e.depSeq[i] {
 			return false
 		}
 	}
@@ -112,15 +123,21 @@ func (s *Sim) loadForwarding(loadIdx int, e *ruuEntry) (forwarded, ready bool) {
 	// Scan older entries (newest-first so the youngest matching store wins).
 	word := e.memAddr &^ 3
 	pos := (loadIdx - s.ruuHead + len(s.ruu)) % len(s.ruu)
+	idx := loadIdx
 	for k := pos - 1; k >= 0; k-- {
-		p := &s.ruu[(s.ruuHead+k)%len(s.ruu)]
-		if !p.valid || p.squashed || !p.isStore {
+		if idx == 0 {
+			idx = len(s.ruu)
+		}
+		idx--
+		st := s.ruuState[idx]
+		if st&ruuValid == 0 || st&ruuSquashed != 0 {
 			continue
 		}
-		if p.memAddr&^3 != word {
+		p := &s.ruu[idx]
+		if !p.isStore || p.memAddr&^3 != word {
 			continue
 		}
-		if !p.issued {
+		if st&ruuIssued == 0 {
 			return false, false // forwarding data not ready yet
 		}
 		return true, true // store-to-load forwarding
@@ -133,16 +150,22 @@ func (s *Sim) loadForwarding(loadIdx int, e *ruuEntry) (forwarded, ready bool) {
 // side, and mispredicted correct-path branches trigger recovery (squash,
 // refetch, and return-address-stack repair).
 func (s *Sim) writebackStage() {
+	next := s.ruuHead
 	for k := 0; k < s.ruuCount; k++ {
-		idx := (s.ruuHead + k) % len(s.ruu)
-		e := &s.ruu[idx]
-		if !e.valid || !e.issued || e.completed || e.squashed {
+		idx := next
+		if next++; next == len(s.ruu) {
+			next = 0
+		}
+		// Same compact-state rejection as issueStage: in-flight entries are
+		// exactly valid|issued.
+		if s.ruuState[idx] != ruuValid|ruuIssued {
 			continue
 		}
+		e := &s.ruu[idx]
 		if e.completeAt > s.cycle {
 			continue
 		}
-		e.completed = true
+		s.ruuState[idx] |= ruuCompleted
 		s.emit(TraceComplete, e.seq, e.pathTok, e.pc, e.inst, 0)
 
 		if e.forked {

@@ -12,7 +12,7 @@ import (
 // return-address stack from the branch's checkpoint, and redirect fetch to
 // the true target.
 func (s *Sim) recover(e *ruuEntry) {
-	p := s.pathByTok[e.pathTok]
+	p := s.pathByToken(e.pathTok)
 	if p == nil {
 		s.fail("recovery for a dead path (seq %d)", e.seq)
 		return
@@ -44,7 +44,7 @@ func (s *Sim) recover(e *ruuEntry) {
 
 // resolveFork squashes the losing side of a forked branch when it resolves.
 func (s *Sim) resolveFork(e *ruuEntry) {
-	p := s.pathByTok[e.pathTok]
+	p := s.pathByToken(e.pathTok)
 	if p == nil {
 		return // whole subtree already gone
 	}
@@ -66,86 +66,114 @@ func (s *Sim) resolveFork(e *ruuEntry) {
 		s.rebuildCreators(p)
 		return
 	}
-	if child := s.pathByTok[e.loserToken]; child != nil {
+	if child := s.pathByToken(e.loserToken); child != nil {
 		s.killSubtree(child)
 	}
+}
+
+// markDoomed adds a live path's token to the squash scratch.
+func (s *Sim) markDoomed(tok uint64) { s.doomedToks = append(s.doomedToks, tok) }
+
+// tokenDoomed reports whether the current squash marked tok. The scratch
+// holds at most MaxPaths tokens, so membership is a short linear scan — no
+// per-squash map allocation.
+func (s *Sim) tokenDoomed(tok uint64) bool {
+	for _, t := range s.doomedToks {
+		if t == tok {
+			return true
+		}
+	}
+	return false
+}
+
+// doomDescendants grows the scratch to a fixed point: a path is doomed if
+// its parent is doomed (the caller seeds the scratch with the roots of the
+// condemned subtrees first).
+func (s *Sim) doomDescendants() {
+	for {
+		grew := false
+		for i := range s.paths {
+			q := &s.paths[i]
+			if q.live && !s.tokenDoomed(q.token) && s.tokenDoomed(q.parentToken) {
+				s.markDoomed(q.token)
+				grew = true
+			}
+		}
+		if !grew {
+			return
+		}
+	}
+}
+
+// releaseDoomedPaths frees every context the current squash marked.
+// Release order does not matter: re-parenting in releasePath converges to
+// the same parentToken/forkSeq regardless (the map this replaced iterated
+// in random order already).
+func (s *Sim) releaseDoomedPaths() {
+	for _, tok := range s.doomedToks {
+		s.releasePath(s.pathByToken(tok))
+	}
+	s.doomedToks = s.doomedToks[:0]
 }
 
 // squashYounger invalidates every RUU entry on path p younger than seq,
 // kills every path forked from p after seq (transitively), and flushes the
 // fetch queue accordingly.
 func (s *Sim) squashYounger(p *path, seq uint64) {
-	doomed := map[uint64]bool{}
-	// Fixed point: a path is doomed if it forked from p after seq, or if
-	// its parent is doomed.
-	for {
-		grew := false
-		for i := range s.paths {
-			q := &s.paths[i]
-			if !q.live || doomed[q.token] || q.token == p.token {
-				continue
-			}
-			if q.parentToken == p.token && q.forkSeq > seq ||
-				doomed[q.parentToken] {
-				doomed[q.token] = true
-				grew = true
-			}
-		}
-		if !grew {
-			break
+	s.doomedToks = s.doomedToks[:0]
+	for i := range s.paths {
+		q := &s.paths[i]
+		if q.live && q.token != p.token && q.parentToken == p.token && q.forkSeq > seq {
+			s.markDoomed(q.token)
 		}
 	}
+	s.doomDescendants()
+	next := s.ruuHead
 	for k := 0; k < s.ruuCount; k++ {
-		e := &s.ruu[(s.ruuHead+k)%len(s.ruu)]
-		if !e.valid || e.squashed {
+		idx := next
+		if next++; next == len(s.ruu) {
+			next = 0
+		}
+		st := s.ruuState[idx]
+		if st&ruuValid == 0 || st&ruuSquashed != 0 {
 			continue
 		}
-		if e.pathTok == p.token && e.seq > seq || doomed[e.pathTok] {
-			s.squashEntry(e)
+		e := &s.ruu[idx]
+		if e.pathTok == p.token && e.seq > seq || s.tokenDoomed(e.pathTok) {
+			s.squashEntry(idx)
 		}
 	}
-	s.flushFetchQ(func(sl *fetchSlot) bool {
-		return sl.pathTok == p.token && sl.seq > seq || doomed[sl.pathTok]
-	})
-	for tok := range doomed {
-		s.releasePath(s.pathByTok[tok])
-	}
+	s.flushDoomedSlots(p.token, seq)
+	s.releaseDoomedPaths()
 }
 
 // killSubtree squashes a path and all its descendants entirely.
 func (s *Sim) killSubtree(root *path) {
-	doomed := map[uint64]bool{root.token: true}
-	for {
-		grew := false
-		for i := range s.paths {
-			q := &s.paths[i]
-			if q.live && !doomed[q.token] && doomed[q.parentToken] {
-				doomed[q.token] = true
-				grew = true
-			}
-		}
-		if !grew {
-			break
-		}
-	}
+	s.doomedToks = s.doomedToks[:0]
+	s.markDoomed(root.token)
+	s.doomDescendants()
+	next := s.ruuHead
 	for k := 0; k < s.ruuCount; k++ {
-		e := &s.ruu[(s.ruuHead+k)%len(s.ruu)]
-		if e.valid && !e.squashed && doomed[e.pathTok] {
-			s.squashEntry(e)
+		idx := next
+		if next++; next == len(s.ruu) {
+			next = 0
+		}
+		st := s.ruuState[idx]
+		if st&ruuValid != 0 && st&ruuSquashed == 0 && s.tokenDoomed(s.ruu[idx].pathTok) {
+			s.squashEntry(idx)
 		}
 	}
-	s.flushFetchQ(func(sl *fetchSlot) bool { return doomed[sl.pathTok] })
-	for tok := range doomed {
-		s.releasePath(s.pathByTok[tok])
-	}
+	// Token 0 is never assigned, so passing it flushes on doomed-ness alone.
+	s.flushDoomedSlots(0, 0)
+	s.releaseDoomedPaths()
 }
 
 // squashEntry marks one RUU entry as wrong-path work. The slot itself
 // drains through commit ("now-empty entries must still propagate to the
 // front and be retired").
-func (s *Sim) squashEntry(e *ruuEntry) {
-	e.squashed = true
-	e.completed = true
+func (s *Sim) squashEntry(idx int) {
+	e := &s.ruu[idx]
+	s.ruuState[idx] |= ruuSquashed | ruuCompleted
 	e.recovers = false
 	s.releaseCheckpoint(e)
 	if e.lsqHeld {
@@ -162,22 +190,33 @@ func (s *Sim) squashEntry(e *ruuEntry) {
 	s.emit(TraceSquash, e.seq, e.pathTok, e.pc, e.inst, 0)
 }
 
-// flushFetchQ removes (and accounts) every queued slot matching the
-// predicate, compacting the ring in place.
-func (s *Sim) flushFetchQ(match func(*fetchSlot) bool) {
+// flushDoomedSlots removes (and accounts) every queued slot that is younger
+// than seq on the path identified by tok, or that belongs to a doomed path,
+// compacting the ring in place. A direct method rather than a predicate
+// closure: the closure context (captured token/seq/scratch) costs a heap
+// allocation per squash.
+func (s *Sim) flushDoomedSlots(tok, seq uint64) {
 	// Work on ring slots in place: copying a slot to a local and passing
-	// its address into match/dropFetchSlot forces a heap allocation per
-	// examined slot (the local escapes through the checkpoint pointer).
+	// its address into dropFetchSlot forces a heap allocation per examined
+	// slot (the local escapes through the checkpoint pointer).
 	kept := 0
+	src := s.fetchQHead
+	dst := s.fetchQHead
 	for k := 0; k < s.fetchQLen; k++ {
-		i := (s.fetchQHead + k) % len(s.fetchQ)
-		if match(&s.fetchQ[i]) {
-			s.dropFetchSlot(&s.fetchQ[i])
+		sl := &s.fetchQ[src]
+		cur := src
+		if src++; src == len(s.fetchQ) {
+			src = 0
+		}
+		if sl.pathTok == tok && sl.seq > seq || s.tokenDoomed(sl.pathTok) {
+			s.dropFetchSlot(sl)
 			continue
 		}
-		j := (s.fetchQHead + kept) % len(s.fetchQ)
-		if j != i {
-			s.fetchQ[j] = s.fetchQ[i] // checkpoint buffers are pool-owned; plain move
+		if dst != cur {
+			s.fetchQ[dst] = *sl // checkpoint buffers are pool-owned; plain move
+		}
+		if dst++; dst == len(s.fetchQ) {
+			dst = 0
 		}
 		kept++
 	}
@@ -186,7 +225,8 @@ func (s *Sim) flushFetchQ(match func(*fetchSlot) bool) {
 
 // releasePath frees a path context. Live children are re-parented to the
 // released path's parent, inheriting its fork point so that future
-// squashes on the grandparent still reach them.
+// squashes on the grandparent still reach them. The path's overlay returns
+// to the pool for the next fork.
 func (s *Sim) releasePath(q *path) {
 	if q == nil || !q.live {
 		return
@@ -202,7 +242,7 @@ func (s *Sim) releasePath(q *path) {
 	if q.ras != nil && q.ras != s.sharedRAS {
 		s.addStackStats(q.ras.Stats())
 	}
-	delete(s.pathByTok, q.token)
+	s.recycleOverlay(q.overlay)
 	q.live = false
 	q.ras = nil
 	q.overlay = nil
@@ -219,12 +259,19 @@ func (s *Sim) reapDrainedPaths() {
 			continue
 		}
 		busy := false
+		next := s.ruuHead
 		for k := 0; k < s.ruuCount && !busy; k++ {
-			e := &s.ruu[(s.ruuHead+k)%len(s.ruu)]
-			busy = e.valid && e.pathTok == q.token
+			busy = s.ruuState[next]&ruuValid != 0 && s.ruu[next].pathTok == q.token
+			if next++; next == len(s.ruu) {
+				next = 0
+			}
 		}
+		fq := s.fetchQHead
 		for k := 0; k < s.fetchQLen && !busy; k++ {
-			busy = s.fetchQ[(s.fetchQHead+k)%len(s.fetchQ)].pathTok == q.token
+			busy = s.fetchQ[fq].pathTok == q.token
+			if fq++; fq == len(s.fetchQ) {
+				fq = 0
+			}
 		}
 		if !busy {
 			s.releasePath(q)
@@ -240,10 +287,18 @@ func (s *Sim) reapDrainedPaths() {
 // on p itself or on an ancestor before the fork leading toward p.
 func (s *Sim) rebuildCreators(p *path) {
 	p.resetCreators()
+	next := s.ruuHead
 	for k := 0; k < s.ruuCount; k++ {
-		idx := (s.ruuHead + k) % len(s.ruu)
+		idx := next
+		if next++; next == len(s.ruu) {
+			next = 0
+		}
+		st := s.ruuState[idx]
+		if st&ruuValid == 0 || st&ruuSquashed != 0 {
+			continue
+		}
 		e := &s.ruu[idx]
-		if !e.valid || e.squashed || e.destReg < 0 {
+		if e.destReg < 0 {
 			continue
 		}
 		if s.visibleTo(e, p) {
@@ -262,7 +317,7 @@ func (s *Sim) visibleTo(e *ruuEntry, p *path) bool {
 	bound := ^uint64(0)
 	q := p
 	for {
-		parent := s.pathByTok[q.parentToken]
+		parent := s.pathByToken(q.parentToken)
 		if parent == nil {
 			return false
 		}

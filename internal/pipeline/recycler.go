@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"retstack/internal/config"
+	"retstack/internal/emu"
 	"retstack/internal/program"
 )
 
@@ -16,9 +17,10 @@ import (
 // pooled Sim is indistinguishable from a freshly allocated one — the sweep
 // determinism contract (parallel == serial, byte-identical) is preserved.
 type Recycler struct {
-	ruu   [][]ruuEntry
-	slots [][]fetchSlot
-	bufs  [][]uint32
+	ruu      [][]ruuEntry
+	slots    [][]fetchSlot
+	bufs     [][]uint32
+	overlays []*emu.Overlay
 }
 
 // NewRecycler returns an empty pool.
@@ -68,6 +70,19 @@ func (r *Recycler) takeBufs() [][]uint32 {
 	return b
 }
 
+// takeOverlays moves every pooled flat overlay into a Sim's free list.
+// Each overlay is rebased (and its spill counter re-pointed) by
+// takeOverlay before use, so stale contents and hooks cannot leak between
+// simulations.
+func (r *Recycler) takeOverlays() []*emu.Overlay {
+	if r == nil || len(r.overlays) == 0 {
+		return nil
+	}
+	o := r.overlays
+	r.overlays = nil
+	return o
+}
+
 // Release returns the Sim's bulk storage to the pool. Call it only after
 // Run has finished and only when the Sim will not run again — the Sim
 // keeps its statistics, machines, and predictors (everything the runners
@@ -92,6 +107,21 @@ func (s *Sim) Release(r *Recycler) {
 	r.ruu = append(r.ruu, s.ruu)
 	r.slots = append(r.slots, s.fetchQ)
 	s.ruu, s.fetchQ, s.cpFree = nil, nil, nil
+	// Harvest flat overlays still attached to live paths along with the
+	// Sim's own free list, detaching the spill counters that point into
+	// this Sim's stats.
+	for i := range s.paths {
+		if o, ok := s.paths[i].overlay.(*emu.Overlay); ok {
+			o.SetSpillCounter(nil)
+			r.overlays = append(r.overlays, o)
+			s.paths[i].overlay = nil
+		}
+	}
+	for _, o := range s.ovFree {
+		o.SetSpillCounter(nil)
+		r.overlays = append(r.overlays, o)
+	}
+	s.ovFree = nil
 }
 
 // NewWithRecycler is New drawing the Sim's bulk storage from (and

@@ -48,6 +48,13 @@ type Sample struct {
 	PredecodeFallbacks    uint64
 	NewPredecodeHits      uint64
 	NewPredecodeFallbacks uint64
+
+	// Flat-overlay activity: spill-table engagements and pool reuses (see
+	// Stats.OverlaySpills/OverlayReuses). Cumulative plus deltas.
+	OverlaySpills    uint64
+	OverlayReuses    uint64
+	NewOverlaySpills uint64
+	NewOverlayReuses uint64
 }
 
 // SetSampler installs fn to run every `every` cycles (every < 1 selects
@@ -62,6 +69,8 @@ func (s *Sim) SetSampler(every uint64, fn func(Sample)) {
 	s.lastSquashed = s.stats.Squashed
 	s.lastRecoveries = s.stats.Recoveries
 	s.lastPredecodeHits, s.lastPredecodeFalls = s.predecodeCounters()
+	s.lastOverlaySpills = s.stats.OverlaySpills
+	s.lastOverlayReuses = s.stats.OverlayReuses
 }
 
 // predecodeCounters sums the per-thread predecode counters.
@@ -95,11 +104,18 @@ func (s *Sim) takeSample() {
 		PredecodeFallbacks:    pdFalls,
 		NewPredecodeHits:      pdHits - s.lastPredecodeHits,
 		NewPredecodeFallbacks: pdFalls - s.lastPredecodeFalls,
+
+		OverlaySpills:    s.stats.OverlaySpills,
+		OverlayReuses:    s.stats.OverlayReuses,
+		NewOverlaySpills: s.stats.OverlaySpills - s.lastOverlaySpills,
+		NewOverlayReuses: s.stats.OverlayReuses - s.lastOverlayReuses,
 	}
 	s.lastSquashed = sm.Squashed
 	s.lastRecoveries = sm.Recoveries
 	s.lastPredecodeHits = pdHits
 	s.lastPredecodeFalls = pdFalls
+	s.lastOverlaySpills = sm.OverlaySpills
+	s.lastOverlayReuses = sm.OverlayReuses
 	s.sampler(sm)
 }
 

@@ -37,8 +37,9 @@ type Sim struct {
 	sharedRAS core.ReturnStack // used when stacks are unified (or single-path)
 
 	ruu      []ruuEntry
-	ruuHead  int // oldest
-	ruuTail  int // next free
+	ruuState []uint8 // lifecycle flags, parallel to ruu (see ruuValid)
+	ruuHead  int     // oldest
+	ruuTail  int     // next free
 	ruuCount int
 	lsqCount int
 
@@ -47,11 +48,21 @@ type Sim struct {
 	fetchQLen  int
 
 	paths      []path
-	pathByTok  map[uint64]*path
 	liveCount  int
 	nextToken  uint64
 	nextSeq    uint64
 	shadowUsed int
+
+	// ovFree recycles flat wrong-path overlays the same way cpFree recycles
+	// checkpoint buffers: a released path's overlay parks here and the next
+	// fork draws from it, so steady-state forking allocates nothing.
+	ovFree []*emu.Overlay
+
+	// Squash scratch: tokens marked doomed by the current squash operation
+	// (reused across squashes; paths are few, so membership is a linear
+	// scan). stackSeen is the equivalent scratch for foldLiveStackStats.
+	doomedToks []uint64
+	stackSeen  []core.ReturnStack
 
 	// cpFree recycles full-stack checkpoint backing buffers: released
 	// checkpoints return their buffer here instead of keeping the stack
@@ -78,6 +89,8 @@ type Sim struct {
 	lastRecoveries     uint64
 	lastPredecodeHits  uint64
 	lastPredecodeFalls uint64
+	lastOverlaySpills  uint64
+	lastOverlayReuses  uint64
 
 	maxInsts uint64
 }
@@ -131,10 +144,11 @@ func NewSMTWithRecycler(cfg config.Config, ims []*program.Image, r *Recycler) (*
 		btb:  bpred.NewBTB(cfg.BTBSets, cfg.BTBWays),
 		conf: bpred.NewConfidence(10, 4, cfg.ConfThreshold),
 
-		ruu:       r.takeRUU(cfg.RUUSize),
-		fetchQ:    r.takeSlots(cfg.FetchWidth * (cfg.BranchLat + 2)),
-		cpFree:    r.takeBufs(),
-		pathByTok: make(map[uint64]*path),
+		ruu:      r.takeRUU(cfg.RUUSize),
+		ruuState: make([]uint8, cfg.RUUSize),
+		fetchQ:   r.takeSlots(cfg.FetchWidth * (cfg.BranchLat + 2)),
+		cpFree: r.takeBufs(),
+		ovFree: r.takeOverlays(),
 	}
 	switch cfg.DirPred {
 	case config.DirGShare:
@@ -151,6 +165,8 @@ func NewSMTWithRecycler(cfg config.Config, ims []*program.Image, r *Recycler) (*
 		nPaths = len(ims)
 	}
 	s.paths = make([]path, nPaths)
+	s.doomedToks = make([]uint64, 0, nPaths)
+	s.stackSeen = make([]core.ReturnStack, 0, nPaths+1)
 	s.stats.PerThreadCommitted = make([]uint64, len(ims))
 
 	if cfg.ReturnPred == config.ReturnRAS {
@@ -178,7 +194,7 @@ func NewSMTWithRecycler(cfg config.Config, ims []*program.Image, r *Recycler) (*
 		root.live = true
 		root.correct = true
 		root.fetchPC = im.Entry
-		root.overlay = emu.NewOverlay(m)
+		root.overlay = s.takeOverlay(m)
 		root.resetCreators()
 		if cfg.ReturnPred == config.ReturnRAS {
 			if len(ims) > 1 && !cfg.SMTSharedRAS {
@@ -187,11 +203,73 @@ func NewSMTWithRecycler(cfg config.Config, ims []*program.Image, r *Recycler) (*
 				root.ras = s.sharedRAS
 			}
 		}
-		s.pathByTok[root.token] = root
 		s.liveCount++
 	}
 	s.mach = s.threads[0].mach
 	return s, nil
+}
+
+// pathByToken resolves a token to its live path context, or nil. Path slots
+// are recycled but tokens never are, so a token match on a live slot is
+// definitive. Paths are bounded by the fork limit (typically 1–4), making
+// the linear scan cheaper than the map it replaced.
+func (s *Sim) pathByToken(tok uint64) *path {
+	for i := range s.paths {
+		p := &s.paths[i]
+		if p.live && p.token == tok {
+			return p
+		}
+	}
+	return nil
+}
+
+// takeOverlay returns a speculative-state view over m: a pooled flat
+// overlay, or a fresh map overlay when the A/B flag selects the reference
+// implementation.
+func (s *Sim) takeOverlay(m *emu.Machine) emu.SpecState {
+	if s.cfg.NoFlatOverlay {
+		return emu.NewMapOverlay(m)
+	}
+	if n := len(s.ovFree); n > 0 {
+		o := s.ovFree[n-1]
+		s.ovFree = s.ovFree[:n-1]
+		o.SetSpillCounter(&s.stats.OverlaySpills)
+		o.Rebase(m)
+		s.stats.OverlayReuses++
+		return o
+	}
+	o := emu.NewOverlay(m)
+	o.SetSpillCounter(&s.stats.OverlaySpills)
+	return o
+}
+
+// cloneOverlay returns an independent copy of src's speculative state over
+// the same base, drawing flat overlays from the pool.
+func (s *Sim) cloneOverlay(src emu.SpecState) emu.SpecState {
+	switch o := src.(type) {
+	case *emu.Overlay:
+		if n := len(s.ovFree); n > 0 {
+			c := s.ovFree[n-1]
+			s.ovFree = s.ovFree[:n-1]
+			c.SetSpillCounter(&s.stats.OverlaySpills)
+			c.CopyFrom(o)
+			s.stats.OverlayReuses++
+			return c
+		}
+		c := o.Clone()
+		c.SetSpillCounter(&s.stats.OverlaySpills)
+		return c
+	default:
+		return src.(*emu.MapOverlay).Clone()
+	}
+}
+
+// recycleOverlay parks a no-longer-referenced flat overlay for reuse (map
+// overlays are simply dropped).
+func (s *Sim) recycleOverlay(src emu.SpecState) {
+	if o, ok := src.(*emu.Overlay); ok {
+		s.ovFree = append(s.ovFree, o)
+	}
 }
 
 // threadOf returns the hardware thread owning a path.
@@ -356,17 +434,29 @@ func (s *Sim) foldLiveStackStats() {
 	if s.cfg.ReturnPred != config.ReturnRAS {
 		return
 	}
-	seen := map[core.ReturnStack]bool{}
+	s.stackSeen = s.stackSeen[:0]
 	for i := range s.paths {
 		p := &s.paths[i]
-		if p.live && p.ras != nil && !seen[p.ras] {
-			seen[p.ras] = true
+		if p.live && p.ras != nil && !s.stackSeenHas(p.ras) {
+			s.stackSeen = append(s.stackSeen, p.ras)
 			s.addStackStats(p.ras.Stats())
 		}
 	}
-	if !seen[s.sharedRAS] && s.sharedRAS != nil {
+	if s.sharedRAS != nil && !s.stackSeenHas(s.sharedRAS) {
 		s.addStackStats(s.sharedRAS.Stats())
 	}
+}
+
+// stackSeenHas reports whether a stack was already folded this pass. Live
+// paths are bounded by the fork limit, so the scratch slice stays tiny and
+// the linear scan replaces a per-call map allocation.
+func (s *Sim) stackSeenHas(r core.ReturnStack) bool {
+	for _, q := range s.stackSeen {
+		if q == r {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Sim) addStackStats(st *core.Stats) {

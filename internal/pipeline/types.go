@@ -34,11 +34,25 @@ import (
 // invalidIdx marks an empty creator-table slot or absent dependency.
 const invalidIdx = -1
 
-// ruuEntry is one slot of the register update unit.
+// RUU lifecycle flags, kept in Sim.ruuState — a compact byte array parallel
+// to the RUU ring — rather than as bools inside ruuEntry. The issue and
+// writeback stages scan the full ring every cycle and reject most entries
+// on these flags alone; with ~250-byte entries that scan strides a cache
+// line per entry, while the byte array keeps the whole occupancy check in
+// one or two lines. Entry state tests compare against exact bit patterns:
+// an unissued candidate is exactly ruuValid, an in-flight one exactly
+// ruuValid|ruuIssued (squashed entries are always also completed).
+const (
+	ruuValid     uint8 = 1 << iota // slot holds a dispatched instruction
+	ruuIssued                      // sent to a functional unit
+	ruuCompleted                   // result available (or squashed)
+	ruuSquashed                    // wrong-path work draining to commit
+)
+
+// ruuEntry is one slot of the register update unit. Its lifecycle flags
+// live in Sim.ruuState (see above).
 type ruuEntry struct {
-	valid    bool
-	squashed bool
-	seq      uint64 // fetch-order sequence number
+	seq     uint64 // fetch-order sequence number
 	pathTok  uint64 // owning path's token (slots are recycled; tokens not)
 	pc       uint32
 	inst     isa.Inst
@@ -51,8 +65,6 @@ type ruuEntry struct {
 
 	destReg int
 
-	issued     bool
-	completed  bool
 	completeAt uint64
 
 	isLoad  bool
@@ -135,7 +147,7 @@ type path struct {
 	lastLine     uint32 // last fetched I-cache line + 1 (0 = none)
 
 	correct bool // dispatching architecturally (on the true path)
-	overlay *emu.Overlay
+	overlay emu.SpecState
 
 	ras core.ReturnStack // per-path stack, or the shared stack
 
@@ -197,6 +209,13 @@ type Stats struct {
 	// is identical either way.
 	PredecodeHits      uint64
 	PredecodeFallbacks uint64
+
+	// Flat-overlay machinery, purely observational: reset epochs in which a
+	// wrong path's footprint overflowed the overlay's inline slots into its
+	// spill table, and overlays served from the Sim's pool instead of
+	// allocated. Both stay zero under -flat-overlay=false.
+	OverlaySpills uint64
+	OverlayReuses uint64
 
 	// PerThreadCommitted breaks Committed down by SMT thread.
 	PerThreadCommitted []uint64

@@ -14,8 +14,9 @@ import (
 // code page) fall back to decode-on-read, which is bit-for-bit the same
 // result — Lookup is Decode of the segment bytes, nothing more.
 type Plane struct {
-	base  uint32
-	insts []isa.Inst
+	base    uint32
+	insts   []isa.Inst
+	classes []isa.Class // classes[i] == insts[i].Class(), precomputed
 }
 
 // Base returns the first PC the plane covers.
@@ -34,6 +35,17 @@ func (p *Plane) Lookup(pc uint32) (isa.Inst, bool) {
 		return isa.Inst{}, false
 	}
 	return p.insts[idx], true
+}
+
+// LookupClass is Lookup extended with the instruction's precomputed class.
+// Fetch calls it once per instruction; classifying at predecode time keeps
+// the per-fetch cost to two table loads.
+func (p *Plane) LookupClass(pc uint32) (isa.Inst, isa.Class, bool) {
+	idx := (pc - p.base) >> 2
+	if pc&3 != 0 || idx >= uint32(len(p.insts)) {
+		return isa.Inst{}, 0, false
+	}
+	return p.insts[idx], p.classes[idx], true
 }
 
 // CodeSegment returns the segment containing the entry point — the text
@@ -59,11 +71,13 @@ func (im *Image) Predecode() *Plane {
 		}
 		n := len(seg.Data) / isa.WordBytes
 		insts := make([]isa.Inst, n)
+		classes := make([]isa.Class, n)
 		for i := 0; i < n; i++ {
 			d := seg.Data[i*isa.WordBytes:]
 			insts[i] = isa.Decode(uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24)
+			classes[i] = insts[i].Class()
 		}
-		im.plane = &Plane{base: seg.Addr, insts: insts}
+		im.plane = &Plane{base: seg.Addr, insts: insts, classes: classes}
 	})
 	return im.plane
 }

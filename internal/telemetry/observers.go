@@ -26,6 +26,9 @@ const (
 
 	MetricPredecodeHits      = "retstack_pipeline_predecode_hits_total"
 	MetricPredecodeFallbacks = "retstack_pipeline_predecode_fallbacks_total"
+
+	MetricOverlaySpills = "retstack_pipeline_overlay_spills_total"
+	MetricOverlayReuses = "retstack_pipeline_overlay_reuses_total"
 )
 
 // SweepObserver feeds sweep-cell lifecycle callbacks into a registry and
@@ -136,6 +139,8 @@ type PipelineMetrics struct {
 	recoveries  *Counter
 	pdHits      *Counter
 	pdFallbacks *Counter
+	ovSpills    *Counter
+	ovReuses    *Counter
 }
 
 // NewPipelineMetrics registers the pipeline instrument set. A nil registry
@@ -159,6 +164,10 @@ func NewPipelineMetrics(reg *Registry) *PipelineMetrics {
 			"fetches served from the predecoded instruction plane (sampled deltas)"),
 		pdFallbacks: reg.Counter(MetricPredecodeFallbacks,
 			"fetches decoded from memory instead of the plane (sampled deltas)"),
+		ovSpills: reg.Counter(MetricOverlaySpills,
+			"wrong-path overlay inline-slot overflows into the spill table (sampled deltas)"),
+		ovReuses: reg.Counter(MetricOverlayReuses,
+			"wrong-path overlays served from the pool instead of allocated (sampled deltas)"),
 	}
 }
 
@@ -166,7 +175,8 @@ func NewPipelineMetrics(reg *Registry) *PipelineMetrics {
 // pipeline.Sample field-by-field so this package needs no simulator
 // import.
 func (p *PipelineMetrics) Observe(ruuOcc, fetchqOcc, livePaths, rasDepth, checkpointsLive int,
-	newSquashed, newRecoveries, newPredecodeHits, newPredecodeFallbacks uint64) {
+	newSquashed, newRecoveries, newPredecodeHits, newPredecodeFallbacks,
+	newOverlaySpills, newOverlayReuses uint64) {
 	if p == nil {
 		return
 	}
@@ -180,4 +190,6 @@ func (p *PipelineMetrics) Observe(ruuOcc, fetchqOcc, livePaths, rasDepth, checkp
 	p.recoveries.Add(newRecoveries)
 	p.pdHits.Add(newPredecodeHits)
 	p.pdFallbacks.Add(newPredecodeFallbacks)
+	p.ovSpills.Add(newOverlaySpills)
+	p.ovReuses.Add(newOverlayReuses)
 }
