@@ -54,6 +54,8 @@ func main() {
 		require    = flag.String("require", "", "comma-separated benchmark names that must be present (validate mode)")
 		baseline   = flag.String("baseline", "", "committed report to compare allocs/op against; regressions fail the run")
 		allocSlack = flag.Float64("alloc-slack", 0.10, "relative allocs/op headroom allowed over the baseline (baseline mode)")
+		nsGate     = flag.Bool("ns-gate", false, "also gate ns/op against the baseline (opt-in: wall clock is noisy on shared runners)")
+		nsSlack    = flag.Float64("ns-slack", 3.0, "relative ns/op headroom allowed over the baseline (ns-gate mode; 3.0 allows 4x)")
 	)
 	flag.Parse()
 
@@ -93,6 +95,11 @@ func main() {
 			os.Exit(1)
 		}
 		regs, checked := CompareAllocs(rep, base, *allocSlack)
+		timeChecked := 0
+		if *nsGate {
+			tregs, tc := CompareTimes(rep, base, *nsSlack)
+			regs, timeChecked = append(regs, tregs...), tc
+		}
 		for _, r := range regs {
 			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)
 		}
@@ -101,6 +108,10 @@ func main() {
 		}
 		fmt.Printf("benchjson: allocs/op within %.0f%% of %s for %d benchmark(s)\n",
 			*allocSlack*100, *baseline, checked)
+		if *nsGate {
+			fmt.Printf("benchjson: ns/op within %.0f%% of %s for %d benchmark(s)\n",
+				*nsSlack*100, *baseline, timeChecked)
+		}
 	}
 }
 
@@ -214,6 +225,33 @@ func CompareAllocs(cur, base *Report, slack float64) (regressions []string, chec
 			regressions = append(regressions, fmt.Sprintf(
 				"%s: %.0f allocs/op exceeds baseline %.0f (limit %.0f)",
 				b.Name, b.AllocsOp, bb.AllocsOp, limit))
+		}
+	}
+	return regressions, checked
+}
+
+// CompareTimes checks cur's ns/op against base for every benchmark present
+// in both reports. It is opt-in (-ns-gate): wall clock on shared CI runners
+// swings with co-tenancy, so the default gate is allocations only. The time
+// gate exists to catch order-of-magnitude dispatch regressions — a fast
+// path silently disabled turns into a 5–10x ns/op jump, which survives any
+// plausible runner noise — hence the generous default slack.
+func CompareTimes(cur, base *Report, slack float64) (regressions []string, checked int) {
+	baseBy := map[string]Bench{}
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	for _, b := range cur.Benchmarks {
+		bb, ok := baseBy[b.Name]
+		if !ok || bb.NsPerOp <= 0 {
+			continue
+		}
+		checked++
+		limit := bb.NsPerOp * (1 + slack)
+		if b.NsPerOp > limit {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op exceeds baseline %.0f (limit %.0f)",
+				b.Name, b.NsPerOp, bb.NsPerOp, limit))
 		}
 	}
 	return regressions, checked

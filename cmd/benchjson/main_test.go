@@ -122,3 +122,37 @@ func TestCompareAllocs(t *testing.T) {
 		t.Errorf("improvement flagged: %v", regs)
 	}
 }
+
+func TestCompareTimes(t *testing.T) {
+	base := &Report{Benchmarks: []Bench{
+		{Name: "BenchmarkA", NsPerOp: 1000},
+		{Name: "BenchmarkNoTime", NsPerOp: 0}, // malformed baseline entry: skipped
+	}}
+
+	// Well within the generous slack: runner noise must not trip the gate.
+	cur := &Report{Benchmarks: []Bench{
+		{Name: "BenchmarkA", NsPerOp: 2500},
+		{Name: "BenchmarkNoTime", NsPerOp: 1 << 30},
+		{Name: "BenchmarkNew", NsPerOp: 1 << 30}, // not in baseline: ignored
+	}}
+	regs, checked := CompareTimes(cur, base, 3.0)
+	if len(regs) != 0 {
+		t.Errorf("unexpected regressions: %v", regs)
+	}
+	if checked != 1 {
+		t.Errorf("checked = %d, want 1", checked)
+	}
+
+	// An order-of-magnitude jump — a fast path silently disabled — fails.
+	cur = &Report{Benchmarks: []Bench{{Name: "BenchmarkA", NsPerOp: 9000}}}
+	regs, _ = CompareTimes(cur, base, 3.0)
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkA") {
+		t.Errorf("regressions = %v, want one naming BenchmarkA", regs)
+	}
+
+	// An improvement never fails.
+	cur = &Report{Benchmarks: []Bench{{Name: "BenchmarkA", NsPerOp: 10}}}
+	if regs, _ = CompareTimes(cur, base, 3.0); len(regs) != 0 {
+		t.Errorf("improvement flagged: %v", regs)
+	}
+}

@@ -66,6 +66,7 @@ func main() {
 		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations to run concurrently (1 = serial; output is identical at any setting)")
 		noPredecode = flag.Bool("no-predecode", false, "decode every fetch from memory instead of the predecoded instruction plane (A/B switch; output is identical either way)")
 		flatOverlay = flag.Bool("flat-overlay", true, "use the flat word-granular wrong-path overlay; false selects the original map-based overlay (A/B switch; output is identical either way)")
+		noBlocks    = flag.Bool("no-blocks", false, "dispatch instruction-at-a-time instead of basic-block-at-a-time over the predecode plane (A/B switch; output is identical either way)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
@@ -175,7 +176,7 @@ func main() {
 	}
 	params := experiments.Params{
 		InstBudget: *insts, Warmup: *warmup, Parallel: *parallel, NoPredecode: *noPredecode,
-		NoFlatOverlay: !*flatOverlay,
+		NoFlatOverlay: !*flatOverlay, NoBlocks: *noBlocks,
 		Ctx:           ctx, OnCellError: policy, RetryAttempts: *retries, RetryBackoff: *retryBackoff,
 		CellTimeout: *cellTimeout, Inject: plan,
 	}
@@ -255,7 +256,8 @@ func main() {
 				pipeMetrics.Observe(sm.RUUOccupancy, sm.FetchQLen, sm.LivePaths,
 					sm.RASDepth, sm.CheckpointsLive, sm.NewSquashed, sm.NewRecoveries,
 					sm.NewPredecodeHits, sm.NewPredecodeFallbacks,
-					sm.NewOverlaySpills, sm.NewOverlayReuses)
+					sm.NewOverlaySpills, sm.NewOverlayReuses,
+					sm.NewBlockHits, sm.NewBlockBuilds, sm.NewBlockInvalidations)
 			}
 		}
 		events.Emit("experiment_start", map[string]any{"exp": id})

@@ -231,6 +231,15 @@ type Config struct {
 	// A/B measurements (rasbench -flat-overlay=false). Not a machine
 	// parameter: it does not appear in Describe().
 	NoFlatOverlay bool
+
+	// NoBlocks disables basic-block dispatch over the predecode plane,
+	// forcing the emulator, fast-forward, and pipeline fetch back to
+	// instruction-at-a-time operation. Like NoPredecode this is a pure
+	// simulator-speed switch — results are byte-identical either way
+	// (pinned by TestBlocksMatchFallback and FuzzBlockEquivalence) — kept
+	// for those tests and for A/B measurements (rasbench -no-blocks). Not a
+	// machine parameter: it does not appear in Describe().
+	NoBlocks bool
 }
 
 // Baseline returns the paper's Table 1 machine.

@@ -36,6 +36,20 @@ type Machine struct {
 	PredecodeHits      uint64
 	PredecodeFallbacks uint64
 
+	// noBlocks disables basic-block dispatch (see block.go). BlockHits
+	// counts block dispatches served from the plane's block table;
+	// BlockBuilds counts distinct block entry points this machine
+	// dispatched for the first time — the descriptor builds it would
+	// perform with a private table. The actual lazy build runs at most
+	// once per block on the shared plane, so counting real builds would
+	// depend on which machine touched a shared image first; the per-machine
+	// first-entry count (tracked in blockSeen) is deterministic. Purely
+	// observational, like the predecode counters.
+	noBlocks    bool
+	BlockHits   uint64
+	BlockBuilds uint64
+	blockSeen   []uint64 // bitmap over plane slots: block entries dispatched
+
 	// Call-depth tracking for workload characterization.
 	depth     int
 	MaxDepth  int
@@ -68,6 +82,9 @@ func (m *Machine) Load(im *program.Image) {
 	m.plane = nil
 	if hasCode {
 		m.plane = im.Predecode()
+	}
+	if m.plane != nil {
+		m.blockSeen = make([]uint64, (m.plane.Len()+63)/64)
 	}
 	m.PC = im.Entry
 	m.Regs[isa.SP] = program.DefaultStackTop
@@ -214,8 +231,19 @@ func (m *Machine) Step() (isa.Inst, Outcome, error) {
 
 // Run executes until halt or until maxInsts instructions have retired
 // (maxInsts <= 0 means unbounded). It returns the number of instructions
-// executed by this call.
+// executed by this call. With a predecode plane attached (and blocks not
+// disabled) it dispatches basic blocks through the fast interpreter in
+// block.go; otherwise it is the classic one-Step-per-iteration loop. The
+// two produce bit-identical architectural state, output, and errors.
 func (m *Machine) Run(maxInsts uint64) (uint64, error) {
+	if m.noBlocks || m.plane == nil {
+		return m.runSteps(maxInsts)
+	}
+	return m.runBlocks(maxInsts)
+}
+
+// runSteps is the reference single-instruction Run loop.
+func (m *Machine) runSteps(maxInsts uint64) (uint64, error) {
 	var n uint64
 	for !m.Halted {
 		if maxInsts > 0 && n >= maxInsts {

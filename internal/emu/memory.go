@@ -34,6 +34,12 @@ type Memory struct {
 	codeShared bool // code still aliases the image segment (clone before store)
 	codeDirty  bool // some store has landed in the code region
 
+	// codeInvalidations counts clean→dirty transitions of the code region —
+	// each one invalidates the predecode plane and every basic-block
+	// descriptor over it for this machine. SetCodeRegion re-arms the flag,
+	// so a region can be invalidated once per installation.
+	codeInvalidations uint64
+
 	lastKey  uint32 // cached page key + 1; 0 = empty
 	lastPage *[pageSize]byte
 }
@@ -66,8 +72,15 @@ func (m *Memory) storeCode(off uint32, v byte) {
 		m.codeShared = false
 	}
 	m.code[off] = v
-	m.codeDirty = true
+	if !m.codeDirty {
+		m.codeDirty = true
+		m.codeInvalidations++
+	}
 }
+
+// CodeInvalidations returns the number of clean→dirty code-region
+// transitions (block/plane invalidation events) observed so far.
+func (m *Memory) CodeInvalidations() uint64 { return m.codeInvalidations }
 
 func (m *Memory) page(addr uint32, alloc bool) *[pageSize]byte {
 	if m.pages == nil {

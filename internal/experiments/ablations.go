@@ -468,6 +468,7 @@ func runA7(p Params) (*Result, error) {
 			cfg.SMTSharedRAS = sharing[i%len(sharing)]
 			cfg.NoPredecode = p.NoPredecode
 			cfg.NoFlatOverlay = p.NoFlatOverlay
+			cfg.NoBlocks = p.NoBlocks
 			r := rec.of(worker)
 			im := ims[w.Name]
 			sim, err2 := pipeline.NewSMTWithRecycler(cfg, []*program.Image{im, im}, r)

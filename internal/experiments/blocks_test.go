@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestBlocksMatchFallback is the basic-block dispatcher's determinism
+// contract at the experiment level: every result must be bit-identical
+// whether the emulator and pipeline dispatch whole blocks over the plane's
+// block table or one instruction at a time. Block dispatch is purely a
+// simulator-speed change — any divergence is an interpreter bug. t3 covers
+// the plain simCell path; a7 covers SMT cells that share one image (and
+// hence one lazily built block table) across two threads.
+func TestBlocksMatchFallback(t *testing.T) {
+	for _, id := range []string{"t3", "a7"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			blocks := Params{InstBudget: 20_000, Workloads: []string{"go", "li"}}
+			fallback := blocks
+			fallback.NoBlocks = true
+
+			bres, err := Run(id, blocks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fres, err := Run(id, fallback)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if len(bres.Values) == 0 {
+				t.Fatal("block-dispatch run produced no structured values")
+			}
+			if len(fres.Values) != len(bres.Values) {
+				t.Fatalf("value count: blocks %d, fallback %d", len(bres.Values), len(fres.Values))
+			}
+			for k, bv := range bres.Values {
+				if fv, ok := fres.Values[k]; !ok || fv != bv {
+					t.Errorf("%s: blocks %v, fallback %v", k, bv, fres.Values[k])
+				}
+			}
+			if bs, fs := bres.String(), fres.String(); bs != fs {
+				t.Errorf("rendered output differs:\n--- blocks ---\n%s\n--- fallback ---\n%s", bs, fs)
+			}
+		})
+	}
+}

@@ -67,6 +67,12 @@ type Params struct {
 	// A/B measurement.
 	NoFlatOverlay bool
 
+	// NoBlocks disables basic-block dispatch over the predecode plane in
+	// every simulation (the rasbench -no-blocks flag). Same contract as
+	// NoPredecode: byte-identical results (pinned by
+	// TestBlocksMatchFallback), kept for A/B measurement.
+	NoBlocks bool
+
 	// Resilience knobs (the rasbench flags of the same names). Zero values
 	// are the legacy behavior: background context, abort on the first
 	// failing cell, no watchdog, no journal, no replay, no injection.
@@ -461,6 +467,9 @@ func simulateCell(cell int, w workloads.Workload, im *program.Image, cfg config.
 	}
 	if p.NoFlatOverlay {
 		cfg.NoFlatOverlay = true
+	}
+	if p.NoBlocks {
+		cfg.NoBlocks = true
 	}
 	sim, err := pipeline.NewWithRecycler(cfg, im, r)
 	if err != nil {

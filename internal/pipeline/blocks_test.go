@@ -1,0 +1,106 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"retstack/internal/config"
+	"retstack/internal/core"
+)
+
+// TestBlocksMatchStepDispatch is the pipeline-level A/B contract for basic-
+// block dispatch: -no-blocks must change nothing but speed. Fast-forward
+// plus cycle simulation run under both modes on a misprediction-dense
+// workload, across single-path and multipath machines, and every statistic
+// except the block counters themselves must be bit-identical.
+func TestBlocksMatchStepDispatch(t *testing.T) {
+	im := mustAssemble(t, corruptorProgram)
+	cfgs := map[string]config.Config{
+		"single":         config.Baseline().WithPolicy(core.RepairTOSPointerAndContents),
+		"no-repair":      config.Baseline(),
+		"2-path":         mpConfig(2, config.MPPerPath),
+		"4-path-unified": mpConfig(4, config.MPUnifiedRepair),
+	}
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			run := func(noBlocks bool) *Sim {
+				c := cfg
+				c.NoBlocks = noBlocks
+				s, err := New(c, im)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(s.threads) == 1 { // fast-forward is single-thread only
+					if _, err := s.FastForward(4_000); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := s.Run(5_000_000); err != nil {
+					t.Fatal(err)
+				}
+				if !s.Done() {
+					t.Fatal("simulation did not finish")
+				}
+				return s
+			}
+			blocks := run(false)
+			steps := run(true)
+
+			// The block hit/build counters are the one legitimate
+			// difference: the step path never dispatches blocks.
+			// Invalidations are counted either way and must agree.
+			bs, ss := *blocks.Stats(), *steps.Stats()
+			if bs.BlockHits == 0 {
+				t.Error("block dispatch never engaged; the A/B is vacuous")
+			}
+			if ss.BlockHits != 0 || ss.BlockBuilds != 0 {
+				t.Errorf("-no-blocks run dispatched blocks: hits=%d builds=%d",
+					ss.BlockHits, ss.BlockBuilds)
+			}
+			bs.BlockHits, bs.BlockBuilds = 0, 0
+			ss.BlockHits, ss.BlockBuilds = 0, 0
+			if !reflect.DeepEqual(bs, ss) {
+				t.Errorf("stats diverge:\nblocks: %+v\nsteps:  %+v", bs, ss)
+			}
+			if blocks.Machine().Regs != steps.Machine().Regs {
+				t.Error("architectural registers diverge")
+			}
+			if blocks.Machine().Output() != steps.Machine().Output() {
+				t.Error("program output diverges")
+			}
+		})
+	}
+}
+
+// benchFastForward measures warmup fast-mode throughput: functional
+// execution plus cache and line-boundary modeling, which is where block
+// dispatch pays off during the pre-window skip.
+func benchFastForward(b *testing.B, noBlocks bool) {
+	im := benchImage(b, corruptorProgram)
+	cfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)
+	cfg.NoBlocks = noBlocks
+	rec := NewRecycler()
+	run := func() uint64 {
+		s, err := NewWithRecycler(cfg, im, rec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := s.FastForward(10_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Release(rec)
+		return n
+	}
+	run() // untimed warmup: primes the recycler pools and the block table
+	b.ReportAllocs()
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		insts += run()
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "ffInsts/s")
+}
+
+func BenchmarkFastForwardBlocks(b *testing.B)   { benchFastForward(b, false) }
+func BenchmarkFastForwardNoBlocks(b *testing.B) { benchFastForward(b, true) }

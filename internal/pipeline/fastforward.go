@@ -27,14 +27,38 @@ func (s *Sim) FastForward(n uint64) (uint64, error) {
 	var done uint64
 	root := &s.paths[0]
 
-	for done < n && !s.mach.Halted {
-		pc := s.mach.PC
-
-		// Warm the I-cache, one access per line.
+	// Cache-warming callbacks shared by the block fast path and the
+	// per-instruction reference loop below. Keeping both on the same
+	// closures (and the same lastLine) preserves the exact per-instruction
+	// I/D access interleaving into the shared L2 — warming a whole block's
+	// lines up front would reorder L2 fills and change its LRU state.
+	warmI := func(pc uint32) {
 		if line := pc/lineBytesI + 1; line != lastLine {
 			s.hier.L1I.Access(pc, false)
 			lastLine = line
 		}
+	}
+	warmD := func(addr uint32, store bool) {
+		s.hier.L1D.Access(addr, store)
+	}
+
+	for done < n && !s.mach.Halted {
+		// Block fast path: advance block-at-a-time through the straight-line
+		// body. Body instructions are provably non-control, so the predictor
+		// training switch below would not fire for them in the reference
+		// loop either; only the caches see them, via the callbacks. The
+		// block's terminator (and anything the fast interpreter must not
+		// touch) falls through to the reference path.
+		if k := s.mach.StepBlockBody(n-done, warmI, warmD); k > 0 {
+			done += k
+			s.stats.FastForwarded += k
+			continue
+		}
+
+		pc := s.mach.PC
+
+		// Warm the I-cache, one access per line.
+		warmI(pc)
 
 		in, out, err := s.mach.Step()
 		if err != nil {

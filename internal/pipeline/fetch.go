@@ -49,6 +49,54 @@ func (s *Sim) fetchPath(p *path, budget int) int {
 			}
 		}
 
+		// Basic-block fetch: the plane's block table says how many
+		// straight-line instructions begin at pc, so pull them into the
+		// fetch queue in one run — predictControl is a no-op for every one
+		// of them (provably non-control), so the slots need only sequential
+		// predNPCs. Capped at the budget, the queue space, and the current
+		// cache line; the next line gets its own access/stall check at the
+		// top of the loop. Byte-identical to the per-instruction path below
+		// by construction: same FetchInstClass per instruction (same
+		// predecode counters), same slot fields, same trace events.
+		if body := s.threadOf(p).mach.FetchBlockBody(pc); body > 0 {
+			mach := s.threadOf(p).mach
+			take := body
+			if take > budget {
+				take = budget
+			}
+			if space := len(s.fetchQ) - s.fetchQLen; take > space {
+				take = space
+			}
+			if toLine := int((lineBytes - pc%lineBytes) / isa.WordBytes); take > toLine {
+				take = toLine
+			}
+			for i := 0; i < take; i++ {
+				in, cl := mach.FetchInstClass(pc)
+				budget--
+				s.stats.Fetched++
+				s.nextSeq++
+				tail := s.fetchQHead + s.fetchQLen
+				if tail >= len(s.fetchQ) {
+					tail -= len(s.fetchQ)
+				}
+				slot := &s.fetchQ[tail]
+				*slot = fetchSlot{
+					seq:     s.nextSeq,
+					pathTok: p.token,
+					pc:      pc,
+					inst:    in,
+					class:   cl,
+					readyAt: s.cycle + uint64(s.cfg.BranchLat),
+					predNPC: pc + isa.WordBytes,
+				}
+				s.fetchQLen++
+				s.emit(TraceFetch, slot.seq, p.token, pc, in, slot.predNPC)
+				pc += isa.WordBytes
+			}
+			p.fetchPC = pc
+			continue
+		}
+
 		// Fetch through the predecode plane: two table loads (instruction
 		// and precomputed class) for in-segment PCs, Read32+Decode+classify
 		// otherwise (identical result, see FetchInstClass).

@@ -55,6 +55,16 @@ type Sample struct {
 	OverlayReuses    uint64
 	NewOverlaySpills uint64
 	NewOverlayReuses uint64
+
+	// Basic-block dispatch activity, summed over threads (see
+	// Stats.BlockHits/BlockBuilds/BlockInvalidations). Cumulative plus
+	// deltas.
+	BlockHits             uint64
+	BlockBuilds           uint64
+	BlockInvalidations    uint64
+	NewBlockHits          uint64
+	NewBlockBuilds        uint64
+	NewBlockInvalidations uint64
 }
 
 // SetSampler installs fn to run every `every` cycles (every < 1 selects
@@ -71,6 +81,7 @@ func (s *Sim) SetSampler(every uint64, fn func(Sample)) {
 	s.lastPredecodeHits, s.lastPredecodeFalls = s.predecodeCounters()
 	s.lastOverlaySpills = s.stats.OverlaySpills
 	s.lastOverlayReuses = s.stats.OverlayReuses
+	s.lastBlockHits, s.lastBlockBuilds, s.lastBlockInvals = s.blockCounters()
 }
 
 // predecodeCounters sums the per-thread predecode counters.
@@ -82,9 +93,20 @@ func (s *Sim) predecodeCounters() (hits, falls uint64) {
 	return hits, falls
 }
 
+// blockCounters sums the per-thread basic-block dispatch counters.
+func (s *Sim) blockCounters() (hits, builds, invals uint64) {
+	for _, th := range s.threads {
+		hits += th.mach.BlockHits
+		builds += th.mach.BlockBuilds
+		invals += th.mach.Mem.CodeInvalidations()
+	}
+	return hits, builds, invals
+}
+
 // takeSample builds and delivers one snapshot.
 func (s *Sim) takeSample() {
 	pdHits, pdFalls := s.predecodeCounters()
+	blkHits, blkBuilds, blkInvals := s.blockCounters()
 	sm := Sample{
 		Cycle:           s.cycle,
 		Committed:       s.stats.Committed,
@@ -109,6 +131,13 @@ func (s *Sim) takeSample() {
 		OverlayReuses:    s.stats.OverlayReuses,
 		NewOverlaySpills: s.stats.OverlaySpills - s.lastOverlaySpills,
 		NewOverlayReuses: s.stats.OverlayReuses - s.lastOverlayReuses,
+
+		BlockHits:             blkHits,
+		BlockBuilds:           blkBuilds,
+		BlockInvalidations:    blkInvals,
+		NewBlockHits:          blkHits - s.lastBlockHits,
+		NewBlockBuilds:        blkBuilds - s.lastBlockBuilds,
+		NewBlockInvalidations: blkInvals - s.lastBlockInvals,
 	}
 	s.lastSquashed = sm.Squashed
 	s.lastRecoveries = sm.Recoveries
@@ -116,6 +145,9 @@ func (s *Sim) takeSample() {
 	s.lastPredecodeFalls = pdFalls
 	s.lastOverlaySpills = sm.OverlaySpills
 	s.lastOverlayReuses = sm.OverlayReuses
+	s.lastBlockHits = blkHits
+	s.lastBlockBuilds = blkBuilds
+	s.lastBlockInvals = blkInvals
 	s.sampler(sm)
 }
 

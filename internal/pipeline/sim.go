@@ -91,6 +91,9 @@ type Sim struct {
 	lastPredecodeFalls uint64
 	lastOverlaySpills  uint64
 	lastOverlayReuses  uint64
+	lastBlockHits      uint64
+	lastBlockBuilds    uint64
+	lastBlockInvals    uint64
 
 	maxInsts uint64
 }
@@ -182,6 +185,9 @@ func NewSMTWithRecycler(cfg config.Config, ims []*program.Image, r *Recycler) (*
 		m.Load(im)
 		if cfg.NoPredecode {
 			m.DisablePredecode()
+		}
+		if cfg.NoBlocks {
+			m.DisableBlocks()
 		}
 		th := &thread{id: i, mach: m}
 		s.threads = append(s.threads, th)
@@ -346,6 +352,7 @@ func (s *Sim) Run(maxInsts uint64) error {
 	// Fold per-path stack stats that are still live into the aggregate.
 	s.foldLiveStackStats()
 	s.foldPredecodeStats()
+	s.foldBlockStats()
 	return nil
 }
 
@@ -359,6 +366,12 @@ func (s *Sim) foldPredecodeStats() {
 		falls += th.mach.PredecodeFallbacks
 	}
 	s.stats.PredecodeHits, s.stats.PredecodeFallbacks = hits, falls
+}
+
+// foldBlockStats snapshots the per-machine basic-block dispatch counters
+// into the aggregate stats (assignment, like foldPredecodeStats).
+func (s *Sim) foldBlockStats() {
+	s.stats.BlockHits, s.stats.BlockBuilds, s.stats.BlockInvalidations = s.blockCounters()
 }
 
 // step advances one cycle. Stages run commit-first so that a result

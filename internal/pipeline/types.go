@@ -217,6 +217,19 @@ type Stats struct {
 	OverlaySpills uint64
 	OverlayReuses uint64
 
+	// Basic-block dispatch activity, summed over threads at the end of Run:
+	// block dispatches served from the plane's block table, descriptor
+	// builds (first entries per machine, deterministic under image
+	// sharing — see emu.Machine.BlockBuilds),
+	// and code-region invalidations (clean→dirty transitions, each
+	// of which stops block dispatch and predecode until reload). Purely
+	// observational — results are identical either way. Hits and builds
+	// stay zero under -no-blocks; invalidations count code-store
+	// transitions regardless, since they gate the predecode plane too.
+	BlockHits          uint64
+	BlockBuilds        uint64
+	BlockInvalidations uint64
+
 	// PerThreadCommitted breaks Committed down by SMT thread.
 	PerThreadCommitted []uint64
 }

@@ -17,6 +17,10 @@ type Plane struct {
 	base    uint32
 	insts   []isa.Inst
 	classes []isa.Class // classes[i] == insts[i].Class(), precomputed
+
+	// blocks[i] is the basic-block length starting at slot i, lazily built
+	// and atomically published (0 = not built yet); see blocks.go.
+	blocks []uint32
 }
 
 // Base returns the first PC the plane covers.
@@ -77,7 +81,12 @@ func (im *Image) Predecode() *Plane {
 			insts[i] = isa.Decode(uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24)
 			classes[i] = insts[i].Class()
 		}
-		im.plane = &Plane{base: seg.Addr, insts: insts, classes: classes}
+		im.plane = &Plane{
+			base:    seg.Addr,
+			insts:   insts,
+			classes: classes,
+			blocks:  make([]uint32, n),
+		}
 	})
 	return im.plane
 }

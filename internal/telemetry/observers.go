@@ -29,6 +29,10 @@ const (
 
 	MetricOverlaySpills = "retstack_pipeline_overlay_spills_total"
 	MetricOverlayReuses = "retstack_pipeline_overlay_reuses_total"
+
+	MetricBlockHits          = "retstack_emu_block_hits_total"
+	MetricBlockBuilds        = "retstack_emu_block_builds_total"
+	MetricBlockInvalidations = "retstack_emu_block_invalidations_total"
 )
 
 // SweepObserver feeds sweep-cell lifecycle callbacks into a registry and
@@ -141,6 +145,9 @@ type PipelineMetrics struct {
 	pdFallbacks *Counter
 	ovSpills    *Counter
 	ovReuses    *Counter
+	blkHits     *Counter
+	blkBuilds   *Counter
+	blkInvals   *Counter
 }
 
 // NewPipelineMetrics registers the pipeline instrument set. A nil registry
@@ -168,6 +175,12 @@ func NewPipelineMetrics(reg *Registry) *PipelineMetrics {
 			"wrong-path overlay inline-slot overflows into the spill table (sampled deltas)"),
 		ovReuses: reg.Counter(MetricOverlayReuses,
 			"wrong-path overlays served from the pool instead of allocated (sampled deltas)"),
+		blkHits: reg.Counter(MetricBlockHits,
+			"basic-block dispatches served from the plane's block table (sampled deltas)"),
+		blkBuilds: reg.Counter(MetricBlockBuilds,
+			"basic-block descriptor builds (first entries per machine, sampled deltas)"),
+		blkInvals: reg.Counter(MetricBlockInvalidations,
+			"code-region invalidations gating block and predecode dispatch (sampled deltas)"),
 	}
 }
 
@@ -176,7 +189,8 @@ func NewPipelineMetrics(reg *Registry) *PipelineMetrics {
 // import.
 func (p *PipelineMetrics) Observe(ruuOcc, fetchqOcc, livePaths, rasDepth, checkpointsLive int,
 	newSquashed, newRecoveries, newPredecodeHits, newPredecodeFallbacks,
-	newOverlaySpills, newOverlayReuses uint64) {
+	newOverlaySpills, newOverlayReuses,
+	newBlockHits, newBlockBuilds, newBlockInvalidations uint64) {
 	if p == nil {
 		return
 	}
@@ -192,4 +206,7 @@ func (p *PipelineMetrics) Observe(ruuOcc, fetchqOcc, livePaths, rasDepth, checkp
 	p.pdFallbacks.Add(newPredecodeFallbacks)
 	p.ovSpills.Add(newOverlaySpills)
 	p.ovReuses.Add(newOverlayReuses)
+	p.blkHits.Add(newBlockHits)
+	p.blkBuilds.Add(newBlockBuilds)
+	p.blkInvals.Add(newBlockInvalidations)
 }

@@ -115,7 +115,7 @@ func TestNilSafety(t *testing.T) {
 	if err := log.Close(); err != nil {
 		t.Fatalf("nil log close: %v", err)
 	}
-	NewPipelineMetrics(nil).Observe(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11)
+	NewPipelineMetrics(nil).Observe(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14)
 	var obs *SweepObserver
 	obs.CellStart(0, 0)
 	obs.CellDone(0, 0, 0, nil)
