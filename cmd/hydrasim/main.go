@@ -16,6 +16,7 @@
 //	hydrasim -bench go -events-out e.jsonl        # JSONL cycle-sample event log
 //	hydrasim -bench go -manifest-out manifest.json
 //	hydrasim -bench go -http :6060                # live /metrics + /debug/pprof
+//	hydrasim -bench go -trace-out go.trace.jsonl  # full event trace + attribution (rastrace)
 //
 // Fault injection (dev; see README "Robustness"):
 //
@@ -27,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -37,6 +39,7 @@ import (
 	"retstack/internal/pipeline"
 	"retstack/internal/stats"
 	"retstack/internal/telemetry"
+	"retstack/internal/tracefile"
 )
 
 // obs bundles the opt-in observability sinks threaded through a run. A nil
@@ -107,9 +110,9 @@ func (o *obs) finish(st *pipeline.Stats) {
 }
 
 // run executes the simulation directly through the pipeline package so the
-// tracer, the telemetry sampler, and the dev-only RAS disturber can be
-// attached.
-func run(cfg retstack.Config, bench string, insts uint64, traceN int, disturb, disturbSeed uint64, o *obs) (*pipeline.Stats, error) {
+// tracers (live text, attribution), the telemetry sampler, and the
+// dev-only RAS disturber can be attached.
+func run(cfg retstack.Config, bench string, insts uint64, traceN int, attr *pipeline.Attributor, disturb, disturbSeed uint64, o *obs) (*pipeline.Stats, error) {
 	w, ok := retstack.WorkloadByName(bench)
 	if !ok {
 		return nil, fmt.Errorf("unknown workload %q (use -list)", bench)
@@ -126,8 +129,18 @@ func run(cfg retstack.Config, bench string, insts uint64, traceN int, disturb, d
 	if err != nil {
 		return nil, err
 	}
+	// Build the tracer list with concrete nil checks: converting a nil
+	// *Attributor to the Tracer interface would defeat MultiTracer's
+	// nil-dropping.
+	var tracers []pipeline.Tracer
 	if traceN > 0 {
-		sim.SetTracer(&pipeline.TextTracer{W: os.Stderr, MaxEvents: traceN})
+		tracers = append(tracers, &pipeline.TextTracer{W: os.Stderr, MaxEvents: traceN})
+	}
+	if attr != nil {
+		tracers = append(tracers, attr)
+	}
+	if tr := pipeline.MultiTracer(tracers...); tr != nil {
+		sim.SetTracer(tr)
 	}
 	if disturb > 0 {
 		sim.SetDisturber(disturb, faultinject.Addr(disturbSeed))
@@ -173,6 +186,8 @@ func main() {
 		progress    = flag.Bool("progress", false, "print a live cycle/commit progress line to stderr")
 		httpAddr    = flag.String("http", "", "serve /metrics and /debug/pprof on this address (e.g. :6060) while the run lasts")
 		sampleEvery = flag.Uint64("sample-every", pipeline.DefaultSampleEvery, "cycles between pipeline samples when telemetry is enabled")
+		traceOut    = flag.String("trace-out", "", "write the full JSONL event trace with misprediction attribution to this file (inspect with rastrace)")
+		traceBuf    = flag.Int("trace-buf", pipeline.DefaultTraceBuf, "causal ring capacity in events for -trace-out attribution")
 	)
 	flag.Parse()
 
@@ -230,6 +245,27 @@ func main() {
 		}
 	}
 
+	// The attribution tracer and its JSONL sink. Like -disturb (and the
+	// sampler), these attach through run(), so they are single-context only.
+	var attr *pipeline.Attributor
+	var tw *tracefile.Writer
+	var am *telemetry.AttribMetrics
+	if *traceOut != "" {
+		if *smt != "" {
+			fatal(fmt.Errorf("-trace-out applies to single-context runs only (the SMT harness owns sim construction)"))
+		}
+		tw, err = tracefile.Create(*traceOut, tracefile.Header{Label: *bench, Buf: *traceBuf})
+		if err != nil {
+			fatal(err)
+		}
+		attr = pipeline.NewAttributor(cfg.RASEntries, *traceBuf, tw)
+		if o != nil {
+			am = telemetry.NewAttribMetrics(o.reg, "bench", *bench) // nil reg -> nil, no-op
+			attr.OnRepairLatency = am.ObserveRepairLatency
+			attr.OnSquashBurst = am.ObserveSquashBurst
+		}
+	}
+
 	names := []string{*bench}
 	if *smt != "" {
 		names = append(names, strings.Split(*smt, ",")...)
@@ -272,7 +308,7 @@ func main() {
 		fmt.Printf("threads         %v (per-thread committed %v)\n", names, st.PerThreadCommitted)
 		printStats(strings.Join(names, "+"), cfg, st)
 	} else {
-		st, err = run(cfg, *bench, *insts, *traceN, *disturb, *dseed, o)
+		st, err = run(cfg, *bench, *insts, *traceN, attr, *disturb, *dseed, o)
 		if err != nil {
 			fatal(err)
 		}
@@ -280,6 +316,28 @@ func main() {
 		if *disturb > 0 {
 			fmt.Printf("injected        RAS corruptions %d (every %d cycles, seed %d)\n",
 				st.RAS.Corruptions, *disturb, *dseed)
+		}
+	}
+
+	if attr != nil {
+		attr.Finish()
+		if err := tw.Close(); err != nil {
+			fatal(fmt.Errorf("trace %s: %w", *traceOut, err))
+		}
+		// The attribution table renders on stderr; the stdout stats block
+		// stays byte-identical to an untraced run.
+		ast := attr.Stats()
+		ast.WriteSummary(os.Stderr, *bench)
+		am.AddEvents(ast.Events)
+		for c := 0; c < pipeline.NumAttribCauses; c++ {
+			am.AddCause(pipeline.AttribCause(c).String(), ast.Causes[c])
+		}
+		for s := 0; s < pipeline.NumStages; s++ {
+			am.AddStage(pipeline.StageName(s), ast.StageCycles[s])
+		}
+		man.Trace = &telemetry.TraceRecord{
+			Dir: filepath.Dir(*traceOut), Buf: *traceBuf,
+			Files: []string{*traceOut}, Events: ast.Events, Attributed: ast.Attributed,
 		}
 	}
 

@@ -5,6 +5,12 @@
 //	promcheck -events e.jsonl         # JSONL structured event log
 //	promcheck -manifest manifest.json # run manifest (config hash present)
 //
+// -require asserts the exposition actually carries specific metric
+// families, so CI can catch a run that was silently missing a collector
+// (e.g. a -trace-out run whose attribution counters never registered):
+//
+//	promcheck -prom m.prom -require retstack_attrib_mispredicts_total,retstack_trace_squash_depth
+//
 // Any combination of flags may be given; the command exits non-zero on the
 // first malformed artifact.
 package main
@@ -14,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"retstack/internal/telemetry"
 )
@@ -23,16 +31,21 @@ func main() {
 		prom     = flag.String("prom", "", "Prometheus exposition file to validate")
 		events   = flag.String("events", "", "JSONL event log to validate")
 		manifest = flag.String("manifest", "", "run manifest to validate")
+		require  = flag.String("require", "", "comma-separated metric families that must be present in -prom")
 	)
 	flag.Parse()
 	if *prom == "" && *events == "" && *manifest == "" {
 		fmt.Fprintln(os.Stderr, "promcheck: nothing to check (use -prom, -events, and/or -manifest)")
 		os.Exit(2)
 	}
+	if *require != "" && *prom == "" {
+		fmt.Fprintln(os.Stderr, "promcheck: -require needs -prom")
+		os.Exit(2)
+	}
 
 	checked := 0
 	if *prom != "" {
-		withFile(*prom, func(f *os.File) error { return telemetry.CheckExposition(f) })
+		withFile(*prom, func(f *os.File) error { return checkProm(f, *require) })
 		checked++
 	}
 	if *events != "" {
@@ -44,6 +57,29 @@ func main() {
 		checked++
 	}
 	fmt.Printf("promcheck: %d artifact(s) ok\n", checked)
+}
+
+// checkProm validates the exposition and, with a -require list, asserts
+// every named family is present. Missing families are reported together
+// (sorted), not just the first, so one CI failure shows the whole gap.
+func checkProm(f *os.File, require string) error {
+	families, err := telemetry.CheckExpositionFamilies(f)
+	if err != nil {
+		return err
+	}
+	var missing []string
+	for _, name := range strings.Split(require, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			if _, ok := families[name]; !ok {
+				missing = append(missing, name)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("missing required metric families: %s", strings.Join(missing, ", "))
+	}
+	return nil
 }
 
 // checkManifest verifies the manifest decodes into the telemetry schema

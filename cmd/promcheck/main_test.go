@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func promFile(t *testing.T, content string) *os.File {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "m.prom")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+const traceExposition = `# HELP retstack_attrib_mispredicts_total return mispredictions by attributed cause
+# TYPE retstack_attrib_mispredicts_total counter
+retstack_attrib_mispredicts_total{cause="wrongpath-pop",exp="t3"} 7
+# TYPE retstack_trace_events_total counter
+retstack_trace_events_total{exp="t3"} 1234
+# TYPE retstack_trace_squash_depth histogram
+retstack_trace_squash_depth_bucket{exp="t3",le="1"} 2
+retstack_trace_squash_depth_bucket{exp="t3",le="+Inf"} 9
+retstack_trace_squash_depth_sum{exp="t3"} 40
+retstack_trace_squash_depth_count{exp="t3"} 9
+`
+
+func TestCheckPromRequire(t *testing.T) {
+	if err := checkProm(promFile(t, traceExposition), ""); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+	err := checkProm(promFile(t, traceExposition),
+		"retstack_attrib_mispredicts_total, retstack_trace_events_total,retstack_trace_squash_depth")
+	if err != nil {
+		t.Fatalf("present families reported missing: %v", err)
+	}
+	err = checkProm(promFile(t, traceExposition),
+		"retstack_trace_repair_latency_cycles,retstack_attrib_stage_cycles_total,retstack_trace_events_total")
+	if err == nil {
+		t.Fatal("missing families accepted")
+	}
+	// Both absent families are reported, the present one is not.
+	for _, want := range []string{"retstack_attrib_stage_cycles_total", "retstack_trace_repair_latency_cycles"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error does not name %s: %v", want, err)
+		}
+	}
+	if strings.Contains(err.Error(), "retstack_trace_events_total") {
+		t.Errorf("error names a present family: %v", err)
+	}
+}
+
+func TestCheckPromRejectsMalformed(t *testing.T) {
+	if err := checkProm(promFile(t, "not an exposition{"), ""); err == nil {
+		t.Fatal("malformed exposition accepted")
+	}
+	// -require cannot rescue a malformed file: validation runs first.
+	if err := checkProm(promFile(t, "nope{"), "retstack_trace_events_total"); err == nil {
+		t.Fatal("malformed exposition accepted with -require")
+	}
+}

@@ -17,6 +17,8 @@
 //	rasbench -exp t3 -events-out e.jsonl         # JSONL structured event log
 //	rasbench -exp t3 -manifest-out manifest.json # reproducibility manifest
 //	rasbench -exp all -http :6060                # live /metrics + /debug/pprof
+//	rasbench -exp t3 -trace-out traces/          # per-cell attribution traces (rastrace)
+//	rasbench -exp t3 -trace-out traces/ -trace-buf 8192
 //
 // Resilience (see README "Robustness"):
 //
@@ -44,6 +46,7 @@ import (
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -54,6 +57,23 @@ import (
 	"retstack/internal/sweep"
 	"retstack/internal/telemetry"
 )
+
+// sinks collects every observability sink opened during the run. All three
+// exit paths — normal completion, the SIGINT/SIGTERM drain, and fatal() —
+// call flushAll, and the set guarantees each sink flushes exactly once no
+// matter which path runs (or which wins a race).
+var sinks = telemetry.NewSinkSet()
+
+// flushAll flushes every registered sink, reporting (not swallowing) the
+// failures; it returns false when any sink failed.
+func flushAll() bool {
+	ok := true
+	for _, e := range sinks.Flush() {
+		fmt.Fprintln(os.Stderr, "rasbench:", e.Error())
+		ok = false
+	}
+	return ok
+}
 
 func main() {
 	var (
@@ -76,6 +96,8 @@ func main() {
 		progress    = flag.Bool("progress", false, "print a live sweep progress line to stderr")
 		httpAddr    = flag.String("http", "", "serve /metrics and /debug/pprof on this address (e.g. :6060) while the run lasts")
 		sampleEvery = flag.Uint64("sample-every", pipeline.DefaultSampleEvery, "cycles between pipeline samples when metrics are enabled")
+		traceOut    = flag.String("trace-out", "", "capture per-cell JSONL event traces with misprediction attribution into this directory (inspect with rastrace)")
+		traceBuf    = flag.Int("trace-buf", pipeline.DefaultTraceBuf, "per-cell causal ring capacity in events for -trace-out attribution")
 
 		onCellError  = flag.String("on-cell-error", "abort", "failed-cell policy: abort | skip (hole the cell, keep sweeping) | retry (transient errors, bounded backoff)")
 		retries      = flag.Int("retries", 3, "max attempts per cell under -on-cell-error=retry")
@@ -155,11 +177,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer func() {
-			if err := events.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "rasbench: event log:", err)
-			}
-		}()
+		sinks.Register("event log", events.Close)
 	}
 	if *httpAddr != "" {
 		bound, err := telemetry.Serve(*httpAddr, reg)
@@ -221,7 +239,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer journal.Close()
+		sinks.Register("journal", journal.Close)
 		if err := journal.Stamp(sweep.RunStamp{
 			Tool: "rasbench", Start: man.Start.Format(time.RFC3339Nano),
 			ConfigHash: man.ConfigHash, Args: os.Args[1:],
@@ -229,6 +247,27 @@ func main() {
 			fatal(err)
 		}
 		params.Journal = journal
+	}
+	// The metrics dump and the manifest flush on every exit path like the
+	// sinks above. The manifest registers last: earlier sinks and the
+	// per-experiment loop keep updating its fields (timings, trace record,
+	// status) right up to the flush.
+	if *metricsOut != "" {
+		sinks.Register("metrics", func() error { return reg.DumpFile(*metricsOut) })
+	}
+	if *manifestOut != "" {
+		sinks.Register("manifest", func() error {
+			if man.Status == "" {
+				man.Status = "failed"
+			}
+			man.Finish()
+			return man.WriteFile(*manifestOut)
+		})
+	}
+	if *traceOut != "" {
+		if err := os.MkdirAll(*traceOut, 0o755); err != nil {
+			fatal(err)
+		}
 	}
 	events.Emit("run_start", man.Fields())
 
@@ -260,6 +299,18 @@ func main() {
 					sm.NewBlockHits, sm.NewBlockBuilds, sm.NewBlockInvalidations)
 			}
 		}
+		var agg *traceAgg
+		var am *telemetry.AttribMetrics
+		if *traceOut != "" {
+			am = telemetry.NewAttribMetrics(reg, "exp", id) // nil reg -> nil, no-op
+			agg = &traceAgg{}
+			p.Trace = &experiments.TraceParams{
+				Dir: *traceOut, Buf: *traceBuf,
+				OnRepairLatency: am.ObserveRepairLatency,
+				OnSquashBurst:   am.ObserveSquashBurst,
+				OnCell:          agg.cell,
+			}
+		}
 		events.Emit("experiment_start", map[string]any{"exp": id})
 
 		res, err := experiments.Run(id, p)
@@ -269,15 +320,19 @@ func main() {
 		if err != nil {
 			if ctx.Err() != nil {
 				// A signal canceled the sweep mid-experiment. Flush what we
-				// have — journaled cells are already fsynced — and exit with
-				// the conventional SIGINT code. os.Exit skips the defers
-				// above, so the sinks are flushed explicitly here.
+				// have — journaled cells are already fsynced, and cells that
+				// finished before the cancel have already closed their trace
+				// files — and exit with the conventional SIGINT code. os.Exit
+				// skips defers, so the sink set flushes explicitly here.
 				stop()
 				events.Emit("run_interrupted", map[string]any{
 					"exp": id, "seconds": time.Since(man.Start).Seconds(),
 				})
 				man.Status = "interrupted"
-				flushSinks(man, events, reg, journal, *manifestOut, *metricsOut)
+				if agg != nil {
+					publishTrace(am, man, *traceOut, *traceBuf, agg)
+				}
+				flushAll()
 				if *cpuprofile != "" {
 					pprof.StopCPUProfile()
 				}
@@ -302,6 +357,12 @@ func main() {
 		if *progress && timing != nil {
 			reportSweep(os.Stderr, id, *parallel, timing)
 		}
+		if agg != nil {
+			// The attribution table renders on stderr: stdout stays
+			// byte-identical to an untraced run.
+			st := publishTrace(am, man, *traceOut, *traceBuf, agg)
+			st.WriteSummary(os.Stderr, id)
+		}
 
 		switch *format {
 		case "csv":
@@ -317,16 +378,54 @@ func main() {
 	man.Status = "completed"
 	man.Finish()
 	events.Emit("run_done", map[string]any{"seconds": man.WallSeconds})
-	if *manifestOut != "" {
-		if err := man.WriteFile(*manifestOut); err != nil {
-			fatal(err)
-		}
+	if !flushAll() {
+		os.Exit(1)
 	}
-	if *metricsOut != "" {
-		if err := reg.DumpFile(*metricsOut); err != nil {
-			fatal(err)
-		}
+}
+
+// traceAgg accumulates per-cell attribution results for one experiment.
+// OnCell fires from sweep workers, so it locks.
+type traceAgg struct {
+	mu    sync.Mutex
+	stats pipeline.AttribStats
+	files []string
+}
+
+func (a *traceAgg) cell(exp string, cell int, file string, st pipeline.AttribStats) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stats.Merge(&st)
+	if file != "" {
+		a.files = append(a.files, file)
 	}
+}
+
+// publishTrace pushes one experiment's aggregated attribution into the
+// registry's retstack_attrib_* counters and folds it into the manifest's
+// trace record, returning the aggregate for rendering. Files sort so the
+// manifest is deterministic at any worker count.
+func publishTrace(am *telemetry.AttribMetrics, man *telemetry.Manifest,
+	dir string, buf int, agg *traceAgg) pipeline.AttribStats {
+	agg.mu.Lock()
+	st := agg.stats
+	files := append([]string(nil), agg.files...)
+	agg.mu.Unlock()
+	sort.Strings(files)
+
+	am.AddEvents(st.Events)
+	for c := 0; c < pipeline.NumAttribCauses; c++ {
+		am.AddCause(pipeline.AttribCause(c).String(), st.Causes[c])
+	}
+	for s := 0; s < pipeline.NumStages; s++ {
+		am.AddStage(pipeline.StageName(s), st.StageCycles[s])
+	}
+	if man.Trace == nil {
+		man.Trace = &telemetry.TraceRecord{Dir: dir, Buf: buf}
+	}
+	man.Trace.Files = append(man.Trace.Files, files...)
+	man.Trace.Events += st.Events
+	man.Trace.Attributed += st.Attributed
+	return st
 }
 
 // resumeRecord builds the manifest's resume provenance: how many journaled
@@ -343,32 +442,6 @@ func resumeRecord(path string, replay sweep.Replay, configHash string) *telemetr
 		rec.PriorRuns = append(rec.PriorRuns, fmt.Sprintf("%s@%s", r.Tool, r.Start))
 	}
 	return rec
-}
-
-// flushSinks finalizes every sink on the interrupted path, reporting (not
-// swallowing) flush failures — the one thing an interrupted run must still
-// do reliably is persist what it finished.
-func flushSinks(man *telemetry.Manifest, events *telemetry.EventLog, reg *telemetry.Registry,
-	journal *sweep.Journal, manifestOut, metricsOut string) {
-	man.Finish()
-	if manifestOut != "" {
-		if err := man.WriteFile(manifestOut); err != nil {
-			fmt.Fprintln(os.Stderr, "rasbench: manifest:", err)
-		}
-	}
-	if metricsOut != "" {
-		if err := reg.DumpFile(metricsOut); err != nil {
-			fmt.Fprintln(os.Stderr, "rasbench: metrics:", err)
-		}
-	}
-	if events != nil {
-		if err := events.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "rasbench: event log:", err)
-		}
-	}
-	if err := journal.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "rasbench: journal:", err)
-	}
 }
 
 // experimentRecord converts one experiment's timing into manifest form.
@@ -426,7 +499,12 @@ func printCSV(w io.Writer, res *experiments.Result) error {
 	return nil
 }
 
+// fatal reports the error, flushes whatever sinks the run opened before it
+// failed (the manifest records status "failed"), and exits. os.Exit skips
+// deferred calls, which is exactly why the sinks live in a SinkSet rather
+// than in defers.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "rasbench:", err)
+	flushAll()
 	os.Exit(1)
 }

@@ -1,0 +1,317 @@
+// Command rastrace slices, summarizes, validates, and converts the JSONL
+// event traces rasbench and hydrasim capture with -trace-out:
+//
+//	rastrace summarize run/t3-c0.trace.jsonl            # event + attribution table
+//	rastrace summarize -reconcile m.prom t3-c*.jsonl    # cross-check vs telemetry counters
+//	rastrace slice -kind ras-pop,recover -from 1000 -to 2000 t3-c0.trace.jsonl
+//	rastrace slice -pc 0x40012c -n 50 t3-c0.trace.jsonl # one call site's events
+//	rastrace perfetto -o trace.json t3-c0.trace.jsonl   # open in ui.perfetto.dev
+//	rastrace check t3-c0.trace.jsonl                    # validate the JSONL stream
+//	rastrace check -perfetto trace.json                 # validate a converted document
+//
+// summarize accepts several files and merges them (a sweep's cells);
+// -reconcile requires the attribution counts summed across the given
+// files to equal the retstack_attrib_mispredicts_total counters of the
+// exposition, which ties the trace artifacts to the run that wrote them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"retstack/internal/pipeline"
+	"retstack/internal/telemetry"
+	"retstack/internal/tracefile"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "summarize":
+		err = cmdSummarize(args[1:], stdout)
+	case "slice":
+		err = cmdSlice(args[1:], stdout)
+	case "perfetto":
+		err = cmdPerfetto(args[1:], stdout)
+	case "check":
+		err = cmdCheck(args[1:], stdout)
+	case "-h", "-help", "--help", "help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "rastrace: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "rastrace:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
+  rastrace summarize [-reconcile metrics.prom] trace.jsonl...
+  rastrace slice [-from N] [-to N] [-kind k1,k2] [-pc 0xADDR] [-seq N] [-path N] [-n MAX] trace.jsonl
+  rastrace perfetto [-o out.json] trace.jsonl
+  rastrace check [-perfetto] file`)
+}
+
+// cmdSummarize merges the per-file summaries and renders one table; with
+// -reconcile it also requires the merged attribution counts to match the
+// exposition's counters.
+func cmdSummarize(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("summarize", flag.ContinueOnError)
+	reconcile := fs.String("reconcile", "", "Prometheus exposition to cross-check attribution counters against")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("summarize: no trace files given")
+	}
+	merged := &tracefile.Summary{ByKind: map[string]uint64{}, Causes: map[string]uint64{}}
+	for i, path := range fs.Args() {
+		s, err := summarizeFile(path)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			merged.Header = s.Header
+			merged.FirstCycle = s.FirstCycle
+		}
+		if fs.NArg() > 1 {
+			merged.Header.Label = fmt.Sprintf("%d files", fs.NArg())
+		}
+		merged.Events += s.Events
+		merged.Attributed += s.Attributed
+		if s.LastCycle > merged.LastCycle {
+			merged.LastCycle = s.LastCycle
+		}
+		if s.MaxSeq > merged.MaxSeq {
+			merged.MaxSeq = s.MaxSeq
+		}
+		for k, n := range s.ByKind {
+			merged.ByKind[k] += n
+		}
+		for c, n := range s.Causes {
+			merged.Causes[c] += n
+		}
+	}
+	merged.Render(stdout)
+	if *reconcile != "" {
+		f, err := os.Open(*reconcile)
+		if err != nil {
+			return err
+		}
+		samples, err := telemetry.Samples(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", *reconcile, err)
+		}
+		if err := merged.Reconcile(samples, telemetry.MetricAttribMispredicts); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "reconciled: trace attribution matches %s in %s\n",
+			telemetry.MetricAttribMispredicts, *reconcile)
+	}
+	return nil
+}
+
+func summarizeFile(path string) (*tracefile.Summary, error) {
+	r, err := tracefile.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	s, err := tracefile.Summarize(r)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// cmdSlice filters one trace and renders the matching events as text.
+func cmdSlice(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("slice", flag.ContinueOnError)
+	var (
+		from  = fs.Uint64("from", 0, "first cycle (inclusive)")
+		to    = fs.Uint64("to", ^uint64(0), "last cycle (inclusive)")
+		kinds = fs.String("kind", "", "comma-separated event kinds (default: all)")
+		pcHex = fs.String("pc", "", "only events at this PC (hex, e.g. 0x40012c)")
+		seq   = fs.Uint64("seq", 0, "only events of this sequence number (0 = all)")
+		path  = fs.Uint64("path", ^uint64(0), "only events of this path token")
+		limit = fs.Int("n", 0, "stop after this many matches (0 = unlimited)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("slice: want exactly one trace file")
+	}
+	wantKind := map[string]bool{}
+	for _, k := range strings.Split(*kinds, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			if _, ok := pipeline.TraceKindByName(k); !ok {
+				return fmt.Errorf("slice: unknown kind %q (have %s)",
+					k, strings.Join(pipeline.TraceKinds(), ","))
+			}
+			wantKind[k] = true
+		}
+	}
+	var wantPC uint64
+	if *pcHex != "" {
+		v, err := strconv.ParseUint(strings.TrimPrefix(*pcHex, "0x"), 16, 32)
+		if err != nil {
+			return fmt.Errorf("slice: bad -pc %q: %v", *pcHex, err)
+		}
+		wantPC = v
+	}
+
+	r, err := tracefile.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	matched := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if rec.Cycle < *from || rec.Cycle > *to {
+			continue
+		}
+		if len(wantKind) > 0 && !wantKind[rec.Kind] {
+			continue
+		}
+		if *pcHex != "" && uint64(rec.PC) != wantPC {
+			continue
+		}
+		if *seq != 0 && rec.Seq != *seq {
+			continue
+		}
+		if *path != ^uint64(0) && rec.Path != *path {
+			continue
+		}
+		printRecord(stdout, rec)
+		if matched++; *limit > 0 && matched >= *limit {
+			break
+		}
+	}
+	fmt.Fprintf(stdout, "%d event(s)\n", matched)
+	return nil
+}
+
+// printRecord renders one event line, mirroring the simulator's live
+// TextTracer format as closely as a decoded record allows.
+func printRecord(w io.Writer, rec tracefile.Record) {
+	line := fmt.Sprintf("%8d  %-10s seq=%-6d path=%d pc=%#x", rec.Cycle, rec.Kind, rec.Seq, rec.Path, rec.PC)
+	if rec.Word != 0 {
+		line += "  " + rec.Inst().Disasm(rec.PC)
+	}
+	switch rec.Kind {
+	case "attrib":
+		line += fmt.Sprintf("  cause=%s", pipeline.AttribCause(rec.Extra))
+		if rec.Aux != 0 {
+			line += fmt.Sprintf(" writer-pc=%#x", rec.Aux)
+		}
+	default:
+		if rec.Extra != 0 {
+			line += fmt.Sprintf("  x=%#x", rec.Extra)
+		}
+		if rec.Aux != 0 {
+			line += fmt.Sprintf(" aux=%#x", rec.Aux)
+		}
+	}
+	if rec.Flags != 0 {
+		line += "  [" + rec.FlagString() + "]"
+	}
+	fmt.Fprintln(w, line)
+}
+
+// cmdPerfetto converts a trace to a Chrome trace-event document.
+func cmdPerfetto(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("perfetto", flag.ContinueOnError)
+	out := fs.String("o", "", "output file (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("perfetto: want exactly one trace file")
+	}
+	r, err := tracefile.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); err == nil && cerr != nil {
+				err = cerr
+			}
+		}()
+		w = f
+	}
+	n, err := tracefile.WritePerfetto(w, r)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(stdout, "%s: %d trace events\n", *out, n)
+	}
+	return nil
+}
+
+// cmdCheck validates a trace (default) or a converted Perfetto document.
+func cmdCheck(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	perfetto := fs.Bool("perfetto", false, "validate a Chrome trace-event JSON document instead of a JSONL trace")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("check: want exactly one file")
+	}
+	path := fs.Arg(0)
+	if *perfetto {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := tracefile.CheckPerfetto(data); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else {
+		r, err := tracefile.Open(path)
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		if err := tracefile.CheckTrace(r); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	fmt.Fprintf(stdout, "%s: ok\n", path)
+	return nil
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"retstack/internal/pipeline"
+	"retstack/internal/tracefile"
+)
+
+// writeTestTrace writes a small but representative trace file and returns
+// its path.
+func writeTestTrace(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "unit.trace.jsonl")
+	w, err := tracefile.Create(path, tracefile.Header{Label: "unit", Exp: "t3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := []pipeline.TraceEvent{
+		{Cycle: 10, Kind: pipeline.TraceFetch, Seq: 1, PC: 0x400000, Extra: 0x400008},
+		{Cycle: 11, Kind: pipeline.TraceDispatch, Seq: 1, PC: 0x400000},
+		{Cycle: 13, Kind: pipeline.TraceComplete, Seq: 1, PC: 0x400000},
+		{Cycle: 14, Kind: pipeline.TraceCommit, Seq: 1, PC: 0x400000},
+		{Cycle: 20, Kind: pipeline.TraceRASPop, Seq: 2, PC: 0x400100, Extra: 0x400004,
+			Flags: pipeline.FlagRASPop | pipeline.FlagReturn | pipeline.FlagFromRAS},
+		{Cycle: 25, Kind: pipeline.TraceAttrib, Seq: 2, PC: 0x400100,
+			Extra: uint32(pipeline.CauseWrongPathPop), Aux: 0x400000},
+		{Cycle: 30, Kind: pipeline.TraceAttrib, Seq: 5, PC: 0x400200,
+			Extra: uint32(pipeline.CauseOverflowWrap)},
+	}
+	for _, e := range evs {
+		w.Event(e)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCmd(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestSummarizeCommand(t *testing.T) {
+	trace := writeTestTrace(t, t.TempDir())
+	out, errs, code := runCmd(t, "summarize", trace)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errs)
+	}
+	for _, want := range []string{"7 events", "wrongpath-pop", "overflow-wrap", "attribution (2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummarizeReconcile(t *testing.T) {
+	dir := t.TempDir()
+	trace := writeTestTrace(t, dir)
+	prom := filepath.Join(dir, "m.prom")
+	good := `# TYPE retstack_attrib_mispredicts_total counter
+retstack_attrib_mispredicts_total{cause="wrongpath-pop",exp="t3"} 1
+retstack_attrib_mispredicts_total{cause="overflow-wrap",exp="t3"} 1
+`
+	if err := os.WriteFile(prom, []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, errs, code := runCmd(t, "summarize", "-reconcile", prom, trace)
+	if code != 0 {
+		t.Fatalf("matching reconcile failed (%d): %s", code, errs)
+	}
+	if !strings.Contains(out, "reconciled") {
+		t.Errorf("no reconcile confirmation:\n%s", out)
+	}
+
+	bad := strings.Replace(good, "} 1", "} 3", 1)
+	if err := os.WriteFile(prom, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, errs, code := runCmd(t, "summarize", "-reconcile", prom, trace); code == 0 {
+		t.Fatal("mismatched reconcile passed")
+	} else if !strings.Contains(errs, "reconcile") {
+		t.Errorf("unexpected error: %s", errs)
+	}
+}
+
+func TestSliceCommand(t *testing.T) {
+	trace := writeTestTrace(t, t.TempDir())
+	out, errs, code := runCmd(t, "slice", "-kind", "attrib", trace)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errs)
+	}
+	if !strings.Contains(out, "2 event(s)") || !strings.Contains(out, "cause=wrongpath-pop") {
+		t.Errorf("kind filter wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "writer-pc=0x400000") {
+		t.Errorf("attrib writer PC not rendered:\n%s", out)
+	}
+
+	out, _, _ = runCmd(t, "slice", "-from", "10", "-to", "14", trace)
+	if !strings.Contains(out, "4 event(s)") {
+		t.Errorf("cycle window wrong:\n%s", out)
+	}
+	out, _, _ = runCmd(t, "slice", "-pc", "0x400100", trace)
+	if !strings.Contains(out, "2 event(s)") {
+		t.Errorf("pc filter wrong:\n%s", out)
+	}
+	out, _, _ = runCmd(t, "slice", "-n", "1", trace)
+	if !strings.Contains(out, "1 event(s)") {
+		t.Errorf("limit wrong:\n%s", out)
+	}
+	if _, _, code := runCmd(t, "slice", "-kind", "bogus", trace); code == 0 {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestPerfettoAndCheckCommands(t *testing.T) {
+	dir := t.TempDir()
+	trace := writeTestTrace(t, dir)
+	if _, errs, code := runCmd(t, "check", trace); code != 0 {
+		t.Fatalf("check failed: %s", errs)
+	}
+
+	out := filepath.Join(dir, "trace.json")
+	if _, errs, code := runCmd(t, "perfetto", "-o", out, trace); code != 0 {
+		t.Fatalf("perfetto failed: %s", errs)
+	}
+	if _, errs, code := runCmd(t, "check", "-perfetto", out); code != 0 {
+		t.Fatalf("perfetto check failed: %s", errs)
+	}
+
+	// Corrupt stream: truncated line must fail check.
+	bad := filepath.Join(dir, "bad.trace.jsonl")
+	data, _ := os.ReadFile(trace)
+	if err := os.WriteFile(bad, append(data, []byte(`{"c":1,"k":"fetch"`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, code := runCmd(t, "check", bad); code == 0 {
+		t.Error("corrupt trace passed check")
+	}
+}
+
+func TestUsageAndErrors(t *testing.T) {
+	if _, _, code := runCmd(t); code != 2 {
+		t.Error("no-args should exit 2")
+	}
+	if _, _, code := runCmd(t, "nope"); code != 2 {
+		t.Error("unknown command should exit 2")
+	}
+	if out, _, code := runCmd(t, "help"); code != 0 || !strings.Contains(out, "summarize") {
+		t.Error("help broken")
+	}
+	if _, _, code := runCmd(t, "summarize"); code != 1 {
+		t.Error("summarize with no files should fail")
+	}
+	if _, _, code := runCmd(t, "check", "/nonexistent"); code != 1 {
+		t.Error("missing file should fail")
+	}
+}

@@ -257,6 +257,25 @@ type Corruptible interface {
 	CorruptTop(addr uint32)
 }
 
+// TOSIndex returns the physical index of the current top entry. Purely
+// observational: the tracer uses it to name the slot a push wrote or a pop
+// read, which is what lets misprediction attribution distinguish an
+// overwritten slot from a wrapped one.
+func (s *Stack) TOSIndex() int { return s.tos }
+
+// Inspector is implemented by stacks whose physical slots can be observed
+// (currently the circular Stack). The pipeline's tracer type-asserts
+// against it; stack kinds without stable slot identities (linked, tagged)
+// are traced without slot indices and attributed more coarsely.
+type Inspector interface {
+	TOSIndex() int
+	Top() uint32
+	Size() int
+	Depth() int
+}
+
+var _ Inspector = (*Stack)(nil)
+
 // Clone returns an independent copy of the stack with zeroed statistics —
 // the per-path copy made when a multipath processor forks.
 func (s *Stack) Clone() *Stack {

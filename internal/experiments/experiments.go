@@ -54,6 +54,11 @@ type Params struct {
 	Sample      func(cell int, sm pipeline.Sample)
 	SampleEvery uint64
 
+	// Trace, if non-nil, attaches the misprediction-attribution tracer to
+	// every simulation and (optionally) writes per-cell JSONL trace files.
+	// Strictly observational, like Monitor and Sample.
+	Trace *TraceParams
+
 	// NoPredecode disables the predecoded-instruction fast path in every
 	// simulation (the rasbench -no-predecode flag). Results are
 	// byte-identical either way (pinned by TestPredecodeMatchesFallback);
@@ -478,15 +483,24 @@ func simulateCell(cell int, w workloads.Workload, im *program.Image, cfg config.
 	if p.Sample != nil {
 		sim.SetSampler(p.SampleEvery, func(sm pipeline.Sample) { p.Sample(cell, sm) })
 	}
+	finishTrace, err := p.attachTrace(sim, cell, cfg.RASEntries)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
 	if every, addr, ok := p.Inject.Disturb(p.expID, cell); ok {
 		sim.SetDisturber(every, addr)
 	}
 	if p.Warmup > 0 {
 		if _, err := sim.FastForward(p.Warmup); err != nil {
+			finishTrace(false)
 			return nil, fmt.Errorf("%s: %w", w.Name, err)
 		}
 	}
 	if err := sim.Run(p.InstBudget); err != nil {
+		finishTrace(false)
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	if err := finishTrace(true); err != nil {
 		return nil, fmt.Errorf("%s: %w", w.Name, err)
 	}
 	sim.Release(r)

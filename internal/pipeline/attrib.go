@@ -1,0 +1,618 @@
+package pipeline
+
+// Misprediction attribution: consume the typed event stream, mirror every
+// physical stack's slot provenance, and when a mispredicted return
+// resolves, decide *which* earlier event corrupted the prediction it
+// popped. The paper's causal story — wrong-path pops, wrong-path pushes,
+// overflow wraps, and repair shortfalls each corrupt the stack through a
+// different mechanism — becomes a per-misprediction verdict instead of an
+// aggregate hit rate.
+//
+// The attributor is itself a Tracer: install it with Sim.SetTracer (or
+// chain it in front of a file sink). It allocates everything up front and
+// runs allocation-free per event, so tracing stays usable on full-length
+// runs.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// AttribCause classifies why a committed return mispredicted.
+type AttribCause uint8
+
+const (
+	// CauseWrongPathPop: wrong-path returns popped correct entries off the
+	// stack; the repair mechanism did not put them back.
+	CauseWrongPathPop AttribCause = iota
+	// CauseWrongPathPush: a wrong-path call overwrote the entry this
+	// return needed (the TOS-pointer repair's characteristic residue).
+	CauseWrongPathPush
+	// CauseOverflowWrap: call depth exceeded the stack; the push that
+	// wrote the popped slot wrapped and destroyed an older frame.
+	CauseOverflowWrap
+	// CauseUnderflow: the pop read a logically empty stack with no
+	// wrong-path or wrap history to blame (cold stack, deep returns).
+	CauseUnderflow
+	// CauseCorruption: the popped slot was last written by an injected
+	// corruption event (the -inject corrupt: dev path).
+	CauseCorruption
+	// CauseRepairShortfall: the popped slot was last written by a repair
+	// restore that still produced a wrong prediction.
+	CauseRepairShortfall
+	// CauseNoRAS: the prediction did not come from the RAS at all (BTB or
+	// fall-through stand-in; valid-bits fallback).
+	CauseNoRAS
+	// CauseStale: none of the above — typically pointer imbalance re-
+	// reading an already-consumed slot, or a stack kind without slot
+	// introspection.
+	CauseStale
+
+	NumAttribCauses = int(CauseStale) + 1
+)
+
+var attribCauseNames = [NumAttribCauses]string{
+	"wrongpath-pop", "wrongpath-push", "overflow-wrap", "underflow",
+	"corruption", "repair-shortfall", "no-ras", "stale",
+}
+
+func (c AttribCause) String() string {
+	if int(c) < NumAttribCauses {
+		return attribCauseNames[c]
+	}
+	return fmt.Sprintf("cause(%d)", uint8(c))
+}
+
+// AttribCauseNames lists every cause label in enum order.
+func AttribCauseNames() []string { return attribCauseNames[:] }
+
+// AttribCauseByName resolves a cause label back to its enum.
+func AttribCauseByName(name string) (AttribCause, bool) {
+	for i, n := range attribCauseNames {
+		if n == name {
+			return AttribCause(i), true
+		}
+	}
+	return 0, false
+}
+
+// Pipeline stage intervals for per-instruction cycle accounting.
+const (
+	StageFrontend = iota // fetch → dispatch
+	StageExecute         // dispatch → complete
+	StageRetire          // complete → commit
+	NumStages
+)
+
+var stageNames = [NumStages]string{"frontend", "execute", "retire"}
+
+// StageName returns the interval's label.
+func StageName(i int) string { return stageNames[i] }
+
+// StageNames lists every stage label in order.
+func StageNames() []string { return stageNames[:] }
+
+// AttribStats is the attribution layer's aggregate output. All-integer,
+// mergeable across sweep cells, and JSON-round-trip safe.
+type AttribStats struct {
+	// Causes counts attributed return mispredictions by cause; Attributed
+	// is their sum and equals Returns-ReturnsCorrect of the traced run.
+	Causes     [NumAttribCauses]uint64 `json:"causes"`
+	Attributed uint64                  `json:"attributed"`
+
+	// Events counts every trace event seen (including synthesized attrib
+	// events).
+	Events uint64 `json:"events"`
+
+	// Per-stage cycle accounting over committed instructions whose full
+	// fetch→dispatch→complete→commit timestamps were captured.
+	StageCycles [NumStages]uint64 `json:"stage_cycles"`
+	StageInsts  uint64            `json:"stage_insts"`
+
+	// Recovery characterization: squash-burst sizes (RUU entries plus
+	// dropped fetch slots per recovery event) and repair latency (cycles
+	// from the recovering instruction's fetch to its resolution).
+	Recoveries       uint64 `json:"recoveries"`
+	RepairLatencySum uint64 `json:"repair_latency_sum"`
+	RepairLatencyMax uint64 `json:"repair_latency_max"`
+	SquashBursts     uint64 `json:"squash_bursts"`
+	SquashedEntries  uint64 `json:"squashed_entries"`
+}
+
+// Merge accumulates b into a (max for maxima, sums elsewhere).
+func (a *AttribStats) Merge(b *AttribStats) {
+	for i := range a.Causes {
+		a.Causes[i] += b.Causes[i]
+	}
+	a.Attributed += b.Attributed
+	a.Events += b.Events
+	for i := range a.StageCycles {
+		a.StageCycles[i] += b.StageCycles[i]
+	}
+	a.StageInsts += b.StageInsts
+	a.Recoveries += b.Recoveries
+	a.RepairLatencySum += b.RepairLatencySum
+	if b.RepairLatencyMax > a.RepairLatencyMax {
+		a.RepairLatencyMax = b.RepairLatencyMax
+	}
+	a.SquashBursts += b.SquashBursts
+	a.SquashedEntries += b.SquashedEntries
+}
+
+// slot provenance kinds in the stack mirror.
+const (
+	provUnknown uint8 = iota
+	provPush          // written by a speculative push
+	provRepair        // written by a repair restore
+	provCorrupt       // written by injected corruption
+)
+
+// mirrorSlot is what the attributor knows about one physical stack slot:
+// who wrote it last, and with what standing.
+type mirrorSlot struct {
+	writerSeq   uint64
+	writerCycle uint64
+	wpPopsAt    uint64 // stack's wrong-path pop count when written
+	kind        uint8
+	overflow    bool // the writing push wrapped a full stack
+	writerWP    bool // the writer was later squashed (wrong-path)
+	consumed    bool // popped since written
+}
+
+// stackMirror tracks one physical stack (stacks are identified by the
+// rasID in event Aux words; per-path clones get fresh ids).
+type stackMirror struct {
+	id      uint16
+	used    bool
+	lastUse uint64 // event ordinal, for eviction
+	wpPops  uint64 // wrong-path pops observed on this stack
+	slots   []mirrorSlot
+}
+
+// popSnap captures, at fetch-time pop, everything classification needs —
+// the slot may be overwritten again between the pop and the recovery that
+// judges it.
+type popSnap struct {
+	seq         uint64
+	cycle       uint64
+	writerSeq   uint64
+	writerCycle uint64
+	wpPopsSince uint64
+	kind        uint8
+	overflow    bool
+	writerWP    bool
+	consumed    bool
+	underflow   bool
+	haveSlot    bool
+}
+
+// stageStamp tracks one in-flight instruction's stage entry cycles.
+type stageStamp struct {
+	seq                       uint64
+	fetch, dispatch, complete uint64
+	have                      uint8 // bit0 fetch, bit1 dispatch, bit2 complete
+}
+
+// pendingAttrib is a classified verdict waiting for its return to commit
+// (counting at commit keeps Attributed == Returns-ReturnsCorrect exact
+// even when the run is truncated by an instruction budget).
+type pendingAttrib struct {
+	seq      uint64
+	cause    AttribCause
+	writerPC uint32
+}
+
+const (
+	snapRingSize  = 1024 // > max in-flight instructions (fetchQ + RUU)
+	mirrorSlots   = 8    // distinct live stacks tracked before eviction
+	maxMirrorSize = 1 << 14
+)
+
+// Attributor consumes the event stream, attributes every return
+// misprediction to one cause, and accounts per-stage cycles. It forwards
+// every event — plus its synthesized TraceAttrib verdicts — to Sink when
+// one is set.
+type Attributor struct {
+	// Sink, if non-nil, receives the full event stream (e.g. a trace
+	// file writer). Set before the run starts.
+	Sink Tracer
+
+	// OnRepairLatency and OnSquashBurst, if non-nil, observe each
+	// recovery's repair latency and squash-burst size (telemetry
+	// histograms hook in here without this package importing telemetry).
+	OnRepairLatency func(cycles uint64)
+	OnSquashBurst   func(entries uint64)
+
+	ring    *RingTracer
+	stats   AttribStats
+	mirrors [mirrorSlots]stackMirror
+	pops    [snapRingSize]popSnap
+	stamps  [snapRingSize]stageStamp
+	pending [snapRingSize]pendingAttrib
+
+	rasEntries int
+	curBurst   uint64
+}
+
+// NewAttributor builds an attribution tracer for stacks of rasEntries
+// physical slots, with a causal ring buffer of at least bufSize events
+// (<=0 selects DefaultTraceBuf). sink may be nil.
+func NewAttributor(rasEntries, bufSize int, sink Tracer) *Attributor {
+	if rasEntries <= 0 || rasEntries > maxMirrorSize {
+		rasEntries = maxMirrorSize
+	}
+	a := &Attributor{
+		Sink:       sink,
+		ring:       NewRingTracer(bufSize),
+		rasEntries: rasEntries,
+	}
+	for i := range a.mirrors {
+		a.mirrors[i].slots = make([]mirrorSlot, rasEntries)
+	}
+	return a
+}
+
+// Stats returns a copy of the accumulated attribution statistics. Call
+// Finish first to flush the trailing squash burst.
+func (a *Attributor) Stats() AttribStats { return a.stats }
+
+// Ring exposes the causal event window (for tests and post-mortems).
+func (a *Attributor) Ring() *RingTracer { return a.ring }
+
+// Finish flushes burst accounting at end of run.
+func (a *Attributor) Finish() { a.flushBurst() }
+
+// Event implements Tracer.
+func (a *Attributor) Event(e TraceEvent) {
+	a.stats.Events++
+	a.ring.Event(e)
+	if a.Sink != nil {
+		a.Sink.Event(e)
+	}
+
+	if e.Kind != TraceSquash {
+		a.flushBurst()
+	}
+
+	switch e.Kind {
+	case TraceFetch:
+		st := &a.stamps[e.Seq&(snapRingSize-1)]
+		*st = stageStamp{seq: e.Seq, fetch: e.Cycle, have: 1}
+	case TraceDispatch:
+		st := &a.stamps[e.Seq&(snapRingSize-1)]
+		if st.seq == e.Seq {
+			st.dispatch = e.Cycle
+			st.have |= 2
+		}
+	case TraceComplete:
+		st := &a.stamps[e.Seq&(snapRingSize-1)]
+		if st.seq == e.Seq {
+			st.complete = e.Cycle
+			st.have |= 4
+		}
+	case TraceCommit:
+		a.onCommit(e)
+	case TraceRASPush:
+		a.onPush(e)
+	case TraceRASPop:
+		a.onPop(e)
+	case TraceRASRepair:
+		a.onRepair(e)
+	case TraceRASCorrupt:
+		if m := a.mirror(AuxStackID(e.Aux)); m != nil {
+			if i := AuxSlot(e.Aux); i >= 0 && i < len(m.slots) {
+				m.slots[i].kind = provCorrupt
+				m.slots[i].writerSeq = 0
+				m.slots[i].writerCycle = e.Cycle
+			}
+		}
+	case TraceSquash:
+		a.onSquash(e)
+	case TraceRecover:
+		a.onRecover(e)
+	}
+}
+
+// mirror finds (or claims) the mirror tracking stack id, evicting the
+// least recently used one when all slots are taken — per-path stacks of
+// dead paths are never referenced again, so eviction is safe.
+func (a *Attributor) mirror(id uint16) *stackMirror {
+	victim := 0
+	for i := range a.mirrors {
+		m := &a.mirrors[i]
+		if m.used && m.id == id {
+			m.lastUse = a.stats.Events
+			return m
+		}
+		if !m.used {
+			victim = i
+			break
+		}
+		if m.lastUse < a.mirrors[victim].lastUse {
+			victim = i
+		}
+	}
+	m := &a.mirrors[victim]
+	m.id = id
+	m.used = true
+	m.lastUse = a.stats.Events
+	m.wpPops = 0
+	for i := range m.slots {
+		m.slots[i] = mirrorSlot{}
+	}
+	return m
+}
+
+func (a *Attributor) onPush(e TraceEvent) {
+	m := a.mirror(AuxStackID(e.Aux))
+	i := AuxSlot(e.Aux)
+	if i < 0 || i >= len(m.slots) {
+		return
+	}
+	m.slots[i] = mirrorSlot{
+		writerSeq:   e.Seq,
+		writerCycle: e.Cycle,
+		wpPopsAt:    m.wpPops,
+		kind:        provPush,
+		overflow:    e.Flags&FlagOverflow != 0,
+	}
+}
+
+// onPop snapshots the popped slot's provenance for the recovery (or
+// commit) that will judge this return later, then marks it consumed.
+func (a *Attributor) onPop(e TraceEvent) {
+	snap := &a.pops[e.Seq&(snapRingSize-1)]
+	*snap = popSnap{
+		seq:       e.Seq,
+		cycle:     e.Cycle,
+		underflow: e.Flags&FlagUnderflow != 0,
+	}
+	m := a.mirror(AuxStackID(e.Aux))
+	i := AuxSlot(e.Aux)
+	if i < 0 || i >= len(m.slots) {
+		return
+	}
+	sl := &m.slots[i]
+	snap.haveSlot = true
+	snap.writerSeq = sl.writerSeq
+	snap.writerCycle = sl.writerCycle
+	snap.wpPopsSince = m.wpPops - sl.wpPopsAt
+	snap.kind = sl.kind
+	snap.overflow = sl.overflow
+	snap.writerWP = sl.writerWP
+	snap.consumed = sl.consumed
+	sl.consumed = true
+}
+
+func (a *Attributor) onRepair(e TraceEvent) {
+	m := a.mirror(AuxStackID(e.Aux))
+	switch {
+	case e.Flags&FlagRepairFull != 0:
+		// Every slot now holds checkpointed contents. The restore cannot
+		// resurrect frames a wrapping push destroyed before the checkpoint
+		// was taken, so each slot inherits its overflow damage bit.
+		for i := range m.slots {
+			m.slots[i] = mirrorSlot{
+				writerSeq:   e.Seq,
+				writerCycle: e.Cycle,
+				wpPopsAt:    m.wpPops,
+				kind:        provRepair,
+				overflow:    m.slots[i].overflow,
+			}
+		}
+	case e.Flags&FlagRepairContents != 0:
+		if i := AuxSlot(e.Aux); i >= 0 && i < len(m.slots) {
+			m.slots[i] = mirrorSlot{
+				writerSeq:   e.Seq,
+				writerCycle: e.Cycle,
+				wpPopsAt:    m.wpPops,
+				kind:        provRepair,
+				overflow:    m.slots[i].overflow,
+			}
+		}
+	}
+	// Pointer-only, tagged, and absent repairs write no slots; the damage
+	// they leave is attributed through writerWP/wpPops provenance.
+}
+
+// onSquash folds a squashed instruction's stack side effects back into
+// provenance: its pushes become wrong-path writes, its pops count toward
+// the stack's wrong-path pop clock.
+func (a *Attributor) onSquash(e TraceEvent) {
+	a.curBurst++
+	a.stats.SquashedEntries++
+	if e.Flags&(FlagRASPush|FlagRASPop) != 0 {
+		m := a.mirror(AuxStackID(e.Aux))
+		if e.Flags&FlagRASPop != 0 {
+			m.wpPops++
+		}
+		if e.Flags&FlagRASPush != 0 {
+			if i := AuxSlot(e.Aux); i >= 0 && i < len(m.slots) {
+				if sl := &m.slots[i]; sl.writerSeq == e.Seq && sl.kind == provPush {
+					sl.writerWP = true
+				}
+			}
+		}
+	}
+}
+
+func (a *Attributor) flushBurst() {
+	if a.curBurst == 0 {
+		return
+	}
+	a.stats.SquashBursts++
+	if a.OnSquashBurst != nil {
+		a.OnSquashBurst(a.curBurst)
+	}
+	a.curBurst = 0
+}
+
+// onRecover accounts the recovery (repair latency) and, for mispredicted
+// returns, classifies the misprediction. The verdict is parked until the
+// return commits so attribution totals match commit-side accounting
+// exactly.
+func (a *Attributor) onRecover(e TraceEvent) {
+	a.stats.Recoveries++
+	if st := a.stamps[e.Seq&(snapRingSize-1)]; st.seq == e.Seq && st.have&1 != 0 {
+		lat := e.Cycle - st.fetch
+		a.stats.RepairLatencySum += lat
+		if lat > a.stats.RepairLatencyMax {
+			a.stats.RepairLatencyMax = lat
+		}
+		if a.OnRepairLatency != nil {
+			a.OnRepairLatency(lat)
+		}
+	}
+	if e.Flags&FlagReturn == 0 || e.Flags&FlagMispred == 0 {
+		return
+	}
+	cause, writerSeq, writerCycle := a.classify(e)
+	writerPC := a.findWriterPC(writerSeq, writerCycle)
+	a.pending[e.Seq&(snapRingSize-1)] = pendingAttrib{
+		seq: e.Seq, cause: cause, writerPC: writerPC,
+	}
+}
+
+// classify decides the cause for one mispredicted return, from the
+// fetch-time pop snapshot. Precedence runs most-specific first; every
+// misprediction lands in exactly one bucket.
+func (a *Attributor) classify(e TraceEvent) (AttribCause, uint64, uint64) {
+	if e.Flags&FlagFromRAS == 0 {
+		return CauseNoRAS, 0, 0
+	}
+	snap := a.pops[e.Seq&(snapRingSize-1)]
+	if snap.seq != e.Seq {
+		// Snapshot evicted (cannot happen while in-flight depth is below
+		// the ring size; defensive).
+		if e.Flags&FlagUnderflow != 0 {
+			return CauseUnderflow, 0, 0
+		}
+		return CauseStale, 0, 0
+	}
+	if !snap.haveSlot {
+		// Stack kind without slot introspection: coarse attribution only.
+		if snap.underflow {
+			return CauseUnderflow, 0, 0
+		}
+		return CauseStale, 0, 0
+	}
+	w, wc := snap.writerSeq, snap.writerCycle
+	switch {
+	case snap.kind == provCorrupt:
+		return CauseCorruption, w, wc
+	case snap.underflow && snap.overflow:
+		// Logically empty, but the slot's last writer wrapped a full
+		// stack: deep recursion destroyed the frame this return needed.
+		return CauseOverflowWrap, w, wc
+	case snap.underflow && (snap.writerWP || snap.wpPopsSince > 0):
+		return CauseWrongPathPop, w, wc
+	case snap.underflow:
+		return CauseUnderflow, w, wc
+	case snap.writerWP:
+		return CauseWrongPathPush, w, wc
+	case snap.kind == provRepair:
+		return CauseRepairShortfall, w, wc
+	case snap.wpPopsSince > 0:
+		return CauseWrongPathPop, w, wc
+	case snap.consumed && snap.overflow:
+		return CauseOverflowWrap, w, wc
+	}
+	return CauseStale, w, wc
+}
+
+// findWriterPC walks the causal ring newest-first for the corrupting
+// event (the push/repair/corruption that wrote the popped slot) and
+// returns its PC — provenance the mirror deliberately does not store, so
+// the buffer walk is what recovers it. Bounded: the walk stops once it
+// passes the writer's cycle.
+func (a *Attributor) findWriterPC(writerSeq, writerCycle uint64) uint32 {
+	if writerSeq == 0 {
+		return 0
+	}
+	pc := uint32(0)
+	a.ring.Walk(func(ev TraceEvent) bool {
+		if ev.Cycle < writerCycle {
+			return false // walked past the writer: evicted or absent
+		}
+		if ev.Seq == writerSeq &&
+			(ev.Kind == TraceRASPush || ev.Kind == TraceRASRepair || ev.Kind == TraceRASCorrupt) {
+			pc = ev.PC
+			return false
+		}
+		return true
+	})
+	return pc
+}
+
+// onCommit finishes stage accounting and publishes any parked verdict for
+// this instruction as counts plus a synthesized TraceAttrib event.
+func (a *Attributor) onCommit(e TraceEvent) {
+	if st := a.stamps[e.Seq&(snapRingSize-1)]; st.seq == e.Seq && st.have == 7 {
+		a.stats.StageCycles[StageFrontend] += st.dispatch - st.fetch
+		a.stats.StageCycles[StageExecute] += st.complete - st.dispatch
+		a.stats.StageCycles[StageRetire] += e.Cycle - st.complete
+		a.stats.StageInsts++
+	}
+	pa := a.pending[e.Seq&(snapRingSize-1)]
+	if pa.seq != e.Seq {
+		return
+	}
+	a.pending[e.Seq&(snapRingSize-1)] = pendingAttrib{}
+	a.stats.Causes[pa.cause]++
+	a.stats.Attributed++
+	verdict := TraceEvent{
+		Cycle: e.Cycle, Kind: TraceAttrib, Seq: e.Seq, Path: e.Path,
+		PC: e.PC, Inst: e.Inst, Extra: uint32(pa.cause), Aux: pa.writerPC,
+	}
+	a.ring.Event(verdict)
+	a.stats.Events++
+	if a.Sink != nil {
+		a.Sink.Event(verdict)
+	}
+}
+
+// WriteSummary renders the attribution table (shares its shape with the
+// rastrace summarize output): causes sorted by count, stage cycle mix,
+// and recovery characterization.
+func (st *AttribStats) WriteSummary(w io.Writer, title string) {
+	fmt.Fprintf(w, "attribution — %s\n", title)
+	type row struct {
+		name string
+		n    uint64
+	}
+	rows := make([]row, 0, NumAttribCauses)
+	for i, n := range st.Causes {
+		rows = append(rows, row{attribCauseNames[i], n})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	for _, r := range rows {
+		if r.n == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-18s %10d  (%5.1f%%)\n", r.name, r.n,
+			100*float64(r.n)/float64(max64(st.Attributed, 1)))
+	}
+	fmt.Fprintf(w, "  %-18s %10d\n", "total", st.Attributed)
+	if st.StageInsts > 0 {
+		fmt.Fprintf(w, "  stage cycles/inst:")
+		for i, c := range st.StageCycles {
+			fmt.Fprintf(w, " %s=%.2f", stageNames[i], float64(c)/float64(st.StageInsts))
+		}
+		fmt.Fprintln(w)
+	}
+	if st.Recoveries > 0 {
+		fmt.Fprintf(w, "  recoveries=%d avg-repair-latency=%.1f max=%d squash-bursts=%d avg-burst=%.1f\n",
+			st.Recoveries,
+			float64(st.RepairLatencySum)/float64(st.Recoveries), st.RepairLatencyMax,
+			st.SquashBursts,
+			float64(st.SquashedEntries)/float64(max64(st.SquashBursts, 1)))
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -61,6 +61,8 @@ func (s *Sim) dispatchStage() {
 			fromRAS:       slot.fromRAS,
 			rasPushed:     slot.rasPushed,
 			rasPopped:     slot.rasPopped,
+			rasUnderflow:  slot.rasUnderflow,
+			rasAux:        slot.rasAux,
 			hasCheckpoint: slot.hasCheckpoint,
 			checkpoint:    slot.checkpoint,
 			histSnap:      slot.histSnap,
@@ -99,7 +101,10 @@ func (s *Sim) popFetchSlot() {
 }
 
 // dropFetchSlot accounts a never-dispatched slot as wrong-path work and
-// recycles its checkpoint buffer.
+// recycles its checkpoint buffer. The squash event it emits carries the
+// slot's RAS side effects (FlagDropped distinguishes it from an RUU
+// squash), so the attribution layer sees wrong-path pushes and pops that
+// died in the fetch queue too.
 func (s *Sim) dropFetchSlot(slot *fetchSlot) {
 	if slot.rasPushed {
 		s.stats.WrongPathPushes++
@@ -112,6 +117,9 @@ func (s *Sim) dropFetchSlot(slot *fetchSlot) {
 		slot.hasCheckpoint = false
 	}
 	s.recycleCheckpoint(&slot.checkpoint)
+	s.emitA(TraceSquash, slot.seq, slot.pathTok, slot.pc, slot.inst, 0,
+		slot.rasAux,
+		rasActivityFlags(slot.rasPushed, slot.rasPopped, slot.rasUnderflow)|FlagDropped)
 }
 
 // executeAtDispatch runs the instruction functionally and fills in the

@@ -57,7 +57,8 @@ func (s *Sim) fetchPath(p *path, budget int) int {
 		// cache line; the next line gets its own access/stall check at the
 		// top of the loop. Byte-identical to the per-instruction path below
 		// by construction: same FetchInstClass per instruction (same
-		// predecode counters), same slot fields, same trace events.
+		// predecode counters), same slot fields, same per-instruction trace
+		// events (the TraceBlock marker is additional, not a substitute).
 		if body := s.threadOf(p).mach.FetchBlockBody(pc); body > 0 {
 			mach := s.threadOf(p).mach
 			take := body
@@ -70,6 +71,8 @@ func (s *Sim) fetchPath(p *path, budget int) int {
 			if toLine := int((lineBytes - pc%lineBytes) / isa.WordBytes); take > toLine {
 				take = toLine
 			}
+			s.emitA(TraceBlock, s.nextSeq+1, p.token, pc, isa.Inst{},
+				uint32(take), uint32(body), 0)
 			for i := 0; i < take; i++ {
 				in, cl := mach.FetchInstClass(pc)
 				budget--
@@ -154,7 +157,7 @@ func (s *Sim) predictControl(p *path, slot *fetchSlot) bool {
 
 	case isa.ClassCall:
 		if p.ras != nil {
-			s.rasPush(p, in.ReturnAddress(pc), slot.seq)
+			s.rasPush(p, slot, in.ReturnAddress(pc))
 			slot.rasPushed = true
 		}
 		slot.predNPC = in.DirectTarget(pc)
@@ -191,11 +194,19 @@ func (s *Sim) predictControl(p *path, slot *fetchSlot) bool {
 		}
 		switch {
 		case p.ras != nil:
+			popSlot := -1
+			if s.tracer != nil {
+				if ins, ok := p.ras.(core.Inspector); ok {
+					popSlot = ins.TOSIndex() // slot the pop is about to read
+				}
+			}
 			target, valid := p.ras.Pop()
 			slot.rasPopped = true
 			slot.fromRAS = true
 			slot.predNPC = target
+			slot.rasAux = PackRASAux(p.rasID, popSlot)
 			if !valid {
+				slot.rasUnderflow = true
 				// The valid-bits design detects corrupt/empty entries and
 				// consults the BTB instead of a known-bad address.
 				if _, tagged := p.ras.(core.SeqRepairer); tagged {
@@ -205,6 +216,17 @@ func (s *Sim) predictControl(p *path, slot *fetchSlot) bool {
 						slot.predNPC = t
 					}
 				}
+			}
+			if s.tracer != nil {
+				fl := FlagRASPop | FlagReturn
+				if slot.rasUnderflow {
+					fl |= FlagUnderflow
+				}
+				if slot.fromRAS {
+					fl |= FlagFromRAS
+				}
+				s.emitEvent(TraceRASPop, slot.seq, p.token, pc, in,
+					target, slot.rasAux, fl)
 			}
 		case s.cfg.ReturnPred == config.ReturnTargetCache:
 			if target, ok := s.tcache.Predict(pc); ok {
@@ -237,7 +259,7 @@ func (s *Sim) predictControl(p *path, slot *fetchSlot) bool {
 			slot.histSnap = s.hybrid.Snapshot(pc)
 		}
 		if p.ras != nil {
-			s.rasPush(p, in.ReturnAddress(pc), slot.seq)
+			s.rasPush(p, slot, in.ReturnAddress(pc))
 			slot.rasPushed = true
 		}
 		if target, ok := s.predictIndirect(pc); ok {
@@ -251,13 +273,35 @@ func (s *Sim) predictControl(p *path, slot *fetchSlot) bool {
 }
 
 // rasPush pushes a return address, carrying the fetch sequence number to
-// tag-based (valid-bits) stacks.
-func (s *Sim) rasPush(p *path, addr uint32, seq uint64) {
-	if sr, ok := p.ras.(core.SeqRepairer); ok {
-		sr.PushSeq(addr, seq)
+// tag-based (valid-bits) stacks. With a tracer attached it also records
+// the push: which physical slot was written (read back from the stack
+// after the push) and whether the push wrapped a full stack — the two
+// facts misprediction attribution needs to tell an overwrite from a wrap.
+func (s *Sim) rasPush(p *path, slot *fetchSlot, addr uint32) {
+	if s.tracer == nil {
+		if sr, ok := p.ras.(core.SeqRepairer); ok {
+			sr.PushSeq(addr, slot.seq)
+			return
+		}
+		p.ras.Push(addr)
 		return
 	}
-	p.ras.Push(addr)
+	fl := FlagRASPush
+	if p.ras.Depth() == p.ras.Size() {
+		fl |= FlagOverflow
+	}
+	if sr, ok := p.ras.(core.SeqRepairer); ok {
+		sr.PushSeq(addr, slot.seq)
+	} else {
+		p.ras.Push(addr)
+	}
+	idx := -1
+	if ins, ok := p.ras.(core.Inspector); ok {
+		idx = ins.TOSIndex() // slot the push just wrote
+	}
+	slot.rasAux = PackRASAux(p.rasID, idx)
+	s.emitEvent(TraceRASPush, slot.seq, p.token, slot.pc, slot.inst,
+		addr, slot.rasAux, fl)
 }
 
 // predictIndirect predicts a non-return indirect target from the
@@ -286,10 +330,14 @@ func (s *Sim) takeCheckpoint(p *path, slot *fetchSlot) {
 	if s.cfg.ShadowSlots > 0 && s.shadowUsed >= s.cfg.ShadowSlots {
 		s.stats.CheckpointsDenied++
 		s.recycleCheckpoint(&slot.checkpoint)
+		s.emitA(TraceCheckpoint, slot.seq, p.token, slot.pc, slot.inst,
+			0, uint32(s.shadowUsed), FlagDenied)
 		return
 	}
 	s.shadowUsed++
 	slot.hasCheckpoint = true
+	s.emitA(TraceCheckpoint, slot.seq, p.token, slot.pc, slot.inst,
+		0, uint32(s.shadowUsed), 0)
 }
 
 // tryFork decides whether to fork a conditional branch instead of
@@ -327,6 +375,12 @@ func (s *Sim) tryFork(p *path, slot *fetchSlot) bool {
 	child.resetCreators()
 	child.overlay = s.takeOverlay(s.threadOf(p).mach)
 	child.ras = s.pathStack(p.ras)
+	if child.ras == nil || child.ras == p.ras {
+		child.rasID = p.rasID // shares the parent's physical stack
+	} else {
+		s.nextRasID++ // per-path clone: a new physical stack
+		child.rasID = s.nextRasID
+	}
 	s.liveCount++
 
 	// Under the unified-with-repair organization the fork itself takes a

@@ -18,14 +18,30 @@ func (s *Sim) recover(e *ruuEntry) {
 		return
 	}
 	s.stats.Recoveries++
-	s.emit(TraceRecover, e.seq, e.pathTok, e.pc, e.inst, e.actualNPC)
+	if s.tracer != nil {
+		fl := FlagMispred | rasActivityFlags(e.rasPushed, e.rasPopped, e.rasUnderflow)
+		if e.class == isa.ClassReturn {
+			fl |= FlagReturn
+		}
+		if e.fromRAS {
+			fl |= FlagFromRAS
+		}
+		s.emitEvent(TraceRecover, e.seq, e.pathTok, e.pc, e.inst,
+			e.actualNPC, e.rasAux, fl)
+	}
 	s.squashYounger(p, e.seq)
 
 	if p.ras != nil {
 		if sr, ok := p.ras.(core.SeqRepairer); ok {
 			sr.InvalidateAfter(e.seq)
+			s.traceRepair(p, e, FlagRepairTagged)
 		} else if e.hasCheckpoint {
 			p.ras.Restore(&e.checkpoint)
+			s.traceRepair(p, e, s.repairFlag())
+		} else {
+			// No repair available: policy none, or the shadow slot was
+			// denied. The no-flags repair event makes the gap visible.
+			s.traceRepair(p, e, 0)
 		}
 	}
 	if s.cfg.SpecHistory {
@@ -54,6 +70,7 @@ func (s *Sim) resolveFork(e *ruuEntry) {
 	// stack work under multipath execution.
 	if s.cfg.MPStacks == config.MPUnifiedRepair && p.ras != nil && e.hasCheckpoint {
 		p.ras.Restore(&e.checkpoint)
+		s.traceRepair(p, e, s.repairFlag())
 	}
 
 	if e.loserParent {
@@ -187,7 +204,53 @@ func (s *Sim) squashEntry(idx int) {
 		s.stats.WrongPathPops++
 	}
 	s.stats.Squashed++
-	s.emit(TraceSquash, e.seq, e.pathTok, e.pc, e.inst, 0)
+	s.emitA(TraceSquash, e.seq, e.pathTok, e.pc, e.inst, 0, e.rasAux,
+		rasActivityFlags(e.rasPushed, e.rasPopped, e.rasUnderflow))
+}
+
+// rasActivityFlags summarizes an entry's fetch-time stack side effects
+// for squash and recover events.
+func rasActivityFlags(pushed, popped, underflow bool) TraceFlags {
+	var f TraceFlags
+	if pushed {
+		f |= FlagRASPush
+	}
+	if popped {
+		f |= FlagRASPop
+	}
+	if underflow {
+		f |= FlagUnderflow
+	}
+	return f
+}
+
+// repairFlag maps the configured checkpoint policy to its repair flag.
+func (s *Sim) repairFlag() TraceFlags {
+	switch s.cfg.RASPolicy {
+	case core.RepairTOSPointer:
+		return FlagRepairPointer
+	case core.RepairTOSPointerAndContents:
+		return FlagRepairContents
+	case core.RepairFullStack:
+		return FlagRepairFull
+	}
+	return 0
+}
+
+// traceRepair emits the repair event for a recovery: which mechanism ran
+// (fl == 0 means none was available) and where the stack's top points
+// afterwards. Only called with a tracer attached or behind emitA's nil
+// check — the Inspector probe must not run in the disabled steady state.
+func (s *Sim) traceRepair(p *path, e *ruuEntry, fl TraceFlags) {
+	if s.tracer == nil {
+		return
+	}
+	idx, top := -1, uint32(0)
+	if ins, ok := p.ras.(core.Inspector); ok {
+		idx, top = ins.TOSIndex(), ins.Top()
+	}
+	s.emitEvent(TraceRASRepair, e.seq, e.pathTok, e.pc, e.inst,
+		top, PackRASAux(p.rasID, idx), fl)
 }
 
 // flushDoomedSlots removes (and accounts) every queued slot that is younger

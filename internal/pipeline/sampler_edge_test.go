@@ -1,0 +1,164 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"retstack/internal/config"
+	"retstack/internal/core"
+	"retstack/internal/program"
+)
+
+// TestSamplerEveryCycleSMT: the finest interval (every cycle) under SMT,
+// where the per-thread counters the sampler sums (predecode, blocks) come
+// from two machines. Every cycle must produce exactly one snapshot, the
+// cycle sequence must be gapless, and every cumulative series must equal
+// its own delta prefix sum — a gap or a double count breaks one of these.
+func TestSamplerEveryCycleSMT(t *testing.T) {
+	cfg := smtConfig(2, false)
+	ims := []*program.Image{mustAssemble(t, fibProgram), mustAssemble(t, corruptorProgram)}
+	s, err := NewSMT(cfg, ims)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var samples []Sample
+	s.SetSampler(1, func(sm Sample) { samples = append(samples, sm) })
+	if err := s.Run(60_000); err != nil {
+		t.Fatal(err)
+	}
+
+	// One snapshot per cycle; the budget-exhausting final cycle may stop
+	// the loop before its sample, so allow exactly that one at the edge.
+	if n := uint64(len(samples)); n != s.stats.Cycles && n != s.stats.Cycles-1 {
+		t.Fatalf("%d samples for %d cycles, want one per cycle", len(samples), s.stats.Cycles)
+	}
+	var sumSquash, sumRecover, sumPD, sumBlk uint64
+	for i, sm := range samples {
+		if i > 0 && sm.Cycle != samples[i-1].Cycle+1 {
+			t.Fatalf("cycle gap: sample %d at %d after %d", i, sm.Cycle, samples[i-1].Cycle)
+		}
+		sumSquash += sm.NewSquashed
+		sumRecover += sm.NewRecoveries
+		sumPD += sm.NewPredecodeHits
+		sumBlk += sm.NewBlockHits
+		if sm.Squashed != sumSquash || sm.Recoveries != sumRecover {
+			t.Fatalf("sample %d: cumulative squash/recover diverges from delta prefix sum", i)
+		}
+		if sm.PredecodeHits != sumPD {
+			t.Fatalf("sample %d: SMT-summed predecode hits %d, delta prefix sum %d",
+				i, sm.PredecodeHits, sumPD)
+		}
+		if sm.BlockHits != sumBlk {
+			t.Fatalf("sample %d: SMT-summed block hits %d, delta prefix sum %d",
+				i, sm.BlockHits, sumBlk)
+		}
+		if sm.RASDepth < 0 || sm.RASDepth > cfg.RASEntries {
+			t.Fatalf("sample %d: RAS depth %d outside [0,%d]", i, sm.RASDepth, cfg.RASEntries)
+		}
+	}
+	if sumRecover == 0 {
+		t.Error("SMT corruptor run recovered nothing; the boundary cases never ran")
+	}
+}
+
+// TestSamplerAcrossSquashBoundary: squashes arrive in bursts when a
+// mispredicted branch resolves. Sampling every cycle, the burst must land
+// in exactly one delta (the sample of its cycle) — never smeared, lost,
+// or counted again by the next sample.
+func TestSamplerAcrossSquashBoundary(t *testing.T) {
+	im := mustAssemble(t, corruptorProgram)
+	cfg := config.Baseline().WithPolicy(core.RepairNone)
+	s, err := New(cfg, im)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var samples []Sample
+	s.SetSampler(1, func(sm Sample) { samples = append(samples, sm) })
+	if err := s.Run(60_000); err != nil {
+		t.Fatal(err)
+	}
+
+	bursts := 0
+	for i := 1; i < len(samples); i++ {
+		prev, cur := samples[i-1], samples[i]
+		if cur.NewSquashed != cur.Squashed-prev.Squashed {
+			t.Fatalf("sample %d: delta %d but cumulative moved %d",
+				i, cur.NewSquashed, cur.Squashed-prev.Squashed)
+		}
+		if cur.NewSquashed > 0 {
+			bursts++
+			if cur.NewRecoveries == 0 && cur.Recoveries == prev.Recoveries && cur.NewSquashed > uint64(cfg.RUUSize) {
+				t.Fatalf("sample %d: %d entries squashed without a recovery", i, cur.NewSquashed)
+			}
+		}
+	}
+	if bursts == 0 {
+		t.Fatal("no-repair corruptor run crossed no squash boundary")
+	}
+	last := samples[len(samples)-1]
+	if last.Squashed != s.stats.Squashed || last.Recoveries != s.stats.Recoveries {
+		t.Errorf("final sample (%d squashed, %d recoveries) disagrees with stats (%d, %d)",
+			last.Squashed, last.Recoveries, s.stats.Squashed, s.stats.Recoveries)
+	}
+}
+
+// TestSamplerWithTracerTogether: the sampler and the attribution tracer
+// observe through different hooks (cycle-boundary snapshot vs. per-event
+// callback). Attached together they must still not perturb simulation,
+// and the two views must agree on the recovery count — each recovery seen
+// once by each, never double-counted through the shared plumbing.
+func TestSamplerWithTracerTogether(t *testing.T) {
+	im := mustAssemble(t, corruptorProgram)
+	cfg := config.Baseline().WithPolicy(core.RepairTOSPointerAndContents)
+
+	plain, err := New(cfg, im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Run(60_000); err != nil {
+		t.Fatal(err)
+	}
+
+	both, err := New(cfg, im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attr := NewAttributor(cfg.RASEntries, 0, nil)
+	both.SetTracer(attr)
+	var sumRecover uint64
+	nSamples := 0
+	both.SetSampler(1, func(sm Sample) {
+		nSamples++
+		sumRecover += sm.NewRecoveries
+	})
+	if err := both.Run(60_000); err != nil {
+		t.Fatal(err)
+	}
+	attr.Finish()
+
+	if nSamples == 0 {
+		t.Fatal("sampler never fired alongside the tracer")
+	}
+	a, b := *plain.Stats(), *both.Stats()
+	a.PerThreadCommitted, b.PerThreadCommitted = nil, nil
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("stats diverge with sampler+tracer attached:\nplain: %+v\nboth:  %+v", a, b)
+	}
+	if plain.Machine().Output() != both.Machine().Output() {
+		t.Error("program output diverges with sampler+tracer attached")
+	}
+
+	ast := attr.Stats()
+	if sumRecover != b.Recoveries {
+		t.Errorf("sampler counted %d recoveries, stats say %d", sumRecover, b.Recoveries)
+	}
+	if ast.Recoveries != b.Recoveries {
+		t.Errorf("attributor counted %d recoveries, stats say %d", ast.Recoveries, b.Recoveries)
+	}
+	if ast.Attributed != b.Returns-b.ReturnsCorrect {
+		t.Errorf("attributor attributed %d, stats mispredict %d returns",
+			ast.Attributed, b.Returns-b.ReturnsCorrect)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"retstack/internal/config"
 	"retstack/internal/core"
 	"retstack/internal/emu"
+	"retstack/internal/isa"
 	"retstack/internal/program"
 )
 
@@ -51,6 +52,7 @@ type Sim struct {
 	liveCount  int
 	nextToken  uint64
 	nextSeq    uint64
+	nextRasID  uint16 // trace identity counter for distinct stacks (0 = shared)
 	shadowUsed int
 
 	// ovFree recycles flat wrong-path overlays the same way cpFree recycles
@@ -205,6 +207,8 @@ func NewSMTWithRecycler(cfg config.Config, ims []*program.Image, r *Recycler) (*
 		if cfg.ReturnPred == config.ReturnRAS {
 			if len(ims) > 1 && !cfg.SMTSharedRAS {
 				root.ras = cfg.NewReturnStack() // per-thread stack
+				s.nextRasID++
+				root.rasID = s.nextRasID
 			} else {
 				root.ras = s.sharedRAS
 			}
@@ -431,6 +435,14 @@ func (s *Sim) disturb() {
 		}
 		if c, ok := p.ras.(core.Corruptible); ok {
 			c.CorruptTop(a)
+			if s.tracer != nil {
+				idx := -1
+				if ins, ok := p.ras.(core.Inspector); ok {
+					idx = ins.TOSIndex()
+				}
+				s.emitEvent(TraceRASCorrupt, 0, p.token, 0, isa.Inst{},
+					a, PackRASAux(p.rasID, idx), 0)
+			}
 		}
 	}
 }

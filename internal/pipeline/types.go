@@ -83,6 +83,8 @@ type ruuEntry struct {
 	fromRAS     bool // return whose prediction came from the RAS
 	rasPushed   bool // fetch pushed the RAS for this instruction
 	rasPopped   bool // fetch popped the RAS for this instruction
+	rasUnderflow bool // the fetch-time pop read an empty stack
+	rasAux      uint32 // packed stack/slot the push wrote or pop read (tracing)
 
 	// RAS shadow state for repair.
 	hasCheckpoint bool
@@ -115,11 +117,13 @@ type fetchSlot struct {
 	class   isa.Class
 	readyAt uint64
 
-	predNPC   uint32
-	predTaken bool
-	fromRAS   bool
-	rasPushed bool
-	rasPopped bool
+	predNPC      uint32
+	predTaken    bool
+	fromRAS      bool
+	rasPushed    bool
+	rasPopped    bool
+	rasUnderflow bool
+	rasAux       uint32 // packed stack/slot reference (see PackRASAux)
 
 	hasCheckpoint bool
 	checkpoint    core.Checkpoint
@@ -149,7 +153,12 @@ type path struct {
 	correct bool // dispatching architecturally (on the true path)
 	overlay emu.SpecState
 
-	ras core.ReturnStack // per-path stack, or the shared stack
+	ras   core.ReturnStack // per-path stack, or the shared stack
+	rasID uint16           // trace identity of ras: 0 = the shared stack,
+	// per-thread and per-path clones get fresh ids so the attribution layer
+	// never conflates slot indices across distinct physical stacks
+
+
 
 	// creator maps architectural registers to the RUU slot of their newest
 	// in-flight producer (guarded by seq).

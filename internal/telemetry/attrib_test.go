@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAttribMetricsExposition: the attribution collector's counters and
+// histograms land in the dump under the documented family names, with the
+// cause/stage labels the reconciliation tooling keys on.
+func TestAttribMetricsExposition(t *testing.T) {
+	reg := NewRegistry()
+	am := NewAttribMetrics(reg, "exp", "t3")
+	am.AddEvents(1234)
+	am.AddCause("wrongpath-pop", 7)
+	am.AddCause("overflow-wrap", 2)
+	am.AddCause("stale", 0) // zero counts register nothing
+	am.AddStage("frontend", 900)
+	am.AddStage("retire", 0)
+	am.ObserveRepairLatency(12)
+	am.ObserveSquashBurst(33)
+
+	var out strings.Builder
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	dump := out.String()
+	for _, want := range []string{
+		MetricTraceEvents + `{exp="t3"} 1234`,
+		MetricAttribMispredicts + `{cause="wrongpath-pop",exp="t3"} 7`,
+		MetricAttribMispredicts + `{cause="overflow-wrap",exp="t3"} 2`,
+		MetricAttribStageCycles + `{exp="t3",stage="frontend"} 900`,
+		MetricTraceRepairLatency + "_count",
+		MetricTraceSquashDepth + "_count",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("exposition missing %q:\n%s", want, dump)
+		}
+	}
+	if strings.Contains(dump, `cause="stale"`) {
+		t.Error("zero-count cause registered a series")
+	}
+	if strings.Contains(dump, `stage="retire"`) {
+		t.Error("zero-cycle stage registered a series")
+	}
+
+	// The dump must satisfy its own validator and declare every trace
+	// family promcheck -require asks for in CI.
+	families, err := CheckExpositionFamilies(strings.NewReader(dump))
+	if err != nil {
+		t.Fatalf("attribution exposition fails validation: %v", err)
+	}
+	for _, fam := range []string{
+		MetricAttribMispredicts, MetricAttribStageCycles,
+		MetricTraceEvents, MetricTraceRepairLatency, MetricTraceSquashDepth,
+	} {
+		if _, ok := families[fam]; !ok {
+			t.Errorf("family %s not declared", fam)
+		}
+	}
+}
+
+// TestAttribMetricsNilSafety: a nil collector (no registry) must accept
+// every call — that is what keeps an untraced run free of telemetry.
+func TestAttribMetricsNilSafety(t *testing.T) {
+	am := NewAttribMetrics(nil, "exp", "t3")
+	if am != nil {
+		t.Fatal("nil registry should yield a nil collector")
+	}
+	am.AddEvents(1)
+	am.AddCause("wrongpath-pop", 1)
+	am.AddStage("frontend", 1)
+	am.ObserveRepairLatency(1)
+	am.ObserveSquashBurst(1)
+}
+
+func TestSamples(t *testing.T) {
+	in := `# HELP retstack_attrib_mispredicts_total doc
+# TYPE retstack_attrib_mispredicts_total counter
+retstack_attrib_mispredicts_total{cause="wrongpath-pop",exp="t3"} 7
+
+retstack_trace_events_total 42
+`
+	got, err := Samples(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d samples, want 2: %v", len(got), got)
+	}
+	if got[`retstack_attrib_mispredicts_total{cause="wrongpath-pop",exp="t3"}`] != 7 {
+		t.Errorf("labeled sample wrong: %v", got)
+	}
+	if got["retstack_trace_events_total"] != 42 {
+		t.Errorf("bare sample wrong: %v", got)
+	}
+	if _, err := Samples(strings.NewReader("metric_without_value\n")); err == nil {
+		t.Error("valueless sample accepted")
+	}
+	if _, err := Samples(strings.NewReader("metric nope\n")); err == nil {
+		t.Error("non-numeric value accepted")
+	}
+}
+
+func TestCheckExpositionFamilies(t *testing.T) {
+	in := `# TYPE a_total counter
+a_total 1
+# TYPE b_depth histogram
+b_depth_bucket{le="+Inf"} 1
+b_depth_sum 3
+b_depth_count 1
+`
+	fams, err := CheckExpositionFamilies(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fams["a_total"] != "counter" || fams["b_depth"] != "histogram" {
+		t.Fatalf("families %v", fams)
+	}
+	if _, err := CheckExpositionFamilies(strings.NewReader("undeclared 1\n")); err == nil {
+		t.Error("sample without # TYPE accepted")
+	}
+}

@@ -14,6 +14,15 @@ import (
 // declared twice, no series (name + label set) repeats, and every sample
 // value parses as a number. It is the CI smoke check behind -metrics-out.
 func CheckExposition(r io.Reader) error {
+	_, err := CheckExpositionFamilies(r)
+	return err
+}
+
+// CheckExpositionFamilies performs the same validation as CheckExposition
+// and returns the declared families (family name → metric type), so
+// callers can additionally require specific families to be present
+// (promcheck -require).
+func CheckExpositionFamilies(r io.Reader) (map[string]string, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	typed := map[string]string{} // family -> type
@@ -30,12 +39,12 @@ func CheckExposition(r io.Reader) error {
 			if len(f) >= 4 && f[1] == "TYPE" {
 				name, typ := f[2], f[3]
 				if _, dup := typed[name]; dup {
-					return fmt.Errorf("line %d: duplicate # TYPE for %s", lineNo, name)
+					return nil, fmt.Errorf("line %d: duplicate # TYPE for %s", lineNo, name)
 				}
 				switch typ {
 				case "counter", "gauge", "histogram", "summary", "untyped":
 				default:
-					return fmt.Errorf("line %d: unknown metric type %q for %s", lineNo, typ, name)
+					return nil, fmt.Errorf("line %d: unknown metric type %q for %s", lineNo, typ, name)
 				}
 				typed[name] = typ
 			}
@@ -43,28 +52,28 @@ func CheckExposition(r io.Reader) error {
 		}
 		series, value, err := splitSample(line)
 		if err != nil {
-			return fmt.Errorf("line %d: %v", lineNo, err)
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
 		}
 		if value != "+Inf" && value != "-Inf" && value != "NaN" {
 			if _, err := strconv.ParseFloat(value, 64); err != nil {
-				return fmt.Errorf("line %d: sample value %q is not a number", lineNo, value)
+				return nil, fmt.Errorf("line %d: sample value %q is not a number", lineNo, value)
 			}
 		}
 		if seen[series] {
-			return fmt.Errorf("line %d: duplicate series %s", lineNo, series)
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, series)
 		}
 		seen[series] = true
 		if fam := familyOf(seriesName(series), typed); fam == "" {
-			return fmt.Errorf("line %d: sample %s has no # TYPE declaration", lineNo, seriesName(series))
+			return nil, fmt.Errorf("line %d: sample %s has no # TYPE declaration", lineNo, seriesName(series))
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return nil, err
 	}
 	if len(typed) == 0 {
-		return fmt.Errorf("exposition declares no metrics")
+		return nil, fmt.Errorf("exposition declares no metrics")
 	}
-	return nil
+	return typed, nil
 }
 
 // splitSample separates "name{labels} value [timestamp]" into the series
@@ -111,6 +120,38 @@ func familyOf(name string, typed map[string]string) string {
 		}
 	}
 	return ""
+}
+
+// Samples parses a text exposition into series → value (the full
+// `name{labels}` string keys the map). Malformed sample lines are errors;
+// comment and blank lines are skipped. Unlike CheckExposition this does
+// not require # TYPE declarations — it is the read side used for
+// cross-checking counters against other artifacts (rastrace -reconcile).
+func Samples(r io.Reader) (map[string]float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	out := map[string]float64{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		series, value, err := splitSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: sample value %q is not a number", lineNo, value)
+		}
+		out[series] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // CheckJSONL validates a JSON Lines stream: every non-empty line must be

@@ -53,6 +53,11 @@ type Manifest struct {
 	// that appended to the journal.
 	Resume *ResumeRecord `json:"resume,omitempty"`
 
+	// Trace records event-trace capture provenance when -trace-out was
+	// set. Tracing is strictly observational (tables stay byte-identical),
+	// so like Status it lives outside ConfigHash.
+	Trace *TraceRecord `json:"trace,omitempty"`
+
 	Experiments []ExperimentRecord `json:"experiments,omitempty"`
 }
 
@@ -64,6 +69,18 @@ type ResumeRecord struct {
 	Journal       string   `json:"journal"`
 	PriorRuns     []string `json:"prior_runs,omitempty"`
 	CellsReplayed int      `json:"cells_replayed"`
+}
+
+// TraceRecord is the manifest's trace-capture provenance: where the
+// per-cell trace files went, the causal ring capacity, and the aggregate
+// event/attribution counts — enough to tell whether a trace directory
+// belongs to this run's tables.
+type TraceRecord struct {
+	Dir        string   `json:"dir"`
+	Buf        int      `json:"buf"`
+	Files      []string `json:"files,omitempty"`
+	Events     uint64   `json:"events"`
+	Attributed uint64   `json:"attributed"`
 }
 
 // ExperimentRecord is one experiment's timing within a run.

@@ -33,6 +33,14 @@ const (
 	MetricBlockHits          = "retstack_emu_block_hits_total"
 	MetricBlockBuilds        = "retstack_emu_block_builds_total"
 	MetricBlockInvalidations = "retstack_emu_block_invalidations_total"
+
+	// Trace/attribution metrics (rasbench -trace-out). Mispredict
+	// attributions are labeled by cause; stage cycles by pipeline stage.
+	MetricAttribMispredicts  = "retstack_attrib_mispredicts_total"
+	MetricAttribStageCycles  = "retstack_attrib_stage_cycles_total"
+	MetricTraceEvents        = "retstack_trace_events_total"
+	MetricTraceRepairLatency = "retstack_trace_repair_latency_cycles"
+	MetricTraceSquashDepth   = "retstack_trace_squash_depth"
 )
 
 // SweepObserver feeds sweep-cell lifecycle callbacks into a registry and
@@ -182,6 +190,85 @@ func NewPipelineMetrics(reg *Registry) *PipelineMetrics {
 		blkInvals: reg.Counter(MetricBlockInvalidations,
 			"code-region invalidations gating block and predecode dispatch (sampled deltas)"),
 	}
+}
+
+// AttribMetrics publishes the misprediction-attribution layer's results:
+// per-cause mispredict counters, per-stage cycle counters, and the
+// repair-latency/squash-depth histograms its callbacks feed live. Like
+// the other collectors it takes plain values, so the pipeline package
+// stays import-free of telemetry (the attributor exposes callbacks; the
+// CLI connects them here).
+type AttribMetrics struct {
+	reg           *Registry
+	labels        []string
+	events        *Counter
+	repairLatency *Histogram
+	squashDepth   *Histogram
+}
+
+// NewAttribMetrics registers the attribution instrument set under the
+// given constant labels (e.g. "exp", "t3"). A nil registry yields a nil
+// collector whose methods no-op.
+func NewAttribMetrics(reg *Registry, labels ...string) *AttribMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &AttribMetrics{
+		reg:    reg,
+		labels: labels,
+		events: reg.Counter(MetricTraceEvents, "pipeline trace events recorded", labels...),
+		repairLatency: reg.Histogram(MetricTraceRepairLatency,
+			"cycles from a recovering instruction's fetch to its resolution",
+			[]float64{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}, labels...),
+		squashDepth: reg.Histogram(MetricTraceSquashDepth,
+			"RUU entries plus fetch slots squashed per recovery",
+			[]float64{0, 1, 2, 4, 8, 16, 32, 64, 128}, labels...),
+	}
+}
+
+// ObserveRepairLatency records one recovery's repair latency (wire to
+// pipeline.Attributor.OnRepairLatency).
+func (a *AttribMetrics) ObserveRepairLatency(cycles uint64) {
+	if a == nil {
+		return
+	}
+	a.repairLatency.Observe(float64(cycles))
+}
+
+// ObserveSquashBurst records one recovery's squash depth (wire to
+// pipeline.Attributor.OnSquashBurst).
+func (a *AttribMetrics) ObserveSquashBurst(entries uint64) {
+	if a == nil {
+		return
+	}
+	a.squashDepth.Observe(float64(entries))
+}
+
+// AddCause accumulates attributed return mispredictions for one cause.
+func (a *AttribMetrics) AddCause(cause string, n uint64) {
+	if a == nil || n == 0 {
+		return
+	}
+	a.reg.Counter(MetricAttribMispredicts, "return mispredictions by attributed cause",
+		append([]string{"cause", cause}, a.labels...)...).Add(n)
+}
+
+// AddStage accumulates committed-instruction cycles for one pipeline
+// stage interval.
+func (a *AttribMetrics) AddStage(stage string, cycles uint64) {
+	if a == nil || cycles == 0 {
+		return
+	}
+	a.reg.Counter(MetricAttribStageCycles, "committed-instruction cycles by pipeline stage",
+		append([]string{"stage", stage}, a.labels...)...).Add(cycles)
+}
+
+// AddEvents accumulates recorded trace events.
+func (a *AttribMetrics) AddEvents(n uint64) {
+	if a == nil || n == 0 {
+		return
+	}
+	a.events.Add(n)
 }
 
 // Observe records one cycle sample. The argument list mirrors

@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSinkSetFlushesExactlyOnce is the regression test for the rasbench
+// drain path: however many exit paths race to Flush (normal completion,
+// SIGINT drain, fatal), every registered sink must flush exactly once.
+func TestSinkSetFlushesExactlyOnce(t *testing.T) {
+	s := NewSinkSet()
+	counts := make([]int, 3)
+	var order []string
+	for i, name := range []string{"metrics", "events", "manifest"} {
+		i, name := i, name
+		s.Register(name, func() error {
+			counts[i]++
+			order = append(order, name)
+			return nil
+		})
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, e := range s.Flush() {
+				t.Error(e)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i, n := range counts {
+		if n != 1 {
+			t.Errorf("sink %d flushed %d times, want exactly 1", i, n)
+		}
+	}
+	if strings.Join(order, ",") != "metrics,events,manifest" {
+		t.Errorf("flush order %v, want registration order", order)
+	}
+	if !s.Flushed() {
+		t.Error("Flushed() false after Flush")
+	}
+	if errs := s.Flush(); errs != nil {
+		t.Errorf("second Flush returned %v, want nil no-op", errs)
+	}
+}
+
+// TestSinkSetRunsEverySinkOnError: one sink failing must not stop the
+// ones after it — an interrupted run still persists everything it can.
+func TestSinkSetRunsEverySinkOnError(t *testing.T) {
+	s := NewSinkSet()
+	var ran []string
+	boom := errors.New("disk full")
+	s.Register("a", func() error { ran = append(ran, "a"); return nil })
+	s.Register("b", func() error { ran = append(ran, "b"); return boom })
+	s.Register("c", func() error { ran = append(ran, "c"); return nil })
+
+	errs := s.Flush()
+	if len(ran) != 3 {
+		t.Fatalf("ran %v, want all three sinks", ran)
+	}
+	if len(errs) != 1 || errs[0].Name != "b" || !errors.Is(errs[0].Err, boom) {
+		t.Fatalf("errors %v, want exactly b's failure", errs)
+	}
+	if !strings.Contains(errs[0].Error(), "b:") {
+		t.Errorf("SinkError renders %q, want the sink name", errs[0].Error())
+	}
+}
+
+func TestSinkSetNilSafety(t *testing.T) {
+	var s *SinkSet
+	s.Register("x", func() error { return nil }) // must not panic
+	if errs := s.Flush(); errs != nil {
+		t.Errorf("nil set Flush returned %v", errs)
+	}
+	if s.Flushed() {
+		t.Error("nil set reports flushed")
+	}
+
+	set := NewSinkSet()
+	set.Register("skipped", nil) // nil flush func ignored
+	if errs := set.Flush(); errs != nil {
+		t.Errorf("Flush with nil-func registration returned %v", errs)
+	}
+}
+
+func TestSinkSetRegisterAfterFlushPanics(t *testing.T) {
+	s := NewSinkSet()
+	s.Flush()
+	defer func() {
+		if recover() == nil {
+			t.Error("Register after Flush did not panic")
+		}
+	}()
+	s.Register("late", func() error { return nil })
+}

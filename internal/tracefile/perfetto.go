@@ -1,0 +1,207 @@
+package tracefile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"retstack/internal/pipeline"
+)
+
+// Perfetto conversion: the JSONL trace becomes a Chrome trace-event JSON
+// document (the format Perfetto and chrome://tracing open directly). Each
+// committed instruction contributes three "X" (complete) slices — one per
+// pipeline stage interval, on the frontend/execute/retire tracks — and
+// RAS/recovery activity becomes "i" (instant) events on a fourth track,
+// with checkpoint occupancy and attribution totals as "C" counters.
+// Timestamps are simulation cycles (shown as µs in the UI).
+
+const (
+	tidFrontend = 1
+	tidExecute  = 2
+	tidRetire   = 3
+	tidRAS      = 4
+)
+
+// perfStamp tracks one in-flight instruction while converting.
+type perfStamp struct {
+	fetch, dispatch, complete uint64
+	pc                        uint32
+	word                      uint32
+	have                      uint8
+}
+
+// WritePerfetto converts every record in r into a Chrome trace-event JSON
+// document on w, returning the number of trace events emitted.
+func WritePerfetto(w io.Writer, r *Reader) (int, error) {
+	pw := &perfettoWriter{w: w}
+	pw.preamble(r.Header())
+
+	stamps := map[uint64]*perfStamp{}
+	causes := map[string]uint64{}
+	attribTotal := uint64(0)
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return pw.n, err
+		}
+		switch rec.Kind {
+		case "fetch":
+			stamps[rec.Seq] = &perfStamp{fetch: rec.Cycle, pc: rec.PC, word: rec.Word, have: 1}
+		case "dispatch":
+			if st := stamps[rec.Seq]; st != nil {
+				st.dispatch, st.have = rec.Cycle, st.have|2
+			}
+		case "complete":
+			if st := stamps[rec.Seq]; st != nil {
+				st.complete, st.have = rec.Cycle, st.have|4
+			}
+		case "commit":
+			if st := stamps[rec.Seq]; st != nil {
+				if st.have == 7 {
+					name := st.disasm()
+					pw.slice(tidFrontend, name, st.fetch, st.dispatch-st.fetch)
+					pw.slice(tidExecute, name, st.dispatch, st.complete-st.dispatch)
+					pw.slice(tidRetire, name, st.complete, rec.Cycle-st.complete)
+				}
+				delete(stamps, rec.Seq)
+			}
+		case "squash":
+			delete(stamps, rec.Seq)
+			pw.instant(tidRAS, "squash", rec)
+		case "ras-push", "ras-pop", "ras-repair", "ras-corrupt", "recover":
+			pw.instant(tidRAS, rec.Kind, rec)
+		case "checkpoint":
+			pw.counter("shadow-checkpoints", rec.Cycle, map[string]uint64{"live": uint64(rec.Aux)})
+		case "attrib":
+			cause := pipeline.AttribCause(rec.Extra).String()
+			causes[cause]++
+			attribTotal++
+			pw.instant(tidRAS, "attrib:"+cause, rec)
+			pw.counter("return-mispredicts", rec.Cycle, map[string]uint64{"total": attribTotal})
+		}
+	}
+	pw.close()
+	return pw.n, pw.err
+}
+
+func (st *perfStamp) disasm() string {
+	if st.word == 0 {
+		return fmt.Sprintf("pc=0x%x", st.pc)
+	}
+	return Record{PC: st.pc, Word: st.word}.Inst().Disasm(st.pc)
+}
+
+// perfettoWriter streams the traceEvents array without holding it in
+// memory.
+type perfettoWriter struct {
+	w     io.Writer
+	n     int
+	first bool
+	err   error
+}
+
+func (p *perfettoWriter) raw(s string) {
+	if p.err == nil {
+		_, p.err = io.WriteString(p.w, s)
+	}
+}
+
+func (p *perfettoWriter) event(obj map[string]any) {
+	if p.n > 0 || !p.first {
+		p.raw(",\n")
+	}
+	p.first = false
+	b, err := json.Marshal(obj)
+	if err != nil && p.err == nil {
+		p.err = err
+	}
+	if p.err == nil {
+		_, p.err = p.w.Write(b)
+	}
+	p.n++
+}
+
+func (p *perfettoWriter) preamble(h Header) {
+	label := h.Label
+	if label == "" {
+		label = "retstack"
+	}
+	p.raw(`{"displayTimeUnit":"ms","traceEvents":[` + "\n")
+	p.first = true
+	p.event(map[string]any{"ph": "M", "pid": 0, "name": "process_name",
+		"args": map[string]any{"name": label}})
+	for tid, name := range [...]string{
+		tidFrontend: "frontend", tidExecute: "execute",
+		tidRetire: "retire", tidRAS: "ras",
+	} {
+		if name == "" {
+			continue
+		}
+		p.event(map[string]any{"ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
+			"args": map[string]any{"name": name}})
+	}
+}
+
+func (p *perfettoWriter) slice(tid int, name string, ts, dur uint64) {
+	if dur == 0 {
+		dur = 1 // zero-width slices vanish in the UI
+	}
+	p.event(map[string]any{"ph": "X", "pid": 0, "tid": tid, "name": name,
+		"ts": ts, "dur": dur})
+}
+
+func (p *perfettoWriter) instant(tid int, name string, rec Record) {
+	p.event(map[string]any{"ph": "i", "s": "t", "pid": 0, "tid": tid, "name": name,
+		"ts": rec.Cycle, "args": map[string]any{
+			"seq": rec.Seq, "pc": fmt.Sprintf("0x%x", rec.PC),
+			"flags": rec.FlagString(),
+		}})
+}
+
+func (p *perfettoWriter) counter(name string, ts uint64, vals map[string]uint64) {
+	p.event(map[string]any{"ph": "C", "pid": 0, "name": name, "ts": ts, "args": vals})
+}
+
+func (p *perfettoWriter) close() {
+	p.raw("\n]}\n")
+}
+
+// CheckPerfetto validates a Chrome trace-event JSON document: it must
+// parse, carry a traceEvents array, and every event must have a known
+// phase, a name, and (for non-metadata phases) a numeric timestamp.
+func CheckPerfetto(data []byte) error {
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("perfetto: not valid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("perfetto: no traceEvents")
+	}
+	for i, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "M":
+		case "X":
+			if _, ok := ev["dur"].(float64); !ok {
+				return fmt.Errorf("perfetto: event %d: complete slice without dur", i)
+			}
+			fallthrough
+		case "i", "C", "B", "E":
+			if _, ok := ev["ts"].(float64); !ok {
+				return fmt.Errorf("perfetto: event %d: phase %q without numeric ts", i, ph)
+			}
+		default:
+			return fmt.Errorf("perfetto: event %d: unknown phase %q", i, ph)
+		}
+		if name, _ := ev["name"].(string); name == "" {
+			return fmt.Errorf("perfetto: event %d: missing name", i)
+		}
+	}
+	return nil
+}

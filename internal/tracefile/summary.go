@@ -1,0 +1,206 @@
+package tracefile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"retstack/internal/pipeline"
+)
+
+// Summary is the aggregate view of one trace: event counts by kind,
+// attribution counts by cause, and the cycle/sequence span. It is what
+// `rastrace summarize` renders and what reconciliation checks against
+// the run's telemetry counters.
+type Summary struct {
+	Header     Header
+	Events     uint64
+	ByKind     map[string]uint64
+	Causes     map[string]uint64
+	Attributed uint64
+	FirstCycle uint64
+	LastCycle  uint64
+	MaxSeq     uint64
+}
+
+// Summarize validates and aggregates every record in r: kinds must be
+// known, attribution causes in range, and cycles non-decreasing (the
+// writer emits in simulation order).
+func Summarize(r *Reader) (*Summary, error) {
+	s := &Summary{
+		Header: r.Header(),
+		ByKind: map[string]uint64{},
+		Causes: map[string]uint64{},
+	}
+	first := true
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return s, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := pipeline.TraceKindByName(rec.Kind); !ok {
+			return nil, fmt.Errorf("event %d: unknown kind %q", s.Events+1, rec.Kind)
+		}
+		if rec.Cycle < s.LastCycle {
+			return nil, fmt.Errorf("event %d: cycle %d goes backwards (last %d)",
+				s.Events+1, rec.Cycle, s.LastCycle)
+		}
+		if first {
+			s.FirstCycle = rec.Cycle
+			first = false
+		}
+		s.LastCycle = rec.Cycle
+		s.Events++
+		s.ByKind[rec.Kind]++
+		if rec.Seq > s.MaxSeq {
+			s.MaxSeq = rec.Seq
+		}
+		if rec.Kind == "attrib" {
+			if int(rec.Extra) >= pipeline.NumAttribCauses {
+				return nil, fmt.Errorf("event %d: attribution cause %d out of range",
+					s.Events, rec.Extra)
+			}
+			s.Causes[pipeline.AttribCause(rec.Extra).String()]++
+			s.Attributed++
+		}
+	}
+}
+
+// CheckTrace validates the stream and discards the aggregate.
+func CheckTrace(r *Reader) error {
+	_, err := Summarize(r)
+	return err
+}
+
+// Render writes the summary as a stable, diff-friendly table: kinds in
+// enum order, causes in enum order, zero rows omitted.
+func (s *Summary) Render(w io.Writer) {
+	label := s.Header.Label
+	if label == "" {
+		label = "(unlabeled)"
+	}
+	fmt.Fprintf(w, "trace %s: %d events, cycles %d..%d, %d instructions\n",
+		label, s.Events, s.FirstCycle, s.LastCycle, s.MaxSeq)
+	for _, k := range pipeline.TraceKinds() {
+		if n := s.ByKind[k]; n > 0 {
+			fmt.Fprintf(w, "  %-12s %10d\n", k, n)
+		}
+	}
+	if s.Attributed > 0 {
+		fmt.Fprintf(w, "attribution (%d mispredicted returns):\n", s.Attributed)
+		for _, c := range pipeline.AttribCauseNames() {
+			if n := s.Causes[c]; n > 0 {
+				fmt.Fprintf(w, "  %-18s %10d  (%5.1f%%)\n", c, n,
+					100*float64(n)/float64(s.Attributed))
+			}
+		}
+	}
+}
+
+// Reconcile cross-checks the trace's attribution counts against the
+// retstack_attrib_mispredicts_total samples of a Prometheus exposition
+// (series → value, as parsed by telemetry.Samples). Every cause present
+// on either side must match exactly.
+func (s *Summary) Reconcile(samples map[string]float64, metric string) error {
+	fromProm := map[string]uint64{}
+	for series, v := range samples {
+		name, labels := splitSeries(series)
+		if name != metric {
+			continue
+		}
+		cause, ok := labels["cause"]
+		if !ok {
+			return fmt.Errorf("reconcile: %s sample without cause label: %s", metric, series)
+		}
+		fromProm[cause] += uint64(v)
+	}
+	if len(fromProm) == 0 {
+		return fmt.Errorf("reconcile: exposition has no %s samples", metric)
+	}
+	for _, c := range pipeline.AttribCauseNames() {
+		if got, want := fromProm[c], s.Causes[c]; got != want {
+			return fmt.Errorf("reconcile: cause %q: telemetry says %d, trace says %d", c, got, want)
+		}
+	}
+	return nil
+}
+
+// splitSeries separates `name{k="v",...}` into the metric name and its
+// label map.
+func splitSeries(series string) (string, map[string]string) {
+	labels := map[string]string{}
+	open := -1
+	for i, r := range series {
+		if r == '{' {
+			open = i
+			break
+		}
+	}
+	if open < 0 {
+		return series, labels
+	}
+	name := series[:open]
+	body := series[open+1:]
+	if n := len(body); n > 0 && body[n-1] == '}' {
+		body = body[:n-1]
+	}
+	for _, kv := range splitLabelPairs(body) {
+		eq := -1
+		for i := 0; i < len(kv); i++ {
+			if kv[i] == '=' {
+				eq = i
+				break
+			}
+		}
+		if eq < 0 {
+			continue
+		}
+		v := kv[eq+1:]
+		if len(v) >= 2 && v[0] == '"' && v[len(v)-1] == '"' {
+			v = v[1 : len(v)-1]
+		}
+		labels[kv[:eq]] = v
+	}
+	return name, labels
+}
+
+// splitLabelPairs splits a label body on commas outside quotes.
+func splitLabelPairs(body string) []string {
+	var out []string
+	start, inQ := 0, false
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '"':
+			if i == 0 || body[i-1] != '\\' {
+				inQ = !inQ
+			}
+		case ',':
+			if !inQ {
+				out = append(out, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(body) {
+		out = append(out, body[start:])
+	}
+	return out
+}
+
+// SortedCauses returns the non-zero causes ordered by descending count
+// (ties broken by enum order), for compact reporting.
+func (s *Summary) SortedCauses() []string {
+	names := make([]string, 0, len(s.Causes))
+	for _, c := range pipeline.AttribCauseNames() {
+		if s.Causes[c] > 0 {
+			names = append(names, c)
+		}
+	}
+	sort.SliceStable(names, func(i, j int) bool {
+		return s.Causes[names[i]] > s.Causes[names[j]]
+	})
+	return names
+}

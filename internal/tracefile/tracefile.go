@@ -1,0 +1,256 @@
+// Package tracefile serializes pipeline trace events to a compact,
+// self-describing JSONL format and converts them to Chrome
+// trace-event/Perfetto JSON for timeline visualization.
+//
+// The on-disk format is one JSON object per line. The first line is a
+// header identifying the format and the run that produced the trace;
+// every following line is one event with single-letter keys:
+//
+//	{"format":"retstack-trace","version":1,"label":"t3-c0", ...}
+//	{"c":152,"k":"ras-push","s":40,"pc":4196,"w":201326608,"x":4200,"a":3,"f":16}
+//
+// c=cycle, k=kind, s=sequence number, p=path token, pc=fetch PC, w=raw
+// 32-bit instruction word, x=kind-specific extra, a=kind-specific aux,
+// f=flag bits (pipeline.TraceFlags). Zero-valued fields other than c and
+// k are omitted. The writer is allocation-free per event so it can run
+// inline under a live simulation.
+package tracefile
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"retstack/internal/isa"
+	"retstack/internal/pipeline"
+)
+
+// Format and Version identify the JSONL trace container.
+const (
+	Format  = "retstack-trace"
+	Version = 1
+)
+
+// Header is the first line of every trace file.
+type Header struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	// Label names the producing run (experiment and cell, or a CLI tag).
+	Label string `json:"label,omitempty"`
+	// Exp and Cell locate the trace inside a sweep, when it came from one.
+	Exp  string `json:"exp,omitempty"`
+	Cell int    `json:"cell,omitempty"`
+	// Buf records the causal ring capacity the attribution layer ran with.
+	Buf int `json:"buf,omitempty"`
+}
+
+// Writer streams events to JSONL. It implements pipeline.Tracer and is
+// allocation-free per event once constructed.
+type Writer struct {
+	w      *bufio.Writer
+	closer io.Closer
+	buf    []byte
+	events uint64
+	err    error
+}
+
+// NewWriter wraps w, emitting the header line immediately.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	h.Format = Format
+	h.Version = Version
+	line, err := json.Marshal(h)
+	if err != nil {
+		return nil, err
+	}
+	tw := &Writer{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 256)}
+	if c, ok := w.(io.Closer); ok {
+		tw.closer = c
+	}
+	if _, err := tw.w.Write(append(line, '\n')); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+// Create opens path for writing and emits the header.
+func Create(path string, h Header) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w, err := NewWriter(f, h)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// Event implements pipeline.Tracer.
+func (t *Writer) Event(e pipeline.TraceEvent) {
+	if t.err != nil {
+		return
+	}
+	b := t.buf[:0]
+	b = append(b, `{"c":`...)
+	b = strconv.AppendUint(b, e.Cycle, 10)
+	b = append(b, `,"k":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, '"')
+	if e.Seq != 0 {
+		b = append(b, `,"s":`...)
+		b = strconv.AppendUint(b, e.Seq, 10)
+	}
+	if e.Path != 0 {
+		b = append(b, `,"p":`...)
+		b = strconv.AppendUint(b, e.Path, 10)
+	}
+	if e.PC != 0 {
+		b = append(b, `,"pc":`...)
+		b = strconv.AppendUint(b, uint64(e.PC), 10)
+	}
+	if e.Inst.Raw != 0 {
+		b = append(b, `,"w":`...)
+		b = strconv.AppendUint(b, uint64(e.Inst.Raw), 10)
+	}
+	if e.Extra != 0 {
+		b = append(b, `,"x":`...)
+		b = strconv.AppendUint(b, uint64(e.Extra), 10)
+	}
+	if e.Aux != 0 {
+		b = append(b, `,"a":`...)
+		b = strconv.AppendUint(b, uint64(e.Aux), 10)
+	}
+	if e.Flags != 0 {
+		b = append(b, `,"f":`...)
+		b = strconv.AppendUint(b, uint64(e.Flags), 10)
+	}
+	b = append(b, '}', '\n')
+	t.buf = b
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+	}
+	t.events++
+}
+
+// Events returns how many events were written.
+func (t *Writer) Events() uint64 { return t.events }
+
+// Err returns the first write error, if any.
+func (t *Writer) Err() error { return t.err }
+
+// Close flushes and closes the underlying file (when Create opened one).
+func (t *Writer) Close() error {
+	ferr := t.w.Flush()
+	if t.err == nil {
+		t.err = ferr
+	}
+	if t.closer != nil {
+		if cerr := t.closer.Close(); t.err == nil {
+			t.err = cerr
+		}
+	}
+	return t.err
+}
+
+// Record is one decoded event line.
+type Record struct {
+	Cycle uint64 `json:"c"`
+	Kind  string `json:"k"`
+	Seq   uint64 `json:"s,omitempty"`
+	Path  uint64 `json:"p,omitempty"`
+	PC    uint32 `json:"pc,omitempty"`
+	Word  uint32 `json:"w,omitempty"`
+	Extra uint32 `json:"x,omitempty"`
+	Aux   uint32 `json:"a,omitempty"`
+	Flags uint16 `json:"f,omitempty"`
+}
+
+// Inst re-decodes the instruction word captured with the event.
+func (r Record) Inst() isa.Inst { return isa.Decode(r.Word) }
+
+// FlagString renders the flag bits with the pipeline's names.
+func (r Record) FlagString() string { return pipeline.TraceFlags(r.Flags).String() }
+
+// Reader decodes a JSONL trace stream.
+type Reader struct {
+	sc     *bufio.Scanner
+	closer io.Closer
+	hdr    Header
+	line   int
+}
+
+// NewReader validates the header line of r and prepares to iterate.
+func NewReader(r io.Reader) (*Reader, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("tracefile: empty input")
+	}
+	var h Header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return nil, fmt.Errorf("tracefile: bad header: %w", err)
+	}
+	if h.Format != Format {
+		return nil, fmt.Errorf("tracefile: format %q, want %q", h.Format, Format)
+	}
+	if h.Version != Version {
+		return nil, fmt.Errorf("tracefile: version %d, want %d", h.Version, Version)
+	}
+	tr := &Reader{sc: sc, hdr: h, line: 1}
+	if c, ok := r.(io.Closer); ok {
+		tr.closer = c
+	}
+	return tr, nil
+}
+
+// Open opens a trace file.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// Header returns the decoded file header.
+func (r *Reader) Header() Header { return r.hdr }
+
+// Next returns the next event record, or io.EOF after the last one.
+func (r *Reader) Next() (Record, error) {
+	for r.sc.Scan() {
+		r.line++
+		b := r.sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return Record{}, fmt.Errorf("tracefile: line %d: %w", r.line, err)
+		}
+		return rec, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Record{}, err
+	}
+	return Record{}, io.EOF
+}
+
+// Close closes the underlying file (when Open opened one).
+func (r *Reader) Close() error {
+	if r.closer != nil {
+		return r.closer.Close()
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+package tracefile
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"retstack/internal/isa"
+	"retstack/internal/pipeline"
+)
+
+func sampleEvents() []pipeline.TraceEvent {
+	call := isa.Inst{Raw: 0x0c001234}
+	return []pipeline.TraceEvent{
+		{Cycle: 10, Kind: pipeline.TraceFetch, Seq: 1, PC: 0x400000, Inst: call, Extra: 0x400008},
+		{Cycle: 10, Kind: pipeline.TraceRASPush, Seq: 1, PC: 0x400000, Inst: call,
+			Extra: 0x400004, Aux: pipeline.PackRASAux(0, 3), Flags: pipeline.FlagRASPush},
+		{Cycle: 12, Kind: pipeline.TraceRASPop, Seq: 2, PC: 0x400100,
+			Extra: 0x400004, Aux: pipeline.PackRASAux(0, 3),
+			Flags: pipeline.FlagRASPop | pipeline.FlagReturn | pipeline.FlagFromRAS},
+		{Cycle: 15, Kind: pipeline.TraceAttrib, Seq: 2, PC: 0x400100,
+			Extra: uint32(pipeline.CauseWrongPathPop), Aux: 0x400000},
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Label: "unit", Exp: "t3", Cell: 2, Buf: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := sampleEvents()
+	for _, e := range evs {
+		w.Event(e)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Events() != uint64(len(evs)) {
+		t.Fatalf("wrote %d events, want %d", w.Events(), len(evs))
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.Header()
+	if h.Label != "unit" || h.Exp != "t3" || h.Cell != 2 || h.Buf != 4096 {
+		t.Fatalf("header round trip: %+v", h)
+	}
+	for i, want := range evs {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if rec.Cycle != want.Cycle || rec.Kind != want.Kind.String() ||
+			rec.Seq != want.Seq || rec.PC != want.PC || rec.Word != want.Inst.Raw ||
+			rec.Extra != want.Extra || rec.Aux != want.Aux || rec.Flags != uint16(want.Flags) {
+			t.Errorf("record %d: got %+v, want %+v", i, rec, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestWriterZeroAllocPerEvent(t *testing.T) {
+	w, err := NewWriter(io.Discard, Header{Label: "alloc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := sampleEvents()[1]
+	w.Event(ev) // warm the scratch buffer
+	n := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			w.Event(ev)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("Event allocates %v times per 64 events, want 0", n)
+	}
+}
+
+func TestReaderRejectsBadHeader(t *testing.T) {
+	cases := map[string]string{
+		"empty":   "",
+		"garbage": "not json\n",
+		"format":  `{"format":"other","version":1}` + "\n",
+		"version": `{"format":"retstack-trace","version":99}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := NewReader(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: header accepted", name)
+		}
+	}
+}
+
+func writeTrace(t *testing.T, evs []pipeline.TraceEvent) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Label: "unit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range evs {
+		w.Event(e)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestSummarize(t *testing.T) {
+	buf := writeTrace(t, sampleEvents())
+	r, err := NewReader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Summarize(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Events != 4 || s.Attributed != 1 || s.FirstCycle != 10 || s.LastCycle != 15 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Causes["wrongpath-pop"] != 1 {
+		t.Fatalf("causes %v", s.Causes)
+	}
+	var out strings.Builder
+	s.Render(&out)
+	if !strings.Contains(out.String(), "wrongpath-pop") || !strings.Contains(out.String(), "ras-push") {
+		t.Fatalf("summary rendering missing rows:\n%s", out.String())
+	}
+	if got := s.SortedCauses(); len(got) != 1 || got[0] != "wrongpath-pop" {
+		t.Fatalf("sorted causes %v", got)
+	}
+}
+
+func TestSummarizeRejectsBadStreams(t *testing.T) {
+	back := sampleEvents()
+	back[3].Cycle = 1 // goes backwards
+	if _, err := Summarize(mustReader(t, writeTrace(t, back))); err == nil {
+		t.Error("backwards cycles accepted")
+	}
+
+	// Unknown kind and out-of-range cause, injected as raw lines.
+	hdr := `{"format":"retstack-trace","version":1}` + "\n"
+	if _, err := Summarize(mustReader(t, strings.NewReader(hdr+`{"c":1,"k":"nope"}`+"\n"))); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := Summarize(mustReader(t, strings.NewReader(hdr+`{"c":1,"k":"attrib","x":99}`+"\n"))); err == nil {
+		t.Error("out-of-range cause accepted")
+	}
+	if err := CheckTrace(mustReader(t, strings.NewReader(hdr+`{"c":1,"k":"fetch"}`+"\n"))); err != nil {
+		t.Errorf("valid minimal trace rejected: %v", err)
+	}
+}
+
+func mustReader(t *testing.T, r io.Reader) *Reader {
+	t.Helper()
+	tr, err := NewReader(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestReconcile(t *testing.T) {
+	s := &Summary{Causes: map[string]uint64{"wrongpath-pop": 3, "overflow-wrap": 1}, Attributed: 4}
+	samples := map[string]float64{
+		`retstack_attrib_mispredicts_total{cause="wrongpath-pop",exp="t3"}`: 3,
+		`retstack_attrib_mispredicts_total{exp="t3",cause="overflow-wrap"}`: 1,
+		`retstack_trace_events_total{exp="t3"}`:                             99,
+	}
+	if err := s.Reconcile(samples, "retstack_attrib_mispredicts_total"); err != nil {
+		t.Fatalf("matching reconcile failed: %v", err)
+	}
+	samples[`retstack_attrib_mispredicts_total{exp="t3",cause="overflow-wrap"}`] = 2
+	if err := s.Reconcile(samples, "retstack_attrib_mispredicts_total"); err == nil {
+		t.Fatal("mismatched reconcile passed")
+	}
+	if err := s.Reconcile(map[string]float64{}, "retstack_attrib_mispredicts_total"); err == nil {
+		t.Fatal("empty exposition reconciled")
+	}
+}
+
+func TestPerfettoConversion(t *testing.T) {
+	evs := []pipeline.TraceEvent{
+		{Cycle: 10, Kind: pipeline.TraceFetch, Seq: 1, PC: 0x40, Inst: isa.Inst{Raw: 0x0c000010}},
+		{Cycle: 11, Kind: pipeline.TraceDispatch, Seq: 1, PC: 0x40},
+		{Cycle: 13, Kind: pipeline.TraceComplete, Seq: 1, PC: 0x40},
+		{Cycle: 14, Kind: pipeline.TraceCommit, Seq: 1, PC: 0x40},
+		{Cycle: 14, Kind: pipeline.TraceRASPop, Seq: 2, PC: 0x44, Flags: pipeline.FlagRASPop},
+		{Cycle: 15, Kind: pipeline.TraceCheckpoint, Seq: 3, PC: 0x48, Aux: 2},
+		{Cycle: 16, Kind: pipeline.TraceAttrib, Seq: 2, PC: 0x44, Extra: uint32(pipeline.CauseStale)},
+	}
+	var out bytes.Buffer
+	n, err := WritePerfetto(&out, mustReader(t, writeTrace(t, evs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no events emitted")
+	}
+	if err := CheckPerfetto(out.Bytes()); err != nil {
+		t.Fatalf("converter output fails validation: %v\n%s", err, out.String())
+	}
+	doc := out.String()
+	for _, want := range []string{`"ph":"X"`, `"ph":"i"`, `"ph":"C"`, "frontend", "retire", "attrib:stale"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("perfetto document missing %s", want)
+		}
+	}
+}
+
+func TestCheckPerfettoRejects(t *testing.T) {
+	bad := map[string]string{
+		"not-json":  "nope",
+		"no-events": `{"traceEvents":[]}`,
+		"phase":     `{"traceEvents":[{"ph":"Z","name":"x","ts":1}]}`,
+		"no-ts":     `{"traceEvents":[{"ph":"i","name":"x"}]}`,
+		"no-name":   `{"traceEvents":[{"ph":"i","ts":1}]}`,
+		"no-dur":    `{"traceEvents":[{"ph":"X","name":"x","ts":1}]}`,
+	}
+	for name, doc := range bad {
+		if err := CheckPerfetto([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
