@@ -56,6 +56,7 @@ func main() {
 		allocSlack = flag.Float64("alloc-slack", 0.10, "relative allocs/op headroom allowed over the baseline (baseline mode)")
 		nsGate     = flag.Bool("ns-gate", false, "also gate ns/op against the baseline (opt-in: wall clock is noisy on shared runners)")
 		nsSlack    = flag.Float64("ns-slack", 3.0, "relative ns/op headroom allowed over the baseline (ns-gate mode; 3.0 allows 4x)")
+		spdSlack   = flag.Float64("speedup-slack", 0.5, "relative speedup shortfall allowed under the baseline (baseline mode; 0.5 tolerates a 1/1.5x drop)")
 	)
 	flag.Parse()
 
@@ -100,6 +101,8 @@ func main() {
 			tregs, tc := CompareTimes(rep, base, *nsSlack)
 			regs, timeChecked = append(regs, tregs...), tc
 		}
+		sregs, spdChecked, spdSkipped := CompareSpeedup(rep, base, *spdSlack)
+		regs = append(regs, sregs...)
 		for _, r := range regs {
 			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)
 		}
@@ -111,6 +114,13 @@ func main() {
 		if *nsGate {
 			fmt.Printf("benchjson: ns/op within %.0f%% of %s for %d benchmark(s)\n",
 				*nsSlack*100, *baseline, timeChecked)
+		}
+		if spdChecked > 0 {
+			fmt.Printf("benchjson: speedup within 1/%.1fx of %s for %d metric(s)\n",
+				1+*spdSlack, *baseline, spdChecked)
+		}
+		if spdSkipped > 0 {
+			fmt.Printf("benchjson: speedup comparison skipped for %d benchmark(s) (single-core run)\n", spdSkipped)
 		}
 	}
 }
@@ -255,6 +265,58 @@ func CompareTimes(cur, base *Report, slack float64) (regressions []string, check
 		}
 	}
 	return regressions, checked
+}
+
+// CompareSpeedup gates the custom speedup metrics (parallel "speedup",
+// store "cacheSpeedup") against the baseline for benchmarks present in
+// both reports. The parallel comparison is meaningless without real
+// parallelism — a single-core runner measures serial-vs-serial noise — so
+// it is skipped (and counted in skipped) whenever the current run reports
+// procs <= 1 or omits the metric entirely, which is what the benchmark
+// itself does on one core. cacheSpeedup has no such exemption: a cache
+// hit is fast at any core count, so a baseline metric the current run
+// lost is itself a regression.
+func CompareSpeedup(cur, base *Report, slack float64) (regressions []string, checked, skipped int) {
+	baseBy := map[string]Bench{}
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	for _, b := range cur.Benchmarks {
+		bb, ok := baseBy[b.Name]
+		if !ok {
+			continue
+		}
+		for _, key := range []string{"speedup", "cacheSpeedup"} {
+			bv, inBase := bb.Metrics[key]
+			if !inBase || bv <= 0 {
+				continue
+			}
+			cv, inCur := b.Metrics[key]
+			if key == "speedup" {
+				procs := float64(b.Procs)
+				if p, ok := b.Metrics["procs"]; ok {
+					procs = p
+				}
+				if procs <= 1 || !inCur {
+					skipped++
+					continue
+				}
+			} else if !inCur {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: baseline records %s %.1f but the current run reports none",
+					b.Name, key, bv))
+				continue
+			}
+			checked++
+			floor := bv / (1 + slack)
+			if cv < floor {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %s %.2f fell below baseline %.2f (floor %.2f)",
+					b.Name, key, cv, bv, floor))
+			}
+		}
+	}
+	return regressions, checked, skipped
 }
 
 // validateFile checks that a committed report parses, is non-empty, has

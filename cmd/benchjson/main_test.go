@@ -156,3 +156,69 @@ func TestCompareTimes(t *testing.T) {
 		t.Errorf("improvement flagged: %v", regs)
 	}
 }
+
+func TestCompareSpeedup(t *testing.T) {
+	base := &Report{Benchmarks: []Bench{
+		{Name: "BenchmarkSweepParallel", Metrics: map[string]float64{"speedup": 3.0, "procs": 4}},
+		{Name: "BenchmarkSweepCached", Metrics: map[string]float64{"cacheSpeedup": 100}},
+	}}
+
+	// A healthy multi-core run well within slack.
+	cur := &Report{Benchmarks: []Bench{
+		{Name: "BenchmarkSweepParallel", Metrics: map[string]float64{"speedup": 2.5, "procs": 4}},
+		{Name: "BenchmarkSweepCached", Metrics: map[string]float64{"cacheSpeedup": 90}},
+	}}
+	regs, checked, skipped := CompareSpeedup(cur, base, 0.5)
+	if len(regs) != 0 {
+		t.Errorf("unexpected regressions: %v", regs)
+	}
+	if checked != 2 || skipped != 0 {
+		t.Errorf("checked/skipped = %d/%d, want 2/0", checked, skipped)
+	}
+
+	// Single-core run: the parallel comparison is skipped, not failed —
+	// whether the metric is reported as procs=1 or omitted entirely.
+	for _, m := range []map[string]float64{
+		{"speedup": 0.93, "procs": 1},
+		{"procs": 1},
+	} {
+		cur = &Report{Benchmarks: []Bench{
+			{Name: "BenchmarkSweepParallel", Procs: 1, Metrics: m},
+			{Name: "BenchmarkSweepCached", Metrics: map[string]float64{"cacheSpeedup": 90}},
+		}}
+		regs, checked, skipped = CompareSpeedup(cur, base, 0.5)
+		if len(regs) != 0 {
+			t.Errorf("single-core run flagged: %v", regs)
+		}
+		if checked != 1 || skipped != 1 {
+			t.Errorf("checked/skipped = %d/%d, want 1/1", checked, skipped)
+		}
+	}
+
+	// A genuine collapse on a multi-core runner fails.
+	cur = &Report{Benchmarks: []Bench{
+		{Name: "BenchmarkSweepParallel", Metrics: map[string]float64{"speedup": 1.0, "procs": 4}},
+	}}
+	regs, _, _ = CompareSpeedup(cur, base, 0.5)
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkSweepParallel") {
+		t.Errorf("regressions = %v, want one naming BenchmarkSweepParallel", regs)
+	}
+
+	// Losing the cache metric entirely is a regression at any core count.
+	cur = &Report{Benchmarks: []Bench{
+		{Name: "BenchmarkSweepCached", Metrics: map[string]float64{}},
+	}}
+	regs, _, _ = CompareSpeedup(cur, base, 0.5)
+	if len(regs) != 1 || !strings.Contains(regs[0], "cacheSpeedup") {
+		t.Errorf("regressions = %v, want one naming cacheSpeedup", regs)
+	}
+
+	// A cache slowdown past the floor fails.
+	cur = &Report{Benchmarks: []Bench{
+		{Name: "BenchmarkSweepCached", Metrics: map[string]float64{"cacheSpeedup": 10}},
+	}}
+	regs, _, _ = CompareSpeedup(cur, base, 0.5)
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkSweepCached") {
+		t.Errorf("regressions = %v, want one naming BenchmarkSweepCached", regs)
+	}
+}

@@ -29,6 +29,12 @@
 //	rasbench -exp all -cell-timeout 5m           # per-cell watchdog
 //	rasbench -exp t3 -inject panic:3             # dev: deterministic fault injection
 //
+// Caching (see README "Serving & caching"):
+//
+//	rasbench -exp all -store cache/              # content-addressed result store; a warm
+//	                                             # rerun splices every cell without simulating
+//	rasbench -exp all -store cache/ -store-max-bytes 67108864  # evict oldest segments on exit
+//
 // SIGINT/SIGTERM cancel the sweep cleanly: in-flight cells drain, telemetry
 // sinks flush, the manifest records status "interrupted", and the exit code
 // is 130. With -journal, an interrupted run's completed cells are on disk
@@ -54,8 +60,10 @@ import (
 	"retstack/internal/experiments"
 	"retstack/internal/faultinject"
 	"retstack/internal/pipeline"
+	"retstack/internal/resultstore"
 	"retstack/internal/sweep"
 	"retstack/internal/telemetry"
+	"retstack/internal/workloads"
 )
 
 // sinks collects every observability sink opened during the run. All three
@@ -99,14 +107,16 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "capture per-cell JSONL event traces with misprediction attribution into this directory (inspect with rastrace)")
 		traceBuf    = flag.Int("trace-buf", pipeline.DefaultTraceBuf, "per-cell causal ring capacity in events for -trace-out attribution")
 
-		onCellError  = flag.String("on-cell-error", "abort", "failed-cell policy: abort | skip (hole the cell, keep sweeping) | retry (transient errors, bounded backoff)")
-		retries      = flag.Int("retries", 3, "max attempts per cell under -on-cell-error=retry")
-		retryBackoff = flag.Duration("retry-backoff", 100*time.Millisecond, "initial backoff between retry attempts (doubles per attempt)")
-		cellTimeout  = flag.Duration("cell-timeout", 0, "per-cell watchdog: abandon a cell producing no result within this duration (0 = off)")
-		journalPath  = flag.String("journal", "", "append every completed cell to this crash-safe JSONL journal")
-		resumePath   = flag.String("resume", "", "splice completed cells from this journal instead of re-running them (implies -journal to the same file)")
-		injectSpec   = flag.String("inject", "", "dev: deterministic fault plan, e.g. 'panic:3,transient:t3/5x2,hang:7,corrupt:2'")
-		injectSeed   = flag.Uint64("inject-seed", 1, "seed for the -inject corruption address sequence")
+		onCellError   = flag.String("on-cell-error", "abort", "failed-cell policy: abort | skip (hole the cell, keep sweeping) | retry (transient errors, bounded backoff)")
+		retries       = flag.Int("retries", 3, "max attempts per cell under -on-cell-error=retry")
+		retryBackoff  = flag.Duration("retry-backoff", 100*time.Millisecond, "initial backoff between retry attempts (doubles per attempt)")
+		cellTimeout   = flag.Duration("cell-timeout", 0, "per-cell watchdog: abandon a cell producing no result within this duration (0 = off)")
+		storePath     = flag.String("store", "", "content-addressed result store directory: cells already cached splice in without simulating, misses are persisted for the next run")
+		storeMaxBytes = flag.Int64("store-max-bytes", 0, "after the run, evict oldest store segments until the store fits this many bytes (0 = never evict)")
+		journalPath   = flag.String("journal", "", "append every completed cell to this crash-safe JSONL journal")
+		resumePath    = flag.String("resume", "", "splice completed cells from this journal instead of re-running them (implies -journal to the same file)")
+		injectSpec    = flag.String("inject", "", "dev: deterministic fault plan, e.g. 'panic:3,transient:t3/5x2,hang:7,corrupt:2'")
+		injectSeed    = flag.Uint64("inject-seed", 1, "seed for the -inject corruption address sequence")
 	)
 	flag.Parse()
 
@@ -162,6 +172,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *storePath != "" && plan != nil {
+		fatal(fmt.Errorf("-store cannot be combined with -inject: injected cells would poison the cache"))
+	}
 
 	// Telemetry sinks: all nil (and therefore free) unless requested.
 	var reg *telemetry.Registry
@@ -195,7 +208,7 @@ func main() {
 	params := experiments.Params{
 		InstBudget: *insts, Warmup: *warmup, Parallel: *parallel, NoPredecode: *noPredecode,
 		NoFlatOverlay: !*flatOverlay, NoBlocks: *noBlocks,
-		Ctx:           ctx, OnCellError: policy, RetryAttempts: *retries, RetryBackoff: *retryBackoff,
+		Ctx: ctx, OnCellError: policy, RetryAttempts: *retries, RetryBackoff: *retryBackoff,
 		CellTimeout: *cellTimeout, Inject: plan,
 	}
 	if *bench != "" {
@@ -248,6 +261,30 @@ func main() {
 		}
 		params.Journal = journal
 	}
+	// The result store: lookup-before-simulate keyed by a scope hash over
+	// exactly the result-determining parameters (config, insts, warmup,
+	// workload set). Unlike the journal scope it excludes the experiment
+	// list, so `-exp t3` warms the cells a later `-exp all` reuses.
+	var store *resultstore.Store
+	if *storePath != "" {
+		store, err = resultstore.Open(*storePath)
+		if err != nil {
+			fatal(err)
+		}
+		store.SetTool("rasbench")
+		sinks.Register("store", store.Close)
+		ws := params.Workloads
+		if len(ws) == 0 {
+			ws = workloads.SPECNames()
+		}
+		params.Store = store
+		params.StoreScope = resultstore.Scope(man.Config, man.InstBudget, man.Warmup, ws)
+		if sm := telemetry.NewStoreMetrics(reg); sm != nil { // nil reg -> nil, no-op
+			store.SetObserver(resultstore.Observer{
+				OnGet: sm.ObserveGet, OnPut: sm.ObservePut, OnShared: sm.ObserveShared,
+			})
+		}
+	}
 	// The metrics dump and the manifest flush on every exit path like the
 	// sinks above. The manifest registers last: earlier sinks and the
 	// per-experiment loop keep updating its fields (timings, trace record,
@@ -259,6 +296,13 @@ func main() {
 		sinks.Register("manifest", func() error {
 			if man.Status == "" {
 				man.Status = "failed"
+			}
+			if store != nil {
+				s := store.Stats()
+				man.Store = &telemetry.StoreRecord{
+					Dir: store.Dir(), Scope: params.StoreScope,
+					Hits: s.Hits, Misses: s.Misses, Puts: s.Puts, Shared: s.Shared,
+				}
 			}
 			man.Finish()
 			return man.WriteFile(*manifestOut)
@@ -375,6 +419,21 @@ func main() {
 		}
 	}
 
+	if store != nil {
+		s := store.Stats()
+		fmt.Fprintf(os.Stderr, "rasbench: store: %d hits, %d misses, %d puts, %d shared (%s)\n",
+			s.Hits, s.Misses, s.Puts, s.Shared, store.Dir())
+		if *storeMaxBytes > 0 {
+			evicted, err := store.Trim(*storeMaxBytes)
+			if err != nil {
+				fatal(err)
+			}
+			if evicted > 0 {
+				fmt.Fprintf(os.Stderr, "rasbench: store: evicted %d oldest segment(s) to fit %d bytes\n",
+					evicted, *storeMaxBytes)
+			}
+		}
+	}
 	man.Status = "completed"
 	man.Finish()
 	events.Emit("run_done", map[string]any{"seconds": man.WallSeconds})

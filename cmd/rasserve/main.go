@@ -1,0 +1,562 @@
+// Command rasserve promotes the sweep engine into a long-running service:
+// submit experiment campaigns over HTTP/JSON, shard their cells across the
+// worker pool, and stream per-cell progress and results back as JSONL or
+// SSE. Every campaign runs lookup-before-simulate against one shared
+// content-addressed result store, so a resubmitted campaign answers from
+// cache — and concurrent campaigns racing on the same cells collapse to a
+// single simulation via the store's singleflight.
+//
+// Usage:
+//
+//	rasserve -store cache/                       # serve on :8372
+//	rasserve -store cache/ -addr :9000 -parallel 8 -max-active 2
+//	rasserve -store cache/ -store-max-bytes 67108864  # evict after each campaign
+//
+// Endpoints:
+//
+//	GET  /healthz                  liveness probe
+//	GET  /experiments              reproducible artifacts (id + title)
+//	POST /campaigns                submit {"exps":["t3"],"insts":60000,"workloads":["go","li"]}
+//	GET  /campaigns                all campaigns, submission order
+//	GET  /campaigns/{id}           one campaign's status and counters
+//	GET  /campaigns/{id}/results   stream events as JSONL (?sse=1 for SSE)
+//	GET  /campaigns/{id}/tables    rendered tables once completed
+//	GET  /metrics                  Prometheus exposition (retstack_store_*, sweep, ...)
+//	GET  /debug/pprof/             runtime profiles
+//
+// See README "Serving & caching" and EXPERIMENTS.md for a worked curl
+// session.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+
+	"retstack"
+	"retstack/internal/experiments"
+	"retstack/internal/resultstore"
+	"retstack/internal/sweep"
+	"retstack/internal/telemetry"
+	"retstack/internal/workloads"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8372", "listen address")
+		storePath     = flag.String("store", "", "content-addressed result store directory (required)")
+		parallel      = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations to run concurrently per campaign")
+		maxActive     = flag.Int("max-active", 2, "campaigns simulating at once; the rest queue")
+		storeMaxBytes = flag.Int64("store-max-bytes", 0, "evict oldest store segments past this size after each campaign (0 = never)")
+	)
+	flag.Parse()
+	if *storePath == "" {
+		fmt.Fprintln(os.Stderr, "rasserve: -store is required")
+		os.Exit(2)
+	}
+	store, err := resultstore.Open(*storePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rasserve:", err)
+		os.Exit(1)
+	}
+	store.SetTool("rasserve")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := newServer(ctx, store, *parallel, *maxActive)
+	srv.storeMaxBytes = *storeMaxBytes
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rasserve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "rasserve: store %s (%d cached cells); listening on http://%s\n",
+		store.Dir(), store.Len(), ln.Addr())
+	hs := &http.Server{Handler: srv.handler()}
+	go func() {
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(sctx) //nolint:errcheck // best-effort drain
+	}()
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "rasserve:", err)
+		os.Exit(1)
+	}
+	if err := store.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "rasserve:", err)
+	}
+}
+
+// campaignSpec is the POST /campaigns request body.
+type campaignSpec struct {
+	Exps      []string `json:"exps"`
+	Insts     uint64   `json:"insts,omitempty"`
+	Warmup    uint64   `json:"warmup,omitempty"`
+	Workloads []string `json:"workloads,omitempty"`
+}
+
+// campaign is one submitted sweep: its normalized spec, the event stream
+// subscribers replay, and the rendered tables. Events are append-only;
+// notify closes and is replaced on every append, so any number of
+// streaming subscribers wake without polling.
+type campaign struct {
+	ID         string
+	Spec       campaignSpec
+	ConfigHash string
+	Scope      string
+	Submitted  time.Time
+
+	mu       sync.Mutex
+	status   string
+	errMsg   string
+	events   []json.RawMessage
+	notify   chan struct{}
+	tables   map[string]string
+	hits     uint64
+	shared   uint64
+	executed uint64
+	wall     float64
+}
+
+// view is the lock-free snapshot rendered by the status endpoints.
+type view struct {
+	ID         string       `json:"id"`
+	Status     string       `json:"status"`
+	Error      string       `json:"error,omitempty"`
+	Spec       campaignSpec `json:"spec"`
+	ConfigHash string       `json:"config_hash"`
+	Scope      string       `json:"scope"`
+	Submitted  time.Time    `json:"submitted"`
+	Hits       uint64       `json:"hits"`
+	Shared     uint64       `json:"shared"`
+	Executed   uint64       `json:"executed"`
+	Wall       float64      `json:"wall_seconds"`
+	Events     int          `json:"events"`
+}
+
+func (c *campaign) view() view {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return view{
+		ID: c.ID, Status: c.status, Error: c.errMsg, Spec: c.Spec,
+		ConfigHash: c.ConfigHash, Scope: c.Scope, Submitted: c.Submitted,
+		Hits: c.hits, Shared: c.shared, Executed: c.executed, Wall: c.wall,
+		Events: len(c.events),
+	}
+}
+
+// emit appends one event to the campaign stream and wakes subscribers.
+func (c *campaign) emit(typ string, fields map[string]any) {
+	ev := map[string]any{"event": typ, "time": time.Now().UTC().Format(time.RFC3339Nano)}
+	for k, v := range fields {
+		ev[k] = v
+	}
+	raw, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	c.events = append(c.events, raw)
+	close(c.notify)
+	c.notify = make(chan struct{})
+	c.mu.Unlock()
+}
+
+// next returns the events from index i on, whether the stream ends after
+// them, and a channel that closes on the next append. done reports the
+// terminal status alone: finish appends campaign_done atomically with the
+// status flip, so a terminal snapshot always includes every remaining
+// event — the caller drains evs and stops, never waiting on a notify
+// channel that will not close again.
+func (c *campaign) next(i int) ([]json.RawMessage, bool, <-chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	evs := c.events[i:]
+	done := c.status == "completed" || c.status == "failed"
+	return evs, done, c.notify
+}
+
+// campMonitor feeds sweep-cell lifecycle into the campaign stream. Cells
+// answered by the store never reach the engine, so CellDone counts actual
+// simulations — the "executed" number a warm resubmit drives to zero.
+type campMonitor struct {
+	c   *campaign
+	exp string
+}
+
+func (m *campMonitor) CellStart(cell, worker int) {}
+
+func (m *campMonitor) CellDone(cell, worker int, d time.Duration, err error) {
+	m.c.mu.Lock()
+	m.c.executed++
+	m.c.mu.Unlock()
+	f := map[string]any{"exp": m.exp, "cell": cell, "worker": worker, "seconds": d.Seconds()}
+	if err != nil {
+		f["error"] = err.Error()
+	}
+	m.c.emit("cell_done", f)
+}
+
+type server struct {
+	ctx           context.Context
+	store         *resultstore.Store
+	reg           *telemetry.Registry
+	parallel      int
+	sem           chan struct{}
+	storeMaxBytes int64
+
+	mu        sync.Mutex
+	campaigns map[string]*campaign
+	order     []string
+	nextID    int
+}
+
+func newServer(ctx context.Context, store *resultstore.Store, parallel, maxActive int) *server {
+	if maxActive < 1 {
+		maxActive = 1
+	}
+	reg := telemetry.NewRegistry()
+	if sm := telemetry.NewStoreMetrics(reg); sm != nil {
+		store.SetObserver(resultstore.Observer{
+			OnGet: sm.ObserveGet, OnPut: sm.ObservePut, OnShared: sm.ObserveShared,
+		})
+	}
+	return &server{
+		ctx: ctx, store: store, reg: reg, parallel: parallel,
+		sem:       make(chan struct{}, maxActive),
+		campaigns: make(map[string]*campaign),
+	}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /experiments", s.handleExperiments)
+	mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /campaigns", s.handleList)
+	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /campaigns/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /campaigns/{id}/tables", s.handleTables)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := s.reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}
+
+func (s *server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	type expInfo struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+	}
+	var out []expInfo
+	for _, id := range retstack.ExperimentIDs() {
+		title, _ := retstack.ExperimentTitle(id)
+		out = append(out, expInfo{ID: id, Title: title})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// normalize validates and canonicalizes a submitted spec: "all" expands,
+// experiment ids and workload names must exist, defaults fill in.
+func normalize(spec campaignSpec) (campaignSpec, error) {
+	if len(spec.Exps) == 0 {
+		return spec, fmt.Errorf("exps is required (experiment ids, or [\"all\"])")
+	}
+	if len(spec.Exps) == 1 && spec.Exps[0] == "all" {
+		spec.Exps = retstack.ExperimentIDs()
+	}
+	for _, id := range spec.Exps {
+		if _, ok := retstack.ExperimentTitle(id); !ok {
+			return spec, fmt.Errorf("unknown experiment %q (GET /experiments lists them)", id)
+		}
+	}
+	known := make(map[string]bool)
+	for _, n := range workloads.SPECNames() {
+		known[n] = true
+	}
+	for _, wl := range spec.Workloads {
+		if !known[wl] {
+			return spec, fmt.Errorf("unknown workload %q (have %v)", wl, workloads.SPECNames())
+		}
+	}
+	if spec.Insts == 0 {
+		spec.Insts = experiments.DefaultParams().InstBudget
+	}
+	return spec, nil
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec campaignSpec
+	if err := dec.Decode(&spec); err != nil {
+		http.Error(w, "bad campaign spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	spec, err := normalize(spec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// The manifest hash gives campaigns the same identity rasbench runs
+	// carry; the store scope is the cross-campaign cache key (it excludes
+	// the experiment list, so a t3 campaign warms cells an `all` reuses).
+	man := telemetry.NewManifest("rasserve", nil)
+	man.InstBudget, man.Warmup = spec.Insts, spec.Warmup
+	man.Workloads = spec.Workloads
+	man.Parallel = sweep.Workers(s.parallel)
+	man.ExperimentIDs = spec.Exps
+	man.Config = retstack.Baseline().Describe()
+	man.ComputeHash()
+	ws := spec.Workloads
+	if len(ws) == 0 {
+		ws = workloads.SPECNames()
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	c := &campaign{
+		ID:         fmt.Sprintf("c%d", s.nextID),
+		Spec:       spec,
+		ConfigHash: man.ConfigHash,
+		Scope:      resultstore.Scope(man.Config, spec.Insts, spec.Warmup, ws),
+		Submitted:  time.Now().UTC(),
+		status:     "queued",
+		notify:     make(chan struct{}),
+		tables:     make(map[string]string),
+	}
+	s.campaigns[c.ID] = c
+	s.order = append(s.order, c.ID)
+	s.mu.Unlock()
+
+	go s.run(c)
+	writeJSON(w, http.StatusAccepted, c.view())
+}
+
+// run executes one campaign: queue on the active-campaign semaphore, then
+// sweep each experiment with the shared store spliced in.
+func (s *server) run(c *campaign) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-s.ctx.Done():
+		s.finish(c, "failed", "server shutting down")
+		return
+	}
+	defer func() { <-s.sem }()
+
+	start := time.Now()
+	c.mu.Lock()
+	c.status = "running"
+	c.mu.Unlock()
+	c.emit("campaign_start", map[string]any{
+		"id": c.ID, "exps": c.Spec.Exps, "insts": c.Spec.Insts,
+		"workloads": c.Spec.Workloads, "config_hash": c.ConfigHash, "scope": c.Scope,
+	})
+
+	for _, id := range c.Spec.Exps {
+		expStart := time.Now()
+		p := experiments.Params{
+			InstBudget: c.Spec.Insts, Warmup: c.Spec.Warmup,
+			Workloads: c.Spec.Workloads, Parallel: s.parallel,
+			Ctx: s.ctx, Store: s.store, StoreScope: c.Scope,
+			Monitor: &campMonitor{c: c, exp: id},
+			OnStoreHit: func(exp string, cell int, shared bool) {
+				c.mu.Lock()
+				if shared {
+					c.shared++
+				} else {
+					c.hits++
+				}
+				c.mu.Unlock()
+				f := map[string]any{"exp": exp, "cell": cell, "shared": shared}
+				if prov, ok := s.store.Prov(resultstore.CellKey(c.Scope, exp, cell)); ok {
+					f["prov"] = prov
+				}
+				c.emit("cell_cached", f)
+			},
+		}
+		res, err := experiments.Run(id, p)
+		if err != nil {
+			c.emit("experiment_error", map[string]any{"exp": id, "error": err.Error()})
+			s.finish(c, "failed", err.Error())
+			return
+		}
+		c.mu.Lock()
+		c.tables[id] = res.String()
+		c.mu.Unlock()
+		c.emit("experiment_done", map[string]any{
+			"exp": id, "seconds": time.Since(expStart).Seconds(), "holes": len(res.Holes),
+		})
+		c.emit("result", map[string]any{"exp": id, "table": res.String()})
+	}
+
+	c.mu.Lock()
+	c.wall = time.Since(start).Seconds()
+	c.mu.Unlock()
+	s.finish(c, "completed", "")
+	if s.storeMaxBytes > 0 {
+		if evicted, err := s.store.Trim(s.storeMaxBytes); err == nil && evicted > 0 {
+			fmt.Fprintf(os.Stderr, "rasserve: store: evicted %d oldest segment(s) to fit %d bytes\n",
+				evicted, s.storeMaxBytes)
+		}
+	}
+}
+
+// finish marks the campaign terminal and emits the closing event. Status
+// flips and the campaign_done append happen under one lock so a streaming
+// subscriber can never observe a terminal campaign whose final event is
+// still in flight (which would end its stream one event short).
+func (s *server) finish(c *campaign, status, errMsg string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := map[string]any{
+		"event": "campaign_done", "time": time.Now().UTC().Format(time.RFC3339Nano),
+		"id": c.ID, "status": status,
+		"hits": c.hits, "shared": c.shared, "executed": c.executed,
+		"wall_seconds": c.wall,
+	}
+	if errMsg != "" {
+		f["error"] = errMsg
+	}
+	raw, err := json.Marshal(f)
+	c.status, c.errMsg = status, errMsg
+	if err == nil {
+		c.events = append(c.events, raw)
+	}
+	close(c.notify)
+	c.notify = make(chan struct{})
+}
+
+func (s *server) campaign(r *http.Request) *campaign {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.campaigns[r.PathValue("id")]
+}
+
+func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	cs := make([]*campaign, 0, len(s.order))
+	for _, id := range s.order {
+		cs = append(cs, s.campaigns[id])
+	}
+	s.mu.Unlock()
+	out := make([]view, 0, len(cs))
+	for _, c := range cs {
+		out = append(out, c.view())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c := s.campaign(r)
+	if c == nil {
+		http.Error(w, "no such campaign", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.view())
+}
+
+// handleResults streams the campaign's event log: everything so far, then
+// live events as they land, until the campaign is terminal. Plain JSONL
+// by default; ?sse=1 wraps each event as an SSE frame.
+func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
+	c := s.campaign(r)
+	if c == nil {
+		http.Error(w, "no such campaign", http.StatusNotFound)
+		return
+	}
+	sse := r.URL.Query().Get("sse") != ""
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	flusher, _ := w.(http.Flusher)
+	i := 0
+	for {
+		evs, done, notify := c.next(i)
+		for _, ev := range evs {
+			if sse {
+				fmt.Fprintf(w, "data: %s\n\n", ev)
+			} else {
+				fmt.Fprintf(w, "%s\n", ev)
+			}
+		}
+		i += len(evs)
+		if len(evs) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+func (s *server) handleTables(w http.ResponseWriter, r *http.Request) {
+	c := s.campaign(r)
+	if c == nil {
+		http.Error(w, "no such campaign", http.StatusNotFound)
+		return
+	}
+	c.mu.Lock()
+	status := c.status
+	tables := make(map[string]string, len(c.tables))
+	for k, v := range c.tables {
+		tables[k] = v
+	}
+	c.mu.Unlock()
+	if status != "completed" {
+		http.Error(w, "campaign is "+status+"; tables render on completion", http.StatusConflict)
+		return
+	}
+	ids := make([]string, 0, len(tables))
+	for id := range tables {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, id := range ids {
+		fmt.Fprint(w, tables[id])
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"retstack/internal/faultinject"
 	"retstack/internal/pipeline"
 	"retstack/internal/program"
+	"retstack/internal/resultstore"
 	"retstack/internal/stats"
 	"retstack/internal/sweep"
 	"retstack/internal/workloads"
@@ -99,6 +100,26 @@ type Params struct {
 	CellTimeout time.Duration
 	// Inject is the parsed -inject fault plan (nil injects nothing).
 	Inject *faultinject.Plan
+	// Store, when non-nil, is the content-addressed result cache (the
+	// rasbench -store flag, rasserve's backing store): before a cell
+	// simulates, the store is probed under CellKey(StoreScope, exp, cell)
+	// and a hit is spliced in like a journal replay — no execution, no
+	// monitor callbacks. Misses simulate inside the store's singleflight
+	// (concurrent identical cells collapse into one simulation) and the
+	// result is appended crash-safely before the cell counts as done.
+	// Results are byte-identical with the store on, off, cold, or warm
+	// (pinned by TestStoreMatchesUncached); fault injection is refused
+	// because injected cells produce results a clean run must never see.
+	Store *resultstore.Store
+	// StoreScope is the content hash of the cell universe
+	// (resultstore.Scope over config/budget/warmup/workloads). Required
+	// when Store is set.
+	StoreScope string
+	// OnStoreHit, if non-nil, observes each cell served from the store
+	// (shared=false: resident record; shared=true: another in-flight
+	// identical cell's computation) instead of simulated. Called from
+	// sweep setup and worker goroutines; must be concurrency-safe.
+	OnStoreHit func(exp string, cell int, shared bool)
 	// Journal, when non-nil, records every completed cell crash-safely
 	// under scope JournalScope+"/"+<experiment id> before the cell counts
 	// as done. Replay holds journaled cells from a previous run to splice
@@ -294,7 +315,13 @@ type workloadProfile struct {
 //     attempt, so panics/hangs/transients hit exactly the chosen cells;
 //   - failure policy: retry with backoff, or skip — recording the failure
 //     as an explicit hole on the Result.
+//   - caching: with p.Store set, cells resident in the content-addressed
+//     store splice in exactly like replayed cells, and misses simulate
+//     under the store's singleflight before being persisted.
 func runCells(p Params, n int, body func(ctx context.Context, worker, i int) (cellOut, error)) ([]cellOut, error) {
+	if p.Store != nil && p.Inject != nil {
+		return nil, fmt.Errorf("%s: the result store cannot be combined with fault injection: injected cells would poison the cache", p.expID)
+	}
 	scope := p.scope()
 	replayed := p.Replay.Scope(scope)
 	spliced := make(map[int]cellOut, len(replayed))
@@ -307,6 +334,34 @@ func runCells(p Params, n int, body func(ctx context.Context, worker, i int) (ce
 			return nil, fmt.Errorf("resume %s cell %d: %w", scope, i, err)
 		}
 		spliced[i] = c
+	}
+	// Lookup-before-simulate: probe the store for every cell the journal
+	// didn't already splice. Hits splice in the same way — no execution,
+	// no monitor callbacks — which is what lets a warm rerun assert zero
+	// simulations. An undecodable payload (schema drift across versions)
+	// degrades to a miss; the re-simulated result re-Puts and heals the
+	// store, since the latest record for a key wins.
+	var keys []string
+	if p.Store != nil {
+		keys = make([]string, n)
+		for i := 0; i < n; i++ {
+			keys[i] = resultstore.CellKey(p.StoreScope, p.expID, i)
+			if _, ok := spliced[i]; ok {
+				continue
+			}
+			raw, _, ok := p.Store.Get(keys[i])
+			if !ok {
+				continue
+			}
+			var c cellOut
+			if err := json.Unmarshal(raw, &c); err != nil {
+				continue
+			}
+			spliced[i] = c
+			if p.OnStoreHit != nil {
+				p.OnStoreHit(p.expID, i, false)
+			}
+		}
 	}
 	pol := sweep.Policy{
 		OnError:     p.OnCellError,
@@ -325,7 +380,10 @@ func runCells(p Params, n int, body func(ctx context.Context, worker, i int) (ce
 			if err := p.Inject.Harness(ctx, p.expID, i); err != nil {
 				return cellOut{}, err
 			}
-			return body(ctx, worker, i)
+			if p.Store == nil {
+				return body(ctx, worker, i)
+			}
+			return p.storeCell(keys[i], i, func() (cellOut, error) { return body(ctx, worker, i) })
 		})
 	if err != nil {
 		return nil, err
@@ -340,6 +398,39 @@ func runCells(p Params, n int, body func(ctx context.Context, worker, i int) (ce
 		}
 	}
 	return out, nil
+}
+
+// storeCell runs one missing cell under the store's singleflight: the
+// first caller for a key simulates and persists; concurrent callers for
+// the same key (identical cells across overlapping campaigns) block and
+// share that result instead of re-simulating. The leader returns its
+// in-memory cellOut directly — never a decode of the stored bytes — so a
+// cold cached run executes exactly the path an uncached run does.
+func (p Params) storeCell(key string, cell int, body func() (cellOut, error)) (cellOut, error) {
+	var computed cellOut
+	raw, _, outcome, err := p.Store.Do(key, func() ([]byte, resultstore.Provenance, error) {
+		var err error
+		computed, err = body()
+		if err != nil {
+			return nil, resultstore.Provenance{}, err
+		}
+		rawb, err := json.Marshal(computed)
+		return rawb, resultstore.Provenance{Scope: p.StoreScope, Exp: p.expID, Cell: cell}, err
+	})
+	if err != nil {
+		return cellOut{}, err
+	}
+	if outcome == resultstore.Computed {
+		return computed, nil
+	}
+	var c cellOut
+	if err := json.Unmarshal(raw, &c); err != nil {
+		return cellOut{}, fmt.Errorf("store %s cell %d: %w", p.expID, cell, err)
+	}
+	if p.OnStoreHit != nil {
+		p.OnStoreHit(p.expID, cell, outcome == resultstore.SharedFlight)
+	}
+	return c, nil
 }
 
 // runSims executes one simulation per cell across p.workers() workers and

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"retstack/internal/resultstore"
+)
+
+// storeParams mirrors resilParams: t3 over two workloads is 8 cells.
+func storeParams(st *resultstore.Store, scope string) Params {
+	p := Params{InstBudget: 15_000, Workloads: []string{"go", "li"}, Parallel: 2}
+	p.Store, p.StoreScope = st, scope
+	return p
+}
+
+func openStore(t *testing.T, dir string) *resultstore.Store {
+	t.Helper()
+	st, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// countingMonitor counts engine cell starts: a cell that splices from the
+// store never enters the sweep engine, so a fully-warm run must report
+// zero starts — the "zero simulations" half of the cache-smoke contract.
+type countingMonitor struct {
+	mu     sync.Mutex
+	starts int
+}
+
+func (m *countingMonitor) CellStart(cell, worker int) {
+	m.mu.Lock()
+	m.starts++
+	m.mu.Unlock()
+}
+func (m *countingMonitor) CellDone(cell, worker int, d time.Duration, err error) {}
+
+// TestStoreMatchesUncached is the byte-identity pin for the result store,
+// the same contract the -no-blocks/-no-predecode A/B flags carry: an
+// uncached run, a cold cached run, and a warm run against a reopened
+// store must render identical tables.
+func TestStoreMatchesUncached(t *testing.T) {
+	uncached, err := Run("t3", storeParams(nil, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	cold := openStore(t, dir)
+	res, err := Run("t3", storeParams(cold, "scopeA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() != uncached.String() {
+		t.Errorf("cold cached run differs from uncached:\n--- uncached ---\n%s--- cold ---\n%s", uncached, res)
+	}
+	if s := cold.Stats(); s.Hits != 0 || s.Misses != 8 || s.Puts != 8 {
+		t.Errorf("cold stats = %+v, want 0 hits, 8 misses, 8 puts", s)
+	}
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := openStore(t, dir)
+	mon := &countingMonitor{}
+	p := storeParams(warm, "scopeA")
+	p.Monitor = mon
+	res, err = Run("t3", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() != uncached.String() {
+		t.Errorf("warm cached run differs from uncached:\n--- uncached ---\n%s--- warm ---\n%s", uncached, res)
+	}
+	if s := warm.Stats(); s.Hits != 8 || s.Misses != 0 || s.Puts != 0 {
+		t.Errorf("warm stats = %+v, want 8 hits, 0 misses, 0 puts", s)
+	}
+	if mon.starts != 0 {
+		t.Errorf("warm run started %d cells in the engine, want 0 (all spliced)", mon.starts)
+	}
+}
+
+// TestStoreScopeSeparatesParams: the store key folds in the caller's
+// scope hash, so a warm store probed under a different scope (different
+// result-determining parameters) must miss everything and re-simulate.
+func TestStoreScopeSeparatesParams(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	if _, err := Run("t3", storeParams(st, "scopeA")); err != nil {
+		t.Fatal(err)
+	}
+	before := st.Stats()
+	if _, err := Run("t3", storeParams(st, "scopeB")); err != nil {
+		t.Fatal(err)
+	}
+	after := st.Stats()
+	if hits := after.Hits - before.Hits; hits != 0 {
+		t.Errorf("run under a new scope hit %d cached cells, want 0", hits)
+	}
+	if miss := after.Misses - before.Misses; miss != 8 {
+		t.Errorf("run under a new scope missed %d cells, want 8", miss)
+	}
+}
+
+// TestOnStoreHitCallback: every warm-splice surfaces through OnStoreHit
+// exactly once, with shared=false (no concurrent flight to join).
+func TestOnStoreHitCallback(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	if _, err := Run("t3", storeParams(st, "s")); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	hits := map[int]bool{}
+	p := storeParams(st, "s")
+	p.OnStoreHit = func(exp string, cell int, shared bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if exp != "t3" {
+			t.Errorf("hit reported for experiment %q, want t3", exp)
+		}
+		if shared {
+			t.Errorf("cell %d reported shared=true on a sequential warm run", cell)
+		}
+		if hits[cell] {
+			t.Errorf("cell %d reported twice", cell)
+		}
+		hits[cell] = true
+	}
+	if _, err := Run("t3", p); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 8 {
+		t.Errorf("OnStoreHit fired for %d cells, want 8", len(hits))
+	}
+}
+
+// TestStoreRefusesFaultInjection: injected cells produce corrupted
+// results a clean run must never read back, so combining -store with
+// -inject is an error, not a footgun.
+func TestStoreRefusesFaultInjection(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	p := storeParams(st, "s")
+	p.Inject = mustPlan(t, "panic:0x1", 0)
+	if _, err := Run("t3", p); err == nil {
+		t.Fatal("Run with Store+Inject succeeded, want refusal")
+	}
+}
+
+// TestConcurrentRunsShareFlights is the singleflight collapse proof at
+// the experiments layer (run under -race in CI): four identical sweeps
+// racing on one cold store must persist each cell exactly once — every
+// other caller either joins the in-flight simulation or hits the record
+// it left behind — and all four must render identical tables.
+func TestConcurrentRunsShareFlights(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	const racers = 4
+	results := make([]*Result, racers)
+	errs := make([]error, racers)
+	var wg sync.WaitGroup
+	for r := 0; r < racers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r], errs[r] = Run("t3", storeParams(st, "race"))
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("racer %d: %v", r, err)
+		}
+	}
+	for r := 1; r < racers; r++ {
+		if results[r].String() != results[0].String() {
+			t.Errorf("racer %d output differs from racer 0", r)
+		}
+	}
+	s := st.Stats()
+	if s.Puts != 8 {
+		t.Errorf("%d cells persisted across %d concurrent runs, want 8 (one simulation per cell)", s.Puts, racers)
+	}
+	if got := s.Hits + s.Shared; got != (racers-1)*8 {
+		t.Errorf("hits+shared = %d, want %d: every non-leader must hit or join a flight", got, (racers-1)*8)
+	}
+}

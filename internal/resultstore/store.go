@@ -1,0 +1,538 @@
+// Package resultstore is the content-addressed cell-result cache behind
+// warm sweep reruns: a sweep cell whose result-determining parameters hash
+// to a key already in the store is answered from disk instead of
+// simulated. Keys are sha256 content hashes (see Scope and CellKey), so
+// two runs — or two users — asking for the same (configuration, budget,
+// workload set, experiment, cell) tuple share one simulation.
+//
+// The on-disk layout extends the crash-safe journal format from the sweep
+// package: a store directory holds append-only segment files
+// (seg-000001.log, seg-000002.log, …) of JSONL records, each record
+// carrying its payload's CRC32 and a provenance stamp (tool, time, scope).
+// Records are fsynced before Put returns. A process killed mid-append
+// leaves at worst one truncated trailing line, which Open recovers from by
+// keeping the valid prefix — and, for the active segment, truncating the
+// torn tail so later appends stay parsable. Duplicate keys keep the
+// latest record, so a corrupt or schema-drifted entry is healed by simply
+// storing the cell again.
+//
+// Segments rotate at a size threshold and are immutable once rotated.
+// Eviction is segment-granular: Trim drops whole oldest segments until
+// the store fits a byte budget (the active segment is always kept), which
+// is safe because every record is self-contained — a dropped key is
+// re-simulated and re-appended on next use.
+//
+// Do layers in-process singleflight on top: N concurrent callers of the
+// same missing key collapse into one computation, with the other N-1
+// sharing the leader's result. That is what keeps a server re-running
+// hundreds of near-identical campaign cells from simulating any of them
+// twice.
+package resultstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultMaxSegmentBytes is the rotation threshold for the active segment.
+const DefaultMaxSegmentBytes = 4 << 20
+
+const (
+	segPrefix = "seg-"
+	segSuffix = ".log"
+)
+
+// Provenance stamps where a stored result came from. It rides on the
+// record (and back out of Get), never inside the payload, so payload bytes
+// stay a pure function of the key.
+type Provenance struct {
+	// Tool is the producing command ("rasbench", "rasserve").
+	Tool string `json:"tool,omitempty"`
+	// Time is the RFC3339 instant the record was appended.
+	Time string `json:"time,omitempty"`
+	// Scope is the content hash of the cell universe (see Scope).
+	Scope string `json:"scope,omitempty"`
+	// Exp and Cell locate the result inside its experiment sweep.
+	Exp  string `json:"exp,omitempty"`
+	Cell int    `json:"cell,omitempty"`
+}
+
+// record is one JSONL segment line.
+type record struct {
+	Key     string          `json:"key"`
+	CRC     uint32          `json:"crc"`
+	Prov    *Provenance     `json:"prov,omitempty"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// entry is one key's in-memory index slot.
+type entry struct {
+	payload []byte
+	prov    Provenance
+}
+
+// Stats is a snapshot of the store's operation counters.
+type Stats struct {
+	// Hits and Misses count Get lookups by outcome; Puts counts appended
+	// records. Shared counts Do callers that joined another caller's
+	// in-flight computation instead of running their own.
+	Hits   uint64
+	Misses uint64
+	Puts   uint64
+	Shared uint64
+	// Recovered counts records loaded at Open; DroppedBytes is how much
+	// trailing corruption Open discarded across segments.
+	Recovered    uint64
+	DroppedBytes uint64
+}
+
+// Observer receives operation callbacks for telemetry. All fields are
+// optional; callbacks fire outside the store lock and must be safe for
+// concurrent use. Observation is strictly passive — it cannot affect what
+// the store returns.
+type Observer struct {
+	// OnGet fires per lookup with the outcome and wall-clock seconds.
+	OnGet func(hit bool, seconds float64)
+	// OnPut fires per appended record with wall-clock seconds (including
+	// the fsync).
+	OnPut func(seconds float64)
+	// OnShared fires when a Do caller shares an in-flight computation.
+	OnShared func()
+}
+
+// flight is one in-progress Do computation other callers can join.
+type flight struct {
+	done    chan struct{}
+	payload []byte
+	prov    Provenance
+	err     error
+}
+
+// Store is an open result store. Safe for concurrent use.
+type Store struct {
+	dir     string
+	tool    string
+	maxSeg  int64
+	obs     Observer
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	puts    atomic.Uint64
+	shared  atomic.Uint64
+	recov   uint64
+	dropped uint64
+
+	mu      sync.Mutex
+	f       *os.File // active segment
+	seg     int      // active segment number
+	size    int64    // active segment bytes
+	index   map[string]entry
+	flights map[string]*flight
+	closed  bool
+}
+
+// Open opens (creating if needed) the store rooted at dir, loading every
+// segment's valid prefix into the in-memory index. A torn tail on the
+// active segment is truncated away so subsequent appends remain parsable;
+// torn tails on rotated segments just drop the affected records (they
+// re-fill on next use).
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	s := &Store{
+		dir:     dir,
+		tool:    "resultstore",
+		maxSeg:  DefaultMaxSegmentBytes,
+		index:   map[string]entry{},
+		flights: map[string]*flight{},
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, seg := range segs {
+		data, err := os.ReadFile(filepath.Join(dir, segName(seg)))
+		if err != nil {
+			return nil, fmt.Errorf("resultstore: %w", err)
+		}
+		recs, consumed := parseSegment(data)
+		for _, r := range recs {
+			s.index[r.Key] = entry{payload: r.Payload, prov: provOf(r)}
+		}
+		s.recov += uint64(len(recs))
+		s.dropped += uint64(len(data) - consumed)
+		if i == len(segs)-1 && consumed < len(data) {
+			// Active segment with a torn tail: truncate to the valid
+			// prefix so the next append starts on a clean line.
+			if err := os.Truncate(filepath.Join(dir, segName(seg)), int64(consumed)); err != nil {
+				return nil, fmt.Errorf("resultstore: truncate torn tail: %w", err)
+			}
+		}
+	}
+	active := 1
+	if len(segs) > 0 {
+		active = segs[len(segs)-1]
+	}
+	if err := s.openSegment(active); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SetTool names the producing tool stamped into Put provenance.
+func (s *Store) SetTool(tool string) { s.tool = tool }
+
+// SetObserver attaches telemetry callbacks (see Observer).
+func (s *Store) SetObserver(obs Observer) { s.obs = obs }
+
+// SetMaxSegmentBytes overrides the rotation threshold (testing knob).
+func (s *Store) SetMaxSegmentBytes(n int64) {
+	if n > 0 {
+		s.maxSeg = n
+	}
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of distinct keys resident in the index.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Stats snapshots the operation counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Puts:         s.puts.Load(),
+		Shared:       s.shared.Load(),
+		Recovered:    s.recov,
+		DroppedBytes: s.dropped,
+	}
+}
+
+// Get returns the payload and provenance stored under key.
+func (s *Store) Get(key string) ([]byte, Provenance, bool) {
+	start := time.Now()
+	s.mu.Lock()
+	e, ok := s.index[key]
+	s.mu.Unlock()
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	if s.obs.OnGet != nil {
+		s.obs.OnGet(ok, time.Since(start).Seconds())
+	}
+	return e.payload, e.prov, ok
+}
+
+// Prov returns the provenance stamp stored under key without counting a
+// lookup — for observers (rasserve's cell_cached events) that annotate a
+// hit the sweep already counted.
+func (s *Store) Prov(key string) (Provenance, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.index[key]
+	return e.prov, ok
+}
+
+// Put appends one record under key and fsyncs it. The store fills the
+// provenance stamp's Tool and Time; the caller supplies the rest. A
+// re-Put of an existing key appends a fresh record and the index keeps
+// the newest — that is also the self-healing path for schema drift.
+func (s *Store) Put(key string, payload []byte, prov Provenance) error {
+	start := time.Now()
+	if key == "" {
+		return fmt.Errorf("resultstore: empty key")
+	}
+	if prov.Tool == "" {
+		prov.Tool = s.tool
+	}
+	if prov.Time == "" {
+		prov.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	rec := record{Key: key, CRC: crc32.ChecksumIEEE(payload), Prov: &prov, Payload: payload}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	line = append(line, '\n')
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("resultstore: store closed")
+	}
+	if s.size > 0 && s.size+int64(len(line)) > s.maxSeg {
+		if err := s.openSegment(s.seg + 1); err != nil {
+			return err
+		}
+	}
+	if _, err := s.f.Write(line); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	s.size += int64(len(line))
+	// The index owns its payload bytes: callers may reuse theirs.
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	s.index[key] = entry{payload: cp, prov: prov}
+	s.puts.Add(1)
+	if s.obs.OnPut != nil {
+		s.obs.OnPut(time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// Outcome classifies how Do resolved a key.
+type Outcome uint8
+
+const (
+	// Computed: this caller led the computation and stored the result.
+	Computed Outcome = iota
+	// Hit: the key was already resident.
+	Hit
+	// SharedFlight: another caller was already computing the key; this
+	// caller waited and shares that result.
+	SharedFlight
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case SharedFlight:
+		return "shared"
+	default:
+		return "computed"
+	}
+}
+
+// Do resolves key: from the index if resident, from another caller's
+// in-flight computation if one is running, else by invoking compute and
+// storing its result. Exactly one compute runs per key at a time — N
+// concurrent callers of the same missing key produce one computation.
+// A failed compute stores nothing and every waiter sees the error.
+//
+// Do assumes the caller already observed (and counted) a Get miss, so it
+// does not count another; a key that became resident in the meantime
+// counts as a hit.
+func (s *Store) Do(key string, compute func() ([]byte, Provenance, error)) ([]byte, Provenance, Outcome, error) {
+	s.mu.Lock()
+	if e, ok := s.index[key]; ok {
+		s.mu.Unlock()
+		s.hits.Add(1)
+		if s.obs.OnGet != nil {
+			s.obs.OnGet(true, 0)
+		}
+		return e.payload, e.prov, Hit, nil
+	}
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		s.shared.Add(1)
+		if s.obs.OnShared != nil {
+			s.obs.OnShared()
+		}
+		return f.payload, f.prov, SharedFlight, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+
+	f.payload, f.prov, f.err = compute()
+	if f.err == nil {
+		if err := s.Put(key, f.payload, f.prov); err != nil {
+			f.err = err
+		}
+	}
+	s.mu.Lock()
+	delete(s.flights, key)
+	s.mu.Unlock()
+	close(f.done)
+	return f.payload, f.prov, Computed, f.err
+}
+
+// Trim evicts oldest rotated segments until the store's total size fits
+// maxBytes, rebuilding the index from the survivors. The active segment is
+// never removed. Returns the number of segments deleted.
+func (s *Store) Trim(maxBytes int64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	segs, err := listSegments(s.dir)
+	if err != nil {
+		return 0, err
+	}
+	sizes := make([]int64, len(segs))
+	var total int64
+	for i, seg := range segs {
+		fi, err := os.Stat(filepath.Join(s.dir, segName(seg)))
+		if err != nil {
+			return 0, fmt.Errorf("resultstore: %w", err)
+		}
+		sizes[i] = fi.Size()
+		total += fi.Size()
+	}
+	removed := 0
+	for i := 0; i < len(segs)-1 && total > maxBytes; i++ {
+		if err := os.Remove(filepath.Join(s.dir, segName(segs[i]))); err != nil {
+			return removed, fmt.Errorf("resultstore: %w", err)
+		}
+		total -= sizes[i]
+		removed++
+	}
+	if removed == 0 {
+		return 0, nil
+	}
+	// Rebuild the index from the surviving segments: keys whose only
+	// record lived in an evicted segment disappear (and re-fill on use).
+	s.index = map[string]entry{}
+	for _, seg := range segs[removed:] {
+		data, err := os.ReadFile(filepath.Join(s.dir, segName(seg)))
+		if err != nil {
+			return removed, fmt.Errorf("resultstore: %w", err)
+		}
+		recs, _ := parseSegment(data)
+		for _, r := range recs {
+			s.index[r.Key] = entry{payload: r.Payload, prov: provOf(r)}
+		}
+	}
+	return removed, nil
+}
+
+// Close closes the active segment. Further Puts fail; Gets keep serving
+// the in-memory index.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.f.Close()
+}
+
+// openSegment makes seg the active segment, opened for append. Caller
+// holds mu (or is Open, pre-publication).
+func (s *Store) openSegment(seg int) error {
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if s.f != nil {
+		s.f.Close()
+	}
+	s.f, s.seg, s.size = f, seg, fi.Size()
+	return nil
+}
+
+func segName(seg int) string { return fmt.Sprintf("%s%06d%s", segPrefix, seg, segSuffix) }
+
+// listSegments returns the store's segment numbers in ascending order.
+func listSegments(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	var segs []int
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix))
+		if err != nil || n <= 0 {
+			continue
+		}
+		segs = append(segs, n)
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// parseSegment parses one segment's bytes, tolerating a truncated or
+// corrupt tail: parsing stops at the first malformed line — no trailing
+// newline, invalid JSON, a non-record object, or a CRC mismatch — and the
+// valid prefix is kept. The second result is that prefix's length in
+// bytes. (This is the journal format's recovery contract, extended with
+// the per-record checksum.)
+func parseSegment(data []byte) ([]record, int) {
+	var recs []record
+	consumed := 0
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break // a crash truncated this line
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		if len(bytes.TrimSpace(line)) == 0 {
+			consumed += nl + 1
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break
+		}
+		if rec.Key == "" || rec.Payload == nil || crc32.ChecksumIEEE(rec.Payload) != rec.CRC {
+			break
+		}
+		recs = append(recs, rec)
+		consumed += nl + 1
+	}
+	return recs, consumed
+}
+
+func provOf(r record) Provenance {
+	if r.Prov == nil {
+		return Provenance{}
+	}
+	return *r.Prov
+}
+
+// Scope derives the content hash identifying a cell universe: the
+// result-determining run parameters shared by every cell — the resolved
+// machine configuration, instruction budget, warmup, and workload set.
+// Deliberately excluded: the experiment selection (so `-exp t3` and
+// `-exp all` runs share cells — the experiment id is part of CellKey
+// instead) and the observational/A-B knobs (parallelism, telemetry,
+// -no-predecode and friends), which are pinned byte-identical elsewhere.
+func Scope(config string, instBudget, warmup uint64, workloads []string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "config:%s\ninsts:%d\nwarmup:%d\nworkloads:%s\n",
+		config, instBudget, warmup, strings.Join(workloads, ","))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CellKey is the content address of one sweep cell: the scope hash plus
+// the experiment id and the cell's index within that experiment's
+// deterministic cell enumeration.
+func CellKey(scope, exp string, cell int) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%d", scope, exp, cell)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,352 @@
+package resultstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	key := CellKey("scope", "t3", 7)
+	payload := []byte(`{"stats":{"Cycles":1200,"Committed":1000}}`)
+	if _, _, ok := s.Get(key); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	if err := s.Put(key, payload, Provenance{Scope: "scope", Exp: "t3", Cell: 7}); err != nil {
+		t.Fatal(err)
+	}
+	got, prov, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want stored payload", got, ok)
+	}
+	if prov.Exp != "t3" || prov.Cell != 7 || prov.Time == "" || prov.Tool == "" {
+		t.Fatalf("provenance not stamped: %+v", prov)
+	}
+
+	// A fresh Open must see the same record, provenance included.
+	s2 := mustOpen(t, dir)
+	got, prov, ok = s2.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("reopened Get = %q, %v; want stored payload", got, ok)
+	}
+	if prov.Exp != "t3" || prov.Cell != 7 {
+		t.Fatalf("reopened provenance lost: %+v", prov)
+	}
+	st := s2.Stats()
+	if st.Recovered != 1 {
+		t.Fatalf("Recovered = %d, want 1", st.Recovered)
+	}
+	if st.Hits != 1 || s.Stats().Misses != 1 || s.Stats().Puts != 1 {
+		t.Fatalf("stats off: reopened=%+v original=%+v", st, s.Stats())
+	}
+}
+
+func TestLatestRecordWins(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	key := CellKey("scope", "t3", 0)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(key, []byte(fmt.Sprintf(`{"v":%d}`, i)), Provenance{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, st := range []*Store{s, mustOpen(t, dir)} {
+		got, _, ok := st.Get(key)
+		if !ok || string(got) != `{"v":2}` {
+			t.Fatalf("Get = %q, %v; want latest record", got, ok)
+		}
+	}
+}
+
+func TestTornTailRecoveredAndTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	k0, k1 := CellKey("s", "t3", 0), CellKey("s", "t3", 1)
+	if err := s.Put(k0, []byte(`{"v":0}`), Provenance{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k1, []byte(`{"v":1}`), Provenance{}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Simulate a crash mid-append: append half a record, no newline.
+	seg := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"deadbeef","crc":123,"payload":{"v"`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := mustOpen(t, dir)
+	if _, _, ok := s2.Get(k0); !ok {
+		t.Fatal("cell 0 lost to a torn tail")
+	}
+	if _, _, ok := s2.Get(k1); !ok {
+		t.Fatal("cell 1 lost to a torn tail")
+	}
+	if st := s2.Stats(); st.Recovered != 2 || st.DroppedBytes == 0 {
+		t.Fatalf("stats = %+v, want 2 recovered and dropped bytes", st)
+	}
+	// The torn tail must have been truncated away so a post-recovery Put
+	// lands on a clean line and survives the next Open.
+	k2 := CellKey("s", "t3", 2)
+	if err := s2.Put(k2, []byte(`{"v":2}`), Provenance{}); err != nil {
+		t.Fatal(err)
+	}
+	s3 := mustOpen(t, dir)
+	for _, k := range []string{k0, k1, k2} {
+		if _, _, ok := s3.Get(k); !ok {
+			t.Fatalf("key %s lost after torn-tail recovery + append", k[:8])
+		}
+	}
+}
+
+func TestCorruptRecordStopsAtPrefix(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	k0, k1 := CellKey("s", "t3", 0), CellKey("s", "t3", 1)
+	if err := s.Put(k0, []byte(`{"v":0}`), Provenance{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k1, []byte(`{"v":1}`), Provenance{}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Flip a payload byte inside the second record: its CRC no longer
+	// matches, so recovery must keep only the first record.
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	corrupt := bytes.Replace(lines[1], []byte(`{"v":1}`), []byte(`{"v":9}`), 1)
+	if bytes.Equal(corrupt, lines[1]) {
+		t.Fatal("test setup: payload not found in record line")
+	}
+	if err := os.WriteFile(seg, append(append([]byte{}, lines[0]...), corrupt...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir)
+	if _, _, ok := s2.Get(k0); !ok {
+		t.Fatal("valid prefix record lost")
+	}
+	if _, _, ok := s2.Get(k1); ok {
+		t.Fatal("CRC-corrupt record served as a hit")
+	}
+}
+
+func TestSegmentRotationAndTrim(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	s.SetMaxSegmentBytes(256)
+	payload := []byte(`{"pad":"` + strings.Repeat("x", 100) + `"}`)
+	const n = 12
+	for i := 0; i < n; i++ {
+		if err := s.Put(CellKey("s", "t3", i), payload, Provenance{Cell: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %v", segs)
+	}
+
+	removed, err := s.Trim(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("Trim removed nothing")
+	}
+	// Early keys are evicted with their segments; the newest survive.
+	if _, _, ok := s.Get(CellKey("s", "t3", 0)); ok {
+		t.Fatal("oldest key survived Trim")
+	}
+	if _, _, ok := s.Get(CellKey("s", "t3", n-1)); !ok {
+		t.Fatal("newest key evicted by Trim")
+	}
+	// Evicted keys re-fill transparently.
+	if err := s.Put(CellKey("s", "t3", 0), payload, Provenance{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Get(CellKey("s", "t3", 0)); !ok {
+		t.Fatal("re-filled key missing")
+	}
+}
+
+// TestDoSingleflight proves N concurrent Do calls for one missing key
+// collapse into a single computation (run under -race in CI).
+func TestDoSingleflight(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	key := CellKey("s", "t3", 0)
+	const n = 16
+	var computes atomic.Int64
+	var release sync.WaitGroup
+	release.Add(1)
+	outcomes := make([]Outcome, n)
+	payloads := make([][]byte, n)
+	var wg sync.WaitGroup
+	started := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			payload, _, outcome, err := s.Do(key, func() ([]byte, Provenance, error) {
+				computes.Add(1)
+				release.Wait() // hold the flight open until every caller is in
+				return []byte(`{"v":42}`), Provenance{}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			outcomes[i], payloads[i] = outcome, payload
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	release.Done()
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	leaders, sharers, hits := 0, 0, 0
+	for i, o := range outcomes {
+		if string(payloads[i]) != `{"v":42}` {
+			t.Fatalf("caller %d payload = %q", i, payloads[i])
+		}
+		switch o {
+		case Computed:
+			leaders++
+		case SharedFlight:
+			sharers++
+		case Hit:
+			hits++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders, want exactly 1 (sharers=%d hits=%d)", leaders, sharers, hits)
+	}
+	// Callers that raced in before the leader registered resolve as Hit
+	// after the Put; everyone else shared the flight.
+	if st := s.Stats(); st.Shared != uint64(sharers) {
+		t.Fatalf("Stats.Shared = %d, want %d", st.Shared, sharers)
+	}
+
+	// The key is now resident: another Do is a pure hit.
+	_, _, outcome, err := s.Do(key, func() ([]byte, Provenance, error) {
+		t.Fatal("compute ran for a resident key")
+		return nil, Provenance{}, nil
+	})
+	if err != nil || outcome != Hit {
+		t.Fatalf("Do on resident key = %v, %v; want Hit", outcome, err)
+	}
+}
+
+func TestDoComputeErrorStoresNothing(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	key := CellKey("s", "t3", 0)
+	wantErr := fmt.Errorf("boom")
+	if _, _, _, err := s.Do(key, func() ([]byte, Provenance, error) {
+		return nil, Provenance{}, wantErr
+	}); err != wantErr {
+		t.Fatalf("Do error = %v, want %v", err, wantErr)
+	}
+	if _, _, ok := s.Get(key); ok {
+		t.Fatal("failed compute left a record behind")
+	}
+	// The key stays computable after a failure.
+	if _, _, outcome, err := s.Do(key, func() ([]byte, Provenance, error) {
+		return []byte(`{"v":1}`), Provenance{}, nil
+	}); err != nil || outcome != Computed {
+		t.Fatalf("retry after failed compute = %v, %v", outcome, err)
+	}
+}
+
+func TestObserverCallbacks(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	var gets, hits, puts atomic.Int64
+	s.SetObserver(Observer{
+		OnGet: func(hit bool, seconds float64) {
+			gets.Add(1)
+			if hit {
+				hits.Add(1)
+			}
+			if seconds < 0 {
+				t.Error("negative get latency")
+			}
+		},
+		OnPut: func(seconds float64) { puts.Add(1) },
+	})
+	key := CellKey("s", "t3", 0)
+	s.Get(key)
+	if err := s.Put(key, []byte(`{}`), Provenance{}); err != nil {
+		t.Fatal(err)
+	}
+	s.Get(key)
+	if gets.Load() != 2 || hits.Load() != 1 || puts.Load() != 1 {
+		t.Fatalf("observer saw gets=%d hits=%d puts=%d", gets.Load(), hits.Load(), puts.Load())
+	}
+}
+
+func TestScopeAndCellKeyAreStable(t *testing.T) {
+	a := Scope("cfg", 60000, 0, []string{"go", "li"})
+	b := Scope("cfg", 60000, 0, []string{"go", "li"})
+	if a != b || len(a) != 64 {
+		t.Fatalf("Scope unstable or not sha256 hex: %q vs %q", a, b)
+	}
+	if Scope("cfg", 60000, 0, []string{"go"}) == a {
+		t.Fatal("workload set not part of the scope")
+	}
+	if Scope("cfg", 50000, 0, []string{"go", "li"}) == a {
+		t.Fatal("instruction budget not part of the scope")
+	}
+	if CellKey(a, "t3", 1) == CellKey(a, "t3", 2) || CellKey(a, "t3", 1) == CellKey(a, "t4", 1) {
+		t.Fatal("cell keys collide across cells or experiments")
+	}
+}
+
+func TestPayloadIsolation(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	key := CellKey("s", "t3", 0)
+	buf := []byte(`{"v":1}`)
+	if err := s.Put(key, buf, Provenance{}); err != nil {
+		t.Fatal(err)
+	}
+	buf[5] = '9' // caller reuses its buffer
+	got, _, _ := s.Get(key)
+	var v struct{ V int }
+	if err := json.Unmarshal(got, &v); err != nil || v.V != 1 {
+		t.Fatalf("stored payload aliased the caller's buffer: %q", got)
+	}
+}

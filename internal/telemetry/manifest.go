@@ -58,6 +58,12 @@ type Manifest struct {
 	// so like Status it lives outside ConfigHash.
 	Trace *TraceRecord `json:"trace,omitempty"`
 
+	// Store records result-store provenance when -store backed this run:
+	// where the cache lives, the scope hash its keys were derived under,
+	// and the hit/miss/put/shared counts. Cached splices are byte-identical
+	// to simulation, so like Resume it lives outside ConfigHash.
+	Store *StoreRecord `json:"store,omitempty"`
+
 	Experiments []ExperimentRecord `json:"experiments,omitempty"`
 }
 
@@ -81,6 +87,20 @@ type TraceRecord struct {
 	Files      []string `json:"files,omitempty"`
 	Events     uint64   `json:"events"`
 	Attributed uint64   `json:"attributed"`
+}
+
+// StoreRecord is the manifest's result-store provenance: which store
+// directory served the run, the scope hash the cell keys were derived
+// under, and how much of the run came from cache. A warm rerun shows
+// Hits == cells and Misses == 0; CI's cache-smoke job asserts exactly
+// that.
+type StoreRecord struct {
+	Dir    string `json:"dir"`
+	Scope  string `json:"scope"`
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Puts   uint64 `json:"puts"`
+	Shared uint64 `json:"shared,omitempty"`
 }
 
 // ExperimentRecord is one experiment's timing within a run.

@@ -41,6 +41,14 @@ const (
 	MetricTraceEvents        = "retstack_trace_events_total"
 	MetricTraceRepairLatency = "retstack_trace_repair_latency_cycles"
 	MetricTraceSquashDepth   = "retstack_trace_squash_depth"
+
+	// Content-addressed result store metrics (rasbench -store, rasserve).
+	MetricStoreHits       = "retstack_store_hits_total"
+	MetricStoreMisses     = "retstack_store_misses_total"
+	MetricStorePuts       = "retstack_store_puts_total"
+	MetricStoreShared     = "retstack_store_shared_total"
+	MetricStoreGetSeconds = "retstack_store_get_seconds"
+	MetricStorePutSeconds = "retstack_store_put_seconds"
 )
 
 // SweepObserver feeds sweep-cell lifecycle callbacks into a registry and
@@ -296,4 +304,66 @@ func (p *PipelineMetrics) Observe(ruuOcc, fetchqOcc, livePaths, rasDepth, checkp
 	p.blkHits.Add(newBlockHits)
 	p.blkBuilds.Add(newBlockBuilds)
 	p.blkInvals.Add(newBlockInvalidations)
+}
+
+// StoreMetrics feeds content-addressed result-store activity into a
+// registry. Construction registers every family eagerly — an all-hit warm
+// run must still expose retstack_store_misses_total = 0, so promcheck
+// -require can assert the schema regardless of traffic. The struct
+// satisfies resultstore.Observer's shape via the Observer method, keeping
+// this package dependency-free.
+type StoreMetrics struct {
+	hits   *Counter
+	misses *Counter
+	puts   *Counter
+	shared *Counter
+	gets   *Histogram
+	putsH  *Histogram
+}
+
+// NewStoreMetrics registers the retstack_store_* families on reg. A nil
+// registry yields a nil observer, which is safe to call.
+func NewStoreMetrics(reg *Registry) *StoreMetrics {
+	if reg == nil {
+		return nil
+	}
+	lat := []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}
+	return &StoreMetrics{
+		hits:   reg.Counter(MetricStoreHits, "result-store lookups answered from cache"),
+		misses: reg.Counter(MetricStoreMisses, "result-store lookups that required simulation"),
+		puts:   reg.Counter(MetricStorePuts, "cell results persisted to the store"),
+		shared: reg.Counter(MetricStoreShared, "callers that joined another caller's in-flight simulation"),
+		gets:   reg.Histogram(MetricStoreGetSeconds, "result-store lookup latency", lat),
+		putsH:  reg.Histogram(MetricStorePutSeconds, "result-store persist latency (includes fsync)", lat),
+	}
+}
+
+// ObserveGet records one lookup by outcome.
+func (m *StoreMetrics) ObserveGet(hit bool, seconds float64) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.hits.Inc()
+	} else {
+		m.misses.Inc()
+	}
+	m.gets.Observe(seconds)
+}
+
+// ObservePut records one persisted record.
+func (m *StoreMetrics) ObservePut(seconds float64) {
+	if m == nil {
+		return
+	}
+	m.puts.Inc()
+	m.putsH.Observe(seconds)
+}
+
+// ObserveShared records one caller sharing an in-flight computation.
+func (m *StoreMetrics) ObserveShared() {
+	if m == nil {
+		return
+	}
+	m.shared.Inc()
 }
