@@ -96,6 +96,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rasserve:", err)
 		os.Exit(1)
 	}
+	// The listener is drained, but campaign goroutines may still be
+	// finishing cells: wait (bounded) before closing the store so a
+	// leader's final Put lands instead of failing with "store closed" and
+	// turning a clean shutdown into a lost result. The signal already
+	// canceled ctx, so queued campaigns fail fast and running sweeps stop
+	// claiming new cells — only in-flight cells remain.
+	if !srv.drain(30 * time.Second) {
+		fmt.Fprintln(os.Stderr, "rasserve: shutdown: campaigns still running after 30s; closing store anyway")
+	}
 	if err := store.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "rasserve:", err)
 	}
@@ -126,6 +135,7 @@ type campaign struct {
 	events   []json.RawMessage
 	notify   chan struct{}
 	tables   map[string]string
+	cached   map[string]bool // "exp/cell" resolved from the store, not simulated
 	hits     uint64
 	shared   uint64
 	executed uint64
@@ -191,8 +201,13 @@ func (c *campaign) next(i int) ([]json.RawMessage, bool, <-chan struct{}) {
 }
 
 // campMonitor feeds sweep-cell lifecycle into the campaign stream. Cells
-// answered by the store never reach the engine, so CellDone counts actual
-// simulations — the "executed" number a warm resubmit drives to zero.
+// spliced in before the sweep never reach the engine, so CellDone mostly
+// counts actual simulations — the "executed" number a warm resubmit
+// drives to zero. A cell can still resolve from the store *inside* the
+// engine (it became resident mid-campaign, or a shared flight): those
+// fire both OnStoreHit and CellDone, so CellDone consults the campaign's
+// cached set (written by OnStoreHit before the cell returns) and skips
+// the executed counter for them.
 type campMonitor struct {
 	c   *campaign
 	exp string
@@ -201,10 +216,17 @@ type campMonitor struct {
 func (m *campMonitor) CellStart(cell, worker int) {}
 
 func (m *campMonitor) CellDone(cell, worker int, d time.Duration, err error) {
+	key := fmt.Sprintf("%s/%d", m.exp, cell)
 	m.c.mu.Lock()
-	m.c.executed++
+	cached := m.c.cached[key]
+	if !cached {
+		m.c.executed++
+	}
 	m.c.mu.Unlock()
 	f := map[string]any{"exp": m.exp, "cell": cell, "worker": worker, "seconds": d.Seconds()}
+	if cached {
+		f["cached"] = true
+	}
 	if err != nil {
 		f["error"] = err.Error()
 	}
@@ -218,6 +240,7 @@ type server struct {
 	parallel      int
 	sem           chan struct{}
 	storeMaxBytes int64
+	running       sync.WaitGroup // live campaign goroutines (see drain)
 
 	mu        sync.Mutex
 	campaigns map[string]*campaign
@@ -357,12 +380,17 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		status:     "queued",
 		notify:     make(chan struct{}),
 		tables:     make(map[string]string),
+		cached:     make(map[string]bool),
 	}
 	s.campaigns[c.ID] = c
 	s.order = append(s.order, c.ID)
 	s.mu.Unlock()
 
-	go s.run(c)
+	s.running.Add(1)
+	go func() {
+		defer s.running.Done()
+		s.run(c)
+	}()
 	writeJSON(w, http.StatusAccepted, c.view())
 }
 
@@ -395,6 +423,7 @@ func (s *server) run(c *campaign) {
 			Monitor: &campMonitor{c: c, exp: id},
 			OnStoreHit: func(exp string, cell int, shared bool) {
 				c.mu.Lock()
+				c.cached[fmt.Sprintf("%s/%d", exp, cell)] = true
 				if shared {
 					c.shared++
 				} else {
@@ -458,6 +487,22 @@ func (s *server) finish(c *campaign, status, errMsg string) {
 	}
 	close(c.notify)
 	c.notify = make(chan struct{})
+}
+
+// drain waits up to timeout for every campaign goroutine to finish,
+// reporting whether they all did.
+func (s *server) drain(timeout time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		s.running.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
 }
 
 func (s *server) campaign(r *http.Request) *campaign {

@@ -383,7 +383,7 @@ func runCells(p Params, n int, body func(ctx context.Context, worker, i int) (ce
 			if p.Store == nil {
 				return body(ctx, worker, i)
 			}
-			return p.storeCell(keys[i], i, func() (cellOut, error) { return body(ctx, worker, i) })
+			return p.storeCell(ctx, keys[i], i, func() (cellOut, error) { return body(ctx, worker, i) })
 		})
 	if err != nil {
 		return nil, err
@@ -406,9 +406,14 @@ func runCells(p Params, n int, body func(ctx context.Context, worker, i int) (ce
 // share that result instead of re-simulating. The leader returns its
 // in-memory cellOut directly — never a decode of the stored bytes — so a
 // cold cached run executes exactly the path an uncached run does.
-func (p Params) storeCell(key string, cell int, body func() (cellOut, error)) (cellOut, error) {
+//
+// ctx is the cell attempt's context: a waiter gives up when its own
+// watchdog fires instead of inheriting an abandoned leader's hang, and a
+// leader's cancellation makes the next caller re-simulate rather than
+// share the cancellation error (see resultstore.Do).
+func (p Params) storeCell(ctx context.Context, key string, cell int, body func() (cellOut, error)) (cellOut, error) {
 	var computed cellOut
-	raw, _, outcome, err := p.Store.Do(key, func() ([]byte, resultstore.Provenance, error) {
+	raw, _, outcome, err := p.Store.Do(ctx, key, func() ([]byte, resultstore.Provenance, error) {
 		var err error
 		computed, err = body()
 		if err != nil {

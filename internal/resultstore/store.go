@@ -24,13 +24,16 @@
 //
 // Do layers in-process singleflight on top: N concurrent callers of the
 // same missing key collapse into one computation, with the other N-1
-// sharing the leader's result. That is what keeps a server re-running
-// hundreds of near-identical campaign cells from simulating any of them
-// twice.
+// sharing the leader's result. Waiters honor their own context and never
+// inherit a leader's failure (they retry as the new leader instead) —
+// see Do. That is what keeps a server re-running hundreds of
+// near-identical campaign cells from simulating any of them twice,
+// without letting one canceled or crashed cell strand the rest.
 package resultstore
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -331,45 +334,92 @@ func (o Outcome) String() string {
 // in-flight computation if one is running, else by invoking compute and
 // storing its result. Exactly one compute runs per key at a time — N
 // concurrent callers of the same missing key produce one computation.
-// A failed compute stores nothing and every waiter sees the error.
+// A failed compute stores nothing.
+//
+// ctx bounds only the waiting, never the computing: a caller that joins
+// another caller's flight gives up with ctx.Err() when its own context
+// expires, so a hung or abandoned leader cannot strand it (compute is
+// expected to honor its own context). A leader failure — error or panic
+// — is not adopted by waiters either: each re-enters and the first
+// becomes the new leader with its own attempt, so one caller's
+// cancellation (a sweep cell watchdog firing, say) cannot poison every
+// concurrent caller of the key. The flight is unregistered and waiters
+// woken even when compute panics; the panic then resumes unwinding
+// toward the leader's own recovery machinery.
 //
 // Do assumes the caller already observed (and counted) a Get miss, so it
 // does not count another; a key that became resident in the meantime
 // counts as a hit.
-func (s *Store) Do(key string, compute func() ([]byte, Provenance, error)) ([]byte, Provenance, Outcome, error) {
-	s.mu.Lock()
-	if e, ok := s.index[key]; ok {
-		s.mu.Unlock()
-		s.hits.Add(1)
-		if s.obs.OnGet != nil {
-			s.obs.OnGet(true, 0)
+func (s *Store) Do(ctx context.Context, key string, compute func() ([]byte, Provenance, error)) ([]byte, Provenance, Outcome, error) {
+	for {
+		s.mu.Lock()
+		if e, ok := s.index[key]; ok {
+			s.mu.Unlock()
+			s.hits.Add(1)
+			if s.obs.OnGet != nil {
+				s.obs.OnGet(true, 0)
+			}
+			return e.payload, e.prov, Hit, nil
 		}
-		return e.payload, e.prov, Hit, nil
-	}
-	if f, ok := s.flights[key]; ok {
-		s.mu.Unlock()
-		<-f.done
-		s.shared.Add(1)
-		if s.obs.OnShared != nil {
-			s.obs.OnShared()
+		if f, ok := s.flights[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, Provenance{}, SharedFlight, ctx.Err()
+			}
+			if f.err != nil {
+				// The leader failed — possibly just its own cancellation.
+				// Retry (becoming the new leader) rather than adopt it.
+				if err := ctx.Err(); err != nil {
+					return nil, Provenance{}, SharedFlight, err
+				}
+				continue
+			}
+			s.shared.Add(1)
+			if s.obs.OnShared != nil {
+				s.obs.OnShared()
+			}
+			return f.payload, f.prov, SharedFlight, nil
 		}
-		return f.payload, f.prov, SharedFlight, f.err
+		f := &flight{done: make(chan struct{})}
+		s.flights[key] = f
+		s.mu.Unlock()
+		s.lead(key, f, compute)
+		return f.payload, f.prov, Computed, f.err
 	}
-	f := &flight{done: make(chan struct{})}
-	s.flights[key] = f
-	s.mu.Unlock()
+}
 
+// lead runs compute as flight f's leader and persists a successful
+// result. The deferred cleanup runs on every exit path — including a
+// compute panic, an anticipated failure mode since the sweep engine's
+// panic recovery sits outside Do — so the flight is always unregistered
+// and waiters always wake instead of blocking on f.done forever.
+func (s *Store) lead(key string, f *flight, compute func() ([]byte, Provenance, error)) {
+	defer func() {
+		if r := recover(); r != nil {
+			f.err = fmt.Errorf("resultstore: compute for %s panicked: %v", key, r)
+			s.endFlight(key, f)
+			panic(r)
+		}
+		s.endFlight(key, f)
+	}()
 	f.payload, f.prov, f.err = compute()
 	if f.err == nil {
 		if err := s.Put(key, f.payload, f.prov); err != nil {
 			f.err = err
 		}
 	}
+}
+
+// endFlight unregisters the flight and wakes its waiters. The close
+// happens after the delete so a caller can never observe a closed flight
+// still registered.
+func (s *Store) endFlight(key string, f *flight) {
 	s.mu.Lock()
 	delete(s.flights, key)
 	s.mu.Unlock()
 	close(f.done)
-	return f.payload, f.prov, Computed, f.err
 }
 
 // Trim evicts oldest rotated segments until the store's total size fits

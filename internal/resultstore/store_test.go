@@ -2,6 +2,7 @@ package resultstore
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func mustOpen(t *testing.T, dir string) *Store {
@@ -220,7 +222,7 @@ func TestDoSingleflight(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			started <- struct{}{}
-			payload, _, outcome, err := s.Do(key, func() ([]byte, Provenance, error) {
+			payload, _, outcome, err := s.Do(context.Background(), key, func() ([]byte, Provenance, error) {
 				computes.Add(1)
 				release.Wait() // hold the flight open until every caller is in
 				return []byte(`{"v":42}`), Provenance{}, nil
@@ -264,7 +266,7 @@ func TestDoSingleflight(t *testing.T) {
 	}
 
 	// The key is now resident: another Do is a pure hit.
-	_, _, outcome, err := s.Do(key, func() ([]byte, Provenance, error) {
+	_, _, outcome, err := s.Do(context.Background(), key, func() ([]byte, Provenance, error) {
 		t.Fatal("compute ran for a resident key")
 		return nil, Provenance{}, nil
 	})
@@ -277,7 +279,7 @@ func TestDoComputeErrorStoresNothing(t *testing.T) {
 	s := mustOpen(t, t.TempDir())
 	key := CellKey("s", "t3", 0)
 	wantErr := fmt.Errorf("boom")
-	if _, _, _, err := s.Do(key, func() ([]byte, Provenance, error) {
+	if _, _, _, err := s.Do(context.Background(), key, func() ([]byte, Provenance, error) {
 		return nil, Provenance{}, wantErr
 	}); err != wantErr {
 		t.Fatalf("Do error = %v, want %v", err, wantErr)
@@ -286,10 +288,105 @@ func TestDoComputeErrorStoresNothing(t *testing.T) {
 		t.Fatal("failed compute left a record behind")
 	}
 	// The key stays computable after a failure.
-	if _, _, outcome, err := s.Do(key, func() ([]byte, Provenance, error) {
+	if _, _, outcome, err := s.Do(context.Background(), key, func() ([]byte, Provenance, error) {
 		return []byte(`{"v":1}`), Provenance{}, nil
 	}); err != nil || outcome != Computed {
 		t.Fatalf("retry after failed compute = %v, %v", outcome, err)
+	}
+}
+
+// TestDoPanicUnregistersFlight: a panicking compute must still tear the
+// flight down — the panic recovery machinery (the sweep engine's
+// PanicError conversion) sits outside Do, so without the deferred
+// cleanup every later Do on the key would block forever on a flight
+// whose leader is gone.
+func TestDoPanicUnregistersFlight(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	key := CellKey("s", "t3", 0)
+	func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Fatalf("recovered %v, want the compute panic to reach the leader", r)
+			}
+		}()
+		s.Do(context.Background(), key, func() ([]byte, Provenance, error) {
+			panic("boom")
+		})
+		t.Fatal("Do returned instead of panicking")
+	}()
+	// The key must be computable again — and without blocking: a leaked
+	// flight would hang this Do on a done channel that never closes.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, _, outcome, err := s.Do(context.Background(), key, func() ([]byte, Provenance, error) {
+			return []byte(`{"v":1}`), Provenance{}, nil
+		}); err != nil || outcome != Computed {
+			t.Errorf("Do after panic = %v, %v; want a fresh Computed", outcome, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do after a panicked compute blocked: flight leaked")
+	}
+}
+
+// TestDoWaiterHonorsOwnContext: a waiter joined to a hung leader's
+// flight must give up when its own context expires instead of inheriting
+// the hang (the sweep's CellTimeout retry path depends on this).
+func TestDoWaiterHonorsOwnContext(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	key := CellKey("s", "t3", 0)
+	computing := make(chan struct{})
+	release := make(chan struct{})
+	go s.Do(context.Background(), key, func() ([]byte, Provenance, error) {
+		close(computing)
+		<-release // the "hung" simulation
+		return []byte(`{"v":1}`), Provenance{}, nil
+	})
+	<-computing
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, _, _, err := s.Do(ctx, key, func() ([]byte, Provenance, error) {
+		t.Error("waiter ran compute while the leader's flight was open")
+		return nil, Provenance{}, nil
+	})
+	if err != context.DeadlineExceeded {
+		t.Fatalf("waiter error = %v, want its own DeadlineExceeded", err)
+	}
+	close(release)
+}
+
+// TestDoWaiterRetriesAfterLeaderFailure: a leader's failure (its own
+// cancellation, say) must not be adopted by waiters — the next caller
+// becomes a new leader and runs its own attempt.
+func TestDoWaiterRetriesAfterLeaderFailure(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	key := CellKey("s", "t3", 0)
+	computing := make(chan struct{})
+	release := make(chan struct{})
+	go s.Do(context.Background(), key, func() ([]byte, Provenance, error) {
+		close(computing)
+		<-release
+		return nil, Provenance{}, context.Canceled // leader abandoned by its watchdog
+	})
+	<-computing
+	waited := make(chan struct{})
+	go func() {
+		defer close(waited)
+		payload, _, outcome, err := s.Do(context.Background(), key, func() ([]byte, Provenance, error) {
+			return []byte(`{"v":2}`), Provenance{}, nil
+		})
+		if err != nil || outcome != Computed || string(payload) != `{"v":2}` {
+			t.Errorf("waiter after leader failure = %q, %v, %v; want its own Computed result", payload, outcome, err)
+		}
+	}()
+	close(release)
+	select {
+	case <-waited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never re-led after the leader failed")
 	}
 }
 
