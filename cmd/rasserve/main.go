@@ -6,26 +6,48 @@
 // cache — and concurrent campaigns racing on the same cells collapse to a
 // single simulation via the store's singleflight.
 //
+// The campaign queue is durable: with -queue set, every submission, state
+// transition, rendered table, and terminal status is appended crash-safely
+// to a write-ahead campaign log (internal/campaignlog). A restarted server
+// replays the log, serves finished campaigns' tables and status from it,
+// and re-adopts submitted-but-unfinished campaigns — requeueing them with
+// a bumped attempt counter. Re-execution is cheap and byte-identical
+// because the cells that finished before the crash are result-store hits.
+//
+// Serving degrades instead of failing: a per-campaign cell-error policy
+// (on_cell_error: abort|skip|retry) turns experiment errors into explicit
+// holes rather than dead campaigns, and a result-store I/O fault (disk
+// full, failed fsync) flips the server into compute-without-cache mode —
+// campaigns keep completing, cell_cached provenance just stops — surfaced
+// on /healthz, /readyz, and the retstack_server_degraded gauge.
+//
 // Usage:
 //
-//	rasserve -store cache/                       # serve on :8372
+//	rasserve -store cache/ -queue queue/          # durable; serve on :8372
 //	rasserve -store cache/ -addr :9000 -parallel 8 -max-active 2
 //	rasserve -store cache/ -store-max-bytes 67108864  # evict after each campaign
 //
 // Endpoints:
 //
-//	GET  /healthz                  liveness probe
+//	GET  /healthz                  liveness + degraded-mode report
+//	GET  /readyz                   readiness + boot recovery counters
 //	GET  /experiments              reproducible artifacts (id + title)
-//	POST /campaigns                submit {"exps":["t3"],"insts":60000,"workloads":["go","li"]}
+//	POST /campaigns                submit {"exps":["t3"],"insts":60000,"workloads":["go","li"],
+//	                                       "on_cell_error":"skip","retries":3,"cell_timeout_ms":60000}
 //	GET  /campaigns                all campaigns, submission order
 //	GET  /campaigns/{id}           one campaign's status and counters
-//	GET  /campaigns/{id}/results   stream events as JSONL (?sse=1 for SSE)
+//	GET  /campaigns/{id}/results   stream events as JSONL (?sse=1 for SSE;
+//	                               ?from=N or Last-Event-ID resume an offset)
 //	GET  /campaigns/{id}/tables    rendered tables once completed
-//	GET  /metrics                  Prometheus exposition (retstack_store_*, sweep, ...)
+//	GET  /metrics                  Prometheus exposition (retstack_store_*, retstack_queue_*, ...)
 //	GET  /debug/pprof/             runtime profiles
 //
+// Exit status: 0 on a clean drain; 1 when the shutdown drain times out
+// with campaigns still running (their in-flight Puts may have been lost —
+// the campaign log will re-adopt them on the next boot).
+//
 // See README "Serving & caching" and EXPERIMENTS.md for a worked curl
-// session.
+// session, including reconnecting a dropped stream with Last-Event-ID.
 package main
 
 import (
@@ -40,11 +62,15 @@ import (
 	"os/signal"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"retstack"
+	"retstack/internal/campaignlog"
 	"retstack/internal/experiments"
 	"retstack/internal/resultstore"
 	"retstack/internal/sweep"
@@ -56,9 +82,12 @@ func main() {
 	var (
 		addr          = flag.String("addr", ":8372", "listen address")
 		storePath     = flag.String("store", "", "content-addressed result store directory (required)")
+		queuePath     = flag.String("queue", "", "durable campaign log directory (empty: campaigns do not survive restarts)")
 		parallel      = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations to run concurrently per campaign")
 		maxActive     = flag.Int("max-active", 2, "campaigns simulating at once; the rest queue")
 		storeMaxBytes = flag.Int64("store-max-bytes", 0, "evict oldest store segments past this size after each campaign (0 = never)")
+		heartbeat     = flag.Duration("heartbeat", 15*time.Second, "result-stream heartbeat period (keeps idle subscribers alive, evicts dead ones)")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running campaigns before closing the store")
 	)
 	flag.Parse()
 	if *storePath == "" {
@@ -71,12 +100,31 @@ func main() {
 		os.Exit(1)
 	}
 	store.SetTool("rasserve")
+	var qlog *campaignlog.Log
+	if *queuePath != "" {
+		qlog, err = campaignlog.Open(*queuePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rasserve:", err)
+			os.Exit(1)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := newServer(ctx, store, *parallel, *maxActive)
+	srv := newServer(ctx, store, qlog, *parallel, *maxActive)
 	srv.storeMaxBytes = *storeMaxBytes
+	srv.heartbeat = *heartbeat
+	recovered, requeued := srv.recover()
+	if qlog != nil {
+		st := qlog.Stats()
+		fmt.Fprintf(os.Stderr, "rasserve: queue %s: %d records replayed, %d campaign(s) re-adopted, %d requeued",
+			qlog.Dir(), st.Records, recovered, requeued)
+		if st.DroppedBytes > 0 {
+			fmt.Fprintf(os.Stderr, " (%d torn bytes dropped)", st.DroppedBytes)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -100,22 +148,43 @@ func main() {
 	// finishing cells: wait (bounded) before closing the store so a
 	// leader's final Put lands instead of failing with "store closed" and
 	// turning a clean shutdown into a lost result. The signal already
-	// canceled ctx, so queued campaigns fail fast and running sweeps stop
-	// claiming new cells — only in-flight cells remain.
-	if !srv.drain(30 * time.Second) {
-		fmt.Fprintln(os.Stderr, "rasserve: shutdown: campaigns still running after 30s; closing store anyway")
+	// canceled ctx, so queued campaigns park without a terminal status
+	// (the campaign log re-adopts them on the next boot) and running
+	// sweeps stop claiming new cells — only in-flight cells remain.
+	exit := 0
+	if !srv.drain(*drainTimeout) {
+		still := srv.unfinished()
+		fmt.Fprintf(os.Stderr, "rasserve: shutdown: %d campaign(s) still running after %s: %s; closing store anyway (in-flight Puts may be lost)\n",
+			len(still), *drainTimeout, strings.Join(still, ", "))
+		exit = 1
 	}
 	if err := store.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "rasserve:", err)
+		exit = 1
 	}
+	if qlog != nil {
+		if err := qlog.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "rasserve:", err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
 }
 
-// campaignSpec is the POST /campaigns request body.
+// campaignSpec is the POST /campaigns request body. The policy triple
+// (on_cell_error, retries, cell_timeout_ms) is the sweep engine's
+// failure policy surfaced per campaign: "skip" turns a failing cell into
+// an explicit hole in the tables instead of a dead experiment, "retry"
+// re-runs transient failures, and the timeout arms the per-cell
+// watchdog.
 type campaignSpec struct {
-	Exps      []string `json:"exps"`
-	Insts     uint64   `json:"insts,omitempty"`
-	Warmup    uint64   `json:"warmup,omitempty"`
-	Workloads []string `json:"workloads,omitempty"`
+	Exps          []string      `json:"exps"`
+	Insts         uint64        `json:"insts,omitempty"`
+	Warmup        uint64        `json:"warmup,omitempty"`
+	Workloads     []string      `json:"workloads,omitempty"`
+	OnCellError   sweep.OnError `json:"on_cell_error,omitempty"`
+	Retries       int           `json:"retries,omitempty"`
+	CellTimeoutMS int64         `json:"cell_timeout_ms,omitempty"`
 }
 
 // campaign is one submitted sweep: its normalized spec, the event stream
@@ -128,9 +197,11 @@ type campaign struct {
 	ConfigHash string
 	Scope      string
 	Submitted  time.Time
+	Recovered  bool // re-adopted from the campaign log at boot
 
 	mu       sync.Mutex
 	status   string
+	attempt  int
 	errMsg   string
 	events   []json.RawMessage
 	notify   chan struct{}
@@ -142,10 +213,15 @@ type campaign struct {
 	wall     float64
 }
 
+// terminal reports whether status names a finished campaign.
+func terminal(status string) bool { return campaignlog.Terminal(status) }
+
 // view is the lock-free snapshot rendered by the status endpoints.
 type view struct {
 	ID         string       `json:"id"`
 	Status     string       `json:"status"`
+	Attempt    int          `json:"attempt"`
+	Recovered  bool         `json:"recovered,omitempty"`
 	Error      string       `json:"error,omitempty"`
 	Spec       campaignSpec `json:"spec"`
 	ConfigHash string       `json:"config_hash"`
@@ -162,7 +238,8 @@ func (c *campaign) view() view {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return view{
-		ID: c.ID, Status: c.status, Error: c.errMsg, Spec: c.Spec,
+		ID: c.ID, Status: c.status, Attempt: c.attempt, Recovered: c.Recovered,
+		Error: c.errMsg, Spec: c.Spec,
 		ConfigHash: c.ConfigHash, Scope: c.Scope, Submitted: c.Submitted,
 		Hits: c.hits, Shared: c.shared, Executed: c.executed, Wall: c.wall,
 		Events: len(c.events),
@@ -191,12 +268,16 @@ func (c *campaign) emit(typ string, fields map[string]any) {
 // terminal status alone: finish appends campaign_done atomically with the
 // status flip, so a terminal snapshot always includes every remaining
 // event — the caller drains evs and stops, never waiting on a notify
-// channel that will not close again.
+// channel that will not close again. An i beyond the stream (a resume
+// offset from a longer-lived previous subscription) clamps to the end.
 func (c *campaign) next(i int) ([]json.RawMessage, bool, <-chan struct{}) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if i > len(c.events) {
+		i = len(c.events)
+	}
 	evs := c.events[i:]
-	done := c.status == "completed" || c.status == "failed"
+	done := terminal(c.status)
 	return evs, done, c.notify
 }
 
@@ -236,11 +317,23 @@ func (m *campMonitor) CellDone(cell, worker int, d time.Duration, err error) {
 type server struct {
 	ctx           context.Context
 	store         *resultstore.Store
+	qlog          *campaignlog.Log // nil: ephemeral queue
 	reg           *telemetry.Registry
+	qm            *telemetry.ServerMetrics
 	parallel      int
 	sem           chan struct{}
 	storeMaxBytes int64
+	heartbeat     time.Duration
 	running       sync.WaitGroup // live campaign goroutines (see drain)
+
+	ready      atomic.Bool // boot recovery finished; /readyz gates on it
+	storeLost  atomic.Bool // store I/O fault: campaigns compute without caching
+	degraded   atomic.Bool // any durability loss (store or campaign log)
+	recoveredN atomic.Int64
+	requeuedN  atomic.Int64
+
+	degradedMu     sync.Mutex
+	degradedReason string
 
 	mu        sync.Mutex
 	campaigns map[string]*campaign
@@ -248,7 +341,7 @@ type server struct {
 	nextID    int
 }
 
-func newServer(ctx context.Context, store *resultstore.Store, parallel, maxActive int) *server {
+func newServer(ctx context.Context, store *resultstore.Store, qlog *campaignlog.Log, parallel, maxActive int) *server {
 	if maxActive < 1 {
 		maxActive = 1
 	}
@@ -259,17 +352,161 @@ func newServer(ctx context.Context, store *resultstore.Store, parallel, maxActiv
 		})
 	}
 	return &server{
-		ctx: ctx, store: store, reg: reg, parallel: parallel,
+		ctx: ctx, store: store, qlog: qlog, reg: reg,
+		qm:        telemetry.NewServerMetrics(reg),
+		parallel:  parallel,
 		sem:       make(chan struct{}, maxActive),
+		heartbeat: 15 * time.Second,
 		campaigns: make(map[string]*campaign),
+	}
+}
+
+// recover replays the campaign log: terminal campaigns register with
+// their status and tables served straight from the log, non-terminal
+// ones — submitted but never finished, from any number of crashes ago —
+// are re-adopted and requeued with their attempt counter intact. Returns
+// the recovered (re-adopted) and requeued counts. Must be called once,
+// before the server takes traffic; it also flips /readyz to ready.
+func (s *server) recover() (recovered, requeued int) {
+	defer s.ready.Store(true)
+	if s.qlog == nil {
+		return 0, 0
+	}
+	for _, rc := range s.qlog.Campaigns() {
+		c := &campaign{
+			ID:         rc.ID,
+			ConfigHash: rc.ConfigHash,
+			Scope:      rc.Scope,
+			status:     rc.Status,
+			attempt:    rc.Attempt,
+			errMsg:     rc.Error,
+			notify:     make(chan struct{}),
+			tables:     make(map[string]string, len(rc.Tables)),
+			cached:     make(map[string]bool),
+		}
+		for exp, tbl := range rc.Tables {
+			c.tables[exp] = tbl
+		}
+		if t, err := time.Parse(time.RFC3339Nano, rc.Submitted); err == nil {
+			c.Submitted = t
+		}
+		specOK := rc.Spec != nil && json.Unmarshal(rc.Spec, &c.Spec) == nil
+
+		s.mu.Lock()
+		if n, err := strconv.Atoi(strings.TrimPrefix(rc.ID, "c")); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+		s.campaigns[c.ID] = c
+		s.order = append(s.order, c.ID)
+		s.mu.Unlock()
+
+		switch {
+		case rc.Terminal():
+			// Serve from the log alone: synthesize the result events a
+			// live run would have streamed, then the terminal marker.
+			for _, exp := range c.Spec.Exps {
+				if tbl, ok := c.tables[exp]; ok {
+					c.emit("result", map[string]any{"exp": exp, "table": tbl, "recovered": true})
+				}
+			}
+			c.appendDone(rc.Status, rc.Error)
+		case !specOK:
+			// The log lost the submit record (torn segment): there is
+			// nothing to re-run. Terminal-fail it so it stops being
+			// re-adopted forever.
+			s.logAppend(campaignlog.Record{Type: campaignlog.TypeDone, ID: c.ID,
+				Status: "failed", Error: "campaign log lost the spec"})
+			c.appendDone("failed", "campaign log lost the spec")
+		default:
+			c.Recovered = true
+			c.mu.Lock()
+			prior := c.status
+			c.status = "queued"
+			c.mu.Unlock()
+			s.logAppend(campaignlog.Record{Type: campaignlog.TypeState, ID: c.ID,
+				Status: "queued", Attempt: c.attempt})
+			c.emit("campaign_recovered", map[string]any{
+				"id": c.ID, "prior_status": prior, "attempt": c.attempt,
+			})
+			s.qm.QueueDepth(1)
+			s.qm.CampaignRecovered()
+			s.qm.CampaignRequeued()
+			s.recoveredN.Add(1)
+			s.requeuedN.Add(1)
+			recovered++
+			requeued++
+			s.running.Add(1)
+			go func(c *campaign) {
+				defer s.running.Done()
+				s.run(c)
+			}(c)
+		}
+	}
+	return recovered, requeued
+}
+
+// appendDone writes a campaign_done event and flips the terminal status
+// without touching the queue gauge — the replay path for campaigns that
+// were already terminal (or unrecoverable) in the log.
+func (c *campaign) appendDone(status, errMsg string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := map[string]any{
+		"event": "campaign_done", "time": time.Now().UTC().Format(time.RFC3339Nano),
+		"id": c.ID, "status": status, "recovered": true,
+	}
+	if errMsg != "" {
+		f["error"] = errMsg
+	}
+	if raw, err := json.Marshal(f); err == nil {
+		c.events = append(c.events, raw)
+	}
+	c.status, c.errMsg = status, errMsg
+	close(c.notify)
+	c.notify = make(chan struct{})
+}
+
+// degrade records a durability loss: the first fault wins the reason
+// shown on /healthz, the gauge flips, and — for store faults — all
+// subsequent experiment runs compute without caching.
+func (s *server) degrade(component string, err error) {
+	if component == "store" {
+		s.storeLost.Store(true)
+	}
+	if s.degraded.CompareAndSwap(false, true) {
+		s.degradedMu.Lock()
+		s.degradedReason = component + ": " + err.Error()
+		s.degradedMu.Unlock()
+		s.qm.SetDegraded(true)
+		fmt.Fprintf(os.Stderr, "rasserve: degraded (%s): %v — campaigns continue uncached\n", component, err)
+	}
+}
+
+func (s *server) degradedState() (bool, string) {
+	if !s.degraded.Load() {
+		return false, ""
+	}
+	s.degradedMu.Lock()
+	defer s.degradedMu.Unlock()
+	return true, s.degradedReason
+}
+
+// logAppend appends to the campaign log, absorbing failures: a campaign
+// must never die because its durability record could not be written —
+// the server just loses restart coverage and says so.
+func (s *server) logAppend(rec campaignlog.Record) {
+	if s.qlog == nil {
+		return
+	}
+	if err := s.qlog.Append(rec); err != nil {
+		s.degrade("campaign log", err)
 	}
 }
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /experiments", s.handleExperiments)
 	mux.HandleFunc("POST /campaigns", s.handleSubmit)
 	mux.HandleFunc("GET /campaigns", s.handleList)
@@ -288,6 +525,49 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 	return mux
+}
+
+// handleHealthz is the liveness probe. It answers 200 as long as the
+// process serves — degraded is a mode, not an outage — but reports the
+// degradation so operators (and the smoke jobs) see a lost store.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	degraded, reason := s.degradedState()
+	status := "ok"
+	if degraded {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": status, "degraded": degraded, "reason": reason,
+		"store_lost": s.storeLost.Load(),
+	})
+}
+
+// handleReadyz is the readiness probe: 503 until boot recovery has
+// replayed the campaign log, then a report of what recovery did.
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false})
+		return
+	}
+	degraded, _ := s.degradedState()
+	s.mu.Lock()
+	depth := 0
+	for _, c := range s.campaigns {
+		c.mu.Lock()
+		if !terminal(c.status) {
+			depth++
+		}
+		c.mu.Unlock()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ready":     true,
+		"durable":   s.qlog != nil,
+		"recovered": s.recoveredN.Load(),
+		"requeued":  s.requeuedN.Load(),
+		"queued":    depth,
+		"degraded":  degraded,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -312,7 +592,9 @@ func (s *server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 }
 
 // normalize validates and canonicalizes a submitted spec: "all" expands,
-// experiment ids and workload names must exist, defaults fill in.
+// experiment ids and workload names must exist, defaults fill in, and
+// the cell-error policy knobs must be sane (the policy value itself was
+// validated by OnError's UnmarshalText during decoding).
 func normalize(spec campaignSpec) (campaignSpec, error) {
 	if len(spec.Exps) == 0 {
 		return spec, fmt.Errorf("exps is required (experiment ids, or [\"all\"])")
@@ -333,6 +615,12 @@ func normalize(spec campaignSpec) (campaignSpec, error) {
 		if !known[wl] {
 			return spec, fmt.Errorf("unknown workload %q (have %v)", wl, workloads.SPECNames())
 		}
+	}
+	if spec.Retries < 0 {
+		return spec, fmt.Errorf("retries must be >= 0, got %d", spec.Retries)
+	}
+	if spec.CellTimeoutMS < 0 {
+		return spec, fmt.Errorf("cell_timeout_ms must be >= 0, got %d", spec.CellTimeoutMS)
 	}
 	if spec.Insts == 0 {
 		spec.Insts = experiments.DefaultParams().InstBudget
@@ -386,6 +674,17 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.order = append(s.order, c.ID)
 	s.mu.Unlock()
 
+	// Durability before acknowledgement: once the 202 leaves, a crash at
+	// any instant must leave a log from which this campaign re-adopts.
+	if rawSpec, err := json.Marshal(spec); err == nil {
+		s.logAppend(campaignlog.Record{
+			Type: campaignlog.TypeSubmit, ID: c.ID, Spec: rawSpec,
+			ConfigHash: c.ConfigHash, Scope: c.Scope,
+			Time: c.Submitted.Format(time.RFC3339Nano),
+		})
+	}
+	s.qm.QueueDepth(1)
+
 	s.running.Add(1)
 	go func() {
 		defer s.running.Done()
@@ -394,69 +693,122 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, c.view())
 }
 
+// params assembles one experiment run's parameters from the campaign
+// spec and the server's current health: a degraded server runs without
+// the store (compute-without-cache), everything else is the campaign's
+// own policy.
+func (s *server) params(c *campaign, exp string) experiments.Params {
+	p := experiments.Params{
+		InstBudget: c.Spec.Insts, Warmup: c.Spec.Warmup,
+		Workloads: c.Spec.Workloads, Parallel: s.parallel,
+		Ctx:         s.ctx,
+		OnCellError: c.Spec.OnCellError,
+		Monitor:     &campMonitor{c: c, exp: exp},
+	}
+	if c.Spec.Retries > 0 {
+		p.RetryAttempts = c.Spec.Retries
+	}
+	if c.Spec.CellTimeoutMS > 0 {
+		p.CellTimeout = time.Duration(c.Spec.CellTimeoutMS) * time.Millisecond
+	}
+	if s.storeLost.Load() {
+		return p
+	}
+	p.Store, p.StoreScope = s.store, c.Scope
+	p.OnStoreFault = func(err error) { s.degrade("store", err) }
+	p.OnStoreHit = func(exp string, cell int, shared bool) {
+		c.mu.Lock()
+		c.cached[fmt.Sprintf("%s/%d", exp, cell)] = true
+		if shared {
+			c.shared++
+		} else {
+			c.hits++
+		}
+		c.mu.Unlock()
+		f := map[string]any{"exp": exp, "cell": cell, "shared": shared}
+		if prov, ok := s.store.Prov(resultstore.CellKey(c.Scope, exp, cell)); ok {
+			f["prov"] = prov
+		}
+		c.emit("cell_cached", f)
+	}
+	return p
+}
+
 // run executes one campaign: queue on the active-campaign semaphore, then
-// sweep each experiment with the shared store spliced in.
+// sweep each experiment with the shared store spliced in. One experiment
+// failing does not kill the rest — its error is recorded and the loop
+// continues, finishing completed_with_errors if any experiment rendered.
+// A server shutdown mid-campaign returns without a terminal status, which
+// is exactly what lets the campaign log re-adopt the campaign on the next
+// boot.
 func (s *server) run(c *campaign) {
 	select {
 	case s.sem <- struct{}{}:
 	case <-s.ctx.Done():
-		s.finish(c, "failed", "server shutting down")
-		return
+		return // parked non-terminal; the durable log re-adopts it
 	}
 	defer func() { <-s.sem }()
+	if s.ctx.Err() != nil {
+		return
+	}
 
 	start := time.Now()
 	c.mu.Lock()
+	c.attempt++
+	attempt := c.attempt
 	c.status = "running"
 	c.mu.Unlock()
+	s.logAppend(campaignlog.Record{Type: campaignlog.TypeState, ID: c.ID,
+		Status: "running", Attempt: attempt})
 	c.emit("campaign_start", map[string]any{
 		"id": c.ID, "exps": c.Spec.Exps, "insts": c.Spec.Insts,
 		"workloads": c.Spec.Workloads, "config_hash": c.ConfigHash, "scope": c.Scope,
+		"attempt": attempt,
 	})
 
+	var failures []string
+	rendered := 0
 	for _, id := range c.Spec.Exps {
+		if s.ctx.Err() != nil {
+			return // interrupted; re-adopted on the next boot
+		}
 		expStart := time.Now()
-		p := experiments.Params{
-			InstBudget: c.Spec.Insts, Warmup: c.Spec.Warmup,
-			Workloads: c.Spec.Workloads, Parallel: s.parallel,
-			Ctx: s.ctx, Store: s.store, StoreScope: c.Scope,
-			Monitor: &campMonitor{c: c, exp: id},
-			OnStoreHit: func(exp string, cell int, shared bool) {
-				c.mu.Lock()
-				c.cached[fmt.Sprintf("%s/%d", exp, cell)] = true
-				if shared {
-					c.shared++
-				} else {
-					c.hits++
-				}
-				c.mu.Unlock()
-				f := map[string]any{"exp": exp, "cell": cell, "shared": shared}
-				if prov, ok := s.store.Prov(resultstore.CellKey(c.Scope, exp, cell)); ok {
-					f["prov"] = prov
-				}
-				c.emit("cell_cached", f)
-			},
-		}
-		res, err := experiments.Run(id, p)
+		res, err := experiments.Run(id, s.params(c, id))
 		if err != nil {
+			if s.ctx.Err() != nil {
+				return
+			}
 			c.emit("experiment_error", map[string]any{"exp": id, "error": err.Error()})
-			s.finish(c, "failed", err.Error())
-			return
+			failures = append(failures, id+": "+err.Error())
+			continue
 		}
+		table := res.String()
 		c.mu.Lock()
-		c.tables[id] = res.String()
+		c.tables[id] = table
 		c.mu.Unlock()
+		rendered++
+		s.logAppend(campaignlog.Record{Type: campaignlog.TypeTable, ID: c.ID,
+			Exp: id, Table: table, Holes: len(res.Holes)})
 		c.emit("experiment_done", map[string]any{
 			"exp": id, "seconds": time.Since(expStart).Seconds(), "holes": len(res.Holes),
 		})
-		c.emit("result", map[string]any{"exp": id, "table": res.String()})
+		c.emit("result", map[string]any{"exp": id, "table": table})
 	}
 
 	c.mu.Lock()
 	c.wall = time.Since(start).Seconds()
 	c.mu.Unlock()
-	s.finish(c, "completed", "")
-	if s.storeMaxBytes > 0 {
+	status, errMsg := "completed", ""
+	if len(failures) > 0 {
+		errMsg = strings.Join(failures, "; ")
+		if rendered > 0 {
+			status = "completed_with_errors"
+		} else {
+			status = "failed"
+		}
+	}
+	s.finish(c, status, errMsg)
+	if s.storeMaxBytes > 0 && !s.storeLost.Load() {
 		if evicted, err := s.store.Trim(s.storeMaxBytes); err == nil && evicted > 0 {
 			fmt.Fprintf(os.Stderr, "rasserve: store: evicted %d oldest segment(s) to fit %d bytes\n",
 				evicted, s.storeMaxBytes)
@@ -464,13 +816,15 @@ func (s *server) run(c *campaign) {
 	}
 }
 
-// finish marks the campaign terminal and emits the closing event. Status
-// flips and the campaign_done append happen under one lock so a streaming
-// subscriber can never observe a terminal campaign whose final event is
-// still in flight (which would end its stream one event short).
+// finish marks the campaign terminal — in the log first, then in memory
+// — and emits the closing event. Status flips and the campaign_done
+// append happen under one lock so a streaming subscriber can never
+// observe a terminal campaign whose final event is still in flight
+// (which would end its stream one event short).
 func (s *server) finish(c *campaign, status, errMsg string) {
+	s.logAppend(campaignlog.Record{Type: campaignlog.TypeDone, ID: c.ID,
+		Status: status, Error: errMsg})
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	f := map[string]any{
 		"event": "campaign_done", "time": time.Now().UTC().Format(time.RFC3339Nano),
 		"id": c.ID, "status": status,
@@ -487,6 +841,8 @@ func (s *server) finish(c *campaign, status, errMsg string) {
 	}
 	close(c.notify)
 	c.notify = make(chan struct{})
+	c.mu.Unlock()
+	s.qm.QueueDepth(-1)
 }
 
 // drain waits up to timeout for every campaign goroutine to finish,
@@ -503,6 +859,24 @@ func (s *server) drain(timeout time.Duration) bool {
 	case <-time.After(timeout):
 		return false
 	}
+}
+
+// unfinished lists the campaigns that have not reached a terminal
+// status, for the shutdown report (and exit code) when the drain times
+// out on them.
+func (s *server) unfinished() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ids []string
+	for _, id := range s.order {
+		c := s.campaigns[id]
+		c.mu.Lock()
+		if !terminal(c.status) {
+			ids = append(ids, fmt.Sprintf("%s (%s)", id, c.status))
+		}
+		c.mu.Unlock()
+	}
+	return ids
 }
 
 func (s *server) campaign(r *http.Request) *campaign {
@@ -536,12 +910,31 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 // handleResults streams the campaign's event log: everything so far, then
 // live events as they land, until the campaign is terminal. Plain JSONL
-// by default; ?sse=1 wraps each event as an SSE frame.
+// by default; ?sse=1 wraps each event as an SSE frame carrying its offset
+// as the event id, so a dropped client reconnects with Last-Event-ID (or
+// ?from=N) and resumes exactly where it left off. Heartbeats go out on
+// idle streams; a subscriber whose writes fail is evicted instead of
+// being carried dead until campaign completion.
 func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
 	c := s.campaign(r)
 	if c == nil {
 		http.Error(w, "no such campaign", http.StatusNotFound)
 		return
+	}
+	i := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "from must be a non-negative event offset", http.StatusBadRequest)
+			return
+		}
+		i = n
+	}
+	// Last-Event-ID names the last event the client saw; resume after it.
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			i = n + 1
+		}
 	}
 	sse := r.URL.Query().Get("sse") != ""
 	if sse {
@@ -551,14 +944,23 @@ func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 	}
 	flusher, _ := w.(http.Flusher)
-	i := 0
+	hb := s.heartbeat
+	if hb <= 0 {
+		hb = 15 * time.Second
+	}
+	ticker := time.NewTicker(hb)
+	defer ticker.Stop()
 	for {
 		evs, done, notify := c.next(i)
-		for _, ev := range evs {
+		for k, ev := range evs {
+			var err error
 			if sse {
-				fmt.Fprintf(w, "data: %s\n\n", ev)
+				_, err = fmt.Fprintf(w, "id: %d\ndata: %s\n\n", i+k, ev)
 			} else {
-				fmt.Fprintf(w, "%s\n", ev)
+				_, err = fmt.Fprintf(w, "%s\n", ev)
+			}
+			if err != nil {
+				return // dead subscriber: evict
 			}
 		}
 		i += len(evs)
@@ -570,6 +972,22 @@ func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-notify:
+		case <-ticker.C:
+			var err error
+			if sse {
+				// A comment frame: keeps the connection alive without
+				// disturbing event ids or Last-Event-ID bookkeeping.
+				_, err = fmt.Fprint(w, ": heartbeat\n\n")
+			} else {
+				_, err = fmt.Fprintf(w, "{\"event\":\"heartbeat\",\"time\":%q}\n",
+					time.Now().UTC().Format(time.RFC3339Nano))
+			}
+			if err != nil {
+				return // dead subscriber: evict
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
 		case <-r.Context().Done():
 			return
 		case <-s.ctx.Done():
@@ -591,7 +1009,9 @@ func (s *server) handleTables(w http.ResponseWriter, r *http.Request) {
 		tables[k] = v
 	}
 	c.mu.Unlock()
-	if status != "completed" {
+	// completed_with_errors still renders what it has — the holes and
+	// missing experiments are explicit, not a reason to withhold the rest.
+	if status != "completed" && status != "completed_with_errors" {
 		http.Error(w, "campaign is "+status+"; tables render on completion", http.StatusConflict)
 		return
 	}

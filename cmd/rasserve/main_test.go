@@ -23,7 +23,8 @@ func testServer(t *testing.T) (*server, *httptest.Server) {
 	}
 	t.Cleanup(func() { st.Close() })
 	st.SetTool("rasserve")
-	srv := newServer(context.Background(), st, 2, 2)
+	srv := newServer(context.Background(), st, nil, 2, 2)
+	srv.ready.Store(true)
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 	return srv, ts

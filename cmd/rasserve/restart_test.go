@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain lets this test binary impersonate the real rasserve: with
+// RASSERVE_MAIN=1 it runs main() instead of the tests, which is what
+// gives the kill-and-recover test a genuine process to SIGKILL.
+func TestMain(m *testing.M) {
+	if os.Getenv("RASSERVE_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// child is one rasserve process run out of the test binary.
+type child struct {
+	cmd  *exec.Cmd
+	base string // http://addr
+	errc chan error
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://[^\s]+)`)
+
+// startChild launches rasserve against the given store/queue dirs and
+// waits for its listen line.
+func startChild(t *testing.T, storeDir, queueDir string) *child {
+	t.Helper()
+	cmd := exec.Command(os.Args[0],
+		"-addr", "127.0.0.1:0", "-store", storeDir, "-queue", queueDir,
+		"-parallel", "2", "-drain-timeout", "5s")
+	cmd.Env = append(os.Environ(), "RASSERVE_MAIN=1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c := &child{cmd: cmd, errc: make(chan error, 1)}
+	lines := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if m := listenRE.FindStringSubmatch(line); m != nil {
+				select {
+				case lines <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	go func() { c.errc <- cmd.Wait() }()
+	select {
+	case base := <-lines:
+		c.base = base
+	case err := <-c.errc:
+		t.Fatalf("rasserve exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("rasserve did not report a listen address within 30s")
+	}
+	return c
+}
+
+func (c *child) get(t *testing.T, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func (c *child) status(t *testing.T, id string) view {
+	t.Helper()
+	code, body := c.get(t, "/campaigns/"+id)
+	if code != http.StatusOK {
+		t.Fatalf("status %s: %d: %s", id, code, body)
+	}
+	var v view
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestKillAndRecover is the crash-recovery acceptance path, end to end
+// and out of process: SIGKILL rasserve mid-campaign, restart it over the
+// same -store and -queue directories, and watch the campaign re-adopt,
+// partially hit the store, and finish with tables byte-identical to an
+// uninterrupted run.
+func TestKillAndRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses and SIGKILLs them")
+	}
+	storeDir, queueDir := t.TempDir(), t.TempDir()
+	const spec = `{"exps":["t3"],"insts":150000,"workloads":["go","li"]}`
+
+	// Reference tables from an uninterrupted in-process run over its own
+	// dirs — the byte-identity target.
+	refSrv, refTS := durableServer(t, t.TempDir(), t.TempDir())
+	ref := submit(t, refTS, spec)
+	stream(t, refTS, ref.ID)
+	_, wantTables := get(t, refTS, "/campaigns/"+ref.ID+"/tables")
+	refTS.Close()
+	_ = refSrv
+
+	// Life 1: submit, wait until at least one cell has executed (each
+	// executed cell is a persisted store record), then SIGKILL — no
+	// drain, no terminal log record.
+	c1 := startChild(t, storeDir, queueDir)
+	resp, err := http.Post(c1.base+"/campaigns", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, body)
+	}
+	var v view
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		sv := c1.status(t, v.ID)
+		if sv.Executed >= 1 || terminal(sv.Status) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("campaign never executed a cell")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := c1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	<-c1.errc // reap
+
+	// Life 2: the same dirs. Boot recovery must re-adopt the campaign.
+	c2 := startChild(t, storeDir, queueDir)
+	defer func() {
+		c2.cmd.Process.Signal(syscall.SIGTERM)
+		<-c2.errc
+	}()
+	for {
+		code, body := c2.get(t, "/readyz")
+		if code == http.StatusOK {
+			if !strings.Contains(body, `"recovered": 1`) {
+				t.Fatalf("restarted server recovered nothing: %s", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restarted server never became ready")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var final view
+	for {
+		final = c2.status(t, v.ID)
+		if terminal(final.Status) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("re-adopted campaign still %q", final.Status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if final.Status != "completed" {
+		t.Fatalf("re-adopted campaign ended %q (%s)", final.Status, final.Error)
+	}
+	if !final.Recovered || final.Attempt < 2 {
+		t.Errorf("final view = recovered:%v attempt:%d, want recovered on attempt >= 2", final.Recovered, final.Attempt)
+	}
+	// The cells that finished before the SIGKILL come back as store hits.
+	if final.Hits < 1 {
+		t.Errorf("re-adopted run hit %d store cells, want >= 1 (work done before the kill must not repeat)", final.Hits)
+	}
+	if final.Hits+final.Executed < 8 {
+		t.Errorf("hits(%d) + executed(%d) < 8 cells", final.Hits, final.Executed)
+	}
+
+	code, tables := c2.get(t, "/campaigns/"+v.ID+"/tables")
+	if code != http.StatusOK {
+		t.Fatalf("recovered tables: %d", code)
+	}
+	if tables != wantTables {
+		t.Errorf("recovered tables differ from the uninterrupted run:\n--- uninterrupted ---\n%s--- recovered ---\n%s", wantTables, tables)
+	}
+
+	_, metrics := c2.get(t, "/metrics")
+	if !strings.Contains(metrics, "retstack_queue_recovered_total 1") {
+		t.Errorf("metrics missing recovery counter:\n%s", metrics)
+	}
+
+	// An SSE reconnect with Last-Event-ID picks up mid-stream.
+	req, _ := http.NewRequest("GET", c2.base+"/campaigns/"+v.ID+"/results?sse=1", nil)
+	req.Header.Set("Last-Event-ID", "0")
+	sresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbody, _ := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	if !strings.Contains(string(sbody), "id: 1\n") || strings.Contains(string(sbody), "id: 0\n") {
+		t.Errorf("Last-Event-ID resume replayed from the wrong offset:\n%s", sbody)
+	}
+}

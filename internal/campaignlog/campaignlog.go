@@ -1,0 +1,432 @@
+// Package campaignlog is the crash-safe write-ahead queue behind
+// rasserve's campaign lifecycle: every submission, state transition,
+// rendered table, and terminal status is one appended record, so a server
+// restarted at any instant — including kill -9 mid-write — replays the
+// log and knows exactly which campaigns finished (and with what tables)
+// and which were submitted but never reached a terminal status. The
+// finished ones serve from the log alone; the unfinished ones are
+// re-adopted and requeued, carrying an attempt counter across restarts.
+//
+// The on-disk format is the content-addressed result store's proven
+// segment idiom (see internal/resultstore): append-only JSONL segment
+// files (seg-000001.log, seg-000002.log, …), each line a record wrapped
+// with the crc32 of its payload, fsynced before Append returns. A crash
+// mid-append leaves at worst one truncated trailing line; Open keeps the
+// valid prefix and truncates the active segment's torn tail so later
+// appends stay parsable. Replay folds records in order with
+// latest-record-wins semantics per campaign field, so a re-logged state
+// or table simply supersedes the previous one — the self-healing path
+// for requeued campaigns, which re-log their tables on every attempt.
+//
+// The log is a queue journal, not a cache: nothing is ever rewritten in
+// place, and compaction is simply deleting the directory of a server
+// whose campaigns are all terminal (the result store, not the campaign
+// log, owns the expensive bytes).
+package campaignlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultMaxSegmentBytes is the rotation threshold for the active segment.
+const DefaultMaxSegmentBytes = 4 << 20
+
+const (
+	segPrefix = "seg-"
+	segSuffix = ".log"
+)
+
+// Record types. A campaign's life is a submit, then any number of state
+// transitions and tables, then exactly one done — but the log tolerates
+// every other shape (replay is a fold, not a parser of well-formed
+// lifecycles), because a crash can cut a lifecycle anywhere.
+const (
+	// TypeSubmit records a campaign's identity: id, normalized spec,
+	// config hash, and store scope. Appended before the submission is
+	// acknowledged, so an acknowledged campaign is always recoverable.
+	TypeSubmit = "submit"
+	// TypeState records a non-terminal status flip ("queued", "running")
+	// and the attempt counter that produced it.
+	TypeState = "state"
+	// TypeTable records one experiment's rendered table. Re-runs re-log;
+	// the latest rendering wins.
+	TypeTable = "table"
+	// TypeDone records the terminal status: "completed",
+	// "completed_with_errors", or "failed", with the error text if any.
+	TypeDone = "done"
+)
+
+// Terminal reports whether status names a finished campaign — one the
+// log serves directly instead of re-adopting.
+func Terminal(status string) bool {
+	switch status {
+	case "completed", "completed_with_errors", "failed":
+		return true
+	}
+	return false
+}
+
+// Record is one campaign-log entry. Only the fields relevant to its Type
+// are set; everything else stays at the zero value and is omitted from
+// the encoding.
+type Record struct {
+	Type string `json:"type"`
+	ID   string `json:"id"`
+	// Time is the RFC3339 instant the record was appended (filled by
+	// Append when empty).
+	Time string `json:"time,omitempty"`
+
+	// Submit fields.
+	Spec       json.RawMessage `json:"spec,omitempty"`
+	ConfigHash string          `json:"config_hash,omitempty"`
+	Scope      string          `json:"scope,omitempty"`
+
+	// State/Done fields.
+	Status  string `json:"status,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	Error   string `json:"error,omitempty"`
+
+	// Table fields.
+	Exp   string `json:"exp,omitempty"`
+	Table string `json:"table,omitempty"`
+	Holes int    `json:"holes,omitempty"`
+}
+
+// line is the segment framing: the record rides as an opaque payload
+// under its own checksum, exactly like a result-store record.
+type line struct {
+	CRC     uint32          `json:"crc"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Campaign is one campaign's replayed state: the fold of every record
+// logged for its ID, in append order.
+type Campaign struct {
+	ID         string
+	Spec       json.RawMessage
+	ConfigHash string
+	Scope      string
+	// Submitted is the submit record's timestamp (RFC3339).
+	Submitted string
+	// Status is the last status recorded — "" if only a submit survived
+	// (a crash between the submit append and the queued state append).
+	Status string
+	// Attempt is the highest attempt counter recorded. A re-adopting
+	// server resumes from Attempt+1.
+	Attempt int
+	// Error is the terminal error text, if the campaign failed or
+	// completed with errors.
+	Error string
+	// Tables maps experiment id to its latest rendered table.
+	Tables map[string]string
+	// Holes maps experiment id to the hole count its latest table
+	// carried (cells skipped under the campaign's error policy).
+	Holes map[string]int
+}
+
+// Terminal reports whether the campaign reached a terminal status.
+func (c *Campaign) Terminal() bool { return Terminal(c.Status) }
+
+// Stats reports what Open recovered.
+type Stats struct {
+	// Records is the number of valid records replayed across segments.
+	Records uint64
+	// DroppedBytes is the trailing corruption Open discarded.
+	DroppedBytes uint64
+	// Appends counts records appended by this process.
+	Appends uint64
+}
+
+// Log is an open campaign log. Safe for concurrent use.
+type Log struct {
+	dir    string
+	maxSeg int64
+
+	mu      sync.Mutex
+	f       *os.File
+	seg     int
+	size    int64
+	appends uint64
+	closed  bool
+
+	// Boot-time replay state, frozen at Open: the server consumes it
+	// once to rebuild its campaign map, then appends only.
+	campaigns map[string]*Campaign
+	order     []string
+	records   uint64
+	dropped   uint64
+}
+
+// Open opens (creating if needed) the campaign log rooted at dir,
+// replaying every segment's valid prefix. A torn tail on the active
+// segment is truncated away so subsequent appends stay parsable; torn
+// tails on rotated segments just drop the affected records.
+func Open(dir string) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaignlog: %w", err)
+	}
+	l := &Log{
+		dir:       dir,
+		maxSeg:    DefaultMaxSegmentBytes,
+		campaigns: map[string]*Campaign{},
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, seg := range segs {
+		data, err := os.ReadFile(filepath.Join(dir, segName(seg)))
+		if err != nil {
+			return nil, fmt.Errorf("campaignlog: %w", err)
+		}
+		recs, consumed := parseSegment(data)
+		for _, r := range recs {
+			l.fold(r)
+		}
+		l.records += uint64(len(recs))
+		l.dropped += uint64(len(data) - consumed)
+		if i == len(segs)-1 && consumed < len(data) {
+			if err := os.Truncate(filepath.Join(dir, segName(seg)), int64(consumed)); err != nil {
+				return nil, fmt.Errorf("campaignlog: truncate torn tail: %w", err)
+			}
+		}
+	}
+	active := 1
+	if len(segs) > 0 {
+		active = segs[len(segs)-1]
+	}
+	if err := l.openSegment(active); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// fold applies one replayed record to the campaign map. Later records
+// win field-by-field; records for an ID whose submit was lost to
+// corruption still fold (the server decides what to do with a campaign
+// that has no spec).
+func (l *Log) fold(r Record) {
+	c := l.campaigns[r.ID]
+	if c == nil {
+		c = &Campaign{ID: r.ID, Tables: map[string]string{}, Holes: map[string]int{}}
+		l.campaigns[r.ID] = c
+		l.order = append(l.order, r.ID)
+	}
+	switch r.Type {
+	case TypeSubmit:
+		c.Spec = r.Spec
+		c.ConfigHash = r.ConfigHash
+		c.Scope = r.Scope
+		c.Submitted = r.Time
+		if c.Status == "" {
+			c.Status = "queued"
+		}
+	case TypeState:
+		c.Status = r.Status
+		if r.Attempt > c.Attempt {
+			c.Attempt = r.Attempt
+		}
+	case TypeTable:
+		c.Tables[r.Exp] = r.Table
+		c.Holes[r.Exp] = r.Holes
+	case TypeDone:
+		c.Status = r.Status
+		c.Error = r.Error
+	}
+}
+
+// Dir returns the log's root directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Campaigns returns the boot-time replay in submission order. The slice
+// and campaigns are the replay state itself — the caller owns them after
+// Open and must not share them across goroutines with Append (Append
+// does not update them).
+func (l *Log) Campaigns() []*Campaign {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*Campaign, 0, len(l.order))
+	for _, id := range l.order {
+		out = append(out, l.campaigns[id])
+	}
+	return out
+}
+
+// Stats snapshots the recovery and append counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Records: l.records, DroppedBytes: l.dropped, Appends: l.appends}
+}
+
+// SetMaxSegmentBytes overrides the rotation threshold (testing knob).
+func (l *Log) SetMaxSegmentBytes(n int64) {
+	if n > 0 {
+		l.maxSeg = n
+	}
+}
+
+// Append writes one record and fsyncs it before returning — a record
+// Append acknowledged survives any crash. An empty Time is filled with
+// the current instant.
+func (l *Log) Append(r Record) error {
+	if r.Type == "" || r.ID == "" {
+		return fmt.Errorf("campaignlog: record needs a type and a campaign id")
+	}
+	if r.Time == "" {
+		r.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("campaignlog: %w", err)
+	}
+	data, err := json.Marshal(line{CRC: crc32.ChecksumIEEE(payload), Payload: payload})
+	if err != nil {
+		return fmt.Errorf("campaignlog: %w", err)
+	}
+	data = append(data, '\n')
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("campaignlog: log closed")
+	}
+	if l.size > 0 && l.size+int64(len(data)) > l.maxSeg {
+		if err := l.openSegment(l.seg + 1); err != nil {
+			return err
+		}
+	}
+	if _, err := l.f.Write(data); err != nil {
+		return fmt.Errorf("campaignlog: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("campaignlog: %w", err)
+	}
+	l.size += int64(len(data))
+	l.appends++
+	return nil
+}
+
+// Submit logs a campaign's identity record.
+func (l *Log) Submit(id string, spec json.RawMessage, configHash, scope string) error {
+	return l.Append(Record{Type: TypeSubmit, ID: id, Spec: spec, ConfigHash: configHash, Scope: scope})
+}
+
+// State logs a non-terminal status flip.
+func (l *Log) State(id, status string, attempt int) error {
+	return l.Append(Record{Type: TypeState, ID: id, Status: status, Attempt: attempt})
+}
+
+// Table logs one experiment's rendered table.
+func (l *Log) Table(id, exp, table string, holes int) error {
+	return l.Append(Record{Type: TypeTable, ID: id, Exp: exp, Table: table, Holes: holes})
+}
+
+// Done logs the terminal status.
+func (l *Log) Done(id, status, errMsg string) error {
+	return l.Append(Record{Type: TypeDone, ID: id, Status: status, Error: errMsg})
+}
+
+// Close closes the active segment. Further Appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.f.Close()
+}
+
+// openSegment makes seg the active segment, opened for append. Caller
+// holds mu (or is Open, pre-publication).
+func (l *Log) openSegment(seg int) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("campaignlog: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("campaignlog: %w", err)
+	}
+	if l.f != nil {
+		l.f.Close()
+	}
+	l.f, l.seg, l.size = f, seg, fi.Size()
+	return nil
+}
+
+func segName(seg int) string { return fmt.Sprintf("%s%06d%s", segPrefix, seg, segSuffix) }
+
+// listSegments returns the log's segment numbers in ascending order.
+func listSegments(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("campaignlog: %w", err)
+	}
+	var segs []int
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix))
+		if err != nil || n <= 0 {
+			continue
+		}
+		segs = append(segs, n)
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// parseSegment parses one segment's bytes, tolerating a truncated or
+// corrupt tail: parsing stops at the first malformed line — no trailing
+// newline, invalid JSON, a non-record object, or a CRC mismatch — and
+// the valid prefix is kept. The second result is that prefix's length in
+// bytes. (The result store's recovery contract, applied to campaign
+// records.)
+func parseSegment(data []byte) ([]Record, int) {
+	var recs []Record
+	consumed := 0
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break // a crash truncated this line
+		}
+		raw := data[:nl]
+		data = data[nl+1:]
+		if len(bytes.TrimSpace(raw)) == 0 {
+			consumed += nl + 1
+			continue
+		}
+		var ln line
+		if err := json.Unmarshal(raw, &ln); err != nil {
+			break
+		}
+		if ln.Payload == nil || crc32.ChecksumIEEE(ln.Payload) != ln.CRC {
+			break
+		}
+		var rec Record
+		if err := json.Unmarshal(ln.Payload, &rec); err != nil {
+			break
+		}
+		if rec.Type == "" || rec.ID == "" {
+			break
+		}
+		recs = append(recs, rec)
+		consumed += nl + 1
+	}
+	return recs, consumed
+}

@@ -1,0 +1,230 @@
+package campaignlog
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func open(t *testing.T, dir string) *Log {
+	t.Helper()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+// TestRoundTrip: a full campaign lifecycle replays into exactly the state
+// the server needs on restart.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := open(t, dir)
+	spec := json.RawMessage(`{"exps":["t3"],"insts":20000}`)
+	if err := l.Submit("c1", spec, "hash1", "scope1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.State("c1", "running", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Table("c1", "t3", "== t3 ==\n", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Done("c1", "completed", ""); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2 := open(t, dir)
+	cs := l2.Campaigns()
+	if len(cs) != 1 {
+		t.Fatalf("replayed %d campaigns, want 1", len(cs))
+	}
+	c := cs[0]
+	if c.ID != "c1" || c.ConfigHash != "hash1" || c.Scope != "scope1" {
+		t.Errorf("identity lost: %+v", c)
+	}
+	if string(c.Spec) != string(spec) {
+		t.Errorf("spec = %s, want %s", c.Spec, spec)
+	}
+	if c.Status != "completed" || !c.Terminal() {
+		t.Errorf("status = %q, want terminal completed", c.Status)
+	}
+	if c.Attempt != 1 {
+		t.Errorf("attempt = %d, want 1", c.Attempt)
+	}
+	if c.Tables["t3"] != "== t3 ==\n" || c.Holes["t3"] != 2 {
+		t.Errorf("table lost: %+v / %+v", c.Tables, c.Holes)
+	}
+	if c.Submitted == "" {
+		t.Error("submit timestamp lost")
+	}
+	if st := l2.Stats(); st.Records != 4 || st.DroppedBytes != 0 {
+		t.Errorf("stats = %+v, want 4 records, 0 dropped", st)
+	}
+}
+
+// TestNonTerminalReadoption: a campaign whose lifecycle was cut before
+// done replays as non-terminal with its attempt counter, which is what
+// the server requeues.
+func TestNonTerminalReadoption(t *testing.T) {
+	dir := t.TempDir()
+	l := open(t, dir)
+	if err := l.Submit("c1", json.RawMessage(`{"exps":["t3"]}`), "h", "s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.State("c1", "running", 2); err != nil {
+		t.Fatal(err)
+	}
+	// A table landed before the crash; re-adoption keeps it (it will be
+	// superseded when the re-run re-logs).
+	if err := l.Table("c1", "t3", "partial\n", 0); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	c := open(t, dir).Campaigns()[0]
+	if c.Terminal() {
+		t.Fatalf("interrupted campaign replayed terminal: %+v", c)
+	}
+	if c.Status != "running" || c.Attempt != 2 {
+		t.Errorf("status/attempt = %q/%d, want running/2", c.Status, c.Attempt)
+	}
+}
+
+// TestLatestRecordWins: re-logged state and tables supersede older ones,
+// and a bare submit (no state yet) replays as queued.
+func TestLatestRecordWins(t *testing.T) {
+	dir := t.TempDir()
+	l := open(t, dir)
+	l.Submit("c1", json.RawMessage(`{}`), "h", "s")
+	l.State("c1", "running", 1)
+	l.Table("c1", "t3", "old\n", 1)
+	l.State("c1", "queued", 2) // requeued after a restart
+	l.State("c1", "running", 3)
+	l.Table("c1", "t3", "new\n", 0)
+	l.Done("c1", "completed_with_errors", "t4: boom")
+	l.Submit("c2", json.RawMessage(`{}`), "h2", "s2")
+	l.Close()
+
+	cs := open(t, dir).Campaigns()
+	if len(cs) != 2 || cs[0].ID != "c1" || cs[1].ID != "c2" {
+		t.Fatalf("order lost: %+v", cs)
+	}
+	c := cs[0]
+	if c.Tables["t3"] != "new\n" || c.Holes["t3"] != 0 {
+		t.Errorf("latest table did not win: %+v %+v", c.Tables, c.Holes)
+	}
+	if c.Status != "completed_with_errors" || c.Error != "t4: boom" || c.Attempt != 3 {
+		t.Errorf("fold = %q/%q/%d", c.Status, c.Error, c.Attempt)
+	}
+	if cs[1].Status != "queued" {
+		t.Errorf("bare submit replayed as %q, want queued", cs[1].Status)
+	}
+}
+
+// TestTornTailTruncated: a record cut mid-write is dropped on open, the
+// active segment is truncated to the valid prefix, and the log stays
+// appendable — the next append survives the next open.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l := open(t, dir)
+	l.Submit("c1", json.RawMessage(`{}`), "h", "s")
+	l.Done("c1", "completed", "")
+	l.Close()
+
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte{}, data...), []byte(`{"crc":123,"payload":{"type":"done","id":"c1","st`)...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := open(t, dir)
+	if st := l2.Stats(); st.Records != 2 || st.DroppedBytes == 0 {
+		t.Fatalf("recovery stats = %+v, want 2 records and dropped bytes", st)
+	}
+	if c := l2.Campaigns()[0]; c.Status != "completed" {
+		t.Errorf("replay after torn tail = %q", c.Status)
+	}
+	if err := l2.State("c1", "queued", 2); err != nil {
+		t.Fatalf("append after truncation: %v", err)
+	}
+	l2.Close()
+
+	l3 := open(t, dir)
+	if st := l3.Stats(); st.Records != 3 || st.DroppedBytes != 0 {
+		t.Fatalf("post-heal stats = %+v, want 3 records, 0 dropped", st)
+	}
+}
+
+// TestCorruptRecordStopsReplay: a CRC mismatch mid-segment drops that
+// record and everything after it in the segment — the prefix contract —
+// without failing the open.
+func TestCorruptRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	l := open(t, dir)
+	l.Submit("c1", json.RawMessage(`{}`), "h", "s")
+	l.Done("c1", "completed", "")
+	l.Close()
+
+	path := filepath.Join(dir, segName(1))
+	data, _ := os.ReadFile(path)
+	lines := strings.SplitAfter(string(data), "\n")
+	// Flip a payload byte in the first record; its CRC no longer matches.
+	corrupted := strings.Replace(lines[0], `"type":"submit"`, `"type":"suXmit"`, 1) + lines[1]
+	if err := os.WriteFile(path, []byte(corrupted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2 := open(t, dir)
+	if len(l2.Campaigns()) != 0 {
+		t.Errorf("corrupt-prefix segment replayed campaigns: %+v", l2.Campaigns())
+	}
+	if st := l2.Stats(); st.DroppedBytes == 0 {
+		t.Errorf("corruption not reported: %+v", st)
+	}
+}
+
+// TestRotation: appends past the threshold rotate to a new segment, and
+// replay spans all segments.
+func TestRotation(t *testing.T) {
+	dir := t.TempDir()
+	l := open(t, dir)
+	l.SetMaxSegmentBytes(256)
+	for i := 0; i < 20; i++ {
+		id := "c" + strings.Repeat("x", i%3) // a few distinct ids
+		if err := l.State(id, "running", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("no rotation after 20 appends at 256-byte segments: %v", segs)
+	}
+	l2 := open(t, dir)
+	if st := l2.Stats(); st.Records != 20 {
+		t.Errorf("replayed %d records across %d segments, want 20", st.Records, len(segs))
+	}
+}
+
+// TestAppendValidation: records without identity are rejected before
+// they can poison the log.
+func TestAppendValidation(t *testing.T) {
+	l := open(t, t.TempDir())
+	if err := l.Append(Record{Type: TypeState}); err == nil {
+		t.Error("append without id succeeded")
+	}
+	if err := l.Append(Record{ID: "c1"}); err == nil {
+		t.Error("append without type succeeded")
+	}
+}

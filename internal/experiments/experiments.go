@@ -120,6 +120,13 @@ type Params struct {
 	// identical cell's computation) instead of simulated. Called from
 	// sweep setup and worker goroutines; must be concurrency-safe.
 	OnStoreHit func(exp string, cell int, shared bool)
+	// OnStoreFault, if non-nil, observes a store I/O failure the run
+	// absorbed: a cell simulated successfully but its result could not
+	// be persisted (disk full, failed fsync), so the cell completed
+	// uncached instead of failing. The callback is how a server learns
+	// to flip into compute-without-cache degraded mode. Called from
+	// worker goroutines; must be concurrency-safe.
+	OnStoreFault func(error)
 	// Journal, when non-nil, records every completed cell crash-safely
 	// under scope JournalScope+"/"+<experiment id> before the cell counts
 	// as done. Replay holds journaled cells from a previous run to splice
@@ -423,6 +430,18 @@ func (p Params) storeCell(ctx context.Context, key string, cell int, body func()
 		return rawb, resultstore.Provenance{Scope: p.StoreScope, Exp: p.expID, Cell: cell}, err
 	})
 	if err != nil {
+		// A storage I/O failure is not a cell failure: it can only
+		// surface here on the leader path after a *successful* compute
+		// (waiters never adopt a leader's error, and Do performs no I/O
+		// before Put), so `computed` holds a valid result. Return it
+		// uncached and let the caller degrade to compute-without-cache
+		// instead of failing a campaign on a full disk.
+		if resultstore.IsIO(err) {
+			if p.OnStoreFault != nil {
+				p.OnStoreFault(err)
+			}
+			return computed, nil
+		}
 		return cellOut{}, err
 	}
 	if outcome == resultstore.Computed {

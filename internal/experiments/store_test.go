@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -185,5 +187,64 @@ func TestConcurrentRunsShareFlights(t *testing.T) {
 	}
 	if got := s.Hits + s.Shared; got != (racers-1)*8 {
 		t.Errorf("hits+shared = %d, want %d: every non-leader must hit or join a flight", got, (racers-1)*8)
+	}
+}
+
+// TestStoreFaultDegradesToUncached is the compute-without-cache
+// contract: a store whose Puts fail mid-run (disk full) must not fail
+// the run — every cell that simulated successfully completes, the
+// OnStoreFault callback fires so a server can flip degraded, and the
+// rendered tables are byte-identical to an uncached run. Cells persisted
+// before the fault still serve as hits on a rerun.
+func TestStoreFaultDegradesToUncached(t *testing.T) {
+	uncached, err := Run("t3", storeParams(nil, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	var allowed atomic.Int64
+	allowed.Store(2) // first two Puts land, the rest fail
+	st.SetPutFault(func() error {
+		if allowed.Add(-1) < 0 {
+			return errors.New("no space left on device")
+		}
+		return nil
+	})
+	var faults atomic.Int64
+	p := storeParams(st, "scopeA")
+	p.Parallel = 1 // deterministic put order: exactly 2 persisted
+	p.OnStoreFault = func(err error) {
+		if !resultstore.IsIO(err) {
+			t.Errorf("OnStoreFault got a non-I/O error: %v", err)
+		}
+		faults.Add(1)
+	}
+	res, err := Run("t3", p)
+	if err != nil {
+		t.Fatalf("run under store fault failed instead of degrading: %v", err)
+	}
+	if res.String() != uncached.String() {
+		t.Errorf("degraded run differs from uncached:\n--- uncached ---\n%s--- degraded ---\n%s", uncached, res)
+	}
+	if got := faults.Load(); got != 6 {
+		t.Errorf("OnStoreFault fired %d times, want 6 (8 cells - 2 persisted)", got)
+	}
+	if puts := st.Stats().Puts; puts != 2 {
+		t.Errorf("store persisted %d cells, want 2", puts)
+	}
+
+	// The two persisted cells are real hits once the fault clears.
+	st.SetPutFault(nil)
+	hits := 0
+	p2 := storeParams(st, "scopeA")
+	p2.OnStoreHit = func(exp string, cell int, shared bool) { hits++ }
+	p2.Parallel = 1
+	if _, err := Run("t3", p2); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 2 {
+		t.Errorf("rerun hit %d cells, want the 2 persisted before the fault", hits)
 	}
 }

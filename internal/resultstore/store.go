@@ -37,6 +37,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -48,6 +49,32 @@ import (
 	"sync/atomic"
 	"time"
 )
+
+// ErrClosed reports an append against a closed store — the shutdown
+// race a draining server cares about (a Put lost to ErrClosed means a
+// campaign goroutine outlived the drain window).
+var ErrClosed = errors.New("resultstore: store closed")
+
+// IOError marks a storage-layer failure — a failed write, fsync, or
+// segment rotation — as opposed to a compute, validation, or lifecycle
+// error. The distinction is what lets a caller degrade instead of fail:
+// a simulation whose result could not be persisted is still a valid
+// result, so the experiments layer returns it uncached and the server
+// flips into compute-without-cache mode rather than failing campaigns
+// on a full disk.
+type IOError struct {
+	Op  string // "write", "fsync", "rotate", "inject"
+	Err error
+}
+
+func (e *IOError) Error() string { return fmt.Sprintf("resultstore: %s: %v", e.Op, e.Err) }
+func (e *IOError) Unwrap() error { return e.Err }
+
+// IsIO reports whether err is (or wraps) a storage I/O failure.
+func IsIO(err error) bool {
+	var io *IOError
+	return errors.As(err, &io)
+}
 
 // DefaultMaxSegmentBytes is the rotation threshold for the active segment.
 const DefaultMaxSegmentBytes = 4 << 20
@@ -136,13 +163,14 @@ type Store struct {
 	recov   uint64
 	dropped uint64
 
-	mu      sync.Mutex
-	f       *os.File // active segment
-	seg     int      // active segment number
-	size    int64    // active segment bytes
-	index   map[string]entry
-	flights map[string]*flight
-	closed  bool
+	mu       sync.Mutex
+	f        *os.File // active segment
+	seg      int      // active segment number
+	size     int64    // active segment bytes
+	index    map[string]entry
+	flights  map[string]*flight
+	closed   bool
+	putFault func() error // deterministic I/O fault seam (see SetPutFault)
 }
 
 // Open opens (creating if needed) the store rooted at dir, loading every
@@ -205,6 +233,19 @@ func (s *Store) SetMaxSegmentBytes(n int64) {
 	if n > 0 {
 		s.maxSeg = n
 	}
+}
+
+// SetPutFault installs a deterministic I/O fault: every subsequent Put
+// consults f before touching the disk and fails with an *IOError when f
+// returns one. Nil clears the fault. This is the store's analogue of
+// internal/faultinject — disk-full and torn-write failures are hard to
+// provoke on a healthy filesystem, and the degraded-mode contract
+// (campaigns complete uncached instead of failing) needs them on demand
+// in tests and smoke jobs.
+func (s *Store) SetPutFault(f func() error) {
+	s.mu.Lock()
+	s.putFault = f
+	s.mu.Unlock()
 }
 
 // Dir returns the store's root directory.
@@ -281,18 +322,23 @@ func (s *Store) Put(key string, payload []byte, prov Provenance) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return fmt.Errorf("resultstore: store closed")
+		return ErrClosed
+	}
+	if s.putFault != nil {
+		if ferr := s.putFault(); ferr != nil {
+			return &IOError{Op: "inject", Err: ferr}
+		}
 	}
 	if s.size > 0 && s.size+int64(len(line)) > s.maxSeg {
 		if err := s.openSegment(s.seg + 1); err != nil {
-			return err
+			return &IOError{Op: "rotate", Err: err}
 		}
 	}
 	if _, err := s.f.Write(line); err != nil {
-		return fmt.Errorf("resultstore: %w", err)
+		return &IOError{Op: "write", Err: err}
 	}
 	if err := s.f.Sync(); err != nil {
-		return fmt.Errorf("resultstore: %w", err)
+		return &IOError{Op: "fsync", Err: err}
 	}
 	s.size += int64(len(line))
 	// The index owns its payload bytes: callers may reuse theirs.

@@ -447,3 +447,156 @@ func TestPayloadIsolation(t *testing.T) {
 		t.Fatalf("stored payload aliased the caller's buffer: %q", got)
 	}
 }
+
+// TestPutFaultIsIOError: the deterministic fault seam surfaces as an
+// *IOError — the marker the experiments layer keys degraded mode on —
+// while compute/validation/lifecycle errors do not.
+func TestPutFaultIsIOError(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	calls := 0
+	s.SetPutFault(func() error {
+		calls++
+		if calls > 1 {
+			return fmt.Errorf("disk full")
+		}
+		return nil
+	})
+	if err := s.Put(CellKey("s", "t3", 0), []byte(`{"v":1}`), Provenance{}); err != nil {
+		t.Fatalf("first put (fault armed but passing): %v", err)
+	}
+	err := s.Put(CellKey("s", "t3", 1), []byte(`{"v":2}`), Provenance{})
+	if !IsIO(err) {
+		t.Fatalf("injected fault = %v, want an *IOError", err)
+	}
+	if err := s.Put("", nil, Provenance{}); IsIO(err) {
+		t.Errorf("validation error classified as I/O: %v", err)
+	}
+	s.SetPutFault(nil)
+	if err := s.Put(CellKey("s", "t3", 2), []byte(`{"v":3}`), Provenance{}); err != nil {
+		t.Fatalf("put after clearing fault: %v", err)
+	}
+	s.Close()
+	if err := s.Put(CellKey("s", "t3", 3), []byte(`{"v":4}`), Provenance{}); err != ErrClosed {
+		t.Errorf("put on closed store = %v, want ErrClosed", err)
+	} else if IsIO(err) {
+		t.Error("ErrClosed classified as I/O — shutdown would flip servers degraded")
+	}
+}
+
+// TestDoPutFaultStillReturnsComputedResult: a leader whose simulation
+// succeeded but whose Put hit an I/O fault surfaces the *IOError through
+// Do with the flight cleanly ended — the caller (experiments.storeCell)
+// recognizes IsIO and uses its own computed copy, so the distinction
+// must survive the singleflight plumbing.
+func TestDoPutFaultStillReturnsComputedResult(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	s.SetPutFault(func() error { return fmt.Errorf("no space left on device") })
+	key := CellKey("s", "t3", 0)
+	_, _, outcome, err := s.Do(context.Background(), key, func() ([]byte, Provenance, error) {
+		return []byte(`{"v":1}`), Provenance{}, nil
+	})
+	if !IsIO(err) || outcome != Computed {
+		t.Fatalf("Do under put fault = outcome %v err %v, want Computed with IOError", outcome, err)
+	}
+	// The failed flight must be unregistered: a retry with the fault
+	// cleared computes fresh and persists.
+	s.SetPutFault(nil)
+	payload, _, outcome, err := s.Do(context.Background(), key, func() ([]byte, Provenance, error) {
+		return []byte(`{"v":2}`), Provenance{}, nil
+	})
+	if err != nil || outcome != Computed || string(payload) != `{"v":2}` {
+		t.Fatalf("retry after fault = %s/%v/%v", payload, outcome, err)
+	}
+}
+
+// TestTrimConcurrentWithPutGet races segment eviction against live
+// traffic: while writers Put fresh records (forcing rotations) and
+// readers Get known keys, Trim repeatedly evicts oldest segments. The
+// contract under -race: no Put errors, and every Get that reports ok
+// returns exactly the bytes stored for that key — eviction during an
+// active campaign may turn a hit into a miss, but never into a torn
+// record or an error.
+func TestTrimConcurrentWithPutGet(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	s.SetMaxSegmentBytes(512) // rotate constantly so Trim always has prey
+
+	payloadFor := func(i int) []byte {
+		return []byte(fmt.Sprintf(`{"cell":%d,"pad":"%s"}`, i, strings.Repeat("x", 64)))
+	}
+	const keys = 32
+	for i := 0; i < keys; i++ {
+		if err := s.Put(CellKey("trim", "t3", i), payloadFor(i), Provenance{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var putErr atomic.Value
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := (i*2 + w) % keys
+				if err := s.Put(CellKey("trim", "t3", k), payloadFor(k), Provenance{}); err != nil {
+					putErr.Store(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := (i*3 + r) % keys
+				got, _, ok := s.Get(CellKey("trim", "t3", k))
+				if ok && !bytes.Equal(got, payloadFor(k)) {
+					putErr.Store(fmt.Errorf("torn record for cell %d: %q", k, got))
+					return
+				}
+			}
+		}(r)
+	}
+	deadline := time.After(300 * time.Millisecond)
+	for {
+		if _, err := s.Trim(1024); err != nil {
+			t.Fatalf("trim during live traffic: %v", err)
+		}
+		select {
+		case <-deadline:
+			close(stop)
+			wg.Wait()
+			if err := putErr.Load(); err != nil {
+				t.Fatal(err)
+			}
+			// The survivors must re-open clean: no dropped bytes, and
+			// every resident key still round-trips.
+			s.Close()
+			s2 := mustOpen(t, dir)
+			if s2.Stats().DroppedBytes != 0 {
+				t.Fatalf("trim left corruption: %+v", s2.Stats())
+			}
+			for i := 0; i < keys; i++ {
+				if got, _, ok := s2.Get(CellKey("trim", "t3", i)); ok && !bytes.Equal(got, payloadFor(i)) {
+					t.Fatalf("cell %d torn after reopen: %q", i, got)
+				}
+			}
+			return
+		default:
+		}
+	}
+}

@@ -37,6 +37,23 @@ func (o OnError) String() string {
 	}
 }
 
+// MarshalText encodes the policy as its flag spelling, so structures
+// embedding an OnError (campaign specs, manifests) round-trip it as a
+// readable string rather than an opaque integer.
+func (o OnError) MarshalText() ([]byte, error) { return []byte(o.String()), nil }
+
+// UnmarshalText parses the flag spelling, making OnError usable directly
+// as a JSON field ("on_cell_error": "retry") with the same validation
+// the -on-cell-error flag gets.
+func (o *OnError) UnmarshalText(b []byte) error {
+	v, err := ParseOnError(string(b))
+	if err != nil {
+		return err
+	}
+	*o = v
+	return nil
+}
+
 // ParseOnError parses the -on-cell-error flag value.
 func ParseOnError(s string) (OnError, error) {
 	switch s {

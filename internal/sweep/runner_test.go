@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -424,5 +425,34 @@ func TestLegacyEntryPointsWrapErrors(t *testing.T) {
 	var ce *CellError
 	if !errors.As(err, &ce) || ce.Cell != 6 || !errors.Is(err, cause) {
 		t.Fatalf("Map error = %v, want cell 6's *CellError wrapping the cause", err)
+	}
+}
+
+// TestOnErrorTextRoundTrip: the policy marshals as its flag spelling and
+// unmarshals with flag-grade validation, so campaign specs can carry an
+// OnError field directly.
+func TestOnErrorTextRoundTrip(t *testing.T) {
+	type spec struct {
+		Policy OnError `json:"on_cell_error,omitempty"`
+	}
+	for _, pol := range []OnError{Abort, Skip, Retry} {
+		data, err := json.Marshal(spec{Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got spec
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("%s: %v", data, err)
+		}
+		if got.Policy != pol {
+			t.Errorf("round trip %v -> %s -> %v", pol, data, got.Policy)
+		}
+	}
+	var got spec
+	if err := json.Unmarshal([]byte(`{"on_cell_error":"explode"}`), &got); err == nil {
+		t.Error("unknown policy string unmarshaled without error")
+	}
+	if err := json.Unmarshal([]byte(`{"on_cell_error":"retry"}`), &got); err != nil || got.Policy != Retry {
+		t.Errorf("retry spelling = %v, %v", got.Policy, err)
 	}
 }

@@ -49,6 +49,17 @@ const (
 	MetricStoreShared     = "retstack_store_shared_total"
 	MetricStoreGetSeconds = "retstack_store_get_seconds"
 	MetricStorePutSeconds = "retstack_store_put_seconds"
+
+	// Durable campaign queue and serving-health metrics (rasserve).
+	// Depth counts submitted-but-unfinished campaigns; recovered counts
+	// non-terminal campaigns re-adopted from the campaign log at boot;
+	// requeued counts every time a campaign went back on the queue for
+	// another attempt. Degraded is 0/1: the server lost its result store
+	// to an I/O fault and is serving compute-without-cache.
+	MetricQueueDepth     = "retstack_queue_depth"
+	MetricQueueRecovered = "retstack_queue_recovered_total"
+	MetricQueueRequeued  = "retstack_queue_requeued_total"
+	MetricServerDegraded = "retstack_server_degraded"
 )
 
 // SweepObserver feeds sweep-cell lifecycle callbacks into a registry and
@@ -366,4 +377,70 @@ func (m *StoreMetrics) ObserveShared() {
 		return
 	}
 	m.shared.Inc()
+}
+
+// ServerMetrics feeds rasserve's campaign-queue lifecycle and health
+// into a registry. Construction registers every family eagerly — a
+// freshly booted server with an empty queue must still expose
+// retstack_queue_recovered_total = 0 and retstack_server_degraded = 0,
+// so promcheck -require can assert the schema before any campaign runs.
+type ServerMetrics struct {
+	depth     *Gauge
+	recovered *Counter
+	requeued  *Counter
+	degraded  *Gauge
+}
+
+// NewServerMetrics registers the queue/health families on reg. A nil
+// registry yields a nil collector, which is safe to call.
+func NewServerMetrics(reg *Registry) *ServerMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &ServerMetrics{
+		depth: reg.Gauge(MetricQueueDepth,
+			"campaigns submitted but not yet terminal"),
+		recovered: reg.Counter(MetricQueueRecovered,
+			"non-terminal campaigns re-adopted from the campaign log at boot"),
+		requeued: reg.Counter(MetricQueueRequeued,
+			"campaigns placed back on the queue for another attempt"),
+		degraded: reg.Gauge(MetricServerDegraded,
+			"1 when the result store is lost to an I/O fault and the server computes without caching"),
+	}
+}
+
+// QueueDepth moves the queue-depth gauge by d.
+func (m *ServerMetrics) QueueDepth(d int64) {
+	if m == nil {
+		return
+	}
+	m.depth.Add(d)
+}
+
+// CampaignRecovered records one campaign re-adopted from the log.
+func (m *ServerMetrics) CampaignRecovered() {
+	if m == nil {
+		return
+	}
+	m.recovered.Inc()
+}
+
+// CampaignRequeued records one campaign going back on the queue.
+func (m *ServerMetrics) CampaignRequeued() {
+	if m == nil {
+		return
+	}
+	m.requeued.Inc()
+}
+
+// SetDegraded flips the degraded gauge.
+func (m *ServerMetrics) SetDegraded(v bool) {
+	if m == nil {
+		return
+	}
+	if v {
+		m.degraded.Set(1)
+	} else {
+		m.degraded.Set(0)
+	}
 }

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"bytes"
 	"io"
 	"strconv"
 	"strings"
@@ -188,4 +189,55 @@ func TestCheckExposition(t *testing.T) {
 	if err := CheckExposition(strings.NewReader(good)); err != nil {
 		t.Errorf("good exposition rejected: %v", err)
 	}
+}
+
+// TestServerMetricsEagerRegistration: all four queue/health families
+// exist (at zero) the moment the collector is built, and the callbacks
+// move the right instruments. promcheck -require in CI depends on the
+// eager registration.
+func TestServerMetricsEagerRegistration(t *testing.T) {
+	reg := NewRegistry()
+	m := NewServerMetrics(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{
+		MetricQueueDepth + " 0",
+		MetricQueueRecovered + " 0",
+		MetricQueueRequeued + " 0",
+		MetricServerDegraded + " 0",
+	} {
+		if !strings.Contains(buf.String(), fam) {
+			t.Errorf("fresh exposition missing %q:\n%s", fam, buf.String())
+		}
+	}
+	m.QueueDepth(2)
+	m.QueueDepth(-1)
+	m.CampaignRecovered()
+	m.CampaignRequeued()
+	m.CampaignRequeued()
+	m.SetDegraded(true)
+	buf.Reset()
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{
+		MetricQueueDepth + " 1",
+		MetricQueueRecovered + " 1",
+		MetricQueueRequeued + " 2",
+		MetricServerDegraded + " 1",
+	} {
+		if !strings.Contains(buf.String(), fam) {
+			t.Errorf("exposition missing %q after callbacks:\n%s", fam, buf.String())
+		}
+	}
+	m.SetDegraded(false)
+
+	// Nil-safety: a server without a registry must not care.
+	var nilM *ServerMetrics
+	nilM.QueueDepth(1)
+	nilM.CampaignRecovered()
+	nilM.CampaignRequeued()
+	nilM.SetDegraded(true)
 }
