@@ -18,6 +18,7 @@ import (
 	"retstack/internal/core"
 	"retstack/internal/experiments"
 	"retstack/internal/resultstore"
+	"retstack/internal/sweep"
 )
 
 // benchBudget keeps the full sweep tractable under `go test -bench=.`;
@@ -173,6 +174,14 @@ func sweepBenchParams(parallel int) experiments.Params {
 // BenchmarkSweepSerial runs the t3 sweep on one worker — the baseline the
 // parallel engine is judged against.
 func BenchmarkSweepSerial(b *testing.B) {
+	// Warm the image arena untimed so a -benchtime 1x smoke run measures
+	// steady-state sweep cost, not the one-time assembly of eight images
+	// (the committed baseline's numbers are warm-run numbers).
+	if _, err := experiments.Run("t3", sweepBenchParams(1)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Run("t3", sweepBenchParams(1)); err != nil {
 			b.Fatal(err)
@@ -185,6 +194,10 @@ func BenchmarkSweepSerial(b *testing.B) {
 // timed loop. The worker count is reported alongside the speedup: a
 // speedup of ~1.0 on a 1-CPU machine is expected, not a regression, and
 // comparing speedups across reports is only meaningful at equal "procs".
+// Throughput is reported both absolutely (cells/s) and normalised per
+// worker (cells/s/proc): the per-proc figure is what should hold steady as
+// core counts grow — a falling cells/s/proc at rising procs is the
+// signature of cross-worker contention.
 func BenchmarkSweepParallel(b *testing.B) {
 	procs := runtime.GOMAXPROCS(0)
 	serialStart := time.Now()
@@ -193,9 +206,16 @@ func BenchmarkSweepParallel(b *testing.B) {
 	}
 	serial := time.Since(serialStart)
 
+	var cells int
+	params := sweepBenchParams(procs)
+	params.OnWorkerStats = func(ws []sweep.WorkerStats) {
+		for _, w := range ws {
+			cells += w.Finished
+		}
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Run("t3", sweepBenchParams(procs)); err != nil {
+		if _, err := experiments.Run("t3", params); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -205,6 +225,11 @@ func BenchmarkSweepParallel(b *testing.B) {
 	parallelPerOp := b.Elapsed() / time.Duration(b.N)
 	if parallelPerOp > 0 && procs > 1 {
 		b.ReportMetric(float64(serial)/float64(parallelPerOp), "speedup")
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 && cells > 0 {
+		cellsPerSec := float64(cells) / secs
+		b.ReportMetric(cellsPerSec, "cells/s")
+		b.ReportMetric(cellsPerSec/float64(procs), "cells/s/proc")
 	}
 	b.ReportMetric(float64(procs), "procs")
 }

@@ -172,8 +172,8 @@ func TestCompareSpeedup(t *testing.T) {
 	if len(regs) != 0 {
 		t.Errorf("unexpected regressions: %v", regs)
 	}
-	if checked != 2 || skipped != 0 {
-		t.Errorf("checked/skipped = %d/%d, want 2/0", checked, skipped)
+	if checked != 2 || len(skipped) != 0 {
+		t.Errorf("checked/skipped = %d/%v, want 2 checked and none skipped", checked, skipped)
 	}
 
 	// Single-core run: the parallel comparison is skipped, not failed —
@@ -190,8 +190,11 @@ func TestCompareSpeedup(t *testing.T) {
 		if len(regs) != 0 {
 			t.Errorf("single-core run flagged: %v", regs)
 		}
-		if checked != 1 || skipped != 1 {
-			t.Errorf("checked/skipped = %d/%d, want 1/1", checked, skipped)
+		if checked != 1 || len(skipped) != 1 {
+			t.Errorf("checked/skipped = %d/%v, want 1 checked and 1 skipped", checked, skipped)
+		}
+		if len(skipped) == 1 && !strings.Contains(skipped[0], "BenchmarkSweepParallel") {
+			t.Errorf("skip note %q does not name the benchmark", skipped[0])
 		}
 	}
 

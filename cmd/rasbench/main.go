@@ -43,6 +43,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -51,6 +52,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -107,10 +109,15 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "capture per-cell JSONL event traces with misprediction attribution into this directory (inspect with rastrace)")
 		traceBuf    = flag.Int("trace-buf", pipeline.DefaultTraceBuf, "per-cell causal ring capacity in events for -trace-out attribution")
 
-		onCellError   = flag.String("on-cell-error", "abort", "failed-cell policy: abort | skip (hole the cell, keep sweeping) | retry (transient errors, bounded backoff)")
-		retries       = flag.Int("retries", 3, "max attempts per cell under -on-cell-error=retry")
-		retryBackoff  = flag.Duration("retry-backoff", 100*time.Millisecond, "initial backoff between retry attempts (doubles per attempt)")
-		cellTimeout   = flag.Duration("cell-timeout", 0, "per-cell watchdog: abandon a cell producing no result within this duration (0 = off)")
+		onCellError  = flag.String("on-cell-error", "abort", "failed-cell policy: abort | skip (hole the cell, keep sweeping) | retry (transient errors, bounded backoff)")
+		retries      = flag.Int("retries", 3, "max attempts per cell under -on-cell-error=retry")
+		retryBackoff = flag.Duration("retry-backoff", 100*time.Millisecond, "initial backoff between retry attempts (doubles per attempt)")
+		cellTimeout  = flag.Duration("cell-timeout", 0, "per-cell watchdog: abandon a cell producing no result within this duration (0 = off)")
+		scale        = flag.Bool("scale", false, "run the scalability family (p1-p3): sweep -parallel across -scale-levels, report throughput/utilization/determinism")
+		scaleOut     = flag.String("scale-out", "", "write the machine-readable scaling report (BENCH_scaling.json) to this file")
+		scaleLevels  = flag.String("scale-levels", "", "comma-separated parallelism levels for -scale (default: 1..GOMAXPROCS)")
+		scaleTarget  = flag.String("scale-target", experiments.ScalingTarget, "experiment the scaling family sweeps")
+
 		storePath     = flag.String("store", "", "content-addressed result store directory: cells already cached splice in without simulating, misses are persisted for the next run")
 		storeMaxBytes = flag.Int64("store-max-bytes", 0, "after the run, evict oldest store segments until the store fits this many bytes (0 = never evict)")
 		journalPath   = flag.String("journal", "", "append every completed cell to this crash-safe JSONL journal")
@@ -119,6 +126,18 @@ func main() {
 		injectSeed    = flag.Uint64("inject-seed", 1, "seed for the -inject corruption address sequence")
 	)
 	flag.Parse()
+
+	// -parallel is validated up front rather than silently normalized
+	// deep in the sweep engine: negatives are refused, and 0 maps to
+	// GOMAXPROCS explicitly so the manifest and the stderr note agree on
+	// the effective worker count.
+	if *parallel < 0 {
+		fatal(fmt.Errorf("-parallel %d: must be >= 0 (0 selects one worker per CPU)", *parallel))
+	}
+	if *parallel == 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+		fmt.Fprintf(os.Stderr, "rasbench: -parallel 0: running %d workers (GOMAXPROCS)\n", *parallel)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -146,14 +165,19 @@ func main() {
 		}()
 	}
 
-	if *list || *exp == "" {
+	if *list || (*exp == "" && !*scale) {
 		fmt.Println("reproducible artifacts:")
 		for _, id := range retstack.ExperimentIDs() {
 			title, _ := retstack.ExperimentTitle(id)
 			fmt.Printf("  %-3s %s\n", id, title)
 		}
+		fmt.Println("scalability (timing-dependent; excluded from 'all', journaling, and the store):")
+		for _, id := range experiments.ScalingIDs() {
+			title, _ := experiments.ScalingTitle(id)
+			fmt.Printf("  %-3s %s\n", id, title)
+		}
 		if *exp == "" && !*list {
-			fmt.Println("\nuse -exp <id> or -exp all")
+			fmt.Println("\nuse -exp <id>, -exp all, or -scale")
 		}
 		return
 	}
@@ -174,6 +198,29 @@ func main() {
 	}
 	if *storePath != "" && plan != nil {
 		fatal(fmt.Errorf("-store cannot be combined with -inject: injected cells would poison the cache"))
+	}
+
+	// The scalability family (-scale, or -exp p1/p2/p3) measures wall
+	// clock, so it dispatches outside the deterministic experiment
+	// machinery: no journaling, no result store, no fault injection —
+	// spliced or faulted cells would turn the measurement into fiction.
+	var scaleIDs []string
+	switch {
+	case *scale:
+		scaleIDs = experiments.ScalingIDs()
+	case experiments.IsScalingID(*exp):
+		scaleIDs = []string{*exp}
+	}
+	if len(scaleIDs) > 0 {
+		if plan != nil || *storePath != "" || *journalPath != "" || *resumePath != "" {
+			fatal(fmt.Errorf("the scaling family measures wall clock; it cannot combine with -inject, -store, -journal, or -resume"))
+		}
+		p := experiments.Params{InstBudget: *insts, Warmup: *warmup, Ctx: ctx}
+		if *bench != "" {
+			p.Workloads = strings.Split(*bench, ",")
+		}
+		runScale(ctx, scaleIDs, *scaleTarget, *scaleLevels, *scaleOut, *format, p)
+		return
 	}
 
 	// Telemetry sinks: all nil (and therefore free) unless requested.
@@ -324,9 +371,11 @@ func main() {
 		p := params
 		var timing *sweep.Timing
 		var prog *sweep.Progress
+		var obs *telemetry.SweepObserver
 		if observing {
 			timing = sweep.NewTiming()
-			mons := []sweep.Monitor{timing, telemetry.NewSweepObserver(reg, events, "exp", id)}
+			obs = telemetry.NewSweepObserver(reg, events, "exp", id)
+			mons := []sweep.Monitor{timing, obs}
 			if *progress {
 				prog = sweep.NewProgress(os.Stderr, id)
 				mons = append(mons, prog)
@@ -361,6 +410,10 @@ func main() {
 		if prog != nil {
 			prog.Finish()
 		}
+		// The sweep has joined (workers drained) on every path out of Run,
+		// so the observer's per-worker cells are quiescent: fold them into
+		// the registry before anything reads or flushes it.
+		obs.Drain()
 		if err != nil {
 			if ctx.Err() != nil {
 				// A signal canceled the sweep mid-experiment. Flush what we
@@ -523,8 +576,16 @@ func reportSweep(w io.Writer, id string, workers int, timing *sweep.Timing) {
 	if len(cells) == 0 {
 		return
 	}
+	// Clamp the utilization denominator to workers that actually ran a
+	// cell: a 2-cell sweep under -parallel 8 ran on 2 workers (the engine
+	// clamps), and dividing by 8 would report idle workers that never
+	// existed.
+	effective := sweep.Workers(workers)
+	if ran := timing.Workers(); ran > 0 && ran < effective {
+		effective = ran
+	}
 	line := fmt.Sprintf("sweep %s: %d cells, utilization %.0f%%, median cell %.2fs",
-		id, len(cells), 100*timing.Utilization(sweep.Workers(workers)), timing.Median().Seconds())
+		id, len(cells), 100*timing.Utilization(effective), timing.Median().Seconds())
 	if stragglers := timing.Stragglers(3); len(stragglers) != 0 {
 		s := stragglers[0]
 		line += fmt.Sprintf("; straggler cell %d (%.2fs on worker %d)",
@@ -556,6 +617,81 @@ func printCSV(w io.Writer, res *experiments.Result) error {
 		fmt.Fprintf(w, "%s,%s,%s,%s,%g\n", res.ID, parts[0], parts[1], parts[2], res.Values[k])
 	}
 	return nil
+}
+
+// parseLevels parses the -scale-levels spec ("1,2,4") into parallelism
+// levels; empty selects the default 1..GOMAXPROCS curve.
+func parseLevels(spec string) ([]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var levels []int
+	for _, part := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-scale-levels %q: levels must be positive integers", spec)
+		}
+		levels = append(levels, n)
+	}
+	return levels, nil
+}
+
+// runScale measures the scalability curve once and renders every
+// requested p-family view of it, optionally persisting the machine-
+// readable report (the BENCH_scaling.json benchjson -validate-scaling
+// checks).
+func runScale(ctx context.Context, ids []string, target, levelsSpec, outPath, format string, p experiments.Params) {
+	levels, err := parseLevels(levelsSpec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "rasbench: scaling %s across %d level(s), GOMAXPROCS=%d\n",
+		target, len(effectiveLevels(levels)), runtime.GOMAXPROCS(0))
+	rep, err := experiments.MeasureScaling(p, target, levels)
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "rasbench: interrupted")
+			os.Exit(130)
+		}
+		fatal(err)
+	}
+	for _, id := range ids {
+		res, err := experiments.RenderScaling(id, rep)
+		if err != nil {
+			fatal(err)
+		}
+		switch format {
+		case "csv":
+			if err := printCSV(os.Stdout, res); err != nil {
+				fatal(err)
+			}
+		default:
+			fmt.Print(res)
+			fmt.Println()
+		}
+	}
+	if !rep.Identical {
+		fatal(fmt.Errorf("determinism violation: results differ across parallelism levels (see p3)"))
+	}
+	if outPath != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rasbench: wrote scaling report to %s\n", outPath)
+	}
+}
+
+// effectiveLevels resolves an empty -scale-levels to the default curve
+// for the stderr banner.
+func effectiveLevels(levels []int) []int {
+	if len(levels) > 0 {
+		return levels
+	}
+	return experiments.DefaultScalingLevels()
 }
 
 // fatal reports the error, flushes whatever sinks the run opened before it

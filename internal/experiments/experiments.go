@@ -47,6 +47,12 @@ type Params struct {
 	// observational — it cannot affect results (asserted by
 	// TestTelemetryDoesNotPerturb).
 	Monitor sweep.Monitor
+	// OnWorkerStats, if non-nil, receives the engine's per-worker
+	// accounting (cells started/finished, busy and queue-wait wall clock)
+	// after each sweep completes. An experiment that sweeps more than once
+	// fires it once per sweep; accumulate by Worker index. Strictly
+	// observational, like Monitor.
+	OnWorkerStats func([]sweep.WorkerStats)
 	// Sample, if non-nil, attaches a cycle sampler to every simulation:
 	// every SampleEvery cycles (0 = pipeline.DefaultSampleEvery) it
 	// receives the sweep-cell index and a read-only pipeline snapshot.
@@ -371,10 +377,11 @@ func runCells(p Params, n int, body func(ctx context.Context, worker, i int) (ce
 		}
 	}
 	pol := sweep.Policy{
-		OnError:     p.OnCellError,
-		MaxAttempts: p.RetryAttempts,
-		Backoff:     p.RetryBackoff,
-		CellTimeout: p.CellTimeout,
+		OnError:       p.OnCellError,
+		MaxAttempts:   p.RetryAttempts,
+		Backoff:       p.RetryBackoff,
+		CellTimeout:   p.CellTimeout,
+		OnWorkerStats: p.OnWorkerStats,
 	}
 	if len(spliced) > 0 {
 		pol.Skip = func(cell int) bool { _, ok := spliced[cell]; return ok }
@@ -525,9 +532,19 @@ func (p Params) imagesFor(n int, workload func(i int) workloads.Workload) (map[s
 	return buildImages(p, need)
 }
 
-// buildImages builds each distinct workload in ws exactly once, in
-// parallel, returning the immutable images keyed by workload name. Cells
-// of a sweep share these; nothing downstream may mutate them.
+// buildImages is the sweep's pre-warm phase: it builds each distinct
+// workload in ws exactly once, in parallel, and fully warms every image —
+// the predecode plane (otherwise the first cells to touch a shared image
+// convoy on its sync.Once while one goroutine decodes) and the plane's
+// block-descriptor table (otherwise cold blocks are built lazily, a benign
+// but contended duplicate scan when two workers enter the same block) —
+// then freezes the shared workload arena so any remaining Build callers
+// read a lock-free snapshot. By the time the sweep's workers start, every
+// shared structure a cell touches is immutable and complete: the cell hot
+// path performs no cross-worker writes at all.
+//
+// Returns the immutable images keyed by workload name. Cells of a sweep
+// share these; nothing downstream may mutate them.
 func buildImages(p Params, ws []workloads.Workload) (map[string]*program.Image, error) {
 	var distinct []workloads.Workload
 	index := map[string]int{}
@@ -538,11 +555,19 @@ func buildImages(p Params, ws []workloads.Workload) (map[string]*program.Image, 
 		}
 	}
 	built, err := sweep.MapContext(p.ctx(), p.workers(), len(distinct), func(_ context.Context, i int) (*program.Image, error) {
-		return buildFor(distinct[i], p)
+		im, err := buildFor(distinct[i], p)
+		if err != nil {
+			return nil, err
+		}
+		if pl := im.Predecode(); pl != nil {
+			pl.PrewarmBlocks()
+		}
+		return im, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	workloads.SharedArena().Freeze()
 	ims := make(map[string]*program.Image, len(distinct))
 	for name, i := range index {
 		ims[name] = built[i]

@@ -71,6 +71,29 @@ func (p *Plane) BlockLen(pc uint32) (n uint32, built bool) {
 	return p.BlockLenAt(idx)
 }
 
+// PrewarmBlocks builds every block descriptor in one linear pass, so a
+// plane shared across sweep workers serves all block lookups from built
+// entries — no worker ever runs the lazy fill (benign but contended: two
+// workers entering the same cold block both scan and both store) while
+// another is simulating. The pass walks terminators backwards-free: each
+// slot's length is 1 when it terminates, else its successor's length + 1.
+// Idempotent; entries already built are overwritten with identical values.
+func (p *Plane) PrewarmBlocks() {
+	n := len(p.classes)
+	if n == 0 {
+		return
+	}
+	// The last slot always ends its block (run stops at the plane edge).
+	atomic.StoreUint32(&p.blocks[n-1], 1)
+	for i := n - 2; i >= 0; i-- {
+		if IsBlockTerminator(p.classes[i]) {
+			atomic.StoreUint32(&p.blocks[i], 1)
+		} else {
+			atomic.StoreUint32(&p.blocks[i], atomic.LoadUint32(&p.blocks[i+1])+1)
+		}
+	}
+}
+
 // ResetBlocks clears every block descriptor, forcing lazy rebuilds. It is a
 // benchmarking and testing hook (measuring build cost requires un-building);
 // production consumers never call it — a plane's descriptors are valid for

@@ -150,6 +150,22 @@ type flight struct {
 	err     error
 }
 
+// flightShardCount sizes the singleflight shard table. Keys are sha256
+// hex (uniform), so a small power of two spreads concurrent sweep workers
+// across independent locks; 32 shards keep 16 workers essentially
+// collision-free without meaningful memory cost.
+const flightShardCount = 32
+
+// flightShard is one slice of the in-flight computation table, with its
+// own lock so concurrent Do callers on different keys never serialize on
+// a store-wide mutex. The pad keeps adjacent shards' mutexes off one
+// cache line.
+type flightShard struct {
+	mu sync.Mutex
+	m  map[string]*flight
+	_  [96]byte
+}
+
 // Store is an open result store. Safe for concurrent use.
 type Store struct {
 	dir     string
@@ -168,9 +184,22 @@ type Store struct {
 	seg      int      // active segment number
 	size     int64    // active segment bytes
 	index    map[string]entry
-	flights  map[string]*flight
 	closed   bool
 	putFault func() error // deterministic I/O fault seam (see SetPutFault)
+
+	flights [flightShardCount]flightShard
+}
+
+// flightShardFor maps key to its singleflight shard (FNV-1a; keys are
+// already uniform content hashes, but FNV keeps arbitrary test keys
+// spreading too).
+func (s *Store) flightShardFor(key string) *flightShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &s.flights[h%flightShardCount]
 }
 
 // Open opens (creating if needed) the store rooted at dir, loading every
@@ -183,11 +212,13 @@ func Open(dir string) (*Store, error) {
 		return nil, fmt.Errorf("resultstore: %w", err)
 	}
 	s := &Store{
-		dir:     dir,
-		tool:    "resultstore",
-		maxSeg:  DefaultMaxSegmentBytes,
-		index:   map[string]entry{},
-		flights: map[string]*flight{},
+		dir:    dir,
+		tool:   "resultstore",
+		maxSeg: DefaultMaxSegmentBytes,
+		index:  map[string]entry{},
+	}
+	for i := range s.flights {
+		s.flights[i].m = map[string]*flight{}
 	}
 	segs, err := listSegments(dir)
 	if err != nil {
@@ -396,19 +427,31 @@ func (o Outcome) String() string {
 // Do assumes the caller already observed (and counted) a Get miss, so it
 // does not count another; a key that became resident in the meantime
 // counts as a hit.
+//
+// Flights live in a sharded table (key-hashed, per-shard locks) so
+// concurrent sweep workers resolving different keys never serialize on
+// one singleflight mutex. The index check and the flight check are
+// therefore not atomic: a leader can finish in the gap, in which case
+// this caller leads a redundant computation. That is benign — payloads
+// are a pure function of the key, exactly-one-at-a-time per key still
+// holds (flight registration is atomic per shard), and the duplicate
+// Put just appends a record the index resolves latest-wins.
 func (s *Store) Do(ctx context.Context, key string, compute func() ([]byte, Provenance, error)) ([]byte, Provenance, Outcome, error) {
+	sh := s.flightShardFor(key)
 	for {
 		s.mu.Lock()
-		if e, ok := s.index[key]; ok {
-			s.mu.Unlock()
+		e, ok := s.index[key]
+		s.mu.Unlock()
+		if ok {
 			s.hits.Add(1)
 			if s.obs.OnGet != nil {
 				s.obs.OnGet(true, 0)
 			}
 			return e.payload, e.prov, Hit, nil
 		}
-		if f, ok := s.flights[key]; ok {
-			s.mu.Unlock()
+		sh.mu.Lock()
+		if f, ok := sh.m[key]; ok {
+			sh.mu.Unlock()
 			select {
 			case <-f.done:
 			case <-ctx.Done():
@@ -429,8 +472,8 @@ func (s *Store) Do(ctx context.Context, key string, compute func() ([]byte, Prov
 			return f.payload, f.prov, SharedFlight, nil
 		}
 		f := &flight{done: make(chan struct{})}
-		s.flights[key] = f
-		s.mu.Unlock()
+		sh.m[key] = f
+		sh.mu.Unlock()
 		s.lead(key, f, compute)
 		return f.payload, f.prov, Computed, f.err
 	}
@@ -462,9 +505,10 @@ func (s *Store) lead(key string, f *flight, compute func() ([]byte, Provenance, 
 // happens after the delete so a caller can never observe a closed flight
 // still registered.
 func (s *Store) endFlight(key string, f *flight) {
-	s.mu.Lock()
-	delete(s.flights, key)
-	s.mu.Unlock()
+	sh := s.flightShardFor(key)
+	sh.mu.Lock()
+	delete(sh.m, key)
+	sh.mu.Unlock()
 	close(f.done)
 }
 

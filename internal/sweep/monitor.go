@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -71,16 +72,72 @@ type CellTiming struct {
 // durations, per-worker busy time, and straggler identification. One
 // Timing may span several RunMonitored calls (an experiment that sweeps
 // more than once); records accumulate.
+//
+// Records land in per-worker shards: each worker appends to its own shard
+// under its own (uncontended) mutex, so concurrent CellDone callbacks from
+// different workers never serialize on a shared lock — the collector
+// itself must not become the cross-worker contention it exists to measure.
+// The shard index is the worker id the engine hands every callback.
 type Timing struct {
-	mu    sync.Mutex
 	epoch time.Time
+
+	shards atomic.Pointer[[]*timingShard]
+	grow   sync.Mutex // serializes shard-slice growth only
+}
+
+// timingShard is one worker's record list. The mutex is taken by exactly
+// two parties: the owning worker (serial with itself) and a reader folding
+// results after — or, for Progress-style live reads, during — the sweep.
+type timingShard struct {
+	mu    sync.Mutex
 	cells []CellTiming
-	busy  map[int]time.Duration
+	busy  time.Duration
+	_     [40]byte // keep adjacent shards' hot fields off one cache line
 }
 
 // NewTiming starts a collector; offsets are measured from this call.
 func NewTiming() *Timing {
-	return &Timing{epoch: time.Now(), busy: map[int]time.Duration{}}
+	return &Timing{epoch: time.Now()}
+}
+
+// shard returns worker w's shard, growing the shard table on first sight
+// of a new worker id (rare: once per worker per sweep).
+func (t *Timing) shard(w int) *timingShard {
+	if w < 0 {
+		w = 0
+	}
+	if sp := t.shards.Load(); sp != nil && w < len(*sp) {
+		return (*sp)[w]
+	}
+	t.grow.Lock()
+	defer t.grow.Unlock()
+	var cur []*timingShard
+	if sp := t.shards.Load(); sp != nil {
+		cur = *sp
+	}
+	if w < len(cur) { // another grower won the race
+		return cur[w]
+	}
+	next := make([]*timingShard, w+1)
+	copy(next, cur)
+	for i := len(cur); i <= w; i++ {
+		next[i] = &timingShard{}
+	}
+	t.shards.Store(&next)
+	return next[w]
+}
+
+// fold runs fn over every shard, locking each in turn.
+func (t *Timing) fold(fn func(s *timingShard)) {
+	sp := t.shards.Load()
+	if sp == nil {
+		return
+	}
+	for _, s := range *sp {
+		s.mu.Lock()
+		fn(s)
+		s.mu.Unlock()
+	}
 }
 
 // CellStart implements Monitor.
@@ -88,24 +145,23 @@ func (t *Timing) CellStart(cell, worker int) {}
 
 // CellDone implements Monitor.
 func (t *Timing) CellDone(cell, worker int, d time.Duration, err error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	start := time.Since(t.epoch) - d
 	if start < 0 {
 		start = 0
 	}
-	t.cells = append(t.cells, CellTiming{
+	s := t.shard(worker)
+	s.mu.Lock()
+	s.cells = append(s.cells, CellTiming{
 		Cell: cell, Worker: worker, Start: start, Elapsed: d, Err: err != nil,
 	})
-	t.busy[worker] += d
+	s.busy += d
+	s.mu.Unlock()
 }
 
 // Cells returns a copy of the records, ordered by cell index then start.
 func (t *Timing) Cells() []CellTiming {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]CellTiming, len(t.cells))
-	copy(out, t.cells)
+	var out []CellTiming
+	t.fold(func(s *timingShard) { out = append(out, s.cells...) })
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Cell != out[j].Cell {
 			return out[i].Cell < out[j].Cell
@@ -120,17 +176,31 @@ func (t *Timing) Wall() time.Duration { return time.Since(t.epoch) }
 
 // BusySeconds returns total busy time summed over all workers.
 func (t *Timing) BusySeconds() float64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	var total time.Duration
-	for _, d := range t.busy {
-		total += d
-	}
+	t.fold(func(s *timingShard) { total += s.busy })
 	return total.Seconds()
 }
 
+// Workers returns how many distinct workers have recorded a cell — the
+// honest denominator for utilization when the requested worker count
+// exceeded the cell count (the engine clamps, so extra workers never
+// exist, and an idle-worker division would understate utilization).
+func (t *Timing) Workers() int {
+	n := 0
+	t.fold(func(s *timingShard) {
+		if len(s.cells) > 0 {
+			n++
+		}
+	})
+	return n
+}
+
 // Utilization returns aggregate worker utilization: busy time divided by
-// (workers × wall clock). 1.0 means no worker ever idled.
+// (workers × wall clock). 1.0 means no worker ever idled. Callers that
+// sized workers from the request rather than the engine should clamp by
+// Workers() — a sweep of 2 cells under -parallel 8 ran on 2 workers, not
+// 8. Non-positive worker counts and a zero-elapsed wall return 0 rather
+// than dividing by it.
 func (t *Timing) Utilization(workers int) float64 {
 	wall := t.Wall().Seconds()
 	if workers < 1 || wall <= 0 {
@@ -139,19 +209,43 @@ func (t *Timing) Utilization(workers int) float64 {
 	return t.BusySeconds() / (float64(workers) * wall)
 }
 
+// durations collects every cell duration, sorted ascending.
+func (t *Timing) durations() []time.Duration {
+	var ds []time.Duration
+	t.fold(func(s *timingShard) {
+		for _, c := range s.cells {
+			ds = append(ds, c.Elapsed)
+		}
+	})
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds
+}
+
 // Median returns the median cell duration (0 with no records).
 func (t *Timing) Median() time.Duration {
-	t.mu.Lock()
-	ds := make([]time.Duration, 0, len(t.cells))
-	for _, c := range t.cells {
-		ds = append(ds, c.Elapsed)
-	}
-	t.mu.Unlock()
+	ds := t.durations()
 	if len(ds) == 0 {
 		return 0
 	}
-	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
 	return ds[len(ds)/2]
+}
+
+// Quantile returns the q-th quantile cell duration (q in [0,1], nearest-
+// rank; 0 with no records). The scalability harness reads p50/p95/p99
+// per-cell latency from here.
+func (t *Timing) Quantile(q float64) time.Duration {
+	ds := t.durations()
+	if len(ds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	i := int(q * float64(len(ds)-1))
+	return ds[i]
 }
 
 // Stragglers returns the cells whose duration exceeded factor × the
@@ -163,13 +257,13 @@ func (t *Timing) Stragglers(factor float64) []CellTiming {
 	}
 	cut := time.Duration(float64(med) * factor)
 	var out []CellTiming
-	t.mu.Lock()
-	for _, c := range t.cells {
-		if c.Elapsed > cut {
-			out = append(out, c)
+	t.fold(func(s *timingShard) {
+		for _, c := range s.cells {
+			if c.Elapsed > cut {
+				out = append(out, c)
+			}
 		}
-	}
-	t.mu.Unlock()
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Elapsed > out[j].Elapsed })
 	return out
 }

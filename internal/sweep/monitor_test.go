@@ -156,6 +156,103 @@ func TestTimingAccounting(t *testing.T) {
 	}
 }
 
+// TestTimingIdleWorkers: utilization arithmetic when the requested worker
+// count exceeds the cell count. The honest denominator is Workers() — the
+// workers that actually ran a cell — and the guards must return 0 rather
+// than divide by idle workers, an empty record set, or a zero wall clock.
+func TestTimingIdleWorkers(t *testing.T) {
+	timing := NewTiming()
+
+	// Empty collector: every derived statistic is 0, never NaN or panic.
+	if u := timing.Utilization(4); u != 0 {
+		t.Errorf("empty Utilization(4) = %v, want 0", u)
+	}
+	if w := timing.Workers(); w != 0 {
+		t.Errorf("empty Workers() = %d, want 0", w)
+	}
+	if q := timing.Quantile(0.99); q != 0 {
+		t.Errorf("empty Quantile = %v, want 0", q)
+	}
+	if m := timing.Median(); m != 0 {
+		t.Errorf("empty Median = %v, want 0", m)
+	}
+
+	// Two cells land on workers 0 and 5 of a hypothetical 8-worker pool.
+	timing.CellDone(0, 0, 10*time.Millisecond, nil)
+	timing.CellDone(1, 5, 10*time.Millisecond, nil)
+	if w := timing.Workers(); w != 2 {
+		t.Errorf("Workers() = %d, want 2 (only shards with records count)", w)
+	}
+
+	// Non-positive denominators are guarded, not divided by.
+	if u := timing.Utilization(0); u != 0 {
+		t.Errorf("Utilization(0) = %v, want 0", u)
+	}
+	if u := timing.Utilization(-3); u != 0 {
+		t.Errorf("Utilization(-3) = %v, want 0", u)
+	}
+
+	// Dividing by the requested pool (8) must read lower than dividing by
+	// the workers that ran (2): that gap is exactly why callers clamp.
+	honest, padded := timing.Utilization(timing.Workers()), timing.Utilization(8)
+	if honest <= 0 || padded <= 0 || padded >= honest {
+		t.Errorf("utilization honest=%v padded=%v, want 0 < padded < honest", honest, padded)
+	}
+
+	// A negative worker id (no engine produces one, but the API tolerates
+	// it) clamps to shard 0 instead of indexing out of bounds.
+	timing.CellDone(2, -1, time.Millisecond, nil)
+	if got := len(timing.Cells()); got != 3 {
+		t.Errorf("records after negative-worker CellDone = %d, want 3", got)
+	}
+}
+
+// TestTimingIdleWorkersEngine drives the real engine with more workers
+// than cells: the engine clamps the pool, so utilization against
+// Workers() must stay in (0, 1].
+func TestTimingIdleWorkersEngine(t *testing.T) {
+	timing := NewTiming()
+	err := RunMonitored(8, 2, timing, func(i int) error {
+		time.Sleep(5 * time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := timing.Workers()
+	if ran < 1 || ran > 2 {
+		t.Fatalf("Workers() = %d, want 1..2 for a 2-cell sweep", ran)
+	}
+	if u := timing.Utilization(ran); u <= 0 || u > 1.01 {
+		t.Errorf("Utilization(%d) = %v, outside (0,1]", ran, u)
+	}
+}
+
+// TestTimingQuantile pins the nearest-rank arithmetic on a deterministic
+// set of durations, including the out-of-range clamps.
+func TestTimingQuantile(t *testing.T) {
+	timing := NewTiming()
+	for i := 1; i <= 100; i++ {
+		timing.CellDone(i-1, 0, time.Duration(i)*time.Millisecond, nil)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, 1 * time.Millisecond},
+		{0.5, 50 * time.Millisecond},  // int(0.5*99) = 49 -> ds[49]
+		{0.95, 95 * time.Millisecond}, // int(0.95*99) = 94
+		{0.99, 99 * time.Millisecond}, // int(0.99*99) = 98
+		{1, 100 * time.Millisecond},
+		{1.5, 100 * time.Millisecond}, // clamped to 1
+		{-0.5, 1 * time.Millisecond},  // clamped to 0
+	} {
+		if got := timing.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
 // TestMonitorsCombinesAndSkipsNil: the fan-out helper must drop nils and
 // collapse to nil when nothing remains.
 func TestMonitorsCombinesAndSkipsNil(t *testing.T) {

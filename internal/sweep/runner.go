@@ -101,8 +101,39 @@ type Policy struct {
 	// records a cell the engine discarded.
 	OnSuccess func(cell int, v any) error
 
+	// OnWorkerStats, if non-nil, receives the engine's per-worker
+	// accounting exactly once, after every worker has drained. The stats
+	// are collected in per-worker cache-line-padded slots each worker
+	// writes alone — no shared atomics, no locks on the cell hot path —
+	// and folded only here.
+	OnWorkerStats func([]WorkerStats)
+
 	// sleep is a test seam for the backoff delay.
 	sleep func(ctx context.Context, d time.Duration)
+}
+
+// WorkerStats is one worker's accounting for a sweep: how many cells it
+// claimed and finished, how long it spent inside cell attempts (Busy),
+// and how long it spent between cells — claiming work, scanning skipped
+// indices, sleeping retry backoffs' complement (Wait). Busy/Wait cover
+// the span from the worker's start to its last cell's completion;
+// utilization over w workers is sum(Busy) / (w × sweep wall clock).
+type WorkerStats struct {
+	Worker   int
+	Started  int           // cells claimed and begun
+	Finished int           // cells that reached a final outcome
+	Errs     int           // cells whose final outcome was an error
+	Busy     time.Duration // wall clock inside cell attempts
+	Wait     time.Duration // wall clock between cells (claim/skip/queue-wait)
+}
+
+// workerSlot is the live form of WorkerStats: one per worker, written only
+// by its owning goroutine, padded so adjacent workers' slots never share a
+// cache line (the whole point is that a worker's bookkeeping stays local).
+type workerSlot struct {
+	started, finished, errs int64
+	busyNs, waitNs          int64
+	_                       [88]byte // pad 5×8 B of counters to 128 B
 }
 
 func (p Policy) withDefaults() Policy {
@@ -220,11 +251,14 @@ func MapWorkersPolicy[T any](ctx context.Context, workers, n int, m Monitor, pol
 	}
 	out := make([]T, n)
 	e := &engine{ctx: ctx, m: m, pol: pol.withDefaults(), errIdx: n}
+	slots := make([]workerSlot, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			slot := &slots[w]
+			last := time.Now()
 			for !e.aborted.Load() && ctx.Err() == nil {
 				i := int(e.next.Add(1)) - 1
 				if i >= n {
@@ -233,11 +267,31 @@ func MapWorkersPolicy[T any](ctx context.Context, workers, n int, m Monitor, pol
 				if e.pol.Skip != nil && e.pol.Skip(i) {
 					continue
 				}
-				runCellPolicy(e, w, i, &out[i], fn)
+				start := time.Now()
+				slot.waitNs += start.Sub(last).Nanoseconds()
+				slot.started++
+				err := runCellPolicy(e, w, i, start, &out[i], fn)
+				last = time.Now()
+				slot.busyNs += last.Sub(start).Nanoseconds()
+				slot.finished++
+				if err != nil {
+					slot.errs++
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	if e.pol.OnWorkerStats != nil {
+		stats := make([]WorkerStats, workers)
+		for w := range slots {
+			s := &slots[w]
+			stats[w] = WorkerStats{
+				Worker: w, Started: int(s.started), Finished: int(s.finished),
+				Errs: int(s.errs), Busy: time.Duration(s.busyNs), Wait: time.Duration(s.waitNs),
+			}
+		}
+		e.pol.OnWorkerStats(stats)
+	}
 	sort.Slice(e.fails, func(a, b int) bool { return e.fails[a].Cell < e.fails[b].Cell })
 	if e.errVal != nil {
 		return nil, e.fails, e.errVal
@@ -249,11 +303,11 @@ func MapWorkersPolicy[T any](ctx context.Context, workers, n int, m Monitor, pol
 }
 
 // runCellPolicy executes one cell: monitor callbacks exactly once, the
-// attempt/retry loop, and routing the final error per the policy.
-func runCellPolicy[T any](e *engine, w, i int, slot *T, fn func(ctx context.Context, worker, i int) (T, error)) {
-	var finalErr error
+// attempt/retry loop, and routing the final error per the policy. start is
+// the moment the owning worker claimed the cell (shared with the engine's
+// per-worker accounting); the returned error is the cell's final outcome.
+func runCellPolicy[T any](e *engine, w, i int, start time.Time, slot *T, fn func(ctx context.Context, worker, i int) (T, error)) (finalErr error) {
 	if e.m != nil {
-		start := time.Now()
 		e.m.CellStart(i, w)
 		defer func() { e.m.CellDone(i, w, time.Since(start), finalErr) }()
 	}
@@ -286,6 +340,7 @@ func runCellPolicy[T any](e *engine, w, i int, slot *T, fn func(ctx context.Cont
 		return
 	}
 	e.abort(i, finalErr)
+	return
 }
 
 // attemptResult carries one attempt's outcome through the watchdog channel.

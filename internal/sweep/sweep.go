@@ -89,3 +89,16 @@ func MapWorkersMonitored[T any](workers, n int, m Monitor, fn func(worker, i int
 		func(_ context.Context, w, i int) (T, error) { return fn(w, i) })
 	return out, err
 }
+
+// MapWorkersStats is MapWorkersMonitored returning the engine's per-worker
+// accounting alongside the results: one WorkerStats per actual worker
+// (after the workers-vs-cells clamp), each collected in a padded slot its
+// owner alone writes — the scalability harness's view of where the wall
+// clock went without any shared counters on the cell hot path.
+func MapWorkersStats[T any](workers, n int, m Monitor, fn func(worker, i int) (T, error)) ([]T, []WorkerStats, error) {
+	var ws []WorkerStats
+	pol := Policy{OnWorkerStats: func(s []WorkerStats) { ws = s }}
+	out, _, err := MapWorkersPolicy(context.Background(), workers, n, m, pol,
+		func(_ context.Context, w, i int) (T, error) { return fn(w, i) })
+	return out, ws, err
+}

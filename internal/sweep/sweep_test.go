@@ -158,3 +158,49 @@ func TestRunStopsClaimingAfterFailure(t *testing.T) {
 		t.Errorf("%d cells ran after the failure window", n)
 	}
 }
+
+// TestMapWorkersStats: the per-worker accounting must cover every cell
+// exactly once (started == finished, summing to n), stay within the
+// workers-vs-cells clamp, and report plausible busy time.
+func TestMapWorkersStats(t *testing.T) {
+	for _, tc := range []struct{ workers, n int }{
+		{1, 32}, {4, 32}, {8, 3}, // last: more workers than cells
+	} {
+		out, ws, err := MapWorkersStats(tc.workers, tc.n, nil, func(w, i int) (int, error) {
+			time.Sleep(time.Millisecond)
+			return i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != tc.n {
+			t.Fatalf("workers=%d n=%d: %d results", tc.workers, tc.n, len(out))
+		}
+		clamp := tc.workers
+		if tc.n < clamp {
+			clamp = tc.n
+		}
+		if len(ws) != clamp {
+			t.Fatalf("workers=%d n=%d: %d WorkerStats, want %d (clamped)",
+				tc.workers, tc.n, len(ws), clamp)
+		}
+		var started, finished int
+		for i, s := range ws {
+			if s.Worker != i {
+				t.Errorf("ws[%d].Worker = %d", i, s.Worker)
+			}
+			if s.Errs != 0 {
+				t.Errorf("worker %d reports %d errs on an error-free sweep", i, s.Errs)
+			}
+			if s.Finished > 0 && s.Busy <= 0 {
+				t.Errorf("worker %d finished %d cells with zero busy time", i, s.Finished)
+			}
+			started += s.Started
+			finished += s.Finished
+		}
+		if started != tc.n || finished != tc.n {
+			t.Errorf("workers=%d n=%d: started/finished = %d/%d, want %d/%d",
+				tc.workers, tc.n, started, finished, tc.n, tc.n)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSweepObserverCellDoneAllocs pins the cell hot path: once a worker's
+// accumulator exists, CellDone without an event sink is pure arithmetic on
+// worker-private memory — zero allocations, zero shared mutable state
+// beyond the inflight gauge.
+func TestSweepObserverCellDoneAllocs(t *testing.T) {
+	obs := NewSweepObserver(NewRegistry(), nil, "exp", "t3")
+	// First sight of a worker grows the cell table; warm it first.
+	obs.CellStart(0, 3)
+	obs.CellDone(0, 3, time.Millisecond, nil)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		obs.CellStart(1, 3)
+		obs.CellDone(1, 3, 2*time.Millisecond, nil)
+	})
+	if allocs != 0 {
+		t.Errorf("warm CellDone allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestSweepObserverDrain: per-worker accumulators publish to the registry
+// only at Drain, exactly once, with a per-worker busy-time series; the
+// schema is present (at zero) before any fold, and a second Drain with no
+// new cells adds nothing.
+func TestSweepObserverDrain(t *testing.T) {
+	reg := NewRegistry()
+	obs := NewSweepObserver(reg, nil, "exp", "t3")
+
+	expo := func() string {
+		var b strings.Builder
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	// Eager registration: the families exist at zero before any cell.
+	fresh := expo()
+	for _, fam := range []string{MetricSweepCompleted, MetricSweepErrors, MetricSweepCellSeconds} {
+		if !strings.Contains(fresh, fam) {
+			t.Errorf("fresh exposition missing %s:\n%s", fam, fresh)
+		}
+	}
+
+	// Two workers finish three cells; one errors.
+	obs.CellStart(0, 0)
+	obs.CellDone(0, 0, 100*time.Millisecond, nil)
+	obs.CellStart(1, 1)
+	obs.CellDone(1, 1, 200*time.Millisecond, nil)
+	obs.CellStart(2, 1)
+	obs.CellDone(2, 1, 50*time.Millisecond, errors.New("boom"))
+
+	// Before Drain the fold targets still read zero — the accumulators
+	// are worker-private until the sweep joins.
+	if got := expo(); !strings.Contains(got, MetricSweepCompleted+`{exp="t3"} 0`) {
+		t.Errorf("completed leaked before Drain:\n%s", got)
+	}
+
+	obs.Drain()
+	got := expo()
+	for _, want := range []string{
+		MetricSweepCompleted + `{exp="t3"} 3`,
+		MetricSweepErrors + `{exp="t3"} 1`,
+		MetricSweepCellSeconds + `_count{exp="t3"} 3`,
+		MetricSweepWorkerMs + `{exp="t3",worker="0"} 100`,
+		MetricSweepWorkerMs + `{exp="t3",worker="1"} 250`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("post-Drain exposition missing %q:\n%s", want, got)
+		}
+	}
+
+	// Idempotent: draining again without new cells publishes nothing new.
+	obs.Drain()
+	if again := expo(); again != got {
+		t.Errorf("second Drain changed the exposition:\ngot:\n%s\nwant:\n%s", again, got)
+	}
+
+	// A second sweep through the same observer folds on top.
+	obs.CellStart(3, 0)
+	obs.CellDone(3, 0, 10*time.Millisecond, nil)
+	obs.Drain()
+	if got := expo(); !strings.Contains(got, MetricSweepCompleted+`{exp="t3"} 4`) {
+		t.Errorf("second sweep did not accumulate:\n%s", got)
+	}
+}
+
+// TestSweepObserverInflightLive: the inflight gauge is the one shared
+// quantity that must move in real time, not at Drain.
+func TestSweepObserverInflightLive(t *testing.T) {
+	reg := NewRegistry()
+	obs := NewSweepObserver(reg, nil)
+	obs.CellStart(0, 0)
+	obs.CellStart(1, 1)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), MetricSweepInflight+" 2") {
+		t.Errorf("inflight gauge not live:\n%s", b.String())
+	}
+	obs.CellDone(0, 0, time.Millisecond, nil)
+	obs.CellDone(1, 1, time.Millisecond, nil)
+}

@@ -17,11 +17,8 @@
 package workloads
 
 import (
-	"fmt"
 	"sort"
-	"sync"
 
-	"retstack/internal/asm"
 	"retstack/internal/program"
 )
 
@@ -36,34 +33,19 @@ type Workload struct {
 	Source      func(scale int) string
 }
 
-// buildCache memoizes assembled images, keyed by the generated source text
-// (not the workload name, which a caller-defined Workload could reuse for
-// different programs). Images are immutable once built — machines copy
-// segment bytes into their own memory at Load, and the predecode plane is
-// constructed under a sync.Once — so sharing one image across any number of
-// concurrent simulations is already the sweep engine's normal mode. Growth
-// is bounded by the distinct (workload, scale) pairs a process touches.
-var buildCache sync.Map // source string -> *program.Image
-
-// Build assembles the workload at the given scale. Repeat builds of the
-// same program return the same shared image: assembling a SPEC clone costs
-// more than simulating several thousand instructions, which made Run-in-a-
-// loop callers (benchmarks, examples) pay more for assembly garbage than
-// for simulation.
+// Build assembles the workload at the given scale through the process
+// default Arena. Repeat builds of the same program return the same shared
+// image: assembling a SPEC clone costs more than simulating several
+// thousand instructions, which made Run-in-a-loop callers (benchmarks,
+// examples) pay more for assembly garbage than for simulation. Images are
+// immutable once built — machines copy segment bytes into their own memory
+// at Load, and the predecode plane is read-only — so sharing one image
+// across any number of concurrent simulations is the sweep engine's normal
+// mode. Growth is bounded by the distinct (workload, scale) pairs a
+// process touches. Sweep workers never reach this path: the experiment
+// harness pre-warms and freezes the arena before they start (see Arena).
 func (w Workload) Build(scale int) (*program.Image, error) {
-	if scale <= 0 {
-		return nil, fmt.Errorf("workloads: %s: scale must be positive", w.Name)
-	}
-	src := w.Source(scale)
-	if im, ok := buildCache.Load(src); ok {
-		return im.(*program.Image), nil
-	}
-	im, err := asm.Assemble(src)
-	if err != nil {
-		return nil, fmt.Errorf("workloads: %s: %w", w.Name, err)
-	}
-	buildCache.Store(src, im)
-	return im, nil
+	return defaultArena.Build(w, scale)
 }
 
 // ScaleFor returns a scale expected to produce at least wantInsts dynamic
